@@ -1,0 +1,182 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section (Baykan, Henzinger, Weber: "Web Page Language
+// Identification Based on URLs", VLDB 2008) on synthetic corpora
+// calibrated to the paper's published statistics.
+//
+// Usage:
+//
+//	repro -exp table4 [-scale 0.1] [-seed 1]
+//	repro -exp all
+//
+// The -scale flag shrinks the paper's Table 1 dataset sizes (1.25M
+// training URLs at scale 1.0). The default 0.1 reproduces all shapes in
+// about a minute; use -scale 1 for the full-size run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/experiments"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: table1..table10, figure1..figure3, preliminary, inlinks, smoke, all")
+		scale = flag.Float64("scale", 0.1, "dataset scale relative to the paper's Table 1 sizes")
+		seed  = flag.Uint64("seed", 1, "universe seed")
+		quiet = flag.Bool("q", false, "suppress timing output")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(*seed, experiments.Scale(*scale))
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "table3", "table4", "table5", "table6",
+			"table7", "table8", "table9", "table10", "figure1", "figure2", "figure3",
+			"preliminary", "inlinks", "selection"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(env, strings.TrimSpace(id)); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func run(env *experiments.Env, exp string) error {
+	switch exp {
+	case "table1":
+		fmt.Println(env.Table1())
+	case "table2":
+		r, err := env.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table3":
+		fmt.Println(env.Table3())
+	case "table4":
+		r, err := env.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table5":
+		r, err := env.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table6":
+		r, err := env.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table7":
+		r, err := env.Table7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table8":
+		r, err := env.Table8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table9":
+		r, err := env.Table9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "table10":
+		r, err := env.Table10()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "figure1":
+		r, err := env.Figure1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "figure2":
+		r, err := env.Figure2(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "figure3":
+		fmt.Println(env.Figure3(nil))
+	case "preliminary":
+		r, err := env.Preliminary()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "inlinks":
+		r, err := env.Inlinks()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "selection":
+		r, err := env.Selection(langid.German, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	case "smoke":
+		return smoke(env)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// smoke trains the headline configuration (NB/words) and prints its
+// metrics on all three test sets — a quick calibration check.
+func smoke(env *experiments.Env) error {
+	sys, err := env.System(core.Config{Algo: core.NaiveBayes, Features: features.Words})
+	if err != nil {
+		return err
+	}
+	for _, kind := range []datagen.Kind{datagen.ODP, datagen.SER, datagen.WC} {
+		ds := env.Dataset(kind)
+		ev := experiments.EvaluateSystem(sys, ds.Test)
+		fmt.Printf("== NB/words on %s (train=%d test=%d) macroF=%.3f\n", kind, len(ds.Train), len(ds.Test), ev.MacroF())
+		for _, r := range ev.Results {
+			fmt.Println("  ", r)
+		}
+		fmt.Println(ev.Confusion.String())
+	}
+	for _, algo := range []core.Algo{core.CcTLD, core.CcTLDPlus} {
+		sys, err := env.System(core.Config{Algo: algo})
+		if err != nil {
+			return err
+		}
+		for _, kind := range []datagen.Kind{datagen.ODP, datagen.SER, datagen.WC} {
+			ev := experiments.EvaluateSystem(sys, env.Dataset(kind).Test)
+			fmt.Printf("== %s on %s macroF=%.3f\n", algo, kind, ev.MacroF())
+			for _, r := range ev.Results {
+				fmt.Println("  ", r)
+			}
+		}
+	}
+	return nil
+}

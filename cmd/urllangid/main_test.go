@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"urllangid"
+	"urllangid/internal/langid"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.tsv")
+	samples := []langid.Sample{
+		{URL: "http://a.de/seite", Lang: langid.German},
+		{URL: "http://b.fr/page", Lang: langid.French},
+	}
+	if err := writeTSV(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readTSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != samples[0] || back[1] != samples[1] {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.tsv")
+	content := "# comment\n\nhttp://a.it/pagina\tit\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Lang != langid.Italian {
+		t.Errorf("readTSV = %+v", got)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad1 := filepath.Join(dir, "bad1.tsv")
+	os.WriteFile(bad1, []byte("no-tab-here\n"), 0o644)
+	if _, err := readTSV(bad1); err == nil {
+		t.Error("missing tab accepted")
+	}
+	bad2 := filepath.Join(dir, "bad2.tsv")
+	os.WriteFile(bad2, []byte("http://x.com\tzz\n"), 0o644)
+	if _, err := readTSV(bad2); err == nil {
+		t.Error("unknown language accepted")
+	}
+	if _, err := readTSV(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	opts, err := parseOptions("trigram", "re", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Features != urllangid.TrigramFeatures || opts.Algorithm != urllangid.RelativeEntropy || opts.Seed != 7 {
+		t.Errorf("parseOptions = %+v", opts)
+	}
+	if _, err := parseOptions("nope", "nb", 0); err == nil {
+		t.Error("bad feature accepted")
+	}
+	if _, err := parseOptions("word", "nope", 0); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	for _, algo := range []string{"nb", "re", "me", "dt", "knn", "cctld", "cctld+"} {
+		if _, err := parseOptions("custom", algo, 0); err != nil {
+			t.Errorf("algo %q rejected: %v", algo, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Browser hover-hint: the paper's §1 imagines "a personalized web
+// browser, which automatically opens foreign language URLs in a split
+// window, with a machine translation on one side, or which at least
+// shows certain language related icons, when the user is hovering with
+// the mouse over a URL."
+//
+// This example is the decision engine behind such a feature: given the
+// user's language and a hovered link, decide whether to offer
+// translation, and with which confidence badge. It runs an HTTP demo
+// endpoint when invoked with -serve, otherwise it prints decisions for a
+// demo link set.
+//
+//	go run ./examples/browserhint
+//	go run ./examples/browserhint -serve :8099
+//	curl 'localhost:8099/hint?url=http://www.meteofrance.fr/previsions'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"urllangid"
+	"urllangid/internal/datagen"
+)
+
+// hint is the decision for one hovered link.
+type hint struct {
+	URL            string  `json:"url"`
+	UserLanguage   string  `json:"user_language"`
+	LinkLanguage   string  `json:"link_language,omitempty"`
+	Confidence     string  `json:"confidence"` // high, medium, low
+	OfferTranslate bool    `json:"offer_translate"`
+	Score          float64 `json:"score"`
+}
+
+func decide(clf *urllangid.Classifier, userLang urllangid.Language, url string) hint {
+	h := hint{URL: url, UserLanguage: userLang.Code()}
+	best, score, claimed := clf.Best(url)
+	if !claimed {
+		h.Confidence = "low"
+		return h
+	}
+	h.LinkLanguage = best.Code()
+	h.Score = score
+	switch {
+	case score > 3:
+		h.Confidence = "high"
+	case score > 1:
+		h.Confidence = "medium"
+	default:
+		h.Confidence = "low"
+	}
+	h.OfferTranslate = best != userLang && h.Confidence != "low"
+	return h
+}
+
+func main() {
+	serve := flag.String("serve", "", "optional listen address for the HTTP demo endpoint")
+	flag.Parse()
+
+	train := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 5, TrainPerLang: 8000, TestPerLang: 1,
+	})
+	clf, err := urllangid.Train(urllangid.Options{Seed: 5}, train.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	user := urllangid.English
+
+	if *serve != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /hint", func(w http.ResponseWriter, r *http.Request) {
+			url := r.URL.Query().Get("url")
+			if url == "" {
+				http.Error(w, "missing url parameter", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(decide(clf, user, url)); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		log.Printf("hover-hint demo on %s (user language: %s)", *serve, user)
+		srv := &http.Server{Addr: *serve, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		log.Fatal(srv.ListenAndServe())
+	}
+
+	links := []string{
+		"http://www.nytimes.com/pages/world/index.html",
+		"http://www.meteofrance.fr/previsions/paris",
+		"http://www.wasserbett-test.com/preise.html",
+		"http://www.elpais.es/noticias/economia",
+		"http://www.corriere.it/cronache",
+		"http://forum.mamboserver.com/archive/index.php/t-7062.html",
+	}
+	fmt.Printf("user language: %s\n\n", user)
+	for _, url := range links {
+		h := decide(clf, user, url)
+		badge := "  "
+		if h.OfferTranslate {
+			badge = "🌐"
+		}
+		fmt.Printf("%s %-58s -> %-3s (%s)\n", badge, h.URL, h.LinkLanguage, h.Confidence)
+	}
+	fmt.Println("\n🌐 = offer split-window translation (foreign language, confident)")
+}

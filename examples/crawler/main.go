@@ -1,0 +1,79 @@
+// Crawler-quota simulation: the paper's motivating scenario (§1).
+//
+// A crawler for a language-specific search engine (think fireball.de or
+// yandex.ru) must download a quota of pages in its target language. The
+// frontier holds uncrawled URLs whose language is unknown; every download
+// of a wrong-language page wastes bandwidth.
+//
+// This example compares four frontier policies on a synthetic crawl
+// frontier:
+//
+//   - blind: download in frontier order (no language knowledge);
+//   - ccTLD: download only URLs whose country-code TLD maps to the
+//     target language (the §3.2 baseline);
+//   - classifier: download URLs the trained URL classifier marks as the
+//     target language;
+//   - oracle: knows every true language (the efficiency upper bound).
+//
+// The frontier holds ~500 German pages; the quota of 400 is where the
+// ccTLD baseline's recall ceiling bites (it can only *see* the ~61% of
+// German pages on .de/.at, Table 4), while the URL classifier's higher
+// recall still fills the quota at a fraction of blind's bandwidth.
+//
+//	go run ./examples/crawler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"urllangid"
+	"urllangid/internal/crawlsim"
+	"urllangid/internal/datagen"
+	"urllangid/internal/langid"
+)
+
+const (
+	target    = urllangid.German
+	quota     = 400
+	frontierN = 8000
+)
+
+func main() {
+	// Train on directory-style URLs; the frontier is crawl-style —
+	// training and deployment distributions differ, as in real life.
+	train := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 7, TrainPerLang: 8000, TestPerLang: 1,
+	})
+	clf, err := urllangid.Train(urllangid.Options{Seed: 7}, train.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := urllangid.Train(urllangid.Options{Algorithm: urllangid.CcTLD}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a mixed-language frontier, heavily non-German like the real
+	// web (reusing the crawl generator's class skew).
+	frontier := datagen.Generate(datagen.Config{
+		Kind: datagen.WC, Seed: 99, TestPerLang: frontierN / 5,
+	}).Test
+	truth := make(map[string]langid.Language, len(frontier))
+	for _, s := range frontier {
+		truth[s.URL] = s.Lang
+	}
+
+	cfg := crawlsim.Config{Target: target, Quota: quota}
+	policies := []crawlsim.Policy{
+		crawlsim.Blind(),
+		crawlsim.PolicyFunc{Label: "ccTLD", Fn: func(u string) bool { return baseline.Is(u, target) }},
+		crawlsim.PolicyFunc{Label: "classifier", Fn: func(u string) bool { return clf.Is(u, target) }},
+		crawlsim.Oracle(truth, target),
+	}
+	fmt.Printf("frontier: %d URLs\n\n", len(frontier))
+	fmt.Print(crawlsim.Render(crawlsim.Compare(frontier, policies, cfg), cfg))
+	fmt.Println("\nefficiency = target-language pages per download. blind wastes ~95%")
+	fmt.Println("of its bandwidth; ccTLD is precise but cannot even fill the quota")
+	fmt.Println("(low recall, §5.2); the URL classifier does both, close to the oracle.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: train a URL language classifier on a small synthetic
+// corpus and classify a few URLs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"urllangid"
+	"urllangid/internal/datagen"
+)
+
+func main() {
+	// Synthesise a small labeled corpus (in production you would load
+	// your own labeled URLs, e.g. from a directory service or from
+	// pages whose content you already classified).
+	corpus := datagen.Generate(datagen.Config{
+		Kind:         datagen.ODP,
+		Seed:         42,
+		TrainPerLang: 5000,
+		TestPerLang:  200,
+	})
+
+	// Train the paper's best single configuration: Naive Bayes on URL
+	// word features.
+	clf, err := urllangid.Train(urllangid.Options{Seed: 42}, corpus.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s on %d URLs\n\n", clf.Describe(), len(corpus.Train))
+
+	// Classify some URLs — including the paper's running examples.
+	urls := []string{
+		"http://www.wasserbett-test.com/preise.html",          // German despite .com
+		"http://www.priceminister.com/navigation/category/q",  // French host, English-looking path
+		"http://fr.search.yahoo.com/search?p=meteo",           // language-code subdomain
+		"http://hp2010.nhlbihin.net/oei_ss/clin5_10.htm",      // opaque English page
+		"http://viveka.math.hr/LDP/linuxfocus/Deutsch/",       // German via one token
+		"http://www.corriere.it/cronache/articolo_primo.html", // Italian ccTLD + words
+	}
+	for _, u := range urls {
+		langs := clf.Languages(u)
+		best, score, claimed := clf.Best(u)
+		fmt.Printf("%-55s -> %v", u, langs)
+		if claimed {
+			fmt.Printf("  (best: %s %.2f)", best, score)
+		}
+		fmt.Println()
+	}
+
+	// Quick sanity check on held-out data.
+	correct, total := 0, 0
+	for _, s := range corpus.Test {
+		if clf.Is(s.URL, s.Lang) {
+			correct++
+		}
+		total++
+	}
+	fmt.Printf("\nheld-out recall (own-language classifier said yes): %d/%d = %.1f%%\n",
+		correct, total, 100*float64(correct)/float64(total))
+}

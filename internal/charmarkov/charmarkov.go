@@ -1,0 +1,166 @@
+// Package charmarkov implements the character-based Markov-model language
+// classifier of Dunning ("Statistical Identification of Language", 1994),
+// reference [3] of the paper. §2 positions it as a variant of the n-gram
+// approach: assume each character depends only on the previous k
+// characters and score a document by the log-probability each class's
+// character model assigns to it.
+//
+// Unlike the other learners, this classifier consumes the URL's *tokens*
+// directly rather than a pre-extracted feature vector, because it needs
+// the character sequences. It still plugs into the shared evaluation
+// through the TokenModel interface used by the preliminary-comparison
+// experiment.
+package charmarkov
+
+import (
+	"errors"
+	"math"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+// ErrNoTrainingData is returned when a class received no tokens.
+var ErrNoTrainingData = errors.New("charmarkov: no training data")
+
+const (
+	alphabet = 27 // a-z plus the boundary symbol
+	boundary = 26
+)
+
+// Trainer configures Markov-model training.
+type Trainer struct {
+	// Order is the context length k (default 2: trigram-equivalent).
+	Order int
+	// Alpha is additive smoothing over next-character distributions
+	// (default 0.5).
+	Alpha float64
+}
+
+// Name returns the classifier label used in reports.
+func (t Trainer) Name() string { return "MM" }
+
+// Model is a pair of character language models (positive/negative class).
+type Model struct {
+	Order int
+	// LogRatio[ctx*alphabet+c] = log P(c|ctx,pos) - log P(c|ctx,neg).
+	LogRatio []float64
+	// LogPrior is the class log-odds.
+	LogPrior float64
+}
+
+// Train builds the binary Markov classifier from labeled URLs: the
+// positive model from samples of language lang, the negative model from
+// the rest.
+func (t Trainer) Train(samples []langid.Sample, lang langid.Language) (*Model, error) {
+	order := t.Order
+	if order <= 0 {
+		order = 2
+	}
+	alpha := t.Alpha
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+	nCtx := 1
+	for i := 0; i < order; i++ {
+		nCtx *= alphabet
+	}
+
+	posCounts := make([]float64, nCtx*alphabet)
+	negCounts := make([]float64, nCtx*alphabet)
+	var nPos, nNeg float64
+	for _, s := range samples {
+		counts := negCounts
+		if s.Lang == lang {
+			counts = posCounts
+			nPos++
+		} else {
+			nNeg++
+		}
+		p := urlx.Parse(s.URL)
+		for _, tok := range p.Tokens {
+			accumulate(counts, tok, order)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, ErrNoTrainingData
+	}
+
+	m := &Model{Order: order, LogRatio: make([]float64, nCtx*alphabet)}
+	m.LogPrior = math.Log(nPos) - math.Log(nNeg)
+	for ctx := 0; ctx < nCtx; ctx++ {
+		var posTotal, negTotal float64
+		base := ctx * alphabet
+		for c := 0; c < alphabet; c++ {
+			posTotal += posCounts[base+c]
+			negTotal += negCounts[base+c]
+		}
+		zPos := math.Log(posTotal + alpha*alphabet)
+		zNeg := math.Log(negTotal + alpha*alphabet)
+		for c := 0; c < alphabet; c++ {
+			lp := math.Log(posCounts[base+c]+alpha) - zPos
+			ln := math.Log(negCounts[base+c]+alpha) - zNeg
+			m.LogRatio[base+c] = lp - ln
+		}
+	}
+	return m, nil
+}
+
+// accumulate counts order-k transitions within one token, padded with
+// boundary symbols like the trigram extractor pads with spaces.
+func accumulate(counts []float64, token string, order int) {
+	if len(token) < 2 {
+		return
+	}
+	syms := encode(token)
+	nCtx := len(counts) / alphabet
+	ctx := 0
+	// Initial context: all boundary.
+	for i := 0; i < order; i++ {
+		ctx = (ctx*alphabet + boundary) % nCtx
+	}
+	for _, c := range syms {
+		counts[ctx*alphabet+c]++
+		ctx = (ctx*alphabet + c) % nCtx
+	}
+}
+
+// encode maps a token to symbol indices with a trailing boundary.
+func encode(token string) []int {
+	out := make([]int, 0, len(token)+1)
+	for i := 0; i < len(token); i++ {
+		c := token[i]
+		if c >= 'a' && c <= 'z' {
+			out = append(out, int(c-'a'))
+		}
+	}
+	return append(out, boundary)
+}
+
+// ScoreTokens returns the log-odds the model assigns to a token sequence.
+func (m *Model) ScoreTokens(tokens []string) float64 {
+	nCtx := len(m.LogRatio) / alphabet
+	score := m.LogPrior
+	for _, tok := range tokens {
+		if len(tok) < 2 {
+			continue
+		}
+		ctx := 0
+		for i := 0; i < m.Order; i++ {
+			ctx = (ctx*alphabet + boundary) % nCtx
+		}
+		for _, c := range encode(tok) {
+			score += m.LogRatio[ctx*alphabet+c]
+			ctx = (ctx*alphabet + c) % nCtx
+		}
+	}
+	return score
+}
+
+// ScoreURL parses a raw URL and scores its tokens.
+func (m *Model) ScoreURL(rawURL string) float64 {
+	return m.ScoreTokens(urlx.Parse(rawURL).Tokens)
+}
+
+// Positive reports the binary decision for a raw URL.
+func (m *Model) Positive(rawURL string) bool { return m.ScoreURL(rawURL) >= 0 }

@@ -1,0 +1,112 @@
+package charmarkov
+
+import (
+	"math"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+func corpus() []langid.Sample {
+	var samples []langid.Sample
+	de := []string{
+		"http://www.wetter-nachrichten.de/kaufen", "http://www.zeitung.de/wirtschaft",
+		"http://www.gesundheit.de/krankheit", "http://www.strasse.de/fahrzeug",
+		"http://www.schule.de/unterricht", "http://www.buecher.de/geschichte",
+		"http://www.reise.de/urlaub", "http://www.versicherung.de/vergleich",
+	}
+	en := []string{
+		"http://www.weather-news.com/buy", "http://www.newspaper.com/business",
+		"http://www.health.com/disease", "http://www.street.com/vehicle",
+		"http://www.school.com/teaching", "http://www.books.com/history",
+		"http://www.travel.com/holiday", "http://www.insurance.com/compare",
+	}
+	for _, u := range de {
+		samples = append(samples, langid.Sample{URL: u, Lang: langid.German})
+	}
+	for _, u := range en {
+		samples = append(samples, langid.Sample{URL: u, Lang: langid.English})
+	}
+	return samples
+}
+
+func TestSeparatesLanguages(t *testing.T) {
+	m, err := Trainer{}.Train(corpus(), langid.German)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Positive("http://www.zeitschrift.net/nachricht") {
+		t.Error("German-looking URL scored negative")
+	}
+	if m.Positive("http://www.weather.net/shopping") {
+		t.Error("English-looking URL scored positive")
+	}
+}
+
+func TestOrderOneStillWorks(t *testing.T) {
+	m, err := Trainer{Order: 1}.Train(corpus(), langid.German)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.ScoreURL("http://www.wetter.de")
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("order-1 score = %v", s)
+	}
+}
+
+func TestScoreFiniteOnArbitraryInput(t *testing.T) {
+	m, err := Trainer{}.Train(corpus(), langid.German)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"", "http://", "http://123.456/789", "http://x.y/zzzzzzzzzzzzzz"} {
+		if s := m.ScoreURL(u); math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Errorf("ScoreURL(%q) = %v", u, s)
+		}
+	}
+}
+
+func TestEmptyTokensScorePrior(t *testing.T) {
+	m, err := Trainer{}.Train(corpus(), langid.German)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ScoreTokens(nil); got != m.LogPrior {
+		t.Errorf("empty token score = %v, want prior %v", got, m.LogPrior)
+	}
+}
+
+func TestNoTrainingDataError(t *testing.T) {
+	only := []langid.Sample{{URL: "http://a.de/x", Lang: langid.German}}
+	if _, err := (Trainer{}).Train(only, langid.German); err == nil {
+		t.Error("single-class corpus accepted")
+	}
+	if _, err := (Trainer{}).Train(nil, langid.German); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestPriorReflectsBalance(t *testing.T) {
+	samples := corpus()
+	m, err := Trainer{}.Train(samples, langid.German)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced corpus: prior ~ 0.
+	if math.Abs(m.LogPrior) > 1e-9 {
+		t.Errorf("balanced prior = %v", m.LogPrior)
+	}
+}
+
+func TestBoundarySymbolCounted(t *testing.T) {
+	// encode must append exactly one boundary.
+	syms := encode("ab")
+	if len(syms) != 3 || syms[2] != boundary {
+		t.Errorf("encode(ab) = %v", syms)
+	}
+	// Non-letters are skipped defensively.
+	syms = encode("a2b")
+	if len(syms) != 3 {
+		t.Errorf("encode(a2b) = %v", syms)
+	}
+}

@@ -1,0 +1,76 @@
+// Package combine implements the classifier-merging strategies of §3.3.
+// Both strategies pair a "main" algorithm with a "helper":
+//
+//   - Recall improvement (Or): when the main classifier says "no", ask the
+//     helper for a second opinion; output "no" only if both say "no".
+//   - Precision improvement (And): output "yes" only if both say "yes".
+//
+// §5.6 gives the best per-language pairs, which BestPairs reproduces:
+// English and German use Maximum Entropy + Relative Entropy on word
+// features with recall improvement; French uses Relative Entropy on
+// trigrams + Naive Bayes on words (recall); Spanish uses Maximum Entropy
+// on trigrams + Naive Bayes on words (precision); Italian uses Relative
+// Entropy on trigrams + Relative Entropy on words (recall).
+package combine
+
+import (
+	"urllangid/internal/vecspace"
+)
+
+// Decider is the minimal interface a combinable classifier must satisfy:
+// a binary yes/no for a feature vector. Both mlkit.BinaryModel and
+// closures over full pipelines satisfy it via DeciderFunc.
+type Decider interface {
+	Predict(x vecspace.Sparse) bool
+}
+
+// DeciderFunc adapts a plain function to the Decider interface.
+type DeciderFunc func(x vecspace.Sparse) bool
+
+// Predict implements Decider.
+func (f DeciderFunc) Predict(x vecspace.Sparse) bool { return f(x) }
+
+// Mode selects the combination strategy.
+type Mode uint8
+
+const (
+	// RecallImprovement outputs "no" iff both classifiers say "no".
+	RecallImprovement Mode = iota
+	// PrecisionImprovement outputs "yes" iff both classifiers say "yes".
+	PrecisionImprovement
+)
+
+// String returns the strategy name.
+func (m Mode) String() string {
+	if m == PrecisionImprovement {
+		return "precision"
+	}
+	return "recall"
+}
+
+// Combined merges a main and a helper classifier under a Mode.
+type Combined struct {
+	Main, Helper Decider
+	Mode         Mode
+}
+
+// Predict implements Decider with the §3.3 semantics.
+func (c Combined) Predict(x vecspace.Sparse) bool {
+	m := c.Main.Predict(x)
+	h := c.Helper.Predict(x)
+	if c.Mode == PrecisionImprovement {
+		return m && h
+	}
+	return m || h
+}
+
+// BoolCombined merges two already-computed binary answers. It is useful
+// when the two classifiers operate on different feature spaces (as the
+// paper's best pairs do: one on words, one on trigrams), so no single
+// feature vector can feed both.
+func BoolCombined(mode Mode, mainYes, helperYes bool) bool {
+	if mode == PrecisionImprovement {
+		return mainYes && helperYes
+	}
+	return mainYes || helperYes
+}

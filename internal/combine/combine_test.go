@@ -1,0 +1,90 @@
+package combine
+
+import (
+	"testing"
+
+	"urllangid/internal/vecspace"
+)
+
+func yes() Decider { return DeciderFunc(func(vecspace.Sparse) bool { return true }) }
+func no() Decider  { return DeciderFunc(func(vecspace.Sparse) bool { return false }) }
+
+func TestRecallImprovementTruthTable(t *testing.T) {
+	// §3.3: output "no" if and only if both algorithms say "no".
+	cases := []struct {
+		main, helper Decider
+		want         bool
+	}{
+		{yes(), yes(), true},
+		{yes(), no(), true},
+		{no(), yes(), true},
+		{no(), no(), false},
+	}
+	for i, c := range cases {
+		got := Combined{Main: c.main, Helper: c.helper, Mode: RecallImprovement}.Predict(vecspace.Sparse{})
+		if got != c.want {
+			t.Errorf("case %d: recall OR = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPrecisionImprovementTruthTable(t *testing.T) {
+	// §3.3: output "yes" only if both classifiers say "yes".
+	cases := []struct {
+		main, helper Decider
+		want         bool
+	}{
+		{yes(), yes(), true},
+		{yes(), no(), false},
+		{no(), yes(), false},
+		{no(), no(), false},
+	}
+	for i, c := range cases {
+		got := Combined{Main: c.main, Helper: c.helper, Mode: PrecisionImprovement}.Predict(vecspace.Sparse{})
+		if got != c.want {
+			t.Errorf("case %d: precision AND = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBoolCombinedMatchesCombined(t *testing.T) {
+	for _, mode := range []Mode{RecallImprovement, PrecisionImprovement} {
+		for _, m := range []bool{true, false} {
+			for _, h := range []bool{true, false} {
+				var md, hd Decider
+				if m {
+					md = yes()
+				} else {
+					md = no()
+				}
+				if h {
+					hd = yes()
+				} else {
+					hd = no()
+				}
+				want := Combined{Main: md, Helper: hd, Mode: mode}.Predict(vecspace.Sparse{})
+				if got := BoolCombined(mode, m, h); got != want {
+					t.Errorf("BoolCombined(%v,%v,%v) = %v, want %v", mode, m, h, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if RecallImprovement.String() != "recall" || PrecisionImprovement.String() != "precision" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestDeciderFuncReceivesVector(t *testing.T) {
+	var got vecspace.Sparse
+	d := DeciderFunc(func(x vecspace.Sparse) bool { got = x; return true })
+	b := vecspace.NewBuilder(1)
+	b.Add(3, 2)
+	want := b.Sparse()
+	Combined{Main: d, Helper: yes(), Mode: PrecisionImprovement}.Predict(want)
+	if got.Len() != 1 || got.Get(3) != 2 {
+		t.Error("vector not passed through to deciders")
+	}
+}

@@ -1,0 +1,357 @@
+// Package core is the paper's primary contribution assembled into a
+// trainable, persistable system: given a feature family and a learning
+// algorithm, it trains five independent binary classifiers ("Is it
+// language X or not?") on balanced samples of labeled URLs (§4.1) and
+// classifies raw URLs into any subset of the five languages.
+//
+// The package glues together the substrate packages: urlx tokenisation,
+// the features extractors, the nb/relent/maxent/dtree/knn learners and
+// the tldbase baselines.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+
+	"urllangid/internal/dtree"
+	"urllangid/internal/features"
+	"urllangid/internal/knn"
+	"urllangid/internal/langid"
+	"urllangid/internal/maxent"
+	"urllangid/internal/mlkit"
+	"urllangid/internal/nb"
+	"urllangid/internal/relent"
+	"urllangid/internal/tldbase"
+	"urllangid/internal/urlx"
+	"urllangid/internal/vecspace"
+)
+
+// Algo enumerates the classification algorithms of §3.2.
+type Algo uint8
+
+const (
+	// NaiveBayes is the best single algorithm of the paper (Table 8).
+	NaiveBayes Algo = iota
+	// RelEntropy gives the highest precision of all learners (§5.6).
+	RelEntropy
+	// MaxEntropy is trained with Improved Iterative Scaling.
+	MaxEntropy
+	// DecisionTree is only intended for the custom feature set.
+	DecisionTree
+	// KNN was dropped by the paper for poor quality; kept for ablation.
+	KNN
+	// CcTLD is the training-free country-code baseline.
+	CcTLD
+	// CcTLDPlus additionally maps .com/.org to English.
+	CcTLDPlus
+)
+
+// String returns the paper's abbreviation for the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case NaiveBayes:
+		return "NB"
+	case RelEntropy:
+		return "RE"
+	case MaxEntropy:
+		return "ME"
+	case DecisionTree:
+		return "DT"
+	case KNN:
+		return "kNN"
+	case CcTLD:
+		return "ccTLD"
+	case CcTLDPlus:
+		return "ccTLD+"
+	default:
+		return fmt.Sprintf("Algo(%d)", uint8(a))
+	}
+}
+
+// NeedsTraining reports whether the algorithm requires labeled data.
+func (a Algo) NeedsTraining() bool { return a != CcTLD && a != CcTLDPlus }
+
+// Config specifies a full classifier system. The zero value selects
+// Naive Bayes on word features with the paper's defaults.
+type Config struct {
+	Features features.Kind
+	Algo     Algo
+	// Seed drives balanced negative sampling and any stochastic parts
+	// of training; identical configs and data yield identical systems.
+	Seed uint64
+	// WithContent enables the §7 experiment: training-side feature
+	// vectors include page-content tokens (test side never does).
+	WithContent bool
+	// NBAlpha overrides Naive Bayes smoothing (0 = default).
+	NBAlpha float64
+	// MEIterations overrides the IIS iteration count (0 = 40; the
+	// content experiment uses 2).
+	MEIterations int
+	// REMargin shifts the Relative Entropy decision boundary.
+	REMargin float64
+	// DTMaxDepth / DTMinLeaf override decision-tree growth bounds.
+	DTMaxDepth int
+	DTMinLeaf  int
+	// KNNNeighbours / KNNMaxReference override kNN parameters.
+	KNNNeighbours   int
+	KNNMaxReference int
+	// Sequential disables per-language parallel training.
+	Sequential bool
+	// AllNegatives trains each binary classifier on *all* negative
+	// samples instead of the paper's balanced 1:1 subsample (§4.1 warns
+	// this yields "too conservative classifiers"; the ablation bench
+	// demonstrates it).
+	AllNegatives bool
+	// RawTrigrams switches the Trigrams feature family to raw-URL
+	// trigrams that cross token boundaries (§3.1's rejected variant;
+	// ablation only).
+	RawTrigrams bool
+}
+
+// Describe returns the "algorithm + feature set" label used in the
+// paper's tables, e.g. "NB/word".
+func (c Config) Describe() string {
+	if !c.Algo.NeedsTraining() {
+		return c.Algo.String()
+	}
+	return c.Algo.String() + "/" + c.Features.String()
+}
+
+// System is a trained URL language classifier: one binary model per
+// language over a shared feature extractor, or a TLD baseline.
+type System struct {
+	Config    Config
+	Extractor features.Extractor
+	Models    [langid.NumLanguages]mlkit.BinaryModel
+	baseline  tldbase.Classifier
+}
+
+func init() {
+	gob.Register(&nb.Model{})
+	gob.Register(&relent.Model{})
+	gob.Register(&maxent.Model{})
+	gob.Register(&dtree.Model{})
+	gob.Register(&knn.Model{})
+	gob.Register(&features.WordExtractor{})
+	gob.Register(&features.TrigramExtractor{})
+	gob.Register(&features.CustomExtractor{})
+	gob.Register(&features.RawTrigramExtractor{})
+}
+
+// Train builds a System from labeled samples. For the TLD baselines the
+// samples may be empty (they need no training, §3.2); all learners
+// require at least one positive and one negative example per language.
+func Train(cfg Config, samples []langid.Sample) (*System, error) {
+	s := &System{Config: cfg}
+	switch cfg.Algo {
+	case CcTLD:
+		s.baseline = tldbase.CcTLD()
+		return s, nil
+	case CcTLDPlus:
+		s.baseline = tldbase.CcTLDPlus()
+		return s, nil
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: %s requires training samples: %w", cfg.Algo, mlkit.ErrEmptyDataset)
+	}
+
+	if cfg.RawTrigrams && cfg.Features == features.Trigrams {
+		s.Extractor = &features.RawTrigramExtractor{}
+	} else {
+		s.Extractor = features.New(cfg.Features)
+	}
+	s.Extractor.Fit(samples, cfg.WithContent)
+	dim := s.Extractor.Dim()
+
+	// Extract each training sample once; the five binary datasets share
+	// the vectors.
+	x := make([]vecspace.Sparse, len(samples))
+	for i, smp := range samples {
+		x[i] = s.Extractor.ExtractSample(smp)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, langid.NumLanguages)
+	for li := 0; li < langid.NumLanguages; li++ {
+		train := func(li int) {
+			lang := langid.Language(li)
+			y := make([]bool, len(samples))
+			for i, smp := range samples {
+				y[i] = smp.Lang == lang
+			}
+			var ds *mlkit.Dataset
+			if cfg.AllNegatives {
+				ds = &mlkit.Dataset{X: x, Y: y, Dim: dim}
+			} else {
+				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(li)+0x5eed))
+				ds = mlkit.BalancedSample(x, y, dim, rng)
+			}
+			model, err := s.trainer(lang).Train(ds)
+			if err != nil {
+				errs[li] = fmt.Errorf("core: training %s classifier: %w", lang, err)
+				return
+			}
+			s.Models[li] = model
+		}
+		if cfg.Sequential {
+			train(li)
+			continue
+		}
+		wg.Add(1)
+		go func(li int) {
+			defer wg.Done()
+			train(li)
+		}(li)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// trainer builds the per-language trainer from the config. The language
+// only matters for deterministic seeding of stochastic trainers.
+func (s *System) trainer(lang langid.Language) mlkit.Trainer {
+	cfg := s.Config
+	switch cfg.Algo {
+	case NaiveBayes:
+		return nb.Trainer{Alpha: cfg.NBAlpha}
+	case RelEntropy:
+		return relent.Trainer{Margin: cfg.REMargin}
+	case MaxEntropy:
+		iters := cfg.MEIterations
+		if iters == 0 && cfg.WithContent {
+			iters = maxent.ContentIterations
+		}
+		return maxent.Trainer{Iterations: iters}
+	case DecisionTree:
+		var names []string
+		if ce, ok := s.Extractor.(*features.CustomExtractor); ok {
+			names = make([]string, ce.Dim())
+			for i := range names {
+				names[i] = ce.FeatureName(i)
+			}
+		}
+		return dtree.Trainer{MaxDepth: cfg.DTMaxDepth, MinLeaf: cfg.DTMinLeaf, FeatureNames: names}
+	case KNN:
+		return knn.Trainer{K: cfg.KNNNeighbours, MaxReference: cfg.KNNMaxReference, Seed: cfg.Seed + uint64(lang)}
+	default:
+		panic(fmt.Sprintf("core: no trainer for %s", cfg.Algo))
+	}
+}
+
+// Decide runs all five binary classifiers on a parsed URL.
+func (s *System) Decide(p urlx.Parts) [langid.NumLanguages]bool {
+	var out [langid.NumLanguages]bool
+	if !s.Config.Algo.NeedsTraining() {
+		if l, ok := s.baseline.Classify(p); ok {
+			out[l] = true
+		}
+		return out
+	}
+	x := s.Extractor.ExtractURL(p)
+	for li := range s.Models {
+		out[li] = s.Models[li].Predict(x)
+	}
+	return out
+}
+
+// Positive answers the single binary question for language l.
+func (s *System) Positive(p urlx.Parts, l langid.Language) bool {
+	if !s.Config.Algo.NeedsTraining() {
+		return s.baseline.Positive(p, l)
+	}
+	x := s.Extractor.ExtractURL(p)
+	return s.Models[l].Predict(x)
+}
+
+// Predictions classifies a raw URL, returning one scored prediction per
+// language in canonical order.
+func (s *System) Predictions(rawURL string) []langid.Prediction {
+	p := urlx.Parse(rawURL)
+	preds := make([]langid.Prediction, langid.NumLanguages)
+	if !s.Config.Algo.NeedsTraining() {
+		got, ok := s.baseline.Classify(p)
+		for li := range preds {
+			l := langid.Language(li)
+			pos := ok && got == l
+			score := -1.0
+			if pos {
+				score = 1.0
+			}
+			preds[li] = langid.Prediction{Lang: l, Score: score, Positive: pos}
+		}
+		return preds
+	}
+	x := s.Extractor.ExtractURL(p)
+	for li := range preds {
+		l := langid.Language(li)
+		score := s.Models[li].Score(x)
+		preds[li] = langid.Prediction{Lang: l, Score: score, Positive: score >= 0}
+	}
+	return preds
+}
+
+// Languages returns the set of languages whose binary classifier answered
+// yes for rawURL.
+func (s *System) Languages(rawURL string) []langid.Language {
+	var out []langid.Language
+	for _, p := range s.Predictions(rawURL) {
+		if p.Positive {
+			out = append(out, p.Lang)
+		}
+	}
+	return out
+}
+
+// Best returns the language with the highest score and that score.
+// The second result is false when no classifier answered yes.
+func (s *System) Best(rawURL string) (langid.Language, float64, bool) {
+	preds := s.Predictions(rawURL)
+	bestI, bestScore, any := 0, preds[0].Score, preds[0].Positive
+	for i := 1; i < len(preds); i++ {
+		if preds[i].Score > bestScore {
+			bestI, bestScore = i, preds[i].Score
+		}
+		any = any || preds[i].Positive
+	}
+	return preds[bestI].Lang, bestScore, any
+}
+
+// savedSystem is the gob wire format of a System.
+type savedSystem struct {
+	Config    Config
+	Extractor features.Extractor
+	Models    [langid.NumLanguages]mlkit.BinaryModel
+}
+
+// Save serialises the trained system with encoding/gob.
+func (s *System) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(savedSystem{Config: s.Config, Extractor: s.Extractor, Models: s.Models}); err != nil {
+		return fmt.Errorf("core: saving system: %w", err)
+	}
+	return nil
+}
+
+// Load deserialises a system saved with Save.
+func Load(r io.Reader) (*System, error) {
+	var saved savedSystem
+	if err := gob.NewDecoder(r).Decode(&saved); err != nil {
+		return nil, fmt.Errorf("core: loading system: %w", err)
+	}
+	s := &System{Config: saved.Config, Extractor: saved.Extractor, Models: saved.Models}
+	switch s.Config.Algo {
+	case CcTLD:
+		s.baseline = tldbase.CcTLD()
+	case CcTLDPlus:
+		s.baseline = tldbase.CcTLDPlus()
+	}
+	return s, nil
+}

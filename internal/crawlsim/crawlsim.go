@@ -1,0 +1,121 @@
+// Package crawlsim simulates the paper's motivating application (§1): a
+// web-search-engine crawler that must download a quota of pages in a
+// given language from a frontier of uncrawled URLs. Downloading a page in
+// the wrong language wastes bandwidth; a URL-only language classifier
+// decides, before any download, whether a frontier URL is worth fetching.
+//
+// The simulator compares frontier policies — blind fetching, the ccTLD
+// heuristic, a trained URL classifier, and an oracle upper bound — and
+// reports downloads spent, quota filled and bandwidth efficiency.
+package crawlsim
+
+import (
+	"fmt"
+	"strings"
+
+	"urllangid/internal/langid"
+)
+
+// Policy decides whether a frontier URL is worth downloading.
+type Policy interface {
+	Name() string
+	Want(url string) bool
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc struct {
+	Label string
+	Fn    func(url string) bool
+}
+
+// Name implements Policy.
+func (p PolicyFunc) Name() string { return p.Label }
+
+// Want implements Policy.
+func (p PolicyFunc) Want(url string) bool { return p.Fn(url) }
+
+// Blind downloads everything in frontier order.
+func Blind() Policy {
+	return PolicyFunc{Label: "blind", Fn: func(string) bool { return true }}
+}
+
+// Oracle knows the true language of every URL — the efficiency upper
+// bound no URL classifier can beat.
+func Oracle(truth map[string]langid.Language, target langid.Language) Policy {
+	return PolicyFunc{Label: "oracle", Fn: func(u string) bool { return truth[u] == target }}
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Target is the language whose quota must be filled.
+	Target langid.Language
+	// Quota is the number of target-language pages to download.
+	Quota int
+	// MaxDownloads caps spent bandwidth; zero means unlimited.
+	MaxDownloads int
+}
+
+// Result summarises one policy's run.
+type Result struct {
+	Policy    string
+	Downloads int  // bandwidth spent
+	Hits      int  // target-language pages downloaded
+	Skipped   int  // frontier URLs not downloaded
+	Filled    bool // quota reached
+}
+
+// Efficiency is the fraction of downloads that were target-language
+// pages.
+func (r Result) Efficiency() float64 {
+	if r.Downloads == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Downloads)
+}
+
+// Run walks the frontier in order, downloading URLs the policy wants,
+// until the quota is filled, the frontier ends, or the bandwidth cap is
+// hit.
+func Run(frontier []langid.Sample, policy Policy, cfg Config) Result {
+	res := Result{Policy: policy.Name()}
+	for _, s := range frontier {
+		if res.Hits >= cfg.Quota {
+			break
+		}
+		if cfg.MaxDownloads > 0 && res.Downloads >= cfg.MaxDownloads {
+			break
+		}
+		if !policy.Want(s.URL) {
+			res.Skipped++
+			continue
+		}
+		res.Downloads++
+		if s.Lang == cfg.Target {
+			res.Hits++
+		}
+	}
+	res.Filled = res.Hits >= cfg.Quota
+	return res
+}
+
+// Compare runs several policies over the same frontier.
+func Compare(frontier []langid.Sample, policies []Policy, cfg Config) []Result {
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, Run(frontier, p, cfg))
+	}
+	return out
+}
+
+// Render formats comparison results as an aligned text table.
+func Render(results []Result, cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target=%s quota=%d\n", cfg.Target, cfg.Quota)
+	fmt.Fprintf(&b, "%-12s %10s %12s %9s %12s %7s\n",
+		"policy", "downloads", "quota-filled", "skipped", "efficiency", "filled")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %10d %8d/%-4d %8d %11.1f%% %7v\n",
+			r.Policy, r.Downloads, r.Hits, cfg.Quota, r.Skipped, 100*r.Efficiency(), r.Filled)
+	}
+	return b.String()
+}

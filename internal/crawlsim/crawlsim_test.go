@@ -1,0 +1,122 @@
+package crawlsim
+
+import (
+	"strings"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+// frontier builds an interleaved frontier: every 4th page German, the
+// rest English.
+func frontier(n int) ([]langid.Sample, map[string]langid.Language) {
+	var out []langid.Sample
+	truth := make(map[string]langid.Language)
+	for i := 0; i < n; i++ {
+		lang := langid.English
+		url := "http://en" + itoa(i) + ".com"
+		if i%4 == 0 {
+			lang = langid.German
+			url = "http://de" + itoa(i) + ".de"
+		}
+		out = append(out, langid.Sample{URL: url, Lang: lang})
+		truth[url] = lang
+	}
+	return out, truth
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestBlindDownloadsEverything(t *testing.T) {
+	fr, _ := frontier(100)
+	res := Run(fr, Blind(), Config{Target: langid.German, Quota: 25})
+	if res.Skipped != 0 {
+		t.Error("blind policy skipped URLs")
+	}
+	if !res.Filled || res.Hits != 25 {
+		t.Errorf("blind: hits=%d filled=%v", res.Hits, res.Filled)
+	}
+	// 25 German pages are spread across 97 positions.
+	if res.Downloads < 90 {
+		t.Errorf("blind downloads = %d, expected to scan most of the frontier", res.Downloads)
+	}
+}
+
+func TestOracleIsPerfectlyEfficient(t *testing.T) {
+	fr, truth := frontier(100)
+	res := Run(fr, Oracle(truth, langid.German), Config{Target: langid.German, Quota: 20})
+	if res.Efficiency() != 1.0 {
+		t.Errorf("oracle efficiency = %v", res.Efficiency())
+	}
+	if res.Downloads != 20 {
+		t.Errorf("oracle downloads = %d, want exactly the quota", res.Downloads)
+	}
+}
+
+func TestQuotaUnfillable(t *testing.T) {
+	fr, truth := frontier(40) // only 10 German pages
+	res := Run(fr, Oracle(truth, langid.German), Config{Target: langid.German, Quota: 20})
+	if res.Filled {
+		t.Error("quota reported filled with too few target pages")
+	}
+	if res.Hits != 10 {
+		t.Errorf("hits = %d, want all 10 available", res.Hits)
+	}
+}
+
+func TestMaxDownloadsCap(t *testing.T) {
+	fr, _ := frontier(100)
+	res := Run(fr, Blind(), Config{Target: langid.German, Quota: 25, MaxDownloads: 10})
+	if res.Downloads != 10 {
+		t.Errorf("downloads = %d, cap was 10", res.Downloads)
+	}
+	if res.Filled {
+		t.Error("cap run cannot have filled the quota")
+	}
+}
+
+func TestSelectivePolicySkips(t *testing.T) {
+	fr, _ := frontier(80)
+	deOnly := PolicyFunc{Label: "suffix", Fn: func(u string) bool {
+		return strings.HasSuffix(u, ".de")
+	}}
+	res := Run(fr, deOnly, Config{Target: langid.German, Quota: 20})
+	if res.Efficiency() != 1.0 {
+		t.Errorf("suffix policy efficiency = %v", res.Efficiency())
+	}
+	if res.Skipped == 0 {
+		t.Error("selective policy skipped nothing")
+	}
+}
+
+func TestCompareAndRender(t *testing.T) {
+	fr, truth := frontier(100)
+	cfg := Config{Target: langid.German, Quota: 10}
+	results := Compare(fr, []Policy{Blind(), Oracle(truth, langid.German)}, cfg)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	out := Render(results, cfg)
+	for _, want := range []string{"blind", "oracle", "efficiency", "German"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZeroDownloadsEfficiency(t *testing.T) {
+	var r Result
+	if r.Efficiency() != 0 {
+		t.Error("zero downloads must yield 0 efficiency, not NaN")
+	}
+}

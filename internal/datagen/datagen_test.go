@@ -1,0 +1,285 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"urllangid/internal/dict"
+	"urllangid/internal/langid"
+	"urllangid/internal/tldbase"
+	"urllangid/internal/urlx"
+)
+
+func smallCfg(kind Kind) Config {
+	return Config{Kind: kind, Seed: 1, TrainPerLang: 2000, TestPerLang: 500}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallCfg(ODP))
+	b := Generate(smallCfg(ODP))
+	if len(a.Train) != len(b.Train) || len(a.Test) != len(b.Test) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatalf("train[%d] differs: %q vs %q", i, a.Train[i].URL, b.Train[i].URL)
+		}
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	ds := Generate(smallCfg(SER))
+	if len(ds.Train) != 2000*langid.NumLanguages {
+		t.Errorf("train size = %d", len(ds.Train))
+	}
+	if len(ds.Test) != 500*langid.NumLanguages {
+		t.Errorf("test size = %d", len(ds.Test))
+	}
+}
+
+func TestWCExactPaperCounts(t *testing.T) {
+	ds := Generate(Config{Kind: WC, Seed: 1})
+	if len(ds.Train) != 0 {
+		t.Errorf("WC has %d training URLs, want 0 (test-only set)", len(ds.Train))
+	}
+	var counts [langid.NumLanguages]int
+	for _, s := range ds.Test {
+		counts[s.Lang]++
+	}
+	for _, l := range langid.Languages() {
+		if counts[l] != WCTestCounts[l] {
+			t.Errorf("%s count = %d, want %d (Table 1)", l, counts[l], WCTestCounts[l])
+		}
+	}
+	if total := len(ds.Test); total != 1260 {
+		t.Errorf("WC total = %d, want 1260", total)
+	}
+}
+
+func TestWCScaledPreservesSkew(t *testing.T) {
+	ds := Generate(Config{Kind: WC, Seed: 1, TestPerLang: 50}) // total ~250
+	var counts [langid.NumLanguages]int
+	for _, s := range ds.Test {
+		counts[s.Lang]++
+	}
+	if counts[langid.English] <= counts[langid.German]*5 {
+		t.Errorf("scaled WC lost the English skew: %v", counts)
+	}
+	for _, l := range langid.Languages() {
+		if counts[l] < 1 {
+			t.Errorf("%s has zero URLs after scaling", l)
+		}
+	}
+}
+
+func TestURLsParseable(t *testing.T) {
+	ds := Generate(smallCfg(WC))
+	for _, s := range append(ds.Train, ds.Test...) {
+		p := urlx.Parse(s.URL)
+		if p.Host == "" || p.TLD == "" {
+			t.Fatalf("unparseable URL %q", s.URL)
+		}
+		if !strings.HasPrefix(s.URL, "http://") {
+			t.Fatalf("URL without scheme: %q", s.URL)
+		}
+	}
+}
+
+// ccTLDRecall measures the fraction of lang test URLs on the language's
+// own ccTLDs — by construction the recall of the ccTLD baseline.
+func ccTLDRecall(test []langid.Sample, lang langid.Language) float64 {
+	c := tldbase.CcTLD()
+	hits, total := 0, 0
+	for _, s := range test {
+		if s.Lang != lang {
+			continue
+		}
+		total++
+		if c.Positive(urlx.Parse(s.URL), lang) {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestTLDCalibrationODP(t *testing.T) {
+	// Table 4 anchors: German .83, English .13, Italian .62 (±.06).
+	ds := Generate(Config{Kind: ODP, Seed: 2, TrainPerLang: 1, TestPerLang: 3000})
+	cases := map[langid.Language]float64{
+		langid.English: .13,
+		langid.German:  .83,
+		langid.French:  .25,
+		langid.Spanish: .30,
+		langid.Italian: .62,
+	}
+	for lang, want := range cases {
+		got := ccTLDRecall(ds.Test, lang)
+		if got < want-0.06 || got > want+0.06 {
+			t.Errorf("ODP %s ccTLD recall = %.3f, want %.2f±.06", lang, got, want)
+		}
+	}
+}
+
+func TestTLDCalibrationSER(t *testing.T) {
+	ds := Generate(Config{Kind: SER, Seed: 3, TrainPerLang: 1, TestPerLang: 3000})
+	cases := map[langid.Language]float64{
+		langid.English: .52,
+		langid.German:  .67,
+		langid.Italian: .75,
+	}
+	for lang, want := range cases {
+		got := ccTLDRecall(ds.Test, lang)
+		if got < want-0.06 || got > want+0.06 {
+			t.Errorf("SER %s ccTLD recall = %.3f, want %.2f±.06", lang, got, want)
+		}
+	}
+}
+
+func TestHyphenRateGermanVsEnglish(t *testing.T) {
+	// §3.1: hyphens occur about five times more often in German URLs
+	// than in English URLs.
+	ds := Generate(Config{Kind: ODP, Seed: 4, TrainPerLang: 1, TestPerLang: 4000})
+	var hyphens [langid.NumLanguages]int
+	var counts [langid.NumLanguages]int
+	for _, s := range ds.Test {
+		counts[s.Lang]++
+		hyphens[s.Lang] += strings.Count(s.URL, "-")
+	}
+	de := float64(hyphens[langid.German]) / float64(counts[langid.German])
+	en := float64(hyphens[langid.English]) / float64(counts[langid.English])
+	if de < 2.5*en {
+		t.Errorf("German hyphen rate %.3f not well above English %.3f", de, en)
+	}
+}
+
+func TestContentAttachment(t *testing.T) {
+	cfg := smallCfg(ODP)
+	cfg.TrainPerLang, cfg.TestPerLang = 200, 50
+	cfg.WithContent = true
+	ds := Generate(cfg)
+	for _, s := range ds.Train {
+		if s.Content == "" {
+			t.Fatal("training sample without content")
+		}
+		if n := len(strings.Fields(s.Content)); n < 100 {
+			t.Fatalf("content only %d tokens", n)
+		}
+	}
+	for _, s := range ds.Test {
+		if s.Content != "" {
+			t.Fatal("test sample carries content — §7 forbids that")
+		}
+	}
+}
+
+func TestContentDoesNotChangeURLs(t *testing.T) {
+	cfg := smallCfg(ODP)
+	cfg.TrainPerLang, cfg.TestPerLang = 300, 50
+	plain := Generate(cfg)
+	cfg.WithContent = true
+	withContent := Generate(cfg)
+	for i := range plain.Train {
+		if plain.Train[i].URL != withContent.Train[i].URL {
+			t.Fatalf("URL %d differs with content enabled", i)
+		}
+	}
+}
+
+func TestContentCrossLanguageCollisions(t *testing.T) {
+	// The §7 mechanism requires "it" in English text and "de" in
+	// French/Spanish text.
+	u := NewUniverse(5)
+	rng := u.rng(1)
+	en := u.Content(langid.English, rng, 3000)
+	if !strings.Contains(" "+en+" ", " it ") {
+		t.Error("English content never contains 'it'")
+	}
+	fr := u.Content(langid.French, rng, 3000)
+	if !strings.Contains(" "+fr+" ", " de ") {
+		t.Error("French content never contains 'de'")
+	}
+	es := u.Content(langid.Spanish, rng, 3000)
+	if !strings.Contains(" "+es+" ", " de ") {
+		t.Error("Spanish content never contains 'de'")
+	}
+}
+
+func TestSharedDomainsAppearAcrossLanguages(t *testing.T) {
+	ds := Generate(Config{Kind: ODP, Seed: 6, TrainPerLang: 4000, TestPerLang: 1})
+	sharedSet := make(map[string]bool)
+	for _, h := range dict.SharedHosts() {
+		sharedSet[h] = true
+	}
+	perLang := make([]map[string]bool, langid.NumLanguages)
+	for i := range perLang {
+		perLang[i] = make(map[string]bool)
+	}
+	for _, s := range ds.Train {
+		p := urlx.Parse(s.URL)
+		name, _, _ := strings.Cut(p.Domain, ".")
+		if sharedSet[name] {
+			perLang[s.Lang][p.Domain] = true
+		}
+	}
+	// At least one registrable shared domain must occur for >= 3
+	// languages (multi-language domains, §6).
+	count := make(map[string]int)
+	for _, langSet := range perLang {
+		for d := range langSet {
+			count[d]++
+		}
+	}
+	maxLangs := 0
+	for _, n := range count {
+		if n > maxLangs {
+			maxLangs = n
+		}
+	}
+	if maxLangs < 3 {
+		t.Errorf("no shared domain spans >= 3 languages (max %d)", maxLangs)
+	}
+}
+
+func TestUniverseSharedAcrossKinds(t *testing.T) {
+	u := NewUniverse(7)
+	odp := GenerateFrom(u, Config{Kind: ODP, Seed: 7, TrainPerLang: 2000, TestPerLang: 10})
+	wc := GenerateFrom(u, Config{Kind: WC, Seed: 7})
+	// WC borrows domains from the ODP pools: expect overlap.
+	seen := make(map[string]bool)
+	for _, s := range odp.Train {
+		seen[urlx.Parse(s.URL).Domain] = true
+	}
+	overlap := 0
+	for _, s := range wc.Test {
+		if seen[urlx.Parse(s.URL).Domain] {
+			overlap++
+		}
+	}
+	if frac := float64(overlap) / float64(len(wc.Test)); frac < 0.2 {
+		t.Errorf("WC/ODP domain overlap = %.2f, want >= .2 (Figure 3 mechanism)", frac)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ODP.String() != "ODP" || SER.String() != "SER" || WC.String() != "WC" || Kind(9).String() != "?" {
+		t.Error("Kind names wrong")
+	}
+}
+
+func TestLabelNoiseBounded(t *testing.T) {
+	// Label noise means some URLs are generated from another language's
+	// model; the *labels* must still follow the configured counts.
+	ds := Generate(smallCfg(ODP))
+	var counts [langid.NumLanguages]int
+	for _, s := range ds.Train {
+		counts[s.Lang]++
+	}
+	for _, l := range langid.Languages() {
+		if counts[l] != 2000 {
+			t.Errorf("%s label count = %d, want 2000", l, counts[l])
+		}
+	}
+}

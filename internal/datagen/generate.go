@@ -1,0 +1,248 @@
+// Package datagen synthesises the paper's three URL corpora (§4.1): the
+// Open Directory Project subdirectories (ODP), language-restricted search
+// engine results (SER) and a hand-labeled random crawl sample (WC), plus
+// page content for the §7 training-on-content experiment.
+//
+// The originals are unobtainable (2008 DMOZ dumps, Microsoft Live Search,
+// a 2005 EPFL crawl), so every generator is calibrated against statistics
+// the paper publishes — see params.go for the anchor of each number and
+// DESIGN.md §3 for the substitution rationale.
+package datagen
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"urllangid/internal/langid"
+)
+
+// Config selects a dataset to synthesise. The zero value of the size
+// fields selects the paper's Table 1 sizes.
+type Config struct {
+	Kind Kind
+	// Seed fixes the universe; equal configs generate identical corpora.
+	Seed uint64
+	// TrainPerLang / TestPerLang override the per-language sizes.
+	// For WC (test-only, with the paper's fixed 1082/81/57/19/21 class
+	// skew) TestPerLang scales the total while preserving the skew.
+	TrainPerLang int
+	TestPerLang  int
+	// WithContent attaches synthetic page content to *training* samples
+	// (the §7 experiment). Test samples never carry content.
+	WithContent bool
+	// ContentTokens is the approximate content length (0 = 220 tokens).
+	ContentTokens int
+}
+
+func (c Config) trainPerLang() int {
+	if c.Kind == WC {
+		return 0
+	}
+	if c.TrainPerLang > 0 {
+		return c.TrainPerLang
+	}
+	return DefaultTrainPerLang[c.Kind]
+}
+
+// Dataset is a generated corpus.
+type Dataset struct {
+	Kind  Kind
+	Train []langid.Sample
+	Test  []langid.Sample
+}
+
+// Generate synthesises a dataset. Output order is deterministic in the
+// config; train and test share the universe (domain pools, character
+// models) but no individual URL.
+func Generate(cfg Config) *Dataset {
+	u := NewUniverse(cfg.Seed)
+	return GenerateFrom(u, cfg)
+}
+
+// GenerateFrom synthesises a dataset inside an existing universe, letting
+// several datasets (ODP, SER, WC) share domain pools the way the paper's
+// real corpora share the web.
+func GenerateFrom(u *Universe, cfg Config) *Dataset {
+	ds := &Dataset{Kind: cfg.Kind}
+	trainN := cfg.trainPerLang()
+
+	for li := 0; li < langid.NumLanguages; li++ {
+		lang := langid.Language(li)
+		testN := testCount(cfg, lang)
+		rng := u.rng(0xc0de<<16 | uint64(cfg.Kind)<<8 | uint64(li))
+		// Content draws come from a separate stream so that the same
+		// config with and without content yields identical URLs — the §7
+		// experiment compares both trainings on the same training set.
+		contentRNG := u.rng(0xc047e47<<16 | uint64(cfg.Kind)<<8 | uint64(li))
+		sizeHint := trainN + testN
+		pool := u.poolFor(cfg.Kind, lang, max(sizeHint, DefaultTrainPerLang[cfg.Kind]))
+
+		for i := 0; i < trainN+testN; i++ {
+			genLang := lang
+			if rng.Float64() < labelNoise[cfg.Kind] {
+				genLang = noiseDonor(lang, rng)
+			}
+			s := langid.Sample{URL: u.genURL(cfg.Kind, genLang, pool, rng), Lang: lang}
+			if i < trainN {
+				if cfg.WithContent {
+					s.Content = u.Content(genLang, contentRNG, cfg.contentTokens())
+				}
+				ds.Train = append(ds.Train, s)
+			} else {
+				ds.Test = append(ds.Test, s)
+			}
+		}
+	}
+	return ds
+}
+
+func (c Config) contentTokens() int {
+	if c.ContentTokens > 0 {
+		return c.ContentTokens
+	}
+	return 220
+}
+
+// testCount resolves the per-language test size: WC preserves the paper's
+// exact crawl skew (Table 1), scaled if TestPerLang is set.
+func testCount(cfg Config, lang langid.Language) int {
+	if cfg.Kind != WC {
+		if cfg.TestPerLang > 0 {
+			return cfg.TestPerLang
+		}
+		return DefaultTestPerLang[cfg.Kind]
+	}
+	exact := WCTestCounts[lang]
+	if cfg.TestPerLang == 0 {
+		return exact
+	}
+	total := 0
+	for _, n := range WCTestCounts {
+		total += n
+	}
+	scaled := exact * cfg.TestPerLang * langid.NumLanguages / total
+	return max(scaled, 1)
+}
+
+// noiseDonor picks the language a mislabeled URL is actually generated
+// from. English dominates (directory miscategorisations skew toward the
+// web's default language).
+func noiseDonor(labeled langid.Language, rng *rand.Rand) langid.Language {
+	if labeled != langid.English && rng.Float64() < 0.7 {
+		return langid.English
+	}
+	for {
+		donor := langid.Language(rng.IntN(langid.NumLanguages))
+		if donor != labeled {
+			return donor
+		}
+	}
+}
+
+// genURL assembles one URL for (kind, lang) using a domain from pool, or
+// occasionally a one-off domain nobody else links to.
+func (u *Universe) genURL(kind Kind, lang langid.Language, pool *domainPool, rng *rand.Rand) string {
+	var d domainSpec
+	if rng.Float64() < uniqueDomainFrac[kind] {
+		d = u.newDomain(kind, lang, rng)
+	} else {
+		d = pool.sample(rng)
+	}
+
+	var b strings.Builder
+	b.WriteString("http://")
+
+	// Subdomain.
+	switch {
+	case d.shared && rng.Float64() < 0.55:
+		// user.blogspot.com-style hosting.
+		b.WriteString(u.userToken(lang, rng))
+		b.WriteByte('.')
+	case rng.Float64() < 0.50:
+		b.WriteString("www.")
+	case rng.Float64() < 0.02:
+		// fr.search.yahoo.com-style language-code subdomain.
+		b.WriteString(lang.Code())
+		b.WriteByte('.')
+	}
+	b.WriteString(d.host())
+
+	// Path.
+	nSeg := samplePathDepth(kind, rng)
+	if d.shared && nSeg == 0 {
+		nSeg = 1 // shared hosts always need a distinguishing path or user
+	}
+	for seg := 0; seg < nSeg; seg++ {
+		b.WriteByte('/')
+		if d.shared && seg == 0 && rng.Float64() < 0.35 {
+			// tripod.com/~username style.
+			if rng.Float64() < 0.4 {
+				b.WriteByte('~')
+			}
+			b.WriteString(u.userToken(lang, rng))
+			continue
+		}
+		b.WriteString(u.pathSegment(kind, lang, rng))
+	}
+
+	// File name and extension on the last segment.
+	if nSeg > 0 && rng.Float64() < 0.38 {
+		b.WriteByte('/')
+		b.WriteString(u.fileName(kind, lang, rng))
+	}
+
+	// Occasional query string.
+	if rng.Float64() < 0.07 {
+		b.WriteString("?id=")
+		b.WriteString(strconv.Itoa(rng.IntN(99999)))
+	}
+	return b.String()
+}
+
+func samplePathDepth(kind Kind, rng *rand.Rand) int {
+	dist := pathSegments[kind]
+	r := rng.Float64()
+	acc := 0.0
+	for depth, p := range dist {
+		acc += p
+		if r < acc {
+			return depth
+		}
+	}
+	return len(dist) - 1
+}
+
+// pathSegment builds one path component out of 1-2 tokens plus optional
+// digits, hyphenated at the language's rate.
+func (u *Universe) pathSegment(kind Kind, lang langid.Language, rng *rand.Rand) string {
+	// Crawl URLs occasionally carry opaque session tokens.
+	if kind == WC && rng.Float64() < 0.06 {
+		return hexToken(rng, 6+rng.IntN(10))
+	}
+	tok := u.pathToken(kind, lang, rng)
+	if rng.Float64() < 0.30 {
+		sep := ""
+		if rng.Float64() < hyphenRate[lang] {
+			sep = "-"
+		} else if rng.Float64() < 0.08 {
+			sep = "_"
+		}
+		tok = tok + sep + u.pathToken(kind, lang, rng)
+	}
+	if rng.Float64() < 0.16 {
+		tok += strconv.Itoa(rng.IntN(2010))
+	}
+	return tok
+}
+
+func (u *Universe) fileName(kind Kind, lang langid.Language, rng *rand.Rand) string {
+	base := u.pathToken(kind, lang, rng)
+	if rng.Float64() < 0.25 {
+		base += strconv.Itoa(rng.IntN(100))
+	}
+	if rng.Float64() < 0.85 {
+		return base + "." + extensions[rng.IntN(len(extensions))]
+	}
+	return base
+}

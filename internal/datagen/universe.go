@@ -1,0 +1,282 @@
+package datagen
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+
+	"urllangid/internal/dict"
+	"urllangid/internal/langid"
+	"urllangid/internal/ngram"
+)
+
+// Universe holds the frozen random world shared by the train and test
+// halves of a dataset: per-language character models and per-(kind,
+// language) registrable-domain pools with Zipf popularity. Train/test
+// URLs drawing domains from the same pool is what produces the
+// domain-memorisation curves of Figure 3.
+type Universe struct {
+	seed    uint64
+	markov  [langid.NumLanguages]*ngram.Markov
+	pools   map[poolKey]*domainPool
+	baseRNG *rand.Rand
+}
+
+type poolKey struct {
+	kind Kind
+	lang langid.Language
+}
+
+type domainSpec struct {
+	name   string // registrable label, e.g. "wasserbett-test"
+	tld    string
+	shared bool // multilingual hosting domain
+}
+
+// host returns the registrable domain, e.g. "wasserbett-test.com".
+func (d domainSpec) host() string { return d.name + "." + d.tld }
+
+type domainPool struct {
+	domains []domainSpec
+	cum     []float64 // cumulative Zipf weights, normalised to 1
+}
+
+// NewUniverse builds the random world for one seed. Pool sizes scale
+// with the expected training volume so that popularity coverage behaves
+// like the paper's Figure 3.
+func NewUniverse(seed uint64) *Universe {
+	u := &Universe{
+		seed:    seed,
+		pools:   make(map[poolKey]*domainPool),
+		baseRNG: rand.New(rand.NewPCG(seed, 0xdead)),
+	}
+	for i := 0; i < langid.NumLanguages; i++ {
+		l := langid.Language(i)
+		words := append([]string{}, dict.Lexicon(l)...)
+		words = append(words, dict.Cities(l)...)
+		u.markov[i] = ngram.NewMarkov(2, words)
+	}
+	return u
+}
+
+// poolFor lazily builds the domain pool for (kind, lang). The WC pool is
+// assembled by borrowing ~70% of its entries from the ODP and SER pools
+// of the same language — the crawl revisits the same web the training
+// sets come from — which yields the ~53% seen-domain fraction of §6.
+func (u *Universe) poolFor(kind Kind, lang langid.Language, sizeHint int) *domainPool {
+	key := poolKey{kind, lang}
+	if p, ok := u.pools[key]; ok {
+		return p
+	}
+	rng := u.rng(uint64(kind)<<8 | uint64(lang))
+	nPool := clampInt(sizeHint/3, 500, 60000)
+
+	var domains []domainSpec
+	if kind == WC {
+		odp := u.poolFor(ODP, lang, DefaultTrainPerLang[ODP])
+		ser := u.poolFor(SER, lang, DefaultTrainPerLang[SER])
+		// Borrow uniformly (not popularity-weighted) so the blended TLD
+		// mix of the small crawl cells stays near its calibrated target
+		// instead of swinging with whichever head domains get drawn.
+		for i := 0; i < nPool; i++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.40:
+				domains = append(domains, odp.sampleUniform(rng))
+			case r < 0.50:
+				domains = append(domains, ser.sampleUniform(rng))
+			default:
+				domains = append(domains, u.newDomain(kind, lang, rng))
+			}
+		}
+	} else {
+		for i := 0; i < nPool; i++ {
+			domains = append(domains, u.newDomain(kind, lang, rng))
+		}
+	}
+
+	p := &domainPool{domains: domains, cum: zipfCum(len(domains))}
+	u.pools[key] = p
+	return p
+}
+
+// zipfCum returns cumulative Zipf(0.95) weights over n ranks.
+func zipfCum(n int) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+5), 0.95)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+func (p *domainPool) sample(rng *rand.Rand) domainSpec {
+	r := rng.Float64()
+	i := sort.SearchFloat64s(p.cum, r)
+	if i >= len(p.domains) {
+		i = len(p.domains) - 1
+	}
+	return p.domains[i]
+}
+
+// sampleUniform draws a domain ignoring popularity.
+func (p *domainPool) sampleUniform(rng *rand.Rand) domainSpec {
+	return p.domains[rng.IntN(len(p.domains))]
+}
+
+// newDomain mints a fresh registrable domain for (kind, lang).
+func (u *Universe) newDomain(kind Kind, lang langid.Language, rng *rand.Rand) domainSpec {
+	tld := u.sampleTLD(kind, lang, rng)
+	if rng.Float64() < sharedHostFrac[kind] {
+		shared := dict.SharedHosts()
+		return domainSpec{name: shared[rng.IntN(len(shared))], tld: tld, shared: true}
+	}
+	if rng.Float64() < 0.18 {
+		brands := dict.HostBrands(lang)
+		return domainSpec{name: brands[rng.IntN(len(brands))], tld: tld}
+	}
+	return domainSpec{name: u.composeName(lang, rng), tld: tld}
+}
+
+// composeName builds a brandable host label from 1-2 language units,
+// hyphenated at the language's rate (German hosts hyphenate ~5x more than
+// English ones). A substantial share of the units is English or
+// English-like even for non-English sites — domain names are coined in
+// the web's technical language (the paper's example: jazzpages.com is a
+// German ODP site). This is precisely why trigrams are "not well suited
+// for memorizing domain names" (§5.4) while word features simply memorise
+// the token.
+func (u *Universe) composeName(lang langid.Language, rng *rand.Rand) string {
+	unit := func() string {
+		r := rng.Float64()
+		switch {
+		case r < 0.25:
+			lex := dict.Lexicon(lang)
+			return lex[rng.IntN(len(lex))]
+		case r < 0.43:
+			return u.markov[lang].Generate(rng, 4, 10)
+		case r < 0.73:
+			if rng.Float64() < 0.5 {
+				tech := dict.TechWords()
+				return tech[rng.IntN(len(tech))]
+			}
+			lex := dict.Lexicon(langid.English)
+			return lex[rng.IntN(len(lex))]
+		case r < 0.90:
+			return u.markov[langid.English].Generate(rng, 4, 10)
+		default:
+			cities := dict.Cities(lang)
+			return cities[rng.IntN(len(cities))]
+		}
+	}
+	a := unit()
+	if rng.Float64() < 0.45 {
+		b := unit()
+		sep := ""
+		if rng.Float64() < hyphenRate[lang] {
+			sep = "-"
+		}
+		name := a + sep + b
+		if len(name) <= 24 {
+			return name
+		}
+	}
+	if rng.Float64() < 0.10 {
+		return a + strconv.Itoa(rng.IntN(99)+1)
+	}
+	return a
+}
+
+// sampleTLD draws a TLD from the calibrated table for (kind, lang).
+func (u *Universe) sampleTLD(kind Kind, lang langid.Language, rng *rand.Rand) string {
+	entries := tldTable[kind][lang]
+	r := rng.Float64()
+	acc := 0.0
+	for _, e := range entries {
+		acc += e.p
+		if r < acc {
+			return e.tld
+		}
+	}
+	// Cross-language ccTLD sliver.
+	if r < acc+crossCcMass {
+		other := langid.Language(rng.IntN(langid.NumLanguages))
+		if other == lang {
+			other = langid.Language((int(other) + 1) % langid.NumLanguages)
+		}
+		ccs := dict.CcTLDs(other)
+		return ccs[rng.IntN(len(ccs))]
+	}
+	// Neutral remainder.
+	return neutralTLDs[rng.IntN(len(neutralTLDs))]
+}
+
+// rng derives a deterministic child generator for a stream id.
+func (u *Universe) rng(stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(u.seed, stream^0x9e3779b97f4a7c15))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// pathToken draws one path token for (kind, lang) from the calibrated
+// source mix.
+func (u *Universe) pathToken(kind Kind, lang langid.Language, rng *rand.Rand) string {
+	mix := mixTable[kind][lang]
+	r := rng.Float64()
+	switch {
+	case r < mix.own:
+		lex := dict.Lexicon(lang)
+		return lex[rng.IntN(len(lex))]
+	case r < mix.own+mix.pseudo:
+		// A share of invented words are English-like coinages, the
+		// web's lingua franca for made-up names.
+		if rng.Float64() < 0.30 {
+			return u.markov[langid.English].Generate(rng, 3, 11)
+		}
+		return u.markov[lang].Generate(rng, 3, 11)
+	case r < mix.own+mix.pseudo+mix.city:
+		cities := dict.Cities(lang)
+		return cities[rng.IntN(len(cities))]
+	case r < mix.own+mix.pseudo+mix.city+mix.tech:
+		tech := dict.TechWords()
+		return tech[rng.IntN(len(tech))]
+	default:
+		lex := dict.Lexicon(langid.English)
+		return lex[rng.IntN(len(lex))]
+	}
+}
+
+// userToken invents an account-name token (for shared hosting URLs like
+// home.arcor.de/username, §3.1's footnote 6).
+func (u *Universe) userToken(lang langid.Language, rng *rand.Rand) string {
+	t := u.markov[lang].Generate(rng, 4, 9)
+	if rng.Float64() < 0.25 {
+		t += strconv.Itoa(rng.IntN(999))
+	}
+	return t
+}
+
+var hexDigits = "0123456789abcdef"
+
+// hexToken invents a session-id-like token for crawl URLs.
+func hexToken(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(hexDigits[rng.IntN(16)])
+	}
+	return b.String()
+}

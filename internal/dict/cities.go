@@ -1,0 +1,72 @@
+package dict
+
+// City lists stand in for the Wikipedia-derived city dictionaries of §3.1.
+// The paper added them because the OpenOffice dictionaries only know the
+// large cities (Paris, London, Berlin, ...) in every language; the lists
+// below therefore emphasise the smaller towns that are distinctive for one
+// language. Names are ASCII-folded as they appear in URLs.
+
+var citiesEnglish = []string{
+	"london", "manchester", "birmingham", "liverpool", "leeds", "sheffield", "bristol", "glasgow", "edinburgh", "cardiff",
+	"belfast", "dublin", "cork", "galway", "limerick", "newcastle", "nottingham", "leicester", "coventry", "bradford",
+	"brighton", "oxford", "cambridge", "york", "bath", "canterbury", "exeter", "plymouth", "portsmouth", "southampton",
+	"norwich", "ipswich", "reading", "luton", "swindon", "bournemouth", "blackpool", "preston", "derby", "stoke",
+	"wolverhampton", "sunderland", "swansea", "aberdeen", "dundee", "inverness", "chicago", "houston", "phoenix", "philadelphia",
+	"dallas", "austin", "jacksonville", "columbus", "charlotte", "indianapolis", "seattle", "denver", "boston", "nashville",
+	"memphis", "portland", "tucson", "fresno", "sacramento", "atlanta", "omaha", "raleigh", "miami", "oakland",
+	"minneapolis", "cleveland", "wichita", "arlington", "tampa", "honolulu", "pittsburgh", "cincinnati", "anchorage", "toledo",
+	"sydney", "melbourne", "brisbane", "perth", "adelaide", "canberra", "hobart", "darwin", "auckland", "wellington",
+	"christchurch", "hamilton", "dunedin", "tauranga",
+}
+
+var citiesGerman = []string{
+	"berlin", "hamburg", "muenchen", "munchen", "koeln", "koln", "frankfurt", "stuttgart", "duesseldorf", "dusseldorf",
+	"dortmund", "essen", "leipzig", "bremen", "dresden", "hannover", "nuernberg", "nurnberg", "duisburg", "bochum",
+	"wuppertal", "bielefeld", "bonn", "muenster", "munster", "karlsruhe", "mannheim", "augsburg", "wiesbaden", "gelsenkirchen",
+	"moenchengladbach", "braunschweig", "chemnitz", "kiel", "aachen", "halle", "magdeburg", "freiburg", "krefeld", "luebeck",
+	"lubeck", "oberhausen", "erfurt", "mainz", "rostock", "kassel", "hagen", "saarbruecken", "saarbrucken", "hamm",
+	"potsdam", "ludwigshafen", "oldenburg", "leverkusen", "osnabrueck", "osnabruck", "solingen", "heidelberg", "herne", "neuss",
+	"darmstadt", "paderborn", "regensburg", "ingolstadt", "wuerzburg", "wurzburg", "fuerth", "furth", "wolfsburg", "offenbach",
+	"ulm", "heilbronn", "pforzheim", "goettingen", "gottingen", "bottrop", "trier", "recklinghausen", "reutlingen", "bremerhaven",
+	"koblenz", "bergisch", "jena", "remscheid", "erlangen", "moers", "siegen", "hildesheim", "salzgitter", "wien",
+	"graz", "linz", "salzburg", "innsbruck", "klagenfurt", "villach", "wels", "dornbirn", "steyr", "bregenz",
+}
+
+var citiesFrench = []string{
+	"paris", "marseille", "lyon", "toulouse", "nice", "nantes", "strasbourg", "montpellier", "bordeaux", "lille",
+	"rennes", "reims", "havre", "etienne", "toulon", "angers", "grenoble", "dijon", "nimes", "villeurbanne",
+	"mans", "clermont", "ferrand", "brest", "limoges", "tours", "amiens", "perpignan", "metz", "besancon",
+	"boulogne", "orleans", "mulhouse", "rouen", "caen", "nancy", "argenteuil", "montreuil", "roubaix", "tourcoing",
+	"avignon", "poitiers", "versailles", "courbevoie", "creteil", "pau", "colombes", "aulnay", "asnieres", "rueil",
+	"antibes", "calais", "cannes", "colmar", "bourges", "drancy", "merignac", "ajaccio", "bastia", "quimper",
+	"valence", "troyes", "chambery", "lorient", "montauban", "niort", "beziers", "cholet", "rochelle", "angouleme",
+	"vannes", "laval", "arles", "evreux", "belfort", "blois", "brive", "albi", "carcassonne", "tarbes",
+	"bayonne", "biarritz", "annecy", "agen", "auxerre", "macon", "nevers", "vichy", "tunis", "sfax",
+	"sousse", "bizerte", "alger", "oran", "constantine", "annaba", "antananarivo", "toamasina",
+}
+
+var citiesSpanish = []string{
+	"madrid", "barcelona", "valencia", "sevilla", "zaragoza", "malaga", "murcia", "palma", "bilbao", "alicante",
+	"cordoba", "valladolid", "vigo", "gijon", "hospitalet", "coruna", "granada", "vitoria", "elche", "oviedo",
+	"badalona", "cartagena", "terrassa", "jerez", "sabadell", "mostoles", "alcala", "pamplona", "fuenlabrada", "almeria",
+	"leganes", "santander", "burgos", "castellon", "getafe", "albacete", "alcorcon", "logrono", "badajoz", "salamanca",
+	"huelva", "marbella", "lleida", "tarragona", "leon", "cadiz", "jaen", "ourense", "lugo", "caceres",
+	"melilla", "guadalajara", "toledo", "pontevedra", "palencia", "ciudadreal", "zamora", "avila", "cuenca", "huesca",
+	"segovia", "soria", "teruel", "girona", "santiago", "mexico", "guadalajara", "monterrey", "puebla", "tijuana",
+	"cancun", "merida", "acapulco", "veracruz", "bogota", "medellin", "cali", "barranquilla", "cartagena", "lima",
+	"arequipa", "trujillo", "cusco", "caracas", "maracaibo", "valencia", "buenosaires", "rosario", "mendoza", "cordoba",
+	"laplata", "tucuman", "santiago", "valparaiso", "concepcion", "vinadelmar",
+}
+
+var citiesItalian = []string{
+	"roma", "milano", "napoli", "torino", "palermo", "genova", "bologna", "firenze", "bari", "catania",
+	"venezia", "verona", "messina", "padova", "trieste", "taranto", "brescia", "parma", "prato", "modena",
+	"reggio", "perugia", "livorno", "ravenna", "cagliari", "foggia", "rimini", "salerno", "ferrara", "sassari",
+	"latina", "giugliano", "monza", "siracusa", "pescara", "bergamo", "forli", "trento", "vicenza", "terni",
+	"bolzano", "novara", "piacenza", "ancona", "andria", "arezzo", "udine", "cesena", "lecce", "pesaro",
+	"barletta", "alessandria", "spezia", "pisa", "pistoia", "catanzaro", "guidonia", "lucca", "brindisi", "torre",
+	"treviso", "busto", "como", "grosseto", "sesto", "varese", "fiumicino", "asti", "casoria", "cinisello",
+	"caserta", "gela", "aprilia", "ragusa", "pavia", "cremona", "carpi", "quartu", "lamezia", "altamura",
+	"imola", "massa", "trapani", "viterbo", "cosenza", "potenza", "castellammare", "afragola", "vittoria", "crotone",
+	"pomezia", "vigevano", "carrara", "viareggio", "fano", "savona", "matera", "olbia", "legnano", "siena",
+}

@@ -1,0 +1,209 @@
+package dict
+
+import (
+	"sort"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+func TestLexiconsNonEmpty(t *testing.T) {
+	for _, l := range langid.Languages() {
+		if n := len(Lexicon(l)); n < 300 {
+			t.Errorf("%s lexicon has only %d words", l, n)
+		}
+	}
+}
+
+func TestLexiconsLowerASCII(t *testing.T) {
+	for _, l := range langid.Languages() {
+		for _, w := range Lexicon(l) {
+			if len(w) < 2 {
+				t.Errorf("%s lexicon word %q shorter than a token", l, w)
+			}
+			for i := 0; i < len(w); i++ {
+				if w[i] < 'a' || w[i] > 'z' {
+					t.Errorf("%s lexicon word %q not lower-case ASCII", l, w)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestLexiconNoDuplicates(t *testing.T) {
+	for _, l := range langid.Languages() {
+		seen := make(map[string]bool)
+		for _, w := range Lexicon(l) {
+			if seen[w] {
+				t.Errorf("%s lexicon duplicates %q", l, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestInLexicon(t *testing.T) {
+	cases := []struct {
+		lang langid.Language
+		word string
+	}{
+		{langid.German, "nachrichten"},
+		{langid.French, "recherche"},
+		{langid.French, "produits"},
+		{langid.Spanish, "noticias"},
+		{langid.Italian, "notizie"},
+		{langid.English, "weather"},
+	}
+	for _, c := range cases {
+		if !InLexicon(c.lang, c.word) {
+			t.Errorf("InLexicon(%s, %q) = false", c.lang, c.word)
+		}
+	}
+	if InLexicon(langid.German, "weather") {
+		t.Error("weather is not German")
+	}
+}
+
+func TestCitiesDistinctive(t *testing.T) {
+	if !InCities(langid.German, "berlin") {
+		t.Error("berlin missing from German cities")
+	}
+	if !InCities(langid.French, "marseille") {
+		t.Error("marseille missing from French cities")
+	}
+	if !InCities(langid.Italian, "palermo") {
+		t.Error("palermo missing from Italian cities")
+	}
+	if !InCities(langid.Spanish, "sevilla") {
+		t.Error("sevilla missing from Spanish cities")
+	}
+	if !InCities(langid.English, "manchester") {
+		t.Error("manchester missing from English cities")
+	}
+}
+
+func TestInMergedCoversBoth(t *testing.T) {
+	if !InMerged(langid.German, "berlin") || !InMerged(langid.German, "nachrichten") {
+		t.Error("merged dictionary must cover lexicon and cities")
+	}
+}
+
+func TestStopWordsAreTen(t *testing.T) {
+	for _, l := range langid.Languages() {
+		if n := len(StopWords(l)); n != 10 {
+			t.Errorf("%s has %d stop words, want 10 (§4.1)", l, n)
+		}
+	}
+}
+
+func TestStopWordsInLexicon(t *testing.T) {
+	// Stop words are the most frequent words of the language, so they
+	// must be in its lexicon.
+	for _, l := range langid.Languages() {
+		for _, w := range StopWords(l) {
+			if !InLexicon(l, w) {
+				t.Errorf("%s stop word %q missing from lexicon", l, w)
+			}
+		}
+	}
+}
+
+func TestCcTLDsMatchPaper(t *testing.T) {
+	// §3.2 lists these verbatim.
+	want := map[langid.Language][]string{
+		langid.French:  {"fr", "tn", "dz", "mg"},
+		langid.German:  {"de", "at"},
+		langid.Italian: {"it"},
+		langid.Spanish: {"es", "cl", "mx", "ar", "co", "pe", "ve"},
+		langid.English: {"au", "ie", "nz", "us", "gov", "mil", "gb", "uk"},
+	}
+	for l, tlds := range want {
+		got := append([]string{}, CcTLDs(l)...)
+		sort.Strings(got)
+		exp := append([]string{}, tlds...)
+		sort.Strings(exp)
+		if len(got) != len(exp) {
+			t.Errorf("%s ccTLDs = %v, want %v", l, got, exp)
+			continue
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Errorf("%s ccTLDs = %v, want %v", l, got, exp)
+				break
+			}
+		}
+	}
+}
+
+func TestLanguageOfTLD(t *testing.T) {
+	cases := map[string]langid.Language{
+		"de": langid.German, "at": langid.German,
+		"fr": langid.French, "tn": langid.French,
+		"it": langid.Italian,
+		"es": langid.Spanish, "mx": langid.Spanish,
+		"uk": langid.English, "gov": langid.English,
+	}
+	for tld, want := range cases {
+		got, ok := LanguageOfTLD(tld)
+		if !ok || got != want {
+			t.Errorf("LanguageOfTLD(%q) = %v, %v; want %v", tld, got, ok, want)
+		}
+	}
+	for _, tld := range []string{"com", "org", "net", "ch", "jp", ""} {
+		if _, ok := LanguageOfTLD(tld); ok {
+			t.Errorf("LanguageOfTLD(%q) should be unassigned", tld)
+		}
+	}
+}
+
+func TestTechWords(t *testing.T) {
+	for _, w := range []string{"forum", "download", "index", "news", "online"} {
+		if w == "index" {
+			continue // removed by the tokeniser, not needed here
+		}
+		if !IsTechWord(w) {
+			t.Errorf("IsTechWord(%q) = false", w)
+		}
+	}
+	if IsTechWord("nachrichten") {
+		t.Error("nachrichten is not web-English")
+	}
+}
+
+func TestSharedHostsAndBrands(t *testing.T) {
+	if len(SharedHosts()) < 20 {
+		t.Errorf("only %d shared hosts", len(SharedHosts()))
+	}
+	for _, l := range langid.Languages() {
+		if len(HostBrands(l)) < 20 {
+			t.Errorf("%s has only %d host brands", l, len(HostBrands(l)))
+		}
+	}
+}
+
+func TestAllWordsSortedUnique(t *testing.T) {
+	all := AllWords()
+	if len(all) < 1500 {
+		t.Errorf("AllWords returned %d entries", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Fatalf("AllWords not sorted-unique at %d: %q, %q", i, all[i-1], all[i])
+		}
+	}
+}
+
+func TestGenericTLDs(t *testing.T) {
+	g := GenericTLDs()
+	want := map[string]bool{"com": true, "org": true, "net": true}
+	found := 0
+	for _, tld := range g {
+		if want[tld] {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("GenericTLDs %v missing com/org/net", g)
+	}
+}

@@ -1,0 +1,101 @@
+package dict
+
+// stopEnglish..stopItalian are the ten most frequent distinctive words per
+// language, mirroring the stop-word lists used to collect the second half
+// of the SER dataset (§4.1). Words common to multiple languages (such as
+// "la") were removed there too.
+var (
+	stopEnglish = []string{"the", "and", "for", "that", "with", "this", "from", "you", "are", "not"}
+	stopGerman  = []string{"und", "der", "die", "das", "ist", "mit", "den", "von", "sie", "auf"}
+	stopFrench  = []string{"les", "des", "est", "que", "dans", "pour", "qui", "sur", "pas", "une"}
+	stopSpanish = []string{"que", "los", "las", "por", "con", "para", "una", "del", "mas", "como"}
+	stopItalian = []string{"che", "per", "della", "con", "una", "del", "non", "sono", "alla", "piu"}
+)
+
+// techWords is the "web English" vocabulary: tokens that appear in URLs of
+// every language because English is the technical language of the web.
+// They are the root cause of the looks-English confusion that dominates
+// Tables 3, 5 and 6 of the paper (e.g. forum.mamboserver.com/archive/
+// index.php/t-7062.html is a German page).
+var techWords = []string{
+	"about", "access", "account", "admin", "administrator", "album", "albums", "archive", "archives", "article",
+	"articles", "asp", "aspx", "banner", "bin", "blog", "blogs", "board", "bottom", "browse",
+	"cat", "catalog", "category", "categories", "cgi", "channel", "chat", "click", "client", "code",
+	"comment", "comments", "common", "community", "config", "connect", "contact", "content", "contents", "cookie",
+	"copyright", "count", "counter", "css", "dat", "data", "database", "default", "demo", "detail",
+	"details", "dir", "directory", "disclaimer", "display", "doc", "docs", "document", "documents", "domain",
+	"down", "download", "downloads", "edit", "email", "eng", "english", "error", "event", "events",
+	"faq", "faqs", "feed", "feedback", "file", "files", "folder", "form", "forms", "forum",
+	"forums", "frame", "frames", "free", "gallery", "gif", "group", "groups", "guest", "guestbook",
+	"help", "history", "home", "homepage", "host", "hosting", "icon", "icons", "img", "image",
+	"images", "inc", "include", "includes", "info", "information", "intro", "item", "items", "java",
+	"javascript", "jpg", "js", "lang", "left", "lib", "library", "link", "links", "list",
+	"listing", "lists", "live", "login", "logo", "logout", "mail", "main", "map", "maps",
+	"media", "member", "members", "memberlist", "menu", "message", "messages", "meta", "misc", "mobile",
+	"modules", "more", "movie", "music", "net", "network", "news", "newsletter", "next", "node",
+	"online", "open", "option", "options", "order", "page", "pages", "panel", "pdf", "photo",
+	"photos", "php", "phtml", "pic", "pics", "picture", "pictures", "pl", "play", "player",
+	"plugins", "poll", "pop", "portal", "post", "posts", "press", "preview", "print", "privacy",
+	"private", "pro", "product", "products", "profile", "profiles", "program", "project", "projects", "public",
+	"rank", "rate", "rating", "read", "redirect", "register", "registration", "research", "resource", "resources",
+	"results", "right", "rss", "script", "scripts", "search", "section", "secure", "send", "server",
+	"service", "services", "session", "set", "setup", "share", "shop", "shopping", "show", "showthread",
+	"site", "sitemap", "sites", "soft", "software", "sound", "source", "special", "sport", "sports",
+	"start", "stat", "static", "statistics", "stats", "status", "store", "stories", "story", "stream",
+	"style", "styles", "submit", "support", "system", "tag", "tags", "team", "temp", "template",
+	"templates", "term", "terms", "test", "text", "theme", "themes", "thread", "threads", "thumb",
+	"thumbs", "title", "tool", "tools", "top", "topic", "topics", "tour", "track", "update",
+	"updates", "upload", "uploads", "user", "users", "util", "version", "video", "videos", "view",
+	"viewtopic", "web", "webcam", "webmaster", "webpage", "website", "welcome", "wiki", "win", "window",
+	"work", "world", "xml", "zip",
+}
+
+// sharedHosts are hosting domains that serve pages in every language.
+// Per §6 of the paper, domains with pages from multiple languages account
+// for 48% of ODP test URLs and roughly 30% for SER/WC; on such URLs the
+// host token gives contradictory hints and the path must carry the signal.
+var sharedHosts = []string{
+	"wordpress", "blogspot", "blogger", "livejournal", "typepad", "geocities", "tripod", "angelfire", "lycos", "xoom",
+	"freeservers", "netfirms", "fortunecity", "bravenet", "bravehost", "topcities", "freewebs", "webs", "homestead", "altervista",
+	"beepworld", "jimdo", "populus", "myspace", "spaces", "multiply", "vox", "skyrock", "twoday", "splinder",
+	"iespana", "ifrance", "chez", "online", "narod", "republika", "interfree", "supereva", "digilander", "members",
+}
+
+// brandsEnglish..brandsItalian are well-known host-name components per web
+// sphere (portals, ISPs, media). The word-feature classifiers memorise
+// them exactly as §6 describes ("the training data simply 'knew' that
+// splinder.com hosts Italian pages").
+var brandsEnglish = []string{
+	"yahoo", "google", "amazon", "ebay", "cnn", "bbc", "nytimes", "guardian", "reuters", "wikipedia",
+	"answers", "ask", "aol", "msn", "microsoft", "apple", "imdb", "craigslist", "monster", "expedia",
+	"weather", "espn", "usatoday", "forbes", "wired", "slashdot", "sourceforge", "flickr", "youtube", "digg",
+	"paypal", "netflix", "target", "walmart", "bestbuy", "homedepot", "staples", "verizon", "comcast", "earthlink",
+}
+
+var brandsGerman = []string{
+	"arcor", "spiegel", "bild", "focus", "stern", "zeit", "welt", "gmx", "chip", "heise",
+	"autoscout", "immobilienscout", "otto", "quelle", "tchibo", "bahn", "lufthansa", "allianz", "telekom", "vodafone",
+	"kicker", "sueddeutsche", "faz", "taz", "tagesschau", "wdr", "ndr", "zdf", "ard", "prosieben",
+	"freenet", "strato", "puretec", "billiger", "idealo", "mobile", "meinestadt", "stadtplandienst", "wetteronline", "reiseportal",
+}
+
+var brandsFrench = []string{
+	"wanadoo", "voila", "orange", "laposte", "pagesjaunes", "meteofrance", "lemonde", "lefigaro", "liberation", "lequipe",
+	"canalplus", "fnac", "carrefour", "sncf", "ratp", "allocine", "aufeminin", "doctissimo", "linternaute", "commentcamarche",
+	"clubic", "jeuxvideo", "priceminister", "rueducommerce", "cdiscount", "boursorama", "caradisiac", "seloger", "explorimmo", "mappy",
+	"ouestfrance", "sudouest", "letelegramme", "ladepeche", "nouvelobs", "lexpress", "lepoint", "marmiton", "tf1", "france",
+}
+
+var brandsSpanish = []string{
+	"terra", "galeon", "hispavista", "elmundo", "elpais", "marca", "rtve", "telecinco", "antena", "iberia",
+	"renfe", "elcorteingles", "segundamano", "idealista", "paginasamarillas", "ozu", "wanadoo", "ya", "eresmas", "inicia",
+	"lanetro", "meneame", "elconfidencial", "libertaddigital", "abc", "lavanguardia", "elperiodico", "sport", "mundodeportivo", "expansion",
+	"cincodias", "invertia", "infojobs", "laboris", "trabajos", "loquo", "mercadolibre", "softonic", "tuenti", "fotolog",
+}
+
+var brandsItalian = []string{
+	"libero", "virgilio", "tiscali", "alice", "kataweb", "repubblica", "corriere", "gazzetta", "mediaset", "rai",
+	"seat", "trenitalia", "alitalia", "subito", "paginegialle", "paginebianche", "ansa", "tgcom", "quotidiano", "ilsole",
+	"unita", "espresso", "panorama", "mondadori", "feltrinelli", "ibs", "unieuro", "mediaworld", "vodafone", "tim",
+	"wind", "fastweb", "aruba", "register", "excite", "jumpy", "supereva", "leonardo", "studenti", "tuttogratis",
+}

@@ -1,0 +1,206 @@
+package dtree
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+func vec(pairs ...float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+func thresholdDataset(n int) *mlkit.Dataset {
+	// Positive iff feature 1 >= 3 (feature 0 is noise).
+	rng := rand.New(rand.NewPCG(1, 1))
+	ds := &mlkit.Dataset{Dim: 2}
+	for i := 0; i < n; i++ {
+		v := float32(rng.IntN(6))
+		ds.Add(vec(0, float32(rng.IntN(5)), 1, v), v >= 3)
+	}
+	return ds
+}
+
+func TestLearnsThreshold(t *testing.T) {
+	m, err := Trainer{}.Train(thresholdDataset(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := m.(*Model)
+	if dt.Root.IsLeaf() {
+		t.Fatal("tree did not split at all")
+	}
+	if dt.Root.Feature != 1 {
+		t.Errorf("root split on feature %d, want 1", dt.Root.Feature)
+	}
+	if dt.Root.Threshold <= 2 || dt.Root.Threshold > 3 {
+		t.Errorf("root threshold = %v, want in (2,3]", dt.Root.Threshold)
+	}
+	if !m.Predict(vec(1, 5)) || m.Predict(vec(1, 0)) {
+		t.Error("threshold rule not learned")
+	}
+}
+
+func TestScoreSign(t *testing.T) {
+	m, err := Trainer{}.Train(thresholdDataset(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score(vec(1, 5)) < 0 {
+		t.Error("positive leaf must have non-negative score")
+	}
+	if m.Score(vec(1, 0)) >= 0 {
+		t.Error("negative leaf must have negative score")
+	}
+}
+
+func TestPureLeafStopsGrowth(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 1}
+	for i := 0; i < 50; i++ {
+		ds.Add(vec(0, 1), true)
+	}
+	m, err := Trainer{}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.(*Model).Root.IsLeaf() {
+		t.Error("pure dataset should yield a single leaf")
+	}
+	if !m.Predict(vec(0, 1)) {
+		t.Error("pure positive leaf predicts negative")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	m, err := Trainer{MaxDepth: 2}.Train(noisyDataset(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.(*Model).Depth(); d > 2 {
+		t.Errorf("depth = %d, exceeds MaxDepth 2", d)
+	}
+}
+
+func noisyDataset(n int) *mlkit.Dataset {
+	rng := rand.New(rand.NewPCG(9, 9))
+	ds := &mlkit.Dataset{Dim: 6}
+	for i := 0; i < n; i++ {
+		b := vecspace.NewBuilder(6)
+		for f := 0; f < 6; f++ {
+			b.Add(uint32(f), float32(rng.IntN(4)))
+		}
+		x := b.Sparse()
+		label := x.Get(0)+x.Get(1) >= 3
+		if rng.Float64() < 0.1 {
+			label = !label
+		}
+		ds.Add(x, label)
+	}
+	return ds
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	m, err := Trainer{MinLeaf: 50}.Train(noisyDataset(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			if n.Count < 50 {
+				t.Errorf("leaf with %d samples under MinLeaf 50", n.Count)
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(m.(*Model).Root)
+}
+
+func TestNodeCountAndDepthConsistency(t *testing.T) {
+	m, err := Trainer{}.Train(noisyDataset(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := m.(*Model)
+	if dt.NodeCount() < 1 {
+		t.Error("NodeCount < 1")
+	}
+	if dt.NodeCount()%2 == 0 {
+		t.Error("binary tree must have an odd node count")
+	}
+}
+
+func TestRenderContainsNames(t *testing.T) {
+	tr := Trainer{FeatureNames: []string{"noise", "German dict. count"}}
+	m, err := tr.Train(thresholdDataset(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.(*Model).Render("German", "Non-German")
+	if !strings.Contains(out, "German dict. count") {
+		t.Errorf("render missing feature name:\n%s", out)
+	}
+	if !strings.Contains(out, "s=") {
+		t.Error("render missing success ratios")
+	}
+}
+
+func TestRenderPrunedShallower(t *testing.T) {
+	m, err := Trainer{}.Train(noisyDataset(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := m.(*Model)
+	full := dt.Render("pos", "neg")
+	pruned := dt.RenderPruned(1, "pos", "neg")
+	if len(pruned) >= len(full) && dt.Depth() > 1 {
+		t.Error("pruned render not shorter than full render")
+	}
+}
+
+func TestMisclassificationCriterion(t *testing.T) {
+	m, err := Trainer{Criterion: Misclassification}.Train(thresholdDataset(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(1, 5)) || m.Predict(vec(1, 0)) {
+		t.Error("misclassification criterion failed to learn the rule")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := (Trainer{}).Train(&mlkit.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestSparseZerosTreatedAsZero(t *testing.T) {
+	// A feature absent from the sparse vector must compare as 0.
+	ds := &mlkit.Dataset{Dim: 2}
+	for i := 0; i < 30; i++ {
+		ds.Add(vec(1, 1), true) // feature 1 present -> positive
+		ds.Add(vec(0, 1), false)
+	}
+	m, err := Trainer{MinLeaf: 1}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(vec(0, 1)) {
+		t.Error("vector without feature 1 classified positive")
+	}
+}
+
+func TestTrainerName(t *testing.T) {
+	if (Trainer{}).Name() != "DT" {
+		t.Error("Name() != DT")
+	}
+}

@@ -1,0 +1,94 @@
+package evalx
+
+import (
+	"testing"
+)
+
+func outcomes(tp, fn, fp, tn int) []Outcome {
+	var out []Outcome
+	for i := 0; i < tp; i++ {
+		out = append(out, Outcome{Truth: true, Predicted: true})
+	}
+	for i := 0; i < fn; i++ {
+		out = append(out, Outcome{Truth: true, Predicted: false})
+	}
+	for i := 0; i < fp; i++ {
+		out = append(out, Outcome{Truth: false, Predicted: true})
+	}
+	for i := 0; i < tn; i++ {
+		out = append(out, Outcome{Truth: false, Predicted: false})
+	}
+	return out
+}
+
+func TestBootstrapCoversPointEstimate(t *testing.T) {
+	os := outcomes(80, 20, 10, 90)
+	var c Counts
+	for _, o := range os {
+		c.Observe(o.Truth, o.Predicted)
+	}
+	iv := BootstrapF(os, 500, 0.95, 1)
+	if !iv.Contains(c.F()) {
+		t.Errorf("interval [%v,%v] misses point estimate %v", iv.Lo, iv.Hi, c.F())
+	}
+	rv := BootstrapRecall(os, 500, 0.95, 1)
+	if !rv.Contains(c.Recall()) {
+		t.Errorf("recall interval [%v,%v] misses %v", rv.Lo, rv.Hi, c.Recall())
+	}
+}
+
+func TestBootstrapSmallCellsWider(t *testing.T) {
+	// The paper's 19-URL Spanish crawl cell must produce a much wider
+	// interval than a 1900-URL cell with the same rates.
+	small := outcomes(8, 2, 1, 8) // 19 outcomes
+	big := outcomes(800, 200, 100, 800)
+	ivSmall := BootstrapRecall(small, 800, 0.95, 2)
+	ivBig := BootstrapRecall(big, 800, 0.95, 2)
+	if ivSmall.Width() <= ivBig.Width() {
+		t.Errorf("small-cell width %v not wider than big-cell %v", ivSmall.Width(), ivBig.Width())
+	}
+	if ivBig.Width() > 0.1 {
+		t.Errorf("big-cell interval suspiciously wide: %v", ivBig.Width())
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	os := outcomes(30, 10, 5, 40)
+	a := BootstrapF(os, 200, 0.9, 7)
+	b := BootstrapF(os, 200, 0.9, 7)
+	if a != b {
+		t.Error("same seed produced different intervals")
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	if iv := BootstrapF(nil, 100, 0.95, 1); iv != (Interval{}) {
+		t.Error("empty outcomes should yield zero interval")
+	}
+	// Perfect classifier: interval collapses at 1.
+	os := outcomes(50, 0, 0, 50)
+	iv := BootstrapF(os, 200, 0.95, 1)
+	if iv.Lo != 1 || iv.Hi != 1 {
+		t.Errorf("perfect classifier interval = [%v,%v]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestBootstrapDefaults(t *testing.T) {
+	os := outcomes(10, 5, 5, 10)
+	// rounds <= 0 and bad confidence fall back to defaults without
+	// panicking.
+	iv := BootstrapF(os, 0, 2.0, 3)
+	if iv.Lo > iv.Hi {
+		t.Errorf("inverted interval [%v,%v]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 0.2, Hi: 0.6}
+	if w := iv.Width(); w < 0.4-1e-12 || w > 0.4+1e-12 {
+		t.Errorf("Width = %v, want 0.4", w)
+	}
+	if !iv.Contains(0.3) || iv.Contains(0.7) {
+		t.Error("Contains broken")
+	}
+}

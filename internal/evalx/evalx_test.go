@@ -1,0 +1,190 @@
+package evalx
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"urllangid/internal/langid"
+)
+
+func TestCountsObserve(t *testing.T) {
+	var c Counts
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FN
+	c.Observe(false, true)  // FP
+	c.Observe(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 || c.Total() != 4 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestRecallAndNegSuccess(t *testing.T) {
+	c := Counts{TP: 3, FN: 1, TN: 8, FP: 2}
+	if got := c.Recall(); got != 0.75 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.NegSuccess(); got != 0.8 {
+		t.Errorf("NegSuccess = %v", got)
+	}
+	if got := c.RawPrecision(); got != 0.6 {
+		t.Errorf("RawPrecision = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-11.0/14) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestBalancedPrecisionFormula(t *testing.T) {
+	// §4.2: P = n+·p(+|+) / (n+·p(+|+) + n−·(1−p(−|−))) with n+ = n−.
+	c := Counts{TP: 90, FN: 10, TN: 950, FP: 50}
+	r := c.Recall()           // .9
+	fpr := 1 - c.NegSuccess() // .05
+	want := r / (r + fpr)
+	if got := c.BalancedPrecision(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BalancedPrecision = %v, want %v", got, want)
+	}
+}
+
+func TestBalancedPrecisionIndependentOfTestBalance(t *testing.T) {
+	// The whole point of §4.2: the same success ratios must give the
+	// same P regardless of the class balance in the test set.
+	a := Counts{TP: 90, FN: 10, TN: 90, FP: 10} // balanced
+	b := Counts{TP: 900, FN: 100, TN: 9, FP: 1} // 100:1 positives
+	if math.Abs(a.BalancedPrecision()-b.BalancedPrecision()) > 1e-12 {
+		t.Errorf("P depends on balance: %v vs %v", a.BalancedPrecision(), b.BalancedPrecision())
+	}
+}
+
+func TestTrivialAlwaysYesClassifier(t *testing.T) {
+	// §4.2: always answering positive gives R = 1, P = 0.5, F = 2/3.
+	c := Counts{TP: 70, FN: 0, FP: 30, TN: 0}
+	if c.Recall() != 1 {
+		t.Error("recall of always-yes != 1")
+	}
+	if got := c.BalancedPrecision(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P of always-yes = %v, want 0.5", got)
+	}
+	if got := c.F(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F of always-yes = %v, want 2/3", got)
+	}
+}
+
+func TestFMeasureEdgeCases(t *testing.T) {
+	if FMeasure(0, 0.9) != 0 || FMeasure(0.9, 0) != 0 {
+		t.Error("F with a zero component must be 0")
+	}
+	if got := FMeasure(1, 1); got != 1 {
+		t.Errorf("F(1,1) = %v", got)
+	}
+	if got := FMeasure(0.5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("F(.5,.5) = %v", got)
+	}
+}
+
+func TestMetricsInUnitInterval(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Counts{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		for _, v := range []float64{c.Recall(), c.NegSuccess(), c.BalancedPrecision(), c.F(), c.Accuracy()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Counts{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Counts{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Errorf("Merge = %+v", a)
+	}
+}
+
+func TestResultFrom(t *testing.T) {
+	c := Counts{TP: 9, FN: 1, TN: 8, FP: 2}
+	r := ResultFrom(langid.French, c)
+	if r.Lang != langid.French || r.Recall != c.Recall() || r.F != c.F() {
+		t.Errorf("ResultFrom = %+v", r)
+	}
+	if !strings.Contains(r.String(), "French") {
+		t.Error("Result.String missing language")
+	}
+}
+
+func TestMacroF(t *testing.T) {
+	rs := []Result{{F: 0.8}, {F: 0.6}}
+	if got := MacroF(rs); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("MacroF = %v", got)
+	}
+	if MacroF(nil) != 0 {
+		t.Error("MacroF(nil) != 0")
+	}
+}
+
+func TestConfusionSemantics(t *testing.T) {
+	var m Confusion
+	// Two German URLs: one claimed by German only, one by German AND
+	// English (multi-claim is legal, §4.2).
+	m.Observe(langid.German, [langid.NumLanguages]bool{langid.German: true})
+	m.Observe(langid.German, [langid.NumLanguages]bool{langid.German: true, langid.English: true})
+	if got := m.Percent(langid.German, langid.German); got != 100 {
+		t.Errorf("diagonal = %v, want 100 (recall)", got)
+	}
+	if got := m.Percent(langid.German, langid.English); got != 50 {
+		t.Errorf("German->English = %v, want 50", got)
+	}
+	if got := m.Percent(langid.French, langid.French); got != 0 {
+		t.Errorf("empty row percent = %v", got)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	var m Confusion
+	m.Observe(langid.Italian, [langid.NumLanguages]bool{langid.Italian: true})
+	s := m.String()
+	if !strings.Contains(s, "Italian") || !strings.Contains(s, "100%") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+}
+
+func TestCorrelationCoefficient(t *testing.T) {
+	a := []bool{true, true, false, false}
+	if got := CorrelationCoefficient(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	b := []bool{false, false, true, true}
+	if got := CorrelationCoefficient(a, b); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", got)
+	}
+	c := []bool{true, false, true, false}
+	if got := CorrelationCoefficient(a, c); math.Abs(got) > 1e-12 {
+		t.Errorf("independent correlation = %v", got)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	if CorrelationCoefficient([]bool{true}, []bool{true, false}) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+	if CorrelationCoefficient(nil, nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	// Constant vectors have zero variance.
+	if CorrelationCoefficient([]bool{true, true}, []bool{true, false}) != 0 {
+		t.Error("constant vector should yield 0")
+	}
+}
+
+func TestZeroCounts(t *testing.T) {
+	var c Counts
+	if c.Recall() != 0 || c.NegSuccess() != 0 || c.BalancedPrecision() != 0 || c.F() != 0 {
+		t.Error("zero counts must yield zero metrics, not NaN")
+	}
+}

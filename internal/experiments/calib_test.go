@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+	"urllangid/internal/maxent"
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+// TestMECalibration compares Maximum Entropy settings against Naive Bayes
+// on the same data. It is a calibration aid, not a regression test; run
+// with CALIB=1 go test -run TestMECalibration -v ./internal/experiments.
+func TestMECalibration(t *testing.T) {
+	if os.Getenv("CALIB") == "" {
+		t.Skip("calibration aid; set CALIB=1 to run")
+	}
+	env := NewEnv(1, 0.04)
+	pool := env.TrainingPool()
+	wc := env.Dataset(datagen.WC).Test
+
+	nbSys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 1}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("NB/words WC macroF=%.3f German F=%.3f", EvaluateSystem(nbSys, wc).MacroF(),
+		EvaluateSystem(nbSys, wc).Result(langid.German).F)
+
+	for _, iters := range []int{40, 120} {
+		for _, sigma2 := range []float64{8, 16, 32} {
+			ext := features.New(features.Words)
+			ext.Fit(pool, false)
+			x := make([]vecspace.Sparse, len(pool))
+			for i, s := range pool {
+				x[i] = ext.ExtractSample(s)
+			}
+			sys := &core.System{Config: core.Config{Algo: core.MaxEntropy, Features: features.Words}}
+			sys.Extractor = ext
+			for li := 0; li < langid.NumLanguages; li++ {
+				y := make([]bool, len(pool))
+				for i, s := range pool {
+					y[i] = s.Lang == langid.Language(li)
+				}
+				rng := rand.New(rand.NewPCG(1, uint64(li)+0x5eed))
+				ds := mlkit.BalancedSample(x, y, ext.Dim(), rng)
+				m, err := maxent.Trainer{Iterations: iters, Sigma2: sigma2}.Train(ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.Models[li] = m
+			}
+			ev := EvaluateSystem(sys, wc)
+			t.Logf("ME iters=%d sigma2=%.0f WC macroF=%.3f German F=%.3f (P=%.2f R=%.2f)",
+				iters, sigma2, ev.MacroF(), ev.Result(langid.German).F,
+				ev.Result(langid.German).Precision, ev.Result(langid.German).Recall)
+		}
+	}
+}

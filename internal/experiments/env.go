@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each Table*/Figure* function returns a structured
+// result plus formatted text mirroring the paper's layout; cmd/repro
+// prints them and bench_test.go times them.
+//
+// Env carries the shared state — generated datasets and a cache of
+// trained systems — so that, e.g., Table 6, Table 7 and Table 8 reuse the
+// same NB/words system exactly as the paper evaluates one trained
+// classifier on all test sets.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/evalx"
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+// Scale shrinks the paper's dataset sizes by a constant factor so the
+// full reproduction fits in laptop minutes. Scale 1.0 is the paper's
+// Table 1; the default driver uses 0.1.
+type Scale float64
+
+// Env is the shared experiment environment.
+type Env struct {
+	Seed  uint64
+	Scale Scale
+
+	mu       sync.Mutex
+	universe *datagen.Universe
+	datasets map[datagen.Kind]*datagen.Dataset
+	systems  map[string]*core.System
+}
+
+// NewEnv creates an environment. scale <= 0 selects 0.1.
+func NewEnv(seed uint64, scale Scale) *Env {
+	if scale <= 0 {
+		scale = 0.1
+	}
+	return &Env{
+		Seed:     seed,
+		Scale:    scale,
+		datasets: make(map[datagen.Kind]*datagen.Dataset),
+		systems:  make(map[string]*core.System),
+	}
+}
+
+// Dataset returns (generating on first use) the scaled dataset of a kind.
+// All kinds share one universe, like the paper's corpora share one web.
+func (e *Env) Dataset(kind datagen.Kind) *datagen.Dataset {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.datasetLocked(kind)
+}
+
+func (e *Env) datasetLocked(kind datagen.Kind) *datagen.Dataset {
+	if ds, ok := e.datasets[kind]; ok {
+		return ds
+	}
+	if e.universe == nil {
+		e.universe = datagen.NewUniverse(e.Seed)
+	}
+	cfg := datagen.Config{Kind: kind, Seed: e.Seed}
+	cfg.TrainPerLang = scaled(datagen.DefaultTrainPerLang[kind], float64(e.Scale))
+	if kind == datagen.WC {
+		cfg.TestPerLang = 0 // keep the paper's exact 1260-URL skew
+	} else {
+		cfg.TestPerLang = max(scaled(datagen.DefaultTestPerLang[kind], float64(e.Scale)), 200)
+	}
+	ds := datagen.GenerateFrom(e.universe, cfg)
+	e.datasets[kind] = ds
+	return ds
+}
+
+func scaled(n int, f float64) int {
+	v := int(float64(n) * f)
+	if n > 0 && v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// TrainingPool returns the combined ODP+SER training set, which is what
+// the paper trains on ("about 250k positive samples per language" at full
+// scale, §4.1). The returned slice is shared; callers must not mutate it.
+func (e *Env) TrainingPool() []langid.Sample {
+	odp := e.Dataset(datagen.ODP)
+	ser := e.Dataset(datagen.SER)
+	pool := make([]langid.Sample, 0, len(odp.Train)+len(ser.Train))
+	pool = append(pool, odp.Train...)
+	pool = append(pool, ser.Train...)
+	return pool
+}
+
+// System returns (training on first use) the cached system for a config,
+// trained on the combined ODP+SER pool.
+func (e *Env) System(cfg core.Config) (*core.System, error) {
+	key := fmt.Sprintf("%d/%d/%v/%d", cfg.Algo, cfg.Features, cfg.WithContent, cfg.MEIterations)
+	e.mu.Lock()
+	if sys, ok := e.systems[key]; ok {
+		e.mu.Unlock()
+		return sys, nil
+	}
+	e.mu.Unlock()
+
+	cfg.Seed = e.Seed
+	var train []langid.Sample
+	if cfg.Algo.NeedsTraining() {
+		train = e.TrainingPool()
+	}
+	sys, err := core.Train(cfg, train)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s: %w", cfg.Describe(), err)
+	}
+	e.mu.Lock()
+	e.systems[key] = sys
+	e.mu.Unlock()
+	return sys, nil
+}
+
+// Evaluation bundles per-language results and the confusion matrix of one
+// classifier on one test set.
+type Evaluation struct {
+	Results   []evalx.Result
+	Confusion evalx.Confusion
+}
+
+// MacroF returns the F-measure averaged over languages.
+func (ev *Evaluation) MacroF() float64 { return evalx.MacroF(ev.Results) }
+
+// Result returns the per-language result.
+func (ev *Evaluation) Result(l langid.Language) evalx.Result {
+	for _, r := range ev.Results {
+		if r.Lang == l {
+			return r
+		}
+	}
+	return evalx.Result{Lang: l}
+}
+
+// Decider is any five-way binary URL classifier.
+type Decider func(p urlx.Parts) [langid.NumLanguages]bool
+
+// Evaluate runs a decider over a test set and tallies the paper's
+// metrics.
+func Evaluate(decide Decider, test []langid.Sample) *Evaluation {
+	var counts [langid.NumLanguages]evalx.Counts
+	var conf evalx.Confusion
+	for _, s := range test {
+		p := urlx.Parse(s.URL)
+		claimed := decide(p)
+		conf.Observe(s.Lang, claimed)
+		for li := 0; li < langid.NumLanguages; li++ {
+			counts[li].Observe(s.Lang == langid.Language(li), claimed[li])
+		}
+	}
+	ev := &Evaluation{Confusion: conf}
+	for li := 0; li < langid.NumLanguages; li++ {
+		ev.Results = append(ev.Results, evalx.ResultFrom(langid.Language(li), counts[li]))
+	}
+	sort.Slice(ev.Results, func(i, j int) bool { return ev.Results[i].Lang < ev.Results[j].Lang })
+	return ev
+}
+
+// EvaluateSystem evaluates a trained core.System on a test set.
+func EvaluateSystem(sys *core.System, test []langid.Sample) *Evaluation {
+	return Evaluate(sys.Decide, test)
+}

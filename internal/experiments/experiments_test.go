@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+// tinyEnv returns a shared environment small enough for unit tests.
+// Tests share it via a package-level cache to avoid re-training.
+var sharedEnv = NewEnv(1, 0.015)
+
+func TestEnvDatasetCachedAndScaled(t *testing.T) {
+	a := sharedEnv.Dataset(datagen.ODP)
+	b := sharedEnv.Dataset(datagen.ODP)
+	if a != b {
+		t.Error("Dataset not cached")
+	}
+	wantTrain := int(145000*0.015) * langid.NumLanguages
+	if len(a.Train) != wantTrain {
+		t.Errorf("ODP train = %d, want %d", len(a.Train), wantTrain)
+	}
+}
+
+func TestEnvWCKeepsPaperSkew(t *testing.T) {
+	wc := sharedEnv.Dataset(datagen.WC)
+	if len(wc.Test) != 1260 {
+		t.Errorf("WC test = %d, want 1260 regardless of scale", len(wc.Test))
+	}
+}
+
+func TestSystemCache(t *testing.T) {
+	cfg := core.Config{Algo: core.CcTLD}
+	a, err := sharedEnv.System(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedEnv.System(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("System not cached")
+	}
+}
+
+func TestEvaluateCountsAndConfusion(t *testing.T) {
+	// A decider that always answers exactly the true language would be
+	// perfect; simulate with a cheating decider to validate plumbing.
+	test := []langid.Sample{
+		{URL: "http://a.de", Lang: langid.German},
+		{URL: "http://b.fr", Lang: langid.French},
+		{URL: "http://c.fr", Lang: langid.French},
+	}
+	truth := map[string]langid.Language{"a.de": langid.German, "b.fr": langid.French, "c.fr": langid.French}
+	ev := Evaluate(func(p urlx.Parts) [langid.NumLanguages]bool {
+		var out [langid.NumLanguages]bool
+		out[truth[p.Host]] = true
+		return out
+	}, test)
+	for _, r := range ev.Results {
+		switch r.Lang {
+		case langid.German, langid.French:
+			if r.Recall != 1 || r.F != 1 {
+				t.Errorf("%s R=%v F=%v, want perfect", r.Lang, r.Recall, r.F)
+			}
+		}
+	}
+	if got := ev.Confusion.Percent(langid.French, langid.French); got != 100 {
+		t.Errorf("confusion diagonal = %v", got)
+	}
+	if ev.MacroF() > 1 || ev.MacroF() < 0 {
+		t.Error("MacroF out of range")
+	}
+}
+
+func TestTable1MatchesDatasets(t *testing.T) {
+	r := sharedEnv.Table1()
+	odp := sharedEnv.Dataset(datagen.ODP)
+	totalTrain := 0
+	for li := 0; li < langid.NumLanguages; li++ {
+		totalTrain += r.TrainSize[0][li]
+	}
+	if totalTrain != len(odp.Train) {
+		t.Errorf("Table 1 train total = %d, dataset has %d", totalTrain, len(odp.Train))
+	}
+	if !strings.Contains(r.String(), "Table 1") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestTable4ShapesHold(t *testing.T) {
+	r, err := sharedEnv.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ki := range Kinds {
+		for li := 0; li < langid.NumLanguages; li++ {
+			res := r.Plain[ki].Result(langid.Language(li))
+			// The ccTLD baseline's defining property: near-perfect
+			// precision, weak recall (Table 4).
+			if res.Recall > 0 && res.Precision < 0.85 {
+				t.Errorf("%s %s ccTLD precision = %.2f — baseline should be precise",
+					Kinds[ki], res.Lang, res.Precision)
+			}
+		}
+	}
+	// ccTLD+ must beat ccTLD on English recall everywhere.
+	for ki := range Kinds {
+		plain := r.Plain[ki].Result(langid.English).Recall
+		plus := r.Plus[ki].Result(langid.English).Recall
+		if plus <= plain {
+			t.Errorf("%s: ccTLD+ English recall %.2f <= ccTLD %.2f", Kinds[ki], plus, plain)
+		}
+	}
+	if !strings.Contains(r.String(), "macro-F") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestTable5ColumnsConsistent(t *testing.T) {
+	r, err := sharedEnv.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ccTLD+ English column >= plain English column for every row.
+	for x := 0; x < langid.NumLanguages; x++ {
+		lx := langid.Language(x)
+		if r.Plus.Percent(lx, langid.English) < r.Plain.Percent(lx, langid.English) {
+			t.Errorf("row %s: ccTLD+ English share below plain", lx)
+		}
+	}
+}
+
+func TestTable2HumanShape(t *testing.T) {
+	r, err := sharedEnv.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var en, others float64
+	n := 0.0
+	for _, res := range r.Average {
+		if res.Lang == langid.English {
+			en = res.Recall
+			continue
+		}
+		others += res.Recall
+		n++
+	}
+	// §5.1: humans default to English — English recall far above the
+	// non-English average.
+	if en < others/n+0.15 {
+		t.Errorf("human English recall %.2f not well above others %.2f", en, others/n)
+	}
+	if r.InterCorrelation <= 0.3 {
+		t.Errorf("inter-annotator correlation %.2f implausibly low", r.InterCorrelation)
+	}
+	// Humans must beat coin flipping but lose to the best algorithm.
+	if r.AverageF < 0.4 || r.AverageF > 0.95 {
+		t.Errorf("human average F = %.2f out of plausible band", r.AverageF)
+	}
+}
+
+func TestTable3RowsRoughlySum100(t *testing.T) {
+	r := sharedEnv.Table3()
+	for x := 0; x < langid.NumLanguages; x++ {
+		sum := 0.0
+		for y := 0; y < langid.NumLanguages; y++ {
+			sum += r.Confusion.Percent(langid.Language(x), langid.Language(y))
+		}
+		// One-hot answers: every row sums to exactly 100 (up to
+		// floating point).
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("row %s sums to %.1f", langid.Language(x), sum)
+		}
+	}
+}
+
+func TestFigure3MonotoneAndBounded(t *testing.T) {
+	r := sharedEnv.Figure3([]float64{0.01, 0.1, 1.0})
+	for ki := range Kinds {
+		prev := -1.0
+		for i, pct := range r.SeenPct[ki] {
+			if pct < prev-1e-9 {
+				t.Errorf("%s seen%% not monotone at %d", Kinds[ki], i)
+			}
+			if pct < 0 || pct > 100 {
+				t.Errorf("%s seen%% out of range: %v", Kinds[ki], pct)
+			}
+			prev = pct
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 3") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestTable6AgainstTable8Consistency(t *testing.T) {
+	t6, err := sharedEnv.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := sharedEnv.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table 6 diagonal is the recall of NB/words on WC; Table 8
+	// stores its F. Both stem from the same cached system, so the
+	// diagonal must be positive wherever F is.
+	for li := 0; li < langid.NumLanguages; li++ {
+		l := langid.Language(li)
+		if t8.F[li][2] > 0 && t6.Confusion.Percent(l, l) == 0 {
+			t.Errorf("%s: F=%.2f but zero diagonal", l, t8.F[li][2])
+		}
+	}
+	if t8.Overall <= 0.5 {
+		t.Errorf("NB/words overall F = %.2f — training collapsed", t8.Overall)
+	}
+}
+
+func TestFigure1TreeShape(t *testing.T) {
+	r, err := sharedEnv.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth < 1 || r.NodeCount < 3 {
+		t.Errorf("German tree trivial: depth=%d nodes=%d", r.Depth, r.NodeCount)
+	}
+	// The pruned render must mention the trained dictionary or the
+	// German TLD — the two features Figure 1 splits on first.
+	if !strings.Contains(r.Pruned, "German") {
+		t.Errorf("pruned tree lacks German features:\n%s", r.Pruned)
+	}
+}
+
+func TestComboDeciderRuns(t *testing.T) {
+	decide, err := sharedEnv.ComboDecider()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decide(urlx.Parse("http://www.wetter.de/nachrichten"))
+	if !out[langid.German] {
+		t.Error("combined German classifier missed an obvious German URL")
+	}
+}
+
+func TestPreliminaryComparisonShape(t *testing.T) {
+	r, err := sharedEnv.Preliminary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: relative entropy won the preliminary comparison; rank-order
+	// must not beat it on any test set by a wide margin.
+	for ki := range Kinds {
+		if r.F[1][ki] > r.F[0][ki]+0.05 {
+			t.Errorf("%s: rank-order %.3f clearly beats RE %.3f, contradicting §3.2",
+				Kinds[ki], r.F[1][ki], r.F[0][ki])
+		}
+		for mi := range r.Methods {
+			if r.F[mi][ki] < 0.3 {
+				t.Errorf("%s %s: degenerate F %.3f", r.Methods[mi], Kinds[ki], r.F[mi][ki])
+			}
+		}
+	}
+}
+
+func TestInlinksBoostImprovesRecall(t *testing.T) {
+	r, err := sharedEnv.Inlinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §8's prediction: inlink information improves identification.
+	if r.BoostF < r.BaseF {
+		t.Errorf("inlink boost lowered macro-F: %.3f -> %.3f", r.BaseF, r.BoostF)
+	}
+	improved := 0
+	for li := range r.Base {
+		if r.Boosted[li].Recall >= r.Base[li].Recall {
+			improved++
+		}
+	}
+	if improved < 4 {
+		t.Errorf("recall improved for only %d/5 languages", improved)
+	}
+	if r.GraphStats.SameLangShare < 0.5 {
+		t.Errorf("graph homophily %.2f too low to test the mechanism", r.GraphStats.SameLangShare)
+	}
+}
+
+func TestSelectionPicksPaperFeatures(t *testing.T) {
+	// §3.1: forward selection over the 74 custom features lands on the
+	// ccTLD / OO-dict / trained-dict groups. With a tiny budget the
+	// very first picks must come from those groups.
+	r, err := sharedEnv.Selection(langid.German, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Chosen) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if r.InPaperSubset == 0 {
+		t.Errorf("no chosen feature from the paper's subset: %v", r.Chosen)
+	}
+	// F must be non-decreasing (greedy with MinGain).
+	for i := 1; i < len(r.Steps); i++ {
+		if r.Steps[i].F < r.Steps[i-1].F {
+			t.Error("selection F decreased")
+		}
+	}
+}
+
+func TestGridSupported(t *testing.T) {
+	if GridSupported(core.DecisionTree, features.Words) {
+		t.Error("DT on words should be unsupported (giant uninterpretable tree)")
+	}
+	if !GridSupported(core.DecisionTree, features.CustomSelected) {
+		t.Error("DT on custom should be supported")
+	}
+	if !GridSupported(core.NaiveBayes, features.Trigrams) {
+		t.Error("NB on trigrams should be supported")
+	}
+}

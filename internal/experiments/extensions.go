@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"urllangid/internal/charmarkov"
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/evalx"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+	"urllangid/internal/linkgraph"
+	"urllangid/internal/mlkit"
+	"urllangid/internal/rankorder"
+	"urllangid/internal/urlx"
+	"urllangid/internal/vecspace"
+)
+
+// PreliminaryResult reproduces the paper's unpublished preliminary
+// comparison (§2/§3.2): on trigram features, Relative Entropy "performed
+// best in preliminary experiments, where we compared Markov Models,
+// rank-order statistics and relative entropy". One macro-F per method
+// and test set.
+type PreliminaryResult struct {
+	// F[method][kind] with methods ordered RE, RO (rank-order),
+	// MM (character Markov model).
+	Methods []string
+	F       [3][3]float64
+}
+
+// Preliminary runs the three-way comparison on the shared training pool.
+func (e *Env) Preliminary() (*PreliminaryResult, error) {
+	res := &PreliminaryResult{Methods: []string{"RE/trigram", "RO/trigram", "MM/chars"}}
+
+	// Relative Entropy comes straight from the cached grid system.
+	reSys, err := e.System(core.Config{Algo: core.RelEntropy, Features: features.Trigrams})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kind := range Kinds {
+		res.F[0][ki] = EvaluateSystem(reSys, e.Dataset(kind).Test).MacroF()
+	}
+
+	pool := e.TrainingPool()
+
+	// Rank-order shares the trigram extractor protocol via mlkit.
+	ext := features.New(features.Trigrams)
+	ext.Fit(pool, false)
+	x := make([]vecspace.Sparse, len(pool))
+	for i, s := range pool {
+		x[i] = ext.ExtractSample(s)
+	}
+	var roModels [langid.NumLanguages]mlkit.BinaryModel
+	for li := 0; li < langid.NumLanguages; li++ {
+		y := make([]bool, len(pool))
+		for i, s := range pool {
+			y[i] = s.Lang == langid.Language(li)
+		}
+		rng := rand.New(rand.NewPCG(e.Seed, uint64(li)+0x20))
+		ds := mlkit.BalancedSample(x, y, ext.Dim(), rng)
+		m, err := (rankorder.Trainer{}).Train(ds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rank-order %s: %w", langid.Language(li), err)
+		}
+		roModels[li] = m
+	}
+	roDecide := func(p urlx.Parts) [langid.NumLanguages]bool {
+		var out [langid.NumLanguages]bool
+		v := ext.ExtractURL(p)
+		for li := range roModels {
+			out[li] = roModels[li].Predict(v)
+		}
+		return out
+	}
+	for ki, kind := range Kinds {
+		res.F[1][ki] = Evaluate(roDecide, e.Dataset(kind).Test).MacroF()
+	}
+
+	// Character Markov models consume tokens directly.
+	var mmModels [langid.NumLanguages]*charmarkov.Model
+	for li := 0; li < langid.NumLanguages; li++ {
+		m, err := (charmarkov.Trainer{}).Train(pool, langid.Language(li))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: markov %s: %w", langid.Language(li), err)
+		}
+		mmModels[li] = m
+	}
+	mmDecide := func(p urlx.Parts) [langid.NumLanguages]bool {
+		var out [langid.NumLanguages]bool
+		for li := range mmModels {
+			out[li] = mmModels[li].ScoreTokens(p.Tokens) >= 0
+		}
+		return out
+	}
+	for ki, kind := range Kinds {
+		res.F[2][ki] = Evaluate(mmDecide, e.Dataset(kind).Test).MacroF()
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *PreliminaryResult) String() string {
+	var b strings.Builder
+	b.WriteString("Preliminary comparison (§3.2): trigram-profile classifiers, macro-F\n")
+	fmt.Fprintf(&b, "%-12s %6s %6s %6s\n", "method", "ODP", "SER", "WC")
+	for mi, m := range r.Methods {
+		fmt.Fprintf(&b, "%-12s %6.3f %6.3f %6.3f\n", m, r.F[mi][0], r.F[mi][1], r.F[mi][2])
+	}
+	return b.String()
+}
+
+// InlinksResult is the §8 future-work experiment: boosting the URL
+// classifier with inlink votes over a homophilous hyperlink graph.
+type InlinksResult struct {
+	GraphStats linkgraph.Stats
+	// Base and Boosted are per-language results on the uncrawled pages.
+	Base    []evalx.Result
+	Boosted []evalx.Result
+	BaseF   float64
+	BoostF  float64
+	// CrawledShare is the fraction of pages whose language the crawler
+	// already knows.
+	CrawledShare float64
+}
+
+// Inlinks runs the future-work experiment on a crawl-like page set:
+// synthesise a hyperlink graph with language homophily, mark a share of
+// the pages as already crawled (language known), and classify the rest
+// with and without inlink votes.
+func (e *Env) Inlinks() (*InlinksResult, error) {
+	sys, err := e.System(core.Config{Algo: core.NaiveBayes, Features: features.Words})
+	if err != nil {
+		return nil, err
+	}
+
+	// A larger crawl-style page set than the 1,260-URL test sample, so
+	// the graph has enough in-links per page.
+	pagesDS := datagen.Generate(datagen.Config{
+		Kind: datagen.WC, Seed: e.Seed + 0x11a8, TestPerLang: 600,
+	})
+	pages := pagesDS.Test
+	g, err := linkgraph.Synthesize(pages, linkgraph.SynthConfig{Seed: e.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	const crawledShare = 0.6
+	rng := rand.New(rand.NewPCG(e.Seed, 0xc4a71))
+	known := make([]bool, len(pages))
+	for i := range known {
+		known[i] = rng.Float64() < crawledShare
+	}
+
+	booster := linkgraph.Booster{}
+	var baseCounts, boostCounts [langid.NumLanguages]evalx.Counts
+	for i, s := range pages {
+		if known[i] {
+			continue // the crawler already knows these
+		}
+		p := urlx.Parse(s.URL)
+		base := sys.Decide(p)
+		boosted := booster.Boost(g, pages, known, i, base)
+		for li := 0; li < langid.NumLanguages; li++ {
+			l := langid.Language(li)
+			baseCounts[li].Observe(s.Lang == l, base[li])
+			boostCounts[li].Observe(s.Lang == l, boosted[li])
+		}
+	}
+
+	res := &InlinksResult{GraphStats: g.Statistics(pages), CrawledShare: crawledShare}
+	for li := 0; li < langid.NumLanguages; li++ {
+		res.Base = append(res.Base, evalx.ResultFrom(langid.Language(li), baseCounts[li]))
+		res.Boosted = append(res.Boosted, evalx.ResultFrom(langid.Language(li), boostCounts[li]))
+	}
+	res.BaseF = evalx.MacroF(res.Base)
+	res.BoostF = evalx.MacroF(res.Boosted)
+	return res, nil
+}
+
+// String renders the inlink experiment.
+func (r *InlinksResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension (§8 future work): inlink votes over a homophilous link graph\n")
+	fmt.Fprintf(&b, "graph: %d pages, %d edges, %.1f avg out-degree, %.0f%% same-language edges; %.0f%% crawled\n",
+		r.GraphStats.Pages, r.GraphStats.Edges, r.GraphStats.AvgOut,
+		100*r.GraphStats.SameLangShare, 100*r.CrawledShare)
+	fmt.Fprintf(&b, "%-10s %18s %18s\n", "language", "URL-only (R/F)", "URL+inlinks (R/F)")
+	for li := 0; li < langid.NumLanguages; li++ {
+		fmt.Fprintf(&b, "%-10s %8.2f /%6.2f %10.2f /%6.2f\n",
+			langid.Language(li), r.Base[li].Recall, r.Base[li].F,
+			r.Boosted[li].Recall, r.Boosted[li].F)
+	}
+	fmt.Fprintf(&b, "macro-F: %.3f -> %.3f\n", r.BaseF, r.BoostF)
+	return b.String()
+}

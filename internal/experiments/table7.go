@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/evalx"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+)
+
+// GridFeatures are the feature families of Table 7, in column order.
+// "custom" is the 15-feature forward-selected subset the paper reports.
+var GridFeatures = []features.Kind{features.Words, features.Trigrams, features.CustomSelected}
+
+// GridAlgos are the learners of Table 7, in row order. Decision trees are
+// computed only for the custom features (a tree over trigram or word
+// features would be gigantic and uninterpretable, §3.2).
+var GridAlgos = []core.Algo{core.NaiveBayes, core.RelEntropy, core.MaxEntropy, core.DecisionTree}
+
+// GridSupported reports whether Table 7 contains the (algo, features)
+// cell.
+func GridSupported(algo core.Algo, kind features.Kind) bool {
+	if algo == core.DecisionTree {
+		return kind == features.CustomSelected || kind == features.Custom
+	}
+	return true
+}
+
+// Table7Result holds the full grid: for each dataset, language, feature
+// family and algorithm the four reported numbers.
+type Table7Result struct {
+	// Cells[kind][lang][feat][algo]; nil where unsupported.
+	Cells [3][langid.NumLanguages][3][4]*evalx.Result
+}
+
+// Table7 regenerates the paper's main results grid. It trains (at most)
+// ten systems — 3 features × 3 learners + DT/custom — on the combined
+// ODP+SER pool and evaluates each on all three test sets.
+func (e *Env) Table7() (*Table7Result, error) {
+	res := &Table7Result{}
+	for fi, feat := range GridFeatures {
+		for ai, algo := range GridAlgos {
+			if !GridSupported(algo, feat) {
+				continue
+			}
+			sys, err := e.System(core.Config{Algo: algo, Features: feat})
+			if err != nil {
+				return nil, err
+			}
+			for ki, kind := range Kinds {
+				ev := EvaluateSystem(sys, e.Dataset(kind).Test)
+				for li := 0; li < langid.NumLanguages; li++ {
+					r := ev.Result(langid.Language(li))
+					res.Cells[ki][li][fi][ai] = &r
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the result for one grid cell, or nil where the paper has
+// a dash.
+func (r *Table7Result) Cell(kind datagen.Kind, lang langid.Language, feat features.Kind, algo core.Algo) *evalx.Result {
+	ki := kindIndex(kind)
+	fi := featIndex(feat)
+	ai := algoIndex(algo)
+	if ki < 0 || fi < 0 || ai < 0 {
+		return nil
+	}
+	return r.Cells[ki][lang][fi][ai]
+}
+
+func kindIndex(kind datagen.Kind) int {
+	for i, k := range Kinds {
+		if k == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+func featIndex(feat features.Kind) int {
+	for i, f := range GridFeatures {
+		if f == feat {
+			return i
+		}
+	}
+	return -1
+}
+
+func algoIndex(algo core.Algo) int {
+	for i, a := range GridAlgos {
+		if a == algo {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the grid in the paper's layout: one block per test set
+// and language, one row per algorithm, one column group per feature
+// family.
+func (r *Table7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 7: all feature-set/algorithm combinations (P R p(-|-) F per feature family)\n")
+	fmt.Fprintf(&b, "%-4s %-8s %-4s", "set", "lang", "alg")
+	for _, feat := range GridFeatures {
+		fmt.Fprintf(&b, " | %-23s", feat)
+	}
+	b.WriteByte('\n')
+	for ki, kind := range Kinds {
+		for li := 0; li < langid.NumLanguages; li++ {
+			for ai, algo := range GridAlgos {
+				fmt.Fprintf(&b, "%-4s %-8s %-4s", kind, langid.Language(li), algo)
+				for fi := range GridFeatures {
+					cell := r.Cells[ki][li][fi][ai]
+					if cell == nil {
+						fmt.Fprintf(&b, " | %-23s", "    -    -    -    -")
+						continue
+					}
+					fmt.Fprintf(&b, " | %.2f %.2f %.2f %.2f    ", cell.Precision, cell.Recall, cell.NegSuccess, cell.F)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// MacroF returns the grid cell's F averaged over languages for one
+// (dataset, feature, algo) combination — the quantity plotted in Figure 2.
+func (r *Table7Result) MacroF(kind datagen.Kind, feat features.Kind, algo core.Algo) float64 {
+	ki, fi, ai := kindIndex(kind), featIndex(feat), algoIndex(algo)
+	if ki < 0 || fi < 0 || ai < 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for li := 0; li < langid.NumLanguages; li++ {
+		if c := r.Cells[ki][li][fi][ai]; c != nil {
+			sum += c.F
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/evalx"
+	"urllangid/internal/features"
+	"urllangid/internal/human"
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+// Kinds lists the three datasets in the paper's order.
+var Kinds = []datagen.Kind{datagen.ODP, datagen.SER, datagen.WC}
+
+// Table1Result reports dataset sizes (paper Table 1).
+type Table1Result struct {
+	TrainSize [3][langid.NumLanguages]int
+	TestSize  [3][langid.NumLanguages]int
+}
+
+// Table1 regenerates the dataset-size table.
+func (e *Env) Table1() *Table1Result {
+	res := &Table1Result{}
+	for ki, kind := range Kinds {
+		ds := e.Dataset(kind)
+		for _, s := range ds.Train {
+			res.TrainSize[ki][s.Lang]++
+		}
+		for _, s := range ds.Test {
+			res.TestSize[ki][s.Lang]++
+		}
+	}
+	return res
+}
+
+// String renders Table 1.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: dataset sizes\n")
+	fmt.Fprintf(&b, "%-6s %-8s %12s %10s\n", "set", "language", "training", "test")
+	for ki, kind := range Kinds {
+		for li := 0; li < langid.NumLanguages; li++ {
+			fmt.Fprintf(&b, "%-6s %-8s %12d %10d\n", kind, langid.Language(li), r.TrainSize[ki][li], r.TestSize[ki][li])
+		}
+	}
+	return b.String()
+}
+
+// HumanSeeds are the personal seeds of the two simulated annotators.
+var HumanSeeds = [2]uint64{101, 202}
+
+// HumanProfiles give the two annotators different attention and knowledge
+// profiles: the paper's evaluators performed noticeably differently
+// (F .71 vs .79) despite both being familiar with all five languages.
+var HumanProfiles = [2]human.Params{
+	{}, // calibrated defaults
+	{
+		VocabKnowledge: [langid.NumLanguages]float64{0.52, 0.70, 0.74, 0.42, 0.50},
+		CityKnowledge:  0.25,
+		FollowTLD:      0.92,
+		Fatigue:        0.20,
+		Slip:           0.07,
+	},
+}
+
+// NewHumanEvaluator builds simulated annotator i (0 or 1).
+func NewHumanEvaluator(i int) *human.Evaluator {
+	return human.NewEvaluator(fmt.Sprintf("evaluator-%d", i+1), HumanSeeds[i], HumanProfiles[i])
+}
+
+// Table2Result reports aggregate human performance on the crawl test set
+// (paper Table 2), averaged over both evaluators, plus the paper's
+// correlation statistics (§5.1).
+type Table2Result struct {
+	PerEvaluator [2]*Evaluation
+	// Average[l] holds the two evaluators' averaged metrics.
+	Average []evalx.Result
+	// InterCorrelation is the Pearson correlation between the two
+	// evaluators' binary decisions (paper: 0.77).
+	InterCorrelation float64
+	// NBCorrelation[i] correlates evaluator i with NB/words (paper:
+	// 0.45 and 0.47).
+	NBCorrelation [2]float64
+	// MacroF per evaluator (paper: .71 and .79) and averaged (.75).
+	EvaluatorF [2]float64
+	AverageF   float64
+}
+
+// Table2 runs the simulated annotators over the crawl test set.
+func (e *Env) Table2() (*Table2Result, error) {
+	wc := e.Dataset(datagen.WC)
+	res := &Table2Result{}
+
+	var decisions [2][]bool
+	for i := 0; i < 2; i++ {
+		ev := NewHumanEvaluator(i)
+		res.PerEvaluator[i] = Evaluate(ev.Decide, wc.Test)
+		res.EvaluatorF[i] = res.PerEvaluator[i].MacroF()
+		// Flatten decisions for the correlation statistic: one binary
+		// variable per (language, URL) pair, as in §5.1.
+		eval2 := NewHumanEvaluator(i)
+		for _, s := range wc.Test {
+			d := eval2.Decide(urlx.Parse(s.URL))
+			for li := 0; li < langid.NumLanguages; li++ {
+				decisions[i] = append(decisions[i], d[li])
+			}
+		}
+	}
+	res.InterCorrelation = evalx.CorrelationCoefficient(decisions[0], decisions[1])
+
+	nbSys, err := e.System(core.Config{Algo: core.NaiveBayes, Features: features.Words})
+	if err != nil {
+		return nil, err
+	}
+	var nbDecisions []bool
+	for _, s := range wc.Test {
+		d := nbSys.Decide(urlx.Parse(s.URL))
+		for li := 0; li < langid.NumLanguages; li++ {
+			nbDecisions = append(nbDecisions, d[li])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		res.NBCorrelation[i] = evalx.CorrelationCoefficient(decisions[i], nbDecisions)
+	}
+
+	for li := 0; li < langid.NumLanguages; li++ {
+		l := langid.Language(li)
+		a := res.PerEvaluator[0].Result(l)
+		b := res.PerEvaluator[1].Result(l)
+		res.Average = append(res.Average, evalx.Result{
+			Lang:       l,
+			Precision:  (a.Precision + b.Precision) / 2,
+			Recall:     (a.Recall + b.Recall) / 2,
+			NegSuccess: (a.NegSuccess + b.NegSuccess) / 2,
+			F:          (a.F + b.F) / 2,
+		})
+	}
+	res.AverageF = (res.EvaluatorF[0] + res.EvaluatorF[1]) / 2
+	return res, nil
+}
+
+// String renders Table 2.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: human performance on the web crawl test set (avg of 2 evaluators)\n")
+	for _, res := range r.Average {
+		fmt.Fprintf(&b, "  %s\n", res)
+	}
+	fmt.Fprintf(&b, "  evaluator F: %.2f / %.2f (average %.2f)\n", r.EvaluatorF[0], r.EvaluatorF[1], r.AverageF)
+	fmt.Fprintf(&b, "  inter-annotator correlation: %.2f\n", r.InterCorrelation)
+	fmt.Fprintf(&b, "  correlation with NB/words:   %.2f / %.2f\n", r.NBCorrelation[0], r.NBCorrelation[1])
+	return b.String()
+}
+
+// Table3Result is the human confusion matrix on the crawl test set
+// (paper Table 3), averaged over both evaluators.
+type Table3Result struct {
+	Confusion evalx.Confusion
+}
+
+// Table3 regenerates the human confusion matrix.
+func (e *Env) Table3() *Table3Result {
+	wc := e.Dataset(datagen.WC)
+	res := &Table3Result{}
+	for i := 0; i < 2; i++ {
+		ev := NewHumanEvaluator(i)
+		for _, s := range wc.Test {
+			res.Confusion.Observe(s.Lang, ev.Decide(urlx.Parse(s.URL)))
+		}
+	}
+	return res
+}
+
+// String renders Table 3.
+func (r *Table3Result) String() string {
+	return "Table 3: human confusion matrix on the crawl test set\n" + r.Confusion.String()
+}
+
+// Table4Result reports the ccTLD baseline on all three test sets, with
+// the ccTLD+ English variant in parentheses (paper Table 4).
+type Table4Result struct {
+	// Plain[kind] and Plus[kind] hold the two baselines' evaluations.
+	Plain [3]*Evaluation
+	Plus  [3]*Evaluation
+}
+
+// Table4 regenerates the ccTLD baseline table.
+func (e *Env) Table4() (*Table4Result, error) {
+	plain, err := e.System(core.Config{Algo: core.CcTLD})
+	if err != nil {
+		return nil, err
+	}
+	plus, err := e.System(core.Config{Algo: core.CcTLDPlus})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{}
+	for ki, kind := range Kinds {
+		test := e.Dataset(kind).Test
+		res.Plain[ki] = EvaluateSystem(plain, test)
+		res.Plus[ki] = EvaluateSystem(plus, test)
+	}
+	return res, nil
+}
+
+// String renders Table 4 with the paper's parenthesised ccTLD+ numbers
+// for the English classifier.
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4: ccTLD baseline (parentheses: ccTLD+ for English)\n")
+	for ki, kind := range Kinds {
+		for li := 0; li < langid.NumLanguages; li++ {
+			l := langid.Language(li)
+			res := r.Plain[ki].Result(l)
+			if l == langid.English {
+				plus := r.Plus[ki].Result(l)
+				fmt.Fprintf(&b, "  %-4s %-8s P=%.2f (%.2f) R=%.2f (%.2f) p(-|-)=%.2f (%.2f) F=%.2f (%.2f)\n",
+					kind, l, res.Precision, plus.Precision, res.Recall, plus.Recall,
+					res.NegSuccess, plus.NegSuccess, res.F, plus.F)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-4s %s\n", kind, res)
+		}
+		fmt.Fprintf(&b, "  %-4s macro-F %.2f (ccTLD+) %.2f\n", kind, r.Plain[ki].MacroF(), r.Plus[ki].MacroF())
+	}
+	return b.String()
+}
+
+// Table5Result is the ccTLD confusion matrix on the crawl test set with
+// the ccTLD+ English column in parentheses (paper Table 5).
+type Table5Result struct {
+	Plain evalx.Confusion
+	Plus  evalx.Confusion
+}
+
+// Table5 regenerates the ccTLD confusion matrices.
+func (e *Env) Table5() (*Table5Result, error) {
+	plain, err := e.System(core.Config{Algo: core.CcTLD})
+	if err != nil {
+		return nil, err
+	}
+	plus, err := e.System(core.Config{Algo: core.CcTLDPlus})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{}
+	for _, s := range e.Dataset(datagen.WC).Test {
+		p := urlx.Parse(s.URL)
+		res.Plain.Observe(s.Lang, plain.Decide(p))
+		res.Plus.Observe(s.Lang, plus.Decide(p))
+	}
+	return res, nil
+}
+
+// String renders Table 5.
+func (r *Table5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 5: ccTLD confusion matrix on the crawl test set (parens: ccTLD+ English column)\n")
+	b.WriteString("true\\clf  English          German  French  Spanish Italian\n")
+	for x := 0; x < langid.NumLanguages; x++ {
+		lx := langid.Language(x)
+		fmt.Fprintf(&b, "%-8s %5.1f%% (%5.1f%%)", lx, r.Plain.Percent(lx, langid.English), r.Plus.Percent(lx, langid.English))
+		for y := 1; y < langid.NumLanguages; y++ {
+			fmt.Fprintf(&b, " %6.1f%%", r.Plain.Percent(lx, langid.Language(y)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table6Result is the confusion matrix of Naive Bayes with word features
+// on the crawl test set (paper Table 6).
+type Table6Result struct {
+	Confusion evalx.Confusion
+}
+
+// Table6 regenerates the NB/words confusion matrix.
+func (e *Env) Table6() (*Table6Result, error) {
+	sys, err := e.System(core.Config{Algo: core.NaiveBayes, Features: features.Words})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table6Result{}
+	for _, s := range e.Dataset(datagen.WC).Test {
+		res.Confusion.Observe(s.Lang, sys.Decide(urlx.Parse(s.URL)))
+	}
+	return res, nil
+}
+
+// String renders Table 6.
+func (r *Table6Result) String() string {
+	return "Table 6: Naive Bayes + word features confusion matrix on the crawl test set\n" +
+		r.Confusion.String()
+}

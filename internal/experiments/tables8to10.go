@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"urllangid/internal/combine"
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+// Table8Result holds the F-measures of Naive Bayes with word features for
+// all languages and test sets (paper Table 8): English is the hardest and
+// Italian the easiest language; ODP pages are the hardest set and search
+// engine results the easiest.
+type Table8Result struct {
+	// F[lang][kind]; LangAvg over kinds; KindAvg over languages.
+	F       [langid.NumLanguages][3]float64
+	LangAvg [langid.NumLanguages]float64
+	KindAvg [3]float64
+	Overall float64
+}
+
+// Table8 regenerates the NB/words F-measure table.
+func (e *Env) Table8() (*Table8Result, error) {
+	sys, err := e.System(core.Config{Algo: core.NaiveBayes, Features: features.Words})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table8Result{}
+	for ki, kind := range Kinds {
+		ev := EvaluateSystem(sys, e.Dataset(kind).Test)
+		for li := 0; li < langid.NumLanguages; li++ {
+			res.F[li][ki] = ev.Result(langid.Language(li)).F
+		}
+	}
+	fillAverages(&res.F, &res.LangAvg, &res.KindAvg, &res.Overall)
+	return res, nil
+}
+
+func fillAverages(f *[langid.NumLanguages][3]float64, langAvg *[langid.NumLanguages]float64, kindAvg *[3]float64, overall *float64) {
+	for li := 0; li < langid.NumLanguages; li++ {
+		var s float64
+		for ki := 0; ki < 3; ki++ {
+			s += f[li][ki]
+		}
+		langAvg[li] = s / 3
+	}
+	var total float64
+	for ki := 0; ki < 3; ki++ {
+		var s float64
+		for li := 0; li < langid.NumLanguages; li++ {
+			s += f[li][ki]
+		}
+		kindAvg[ki] = s / float64(langid.NumLanguages)
+		total += kindAvg[ki]
+	}
+	*overall = total / 3
+}
+
+// String renders Table 8.
+func (r *Table8Result) String() string {
+	return renderFTable("Table 8: F-measure of Naive Bayes with word features", &r.F, &r.LangAvg, &r.KindAvg, r.Overall)
+}
+
+func renderFTable(title string, f *[langid.NumLanguages][3]float64, langAvg *[langid.NumLanguages]float64, kindAvg *[3]float64, overall float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-10s %6s %6s %6s %8s\n", "language", "ODP", "SER", "WC", "average")
+	for li := 0; li < langid.NumLanguages; li++ {
+		fmt.Fprintf(&b, "%-10s %6.2f %6.2f %6.2f %8.2f\n",
+			langid.Language(li), f[li][0], f[li][1], f[li][2], langAvg[li])
+	}
+	fmt.Fprintf(&b, "%-10s %6.2f %6.2f %6.2f %8.2f\n", "average", kindAvg[0], kindAvg[1], kindAvg[2], overall)
+	return b.String()
+}
+
+// ComboSpec is one per-language classifier pair of §5.6.
+type ComboSpec struct {
+	Main   core.Config
+	Helper core.Config
+	Mode   combine.Mode
+}
+
+// BestCombos are the paper's best per-language combinations (§5.6):
+// (1) English and German: ME + RE, both on word features, recall
+// improvement; (2) French: RE on trigrams with NB on words, recall;
+// (3) Spanish: ME on trigrams with NB on words, precision improvement;
+// (4) Italian: RE on trigrams and RE on words, recall improvement.
+// As the paper notes, every combination includes one word-feature
+// algorithm, and every recall-boosting pair includes Relative Entropy —
+// the highest-precision learner — so recall can rise without precision
+// collapsing.
+var BestCombos = [langid.NumLanguages]ComboSpec{
+	langid.English: {
+		Main:   core.Config{Algo: core.MaxEntropy, Features: features.Words},
+		Helper: core.Config{Algo: core.RelEntropy, Features: features.Words},
+		Mode:   combine.RecallImprovement,
+	},
+	langid.German: {
+		Main:   core.Config{Algo: core.MaxEntropy, Features: features.Words},
+		Helper: core.Config{Algo: core.RelEntropy, Features: features.Words},
+		Mode:   combine.RecallImprovement,
+	},
+	langid.French: {
+		Main:   core.Config{Algo: core.RelEntropy, Features: features.Trigrams},
+		Helper: core.Config{Algo: core.NaiveBayes, Features: features.Words},
+		Mode:   combine.RecallImprovement,
+	},
+	langid.Spanish: {
+		Main:   core.Config{Algo: core.MaxEntropy, Features: features.Trigrams},
+		Helper: core.Config{Algo: core.NaiveBayes, Features: features.Words},
+		Mode:   combine.PrecisionImprovement,
+	},
+	langid.Italian: {
+		Main:   core.Config{Algo: core.RelEntropy, Features: features.Trigrams},
+		Helper: core.Config{Algo: core.RelEntropy, Features: features.Words},
+		Mode:   combine.RecallImprovement,
+	},
+}
+
+// ComboDecider builds the five-way decider that applies each language's
+// best combination (the same combination is used on all three test sets,
+// as in the paper).
+func (e *Env) ComboDecider() (Decider, error) {
+	type pair struct{ main, helper *core.System }
+	var pairs [langid.NumLanguages]pair
+	for li := 0; li < langid.NumLanguages; li++ {
+		spec := BestCombos[li]
+		main, err := e.System(spec.Main)
+		if err != nil {
+			return nil, err
+		}
+		helper, err := e.System(spec.Helper)
+		if err != nil {
+			return nil, err
+		}
+		pairs[li] = pair{main, helper}
+	}
+	return func(p urlx.Parts) [langid.NumLanguages]bool {
+		var out [langid.NumLanguages]bool
+		for li := 0; li < langid.NumLanguages; li++ {
+			l := langid.Language(li)
+			mainYes := pairs[li].main.Positive(p, l)
+			helperYes := pairs[li].helper.Positive(p, l)
+			out[li] = combine.BoolCombined(BestCombos[li].Mode, mainYes, helperYes)
+		}
+		return out
+	}, nil
+}
+
+// Table9Result holds the F-measures of the best per-language classifier
+// combinations (paper Table 9).
+type Table9Result struct {
+	F       [langid.NumLanguages][3]float64
+	LangAvg [langid.NumLanguages]float64
+	KindAvg [3]float64
+	Overall float64
+}
+
+// Table9 regenerates the combined-classifier table.
+func (e *Env) Table9() (*Table9Result, error) {
+	decide, err := e.ComboDecider()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table9Result{}
+	for ki, kind := range Kinds {
+		ev := Evaluate(decide, e.Dataset(kind).Test)
+		for li := 0; li < langid.NumLanguages; li++ {
+			res.F[li][ki] = ev.Result(langid.Language(li)).F
+		}
+	}
+	fillAverages(&res.F, &res.LangAvg, &res.KindAvg, &res.Overall)
+	return res, nil
+}
+
+// String renders Table 9.
+func (r *Table9Result) String() string {
+	return renderFTable("Table 9: F-measure of the best per-language classifier combinations", &r.F, &r.LangAvg, &r.KindAvg, r.Overall)
+}
+
+// Table10Result compares URL-only training against URL+content training
+// on the ODP set (paper Table 10). Content training *decreases* the
+// F-measure for every classifier, independent of language and algorithm:
+// strong URL signals like the token "it" (99% Italian in URLs) are
+// diluted once page text — where "it" is a frequent English word — enters
+// the training stream.
+type Table10Result struct {
+	// F[algo][lang][0] = URL-only, F[algo][lang][1] = content.
+	// algo 0 = NB, 1 = ME.
+	F [2][langid.NumLanguages][2]float64
+}
+
+// Table10 regenerates the training-on-content comparison. Both trainings
+// use identical ODP training URLs (the content variant attaches page
+// text); evaluation is on the ODP test set only, as in §7. The ME content
+// classifier runs only 2 IIS iterations, matching the paper's
+// compute-bound setting.
+func (e *Env) Table10() (*Table10Result, error) {
+	// A dedicated content-carrying ODP corpus, generated in the shared
+	// universe: URLs identical to the plain ODP corpus.
+	scale := float64(e.Scale)
+	cfg := datagen.Config{
+		Kind:         datagen.ODP,
+		Seed:         e.Seed,
+		TrainPerLang: scaled(datagen.DefaultTrainPerLang[datagen.ODP], scale),
+		TestPerLang:  max(scaled(datagen.DefaultTestPerLang[datagen.ODP], scale), 200),
+		WithContent:  true,
+	}
+	ds := datagen.Generate(cfg)
+
+	res := &Table10Result{}
+	algos := []core.Algo{core.NaiveBayes, core.MaxEntropy}
+	for ai, algo := range algos {
+		for variant := 0; variant < 2; variant++ {
+			c := core.Config{Algo: algo, Features: features.Words, Seed: e.Seed}
+			if variant == 1 {
+				c.WithContent = true
+				if algo == core.MaxEntropy {
+					c.MEIterations = 2 // §7: only two IIS iterations on content
+				}
+			}
+			sys, err := core.Train(c, ds.Train)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table 10 %s variant %d: %w", algo, variant, err)
+			}
+			ev := EvaluateSystem(sys, ds.Test)
+			for li := 0; li < langid.NumLanguages; li++ {
+				res.F[ai][li][variant] = ev.Result(langid.Language(li)).F
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders Table 10 in the paper's layout (U = URL-only,
+// Co = content).
+func (r *Table10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 10: URL-based (U) vs content-based (Co) training, ODP test set, word features\n")
+	fmt.Fprintf(&b, "%-5s", "alg")
+	for li := 0; li < langid.NumLanguages; li++ {
+		fmt.Fprintf(&b, " | %-11s", langid.Language(li))
+	}
+	b.WriteString("\n     ")
+	for li := 0; li < langid.NumLanguages; li++ {
+		fmt.Fprintf(&b, " |    U    Co")
+		_ = li
+	}
+	b.WriteByte('\n')
+	names := []string{"NB", "ME"}
+	for ai, name := range names {
+		fmt.Fprintf(&b, "%-5s", name)
+		for li := 0; li < langid.NumLanguages; li++ {
+			fmt.Fprintf(&b, " | %.2f  %.2f", r.F[ai][li][0], r.F[ai][li][1])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

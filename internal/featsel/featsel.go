@@ -1,0 +1,152 @@
+// Package featsel implements the greedy stepwise forward feature
+// selection of §3.1: starting from the empty set, repeatedly add the
+// single feature that most improves the validation F-measure of a
+// decision tree trained on the selected set. The paper ran this over the
+// 74 custom features and reports that 15 survive: the binary
+// ccTLD-before-the-first-slash indicator, the OpenOffice dictionary count
+// and the trained-dictionary count, one of each per language — and that
+// the all-74 vs best-15 difference is at most .03 F.
+package featsel
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"urllangid/internal/dtree"
+	"urllangid/internal/evalx"
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+// Options tunes the selection loop.
+type Options struct {
+	// MaxFeatures stops selection after this many features (default 15,
+	// the paper's subset size).
+	MaxFeatures int
+	// MinGain stops selection when the best candidate improves the
+	// validation F by less than this (default 0.0005).
+	MinGain float64
+	// ValidationFraction is the share of the dataset held out for
+	// scoring candidates (default 0.3).
+	ValidationFraction float64
+	// Seed drives the train/validation split.
+	Seed uint64
+	// Trainer scores candidate subsets; nil selects a depth-8 decision
+	// tree, matching the paper's use of the tree for selection.
+	Trainer mlkit.Trainer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFeatures <= 0 {
+		o.MaxFeatures = 15
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 0.0005
+	}
+	if o.ValidationFraction <= 0 || o.ValidationFraction >= 1 {
+		o.ValidationFraction = 0.3
+	}
+	if o.Trainer == nil {
+		o.Trainer = dtree.Trainer{MaxDepth: 8}
+	}
+	return o
+}
+
+// Step records one round of the greedy loop.
+type Step struct {
+	Feature int
+	F       float64
+}
+
+// Result is the outcome of a selection run.
+type Result struct {
+	// Selected lists the chosen feature indices in selection order.
+	Selected []int
+	// Steps records the validation F after each addition.
+	Steps []Step
+}
+
+// SortedSelected returns the chosen indices in increasing order.
+func (r *Result) SortedSelected() []int {
+	out := append([]int(nil), r.Selected...)
+	sort.Ints(out)
+	return out
+}
+
+// Run performs greedy forward selection on a binary dataset.
+func Run(ds *mlkit.Dataset, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if ds.Len() == 0 {
+		return nil, mlkit.ErrEmptyDataset
+	}
+
+	rng := rand.New(rand.NewPCG(opts.Seed, 0xfea75e1))
+	trainIdx, valIdx := mlkit.Split(ds.Len(), opts.ValidationFraction, rng)
+	if len(trainIdx) == 0 || len(valIdx) == 0 {
+		return nil, fmt.Errorf("featsel: dataset too small for a %.0f%% validation split",
+			opts.ValidationFraction*100)
+	}
+
+	res := &Result{}
+	selected := make(map[int]bool)
+	bestF := 0.0
+	for len(res.Selected) < opts.MaxFeatures && len(selected) < ds.Dim {
+		bestFeature, bestCandF := -1, bestF
+		for f := 0; f < ds.Dim; f++ {
+			if selected[f] {
+				continue
+			}
+			candidate := append(append([]int(nil), res.Selected...), f)
+			fMeasure, err := scoreSubset(ds, trainIdx, valIdx, candidate, opts.Trainer)
+			if err != nil {
+				return nil, err
+			}
+			if fMeasure > bestCandF {
+				bestCandF = fMeasure
+				bestFeature = f
+			}
+		}
+		if bestFeature < 0 || bestCandF-bestF < opts.MinGain {
+			break
+		}
+		selected[bestFeature] = true
+		res.Selected = append(res.Selected, bestFeature)
+		res.Steps = append(res.Steps, Step{Feature: bestFeature, F: bestCandF})
+		bestF = bestCandF
+	}
+	return res, nil
+}
+
+// scoreSubset trains on the restricted feature set and returns the
+// validation F-measure.
+func scoreSubset(ds *mlkit.Dataset, trainIdx, valIdx, feats []int, trainer mlkit.Trainer) (float64, error) {
+	remap := make(map[uint32]uint32, len(feats))
+	for dense, f := range feats {
+		remap[uint32(f)] = uint32(dense)
+	}
+	restrict := func(x vecspace.Sparse) vecspace.Sparse {
+		b := vecspace.NewBuilder(len(feats))
+		for k, i := range x.Idx {
+			if dense, ok := remap[i]; ok {
+				b.Add(dense, x.Val[k])
+			}
+		}
+		return b.Sparse()
+	}
+
+	sub := &mlkit.Dataset{Dim: len(feats)}
+	for _, i := range trainIdx {
+		sub.Add(restrict(ds.X[i]), ds.Y[i])
+	}
+	model, err := trainer.Train(sub)
+	if err != nil {
+		return 0, fmt.Errorf("featsel: scoring subset: %w", err)
+	}
+
+	var counts evalx.Counts
+	for _, i := range valIdx {
+		counts.Observe(ds.Y[i], model.Predict(restrict(ds.X[i])))
+	}
+	return counts.F(), nil
+}

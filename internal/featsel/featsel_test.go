@@ -1,0 +1,139 @@
+package featsel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+// syntheticDataset builds a dataset where features 0 and 1 jointly
+// determine the label and features 2..9 are noise.
+func syntheticDataset(n int, seed uint64) *mlkit.Dataset {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	ds := &mlkit.Dataset{Dim: 10}
+	for i := 0; i < n; i++ {
+		b := vecspace.NewBuilder(10)
+		f0 := float32(rng.IntN(4))
+		f1 := float32(rng.IntN(4))
+		b.Add(0, f0)
+		b.Add(1, f1)
+		for f := 2; f < 10; f++ {
+			b.Add(uint32(f), float32(rng.IntN(4)))
+		}
+		ds.Add(b.Sparse(), f0+f1 >= 4)
+	}
+	return ds
+}
+
+func TestSelectsInformativeFeatures(t *testing.T) {
+	ds := syntheticDataset(2000, 1)
+	res, err := Run(ds, Options{MaxFeatures: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 {
+		t.Fatal("nothing selected")
+	}
+	found := map[int]bool{}
+	for _, f := range res.Selected {
+		found[f] = true
+	}
+	if !found[0] || !found[1] {
+		t.Errorf("informative features not selected: %v", res.Selected)
+	}
+}
+
+func TestStepsMonotone(t *testing.T) {
+	ds := syntheticDataset(1500, 2)
+	res, err := Run(ds, Options{MaxFeatures: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i].F < res.Steps[i-1].F {
+			t.Errorf("step %d decreased F: %v -> %v", i, res.Steps[i-1].F, res.Steps[i].F)
+		}
+	}
+}
+
+func TestMaxFeaturesRespected(t *testing.T) {
+	ds := syntheticDataset(1000, 3)
+	res, err := Run(ds, Options{MaxFeatures: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) > 2 {
+		t.Errorf("selected %d features, cap was 2", len(res.Selected))
+	}
+}
+
+func TestStopsOnNoGain(t *testing.T) {
+	// Pure-noise dataset: selection should stop early rather than pick
+	// all features.
+	rng := rand.New(rand.NewPCG(4, 4))
+	ds := &mlkit.Dataset{Dim: 8}
+	for i := 0; i < 800; i++ {
+		b := vecspace.NewBuilder(8)
+		for f := 0; f < 8; f++ {
+			b.Add(uint32(f), float32(rng.IntN(3)))
+		}
+		ds.Add(b.Sparse(), rng.Float64() < 0.5)
+	}
+	res, err := Run(ds, Options{MaxFeatures: 8, MinGain: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) > 3 {
+		t.Errorf("noise dataset selected %d features", len(res.Selected))
+	}
+}
+
+func TestSortedSelected(t *testing.T) {
+	res := &Result{Selected: []int{5, 1, 3}}
+	got := res.SortedSelected()
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("SortedSelected = %v", got)
+	}
+	// Original order preserved.
+	if res.Selected[0] != 5 {
+		t.Error("SortedSelected mutated Selected")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := Run(&mlkit.Dataset{}, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestTinyDatasetSplitError(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 1}
+	b := vecspace.NewBuilder(1)
+	b.Add(0, 1)
+	ds.Add(b.Sparse(), true)
+	if _, err := Run(ds, Options{ValidationFraction: 0.0001}); err == nil {
+		t.Error("degenerate split accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds := syntheticDataset(1200, 5)
+	a, err := Run(ds, Options{MaxFeatures: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, Options{MaxFeatures: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != len(b.Selected) {
+		t.Fatal("different selection sizes")
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatal("selection differs across runs with same seed")
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package features
+
+import (
+	"urllangid/internal/dict"
+	"urllangid/internal/langid"
+	"urllangid/internal/textstat"
+	"urllangid/internal/urlx"
+	"urllangid/internal/vecspace"
+)
+
+// NumCustomFeatures is the total number of custom-made features (§3.1:
+// "In total, including small variants where dictionaries were merged and
+// where counters were maintained separately before the first '/' of a URL
+// and after, we obtained 74 features for each URL.").
+const NumCustomFeatures = 74
+
+// NumSelectedFeatures is the size of the subset identified by greedy
+// stepwise forward selection: the binary ccTLD-before-the-first-slash
+// feature, the OpenOffice dictionary count and the trained-dictionary
+// count, one of each per language.
+const NumSelectedFeatures = 15
+
+// Custom feature indices. The layout is fixed so decision trees remain
+// interpretable and models can be persisted.
+const (
+	// fCcBeforeSlash+l: binary, 1 if one of language l's country codes
+	// appears as a host label before the first '/'. This is the
+	// generalised TLD variant of §3.1: http://de.wikipedia.org counts as
+	// a German TLD hit. Part of the selected 15.
+	fCcBeforeSlash = 0
+	// fCcStrictTLD+l: binary, 1 if the URL's actual top-level domain is
+	// one of language l's country codes (the simple variant).
+	fCcStrictTLD = 5
+	// fIsCom/fIsOrg/fIsNet: binary indicators for the generic TLDs
+	// tracked separately by the paper.
+	fIsCom = 10
+	fIsOrg = 11
+	fIsNet = 12
+	// fOODict+l: number of tokens present in language l's OpenOffice
+	// dictionary (whole URL). Part of the selected 15.
+	fOODict = 13
+	// fOODictPre/fOODictPost+l: same counter restricted to tokens before
+	// / after the first '/'.
+	fOODictPre  = 18
+	fOODictPost = 23
+	// fCity+l (+ pre/post): number of tokens in language l's city list.
+	fCity     = 28
+	fCityPre  = 33
+	fCityPost = 38
+	// fTrained+l (+ pre/post): number of tokens in language l's trained
+	// dictionary. Part of the selected 15.
+	fTrained     = 43
+	fTrainedPre  = 48
+	fTrainedPost = 53
+	// fMerged+l: number of tokens in the merged (lexicon ∪ cities)
+	// dictionary of language l.
+	fMerged = 58
+	// Scalar URL-shape counters.
+	fHyphens       = 63 // hyphens occur ~5x more often in German than English URLs
+	fTokenCount    = 64
+	fPreTokenCount = 65
+	fPostTokens    = 66
+	fDigitRuns     = 67
+	fURLLength     = 68 // in units of 10 characters, to keep magnitudes comparable
+	// fCcAnywhere+l: binary, 1 if one of language l's country codes
+	// occurs as a token anywhere in the URL (the fully generalised
+	// country-code feature).
+	fCcAnywhere = 69
+)
+
+// customFeatureNames maps indices to human-readable names, used by the
+// decision-tree printer (Figure 1) and by feature selection reports.
+var customFeatureNames = buildCustomFeatureNames()
+
+func buildCustomFeatureNames() [NumCustomFeatures]string {
+	var names [NumCustomFeatures]string
+	for i := 0; i < langid.NumLanguages; i++ {
+		l := langid.Language(i)
+		names[fCcBeforeSlash+i] = l.String() + " TLD"
+		names[fCcStrictTLD+i] = l.String() + " strict TLD"
+		names[fOODict+i] = l.String() + " dict. count"
+		names[fOODictPre+i] = l.String() + " dict. count (host)"
+		names[fOODictPost+i] = l.String() + " dict. count (path)"
+		names[fCity+i] = l.String() + " city count"
+		names[fCityPre+i] = l.String() + " city count (host)"
+		names[fCityPost+i] = l.String() + " city count (path)"
+		names[fTrained+i] = l.String() + " trained dict. count"
+		names[fTrainedPre+i] = l.String() + " trained dict. count (host)"
+		names[fTrainedPost+i] = l.String() + " trained dict. count (path)"
+		names[fMerged+i] = l.String() + " merged dict. count"
+		names[fCcAnywhere+i] = l.String() + " cc anywhere"
+	}
+	names[fIsCom] = "is .com"
+	names[fIsOrg] = "is .org"
+	names[fIsNet] = "is .net"
+	names[fHyphens] = "hyphen count"
+	names[fTokenCount] = "token count"
+	names[fPreTokenCount] = "host token count"
+	names[fPostTokens] = "path token count"
+	names[fDigitRuns] = "digit run count"
+	names[fURLLength] = "URL length/10"
+	return names
+}
+
+// CustomFeatureName returns the human-readable name of custom feature i
+// in the full 74-feature layout.
+func CustomFeatureName(i int) string {
+	if i < 0 || i >= NumCustomFeatures {
+		return "?"
+	}
+	return customFeatureNames[i]
+}
+
+// SelectedFeatureIndices returns the indices (into the 74-feature layout)
+// of the 15 features chosen by forward selection in §3.1.
+func SelectedFeatureIndices() []int {
+	idx := make([]int, 0, NumSelectedFeatures)
+	for i := 0; i < langid.NumLanguages; i++ {
+		idx = append(idx, fCcBeforeSlash+i)
+	}
+	for i := 0; i < langid.NumLanguages; i++ {
+		idx = append(idx, fOODict+i)
+	}
+	for i := 0; i < langid.NumLanguages; i++ {
+		idx = append(idx, fTrained+i)
+	}
+	return idx
+}
+
+// CustomExtractor computes the fixed custom-made feature vector. With
+// selected=true only the 15 forward-selected features are emitted (their
+// indices are remapped densely to 0..14); otherwise all 74 are.
+type CustomExtractor struct {
+	selected bool
+	remap    []int // full index -> dense index, or -1
+	dim      int
+	trained  *textstat.TrainedDict
+	names    []string
+}
+
+// NewCustomExtractor returns an unfitted custom-feature extractor.
+func NewCustomExtractor(selected bool) *CustomExtractor {
+	e := &CustomExtractor{selected: selected}
+	e.remap = make([]int, NumCustomFeatures)
+	if selected {
+		for i := range e.remap {
+			e.remap[i] = -1
+		}
+		for dense, full := range SelectedFeatureIndices() {
+			e.remap[full] = dense
+		}
+		e.dim = NumSelectedFeatures
+	} else {
+		for i := range e.remap {
+			e.remap[i] = i
+		}
+		e.dim = NumCustomFeatures
+	}
+	e.names = make([]string, 0, e.dim)
+	for full := 0; full < NumCustomFeatures; full++ {
+		if e.remap[full] >= 0 {
+			e.names = append(e.names, customFeatureNames[full])
+		}
+	}
+	return e
+}
+
+// Kind implements Extractor.
+func (e *CustomExtractor) Kind() Kind {
+	if e.selected {
+		return CustomSelected
+	}
+	return Custom
+}
+
+// Dim implements Extractor.
+func (e *CustomExtractor) Dim() int { return e.dim }
+
+// FeatureName returns the name of dense feature index i.
+func (e *CustomExtractor) FeatureName(i int) string {
+	if i < 0 || i >= len(e.names) {
+		return "?"
+	}
+	return e.names[i]
+}
+
+// TrainedDict exposes the fitted trained dictionary (nil before Fit).
+func (e *CustomExtractor) TrainedDict() *textstat.TrainedDict { return e.trained }
+
+// Fit implements Extractor: it builds the trained dictionary from the
+// training URLs. Content, when requested (§7), contributes additional
+// token occurrences to the trained dictionary, diluting URL-only signals
+// exactly as the paper describes.
+func (e *CustomExtractor) Fit(samples []langid.Sample, withContent bool) {
+	if !withContent {
+		e.trained = textstat.Build(samples, textstat.Options{})
+		return
+	}
+	// Re-tokenise content into pseudo-URL samples so content terms count
+	// toward the dictionary statistics.
+	augmented := make([]langid.Sample, 0, len(samples))
+	for _, s := range samples {
+		augmented = append(augmented, langid.Sample{URL: s.URL, Lang: s.Lang})
+		if s.Content != "" {
+			augmented = append(augmented, langid.Sample{URL: "content://" + s.Content, Lang: s.Lang})
+		}
+	}
+	e.trained = textstat.Build(augmented, textstat.Options{})
+}
+
+// ExtractSample implements Extractor. Custom features are defined on the
+// URL alone; content only influenced the fitted dictionaries.
+func (e *CustomExtractor) ExtractSample(s langid.Sample) vecspace.Sparse {
+	return e.ExtractURL(urlx.Parse(s.URL))
+}
+
+// ExtractURL implements Extractor.
+func (e *CustomExtractor) ExtractURL(p urlx.Parts) vecspace.Sparse {
+	b := vecspace.NewBuilder(e.dim)
+	set := func(full int, v float32) {
+		if dense := e.remap[full]; dense >= 0 && v != 0 {
+			b.Set(uint32(dense), v)
+		}
+	}
+
+	// Country-code features.
+	for i := 0; i < langid.NumLanguages; i++ {
+		l := langid.Language(i)
+		ccs := dict.CcTLDs(l)
+		if labelInSet(p.HostLabels, ccs) {
+			set(fCcBeforeSlash+i, 1)
+		}
+		if inSet(p.TLD, ccs) {
+			set(fCcStrictTLD+i, 1)
+		}
+		if tokenInSet(p.Tokens, ccs) {
+			set(fCcAnywhere+i, 1)
+		}
+	}
+	switch p.TLD {
+	case "com":
+		set(fIsCom, 1)
+	case "org":
+		set(fIsOrg, 1)
+	case "net":
+		set(fIsNet, 1)
+	}
+
+	// Dictionary counters.
+	for i := 0; i < langid.NumLanguages; i++ {
+		l := langid.Language(i)
+		set(fOODict+i, countIn(p.Tokens, func(t string) bool { return dict.InLexicon(l, t) }))
+		set(fOODictPre+i, countIn(p.PreTokens, func(t string) bool { return dict.InLexicon(l, t) }))
+		set(fOODictPost+i, countIn(p.PostTokens, func(t string) bool { return dict.InLexicon(l, t) }))
+		set(fCity+i, countIn(p.Tokens, func(t string) bool { return dict.InCities(l, t) }))
+		set(fCityPre+i, countIn(p.PreTokens, func(t string) bool { return dict.InCities(l, t) }))
+		set(fCityPost+i, countIn(p.PostTokens, func(t string) bool { return dict.InCities(l, t) }))
+		set(fMerged+i, countIn(p.Tokens, func(t string) bool { return dict.InMerged(l, t) }))
+		if e.trained != nil {
+			set(fTrained+i, float32(e.trained.Count(l, p.Tokens)))
+			set(fTrainedPre+i, float32(e.trained.Count(l, p.PreTokens)))
+			set(fTrainedPost+i, float32(e.trained.Count(l, p.PostTokens)))
+		}
+	}
+
+	// URL-shape counters.
+	set(fHyphens, float32(p.HyphenCount))
+	set(fTokenCount, float32(len(p.Tokens)))
+	set(fPreTokenCount, float32(len(p.PreTokens)))
+	set(fPostTokens, float32(len(p.PostTokens)))
+	set(fDigitRuns, float32(p.DigitRunCount))
+	set(fURLLength, float32(len(p.Raw))/10)
+
+	return b.Sparse()
+}
+
+func countIn(tokens []string, pred func(string) bool) float32 {
+	var n float32
+	for _, t := range tokens {
+		if pred(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func inSet(s string, set []string) bool {
+	for _, x := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// labelInSet reports whether any host label matches (the generalised
+// "before the first slash" country-code test).
+func labelInSet(labels []string, set []string) bool {
+	for _, lab := range labels {
+		if inSet(lab, set) {
+			return true
+		}
+	}
+	return false
+}
+
+// tokenInSet reports whether any URL token matches. Because tokens
+// shorter than two letters are dropped by the tokeniser, two-letter codes
+// like "de" or "fr" survive and can be detected anywhere in the URL.
+func tokenInSet(tokens []string, set []string) bool {
+	for _, tok := range tokens {
+		if inSet(tok, set) {
+			return true
+		}
+	}
+	return false
+}

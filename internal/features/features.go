@@ -1,0 +1,235 @@
+// Package features implements the three feature families of §3.1:
+//
+//   - Words: URL tokens, with a vocabulary interned during fitting;
+//   - Trigrams: padded within-token character trigrams;
+//   - Custom: a fixed vector of 74 hand-designed features (TLD indicators,
+//     dictionary counters, trained-dictionary counters, hyphen counts, ...)
+//     plus the 15-feature subset that greedy forward selection identifies.
+//
+// All extractors share the same two-phase protocol: Fit consumes the
+// labeled training set (building vocabularies and the trained dictionary),
+// then Extract maps any URL to a sparse vector. Test-time extraction never
+// allocates new vocabulary entries, so out-of-vocabulary tokens are
+// silently dropped — the standard behaviour all the paper's classifiers
+// rely on.
+package features
+
+import (
+	"fmt"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/ngram"
+	"urllangid/internal/urlx"
+	"urllangid/internal/vecspace"
+)
+
+// Kind enumerates the three feature families.
+type Kind uint8
+
+const (
+	// Words uses URL tokens as features (§3.1 "Words as features").
+	Words Kind = iota
+	// Trigrams uses padded within-token character trigrams.
+	Trigrams
+	// Custom uses the fixed 74-feature hand-designed vector.
+	Custom
+	// CustomSelected uses the 15-feature subset found by greedy forward
+	// selection (ccTLD-before-slash, OpenOffice dictionary counts and
+	// trained dictionary counts, one per language).
+	CustomSelected
+)
+
+// String returns the feature family name as used in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Words:
+		return "word"
+	case Trigrams:
+		return "trigram"
+	case Custom:
+		return "custom-74"
+	case CustomSelected:
+		return "custom"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Extractor is the shared protocol of all feature families.
+type Extractor interface {
+	// Kind identifies the feature family.
+	Kind() Kind
+	// Fit builds vocabularies / dictionaries from the training set.
+	// withContent additionally feeds each sample's page content into the
+	// training-side token stream (the §7 experiment); test-time
+	// extraction remains URL-only regardless.
+	Fit(samples []langid.Sample, withContent bool)
+	// ExtractURL maps a parsed URL to a feature vector. It must only be
+	// called after Fit.
+	ExtractURL(p urlx.Parts) vecspace.Sparse
+	// ExtractSample maps a training sample to a feature vector,
+	// including content tokens when the extractor was fitted with
+	// content.
+	ExtractSample(s langid.Sample) vecspace.Sparse
+	// Dim returns the current feature-space dimensionality.
+	Dim() int
+}
+
+// New constructs an unfitted extractor of the given kind.
+func New(kind Kind) Extractor {
+	switch kind {
+	case Words:
+		return &WordExtractor{}
+	case Trigrams:
+		return &TrigramExtractor{}
+	case Custom:
+		return NewCustomExtractor(false)
+	case CustomSelected:
+		return NewCustomExtractor(true)
+	default:
+		panic(fmt.Sprintf("features: unknown kind %d", kind))
+	}
+}
+
+// WordExtractor implements the "words as features" family. Algorithms
+// using it keep counters for how often a token is seen in the URLs of a
+// given language, learning that "cnn" or "gov" indicate English while
+// "produits" or "recherche" indicate French.
+type WordExtractor struct {
+	vocab       *vecspace.Vocab
+	withContent bool
+}
+
+// Kind implements Extractor.
+func (e *WordExtractor) Kind() Kind { return Words }
+
+// Dim implements Extractor.
+func (e *WordExtractor) Dim() int {
+	if e.vocab == nil {
+		return 0
+	}
+	return e.vocab.Len()
+}
+
+// Vocab exposes the interned token vocabulary (nil before Fit).
+func (e *WordExtractor) Vocab() *vecspace.Vocab { return e.vocab }
+
+// Fit implements Extractor.
+func (e *WordExtractor) Fit(samples []langid.Sample, withContent bool) {
+	e.vocab = vecspace.NewVocab()
+	e.withContent = withContent
+	for _, s := range samples {
+		p := urlx.Parse(s.URL)
+		for _, tok := range p.Tokens {
+			e.vocab.Intern(tok)
+		}
+		if withContent && s.Content != "" {
+			for _, tok := range urlx.Tokenize(s.Content) {
+				e.vocab.Intern(tok)
+			}
+		}
+	}
+	e.vocab.Freeze()
+}
+
+// ExtractURL implements Extractor.
+func (e *WordExtractor) ExtractURL(p urlx.Parts) vecspace.Sparse {
+	return e.fromTokens(p.Tokens, nil)
+}
+
+// ExtractSample implements Extractor.
+func (e *WordExtractor) ExtractSample(s langid.Sample) vecspace.Sparse {
+	p := urlx.Parse(s.URL)
+	var content []string
+	if e.withContent && s.Content != "" {
+		content = urlx.Tokenize(s.Content)
+	}
+	return e.fromTokens(p.Tokens, content)
+}
+
+func (e *WordExtractor) fromTokens(tokens, extra []string) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(tokens) + len(extra))
+	for _, tok := range tokens {
+		if i, ok := e.vocab.Lookup(tok); ok {
+			b.Add(i, 1)
+		}
+	}
+	for _, tok := range extra {
+		if i, ok := e.vocab.Lookup(tok); ok {
+			b.Add(i, 1)
+		}
+	}
+	return b.Sparse()
+}
+
+// TrigramExtractor implements the trigram feature family: URLs are first
+// split into tokens, then padded trigrams are derived within each token.
+// Trigrams can partly "understand" a language — learning that " th" and
+// "ing" are common English — and generalise to unseen tokens, which is why
+// they win in the low-training-data regime (Figure 2).
+type TrigramExtractor struct {
+	vocab       *vecspace.Vocab
+	withContent bool
+	scratch     []string
+}
+
+// Kind implements Extractor.
+func (e *TrigramExtractor) Kind() Kind { return Trigrams }
+
+// Dim implements Extractor.
+func (e *TrigramExtractor) Dim() int {
+	if e.vocab == nil {
+		return 0
+	}
+	return e.vocab.Len()
+}
+
+// Vocab exposes the interned trigram vocabulary (nil before Fit).
+func (e *TrigramExtractor) Vocab() *vecspace.Vocab { return e.vocab }
+
+// Fit implements Extractor.
+func (e *TrigramExtractor) Fit(samples []langid.Sample, withContent bool) {
+	e.vocab = vecspace.NewVocab()
+	e.withContent = withContent
+	for _, s := range samples {
+		p := urlx.Parse(s.URL)
+		e.scratch = ngram.AppendTrigrams(e.scratch[:0], p.Tokens)
+		for _, g := range e.scratch {
+			e.vocab.Intern(g)
+		}
+		if withContent && s.Content != "" {
+			e.scratch = ngram.AppendTrigrams(e.scratch[:0], urlx.Tokenize(s.Content))
+			for _, g := range e.scratch {
+				e.vocab.Intern(g)
+			}
+		}
+	}
+	e.vocab.Freeze()
+}
+
+// ExtractURL implements Extractor.
+func (e *TrigramExtractor) ExtractURL(p urlx.Parts) vecspace.Sparse {
+	return e.fromTokens(p.Tokens, nil)
+}
+
+// ExtractSample implements Extractor.
+func (e *TrigramExtractor) ExtractSample(s langid.Sample) vecspace.Sparse {
+	p := urlx.Parse(s.URL)
+	var content []string
+	if e.withContent && s.Content != "" {
+		content = urlx.Tokenize(s.Content)
+	}
+	return e.fromTokens(p.Tokens, content)
+}
+
+func (e *TrigramExtractor) fromTokens(tokens, extra []string) vecspace.Sparse {
+	grams := ngram.AppendTrigrams(nil, tokens)
+	grams = ngram.AppendTrigrams(grams, extra)
+	b := vecspace.NewBuilder(len(grams))
+	for _, g := range grams {
+		if i, ok := e.vocab.Lookup(g); ok {
+			b.Add(i, 1)
+		}
+	}
+	return b.Sparse()
+}

@@ -1,0 +1,296 @@
+package features
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+var fitSamples = []langid.Sample{
+	{URL: "http://www.wetter.de/berlin/nachrichten", Lang: langid.German},
+	{URL: "http://www.meteo.fr/paris/recherche", Lang: langid.French},
+	{URL: "http://www.weather.com/london/news", Lang: langid.English},
+	{URL: "http://www.tiempo.es/madrid/noticias", Lang: langid.Spanish},
+	{URL: "http://www.meteo.it/roma/notizie", Lang: langid.Italian},
+}
+
+func TestNewKinds(t *testing.T) {
+	cases := map[Kind]string{
+		Words:          "word",
+		Trigrams:       "trigram",
+		Custom:         "custom-74",
+		CustomSelected: "custom",
+	}
+	for kind, name := range cases {
+		e := New(kind)
+		if e.Kind() != kind {
+			t.Errorf("New(%v).Kind() = %v", kind, e.Kind())
+		}
+		if kind.String() != name {
+			t.Errorf("%v.String() = %q, want %q", kind, kind.String(), name)
+		}
+	}
+}
+
+func TestWordExtractorCounts(t *testing.T) {
+	e := &WordExtractor{}
+	e.Fit(fitSamples, false)
+	x := e.ExtractURL(urlx.Parse("http://www.wetter.de/wetter/berlin"))
+	i, ok := e.Vocab().Lookup("wetter")
+	if !ok {
+		t.Fatal("wetter not interned")
+	}
+	if got := x.Get(i); got != 2 {
+		t.Errorf("wetter count = %v, want 2", got)
+	}
+}
+
+func TestWordExtractorDropsOOV(t *testing.T) {
+	e := &WordExtractor{}
+	e.Fit(fitSamples, false)
+	x := e.ExtractURL(urlx.Parse("http://qqzzyy.unseen/unknowntoken"))
+	if x.Len() != 0 {
+		t.Errorf("OOV tokens produced %d features", x.Len())
+	}
+	if e.Vocab().Frozen() != true {
+		t.Error("vocab not frozen after Fit")
+	}
+}
+
+func TestWordExtractorContentOnlyWhenFitted(t *testing.T) {
+	e := &WordExtractor{}
+	e.Fit(fitSamples, false) // fitted WITHOUT content
+	s := langid.Sample{URL: "http://www.wetter.de", Content: "nachrichten nachrichten"}
+	x := e.ExtractSample(s)
+	i, _ := e.Vocab().Lookup("nachrichten")
+	if x.Get(i) != 0 {
+		t.Error("content leaked into extraction without withContent")
+	}
+
+	e2 := &WordExtractor{}
+	e2.Fit(fitSamples, true)
+	x2 := e2.ExtractSample(s)
+	j, _ := e2.Vocab().Lookup("nachrichten")
+	if x2.Get(j) != 2 {
+		t.Errorf("content tokens not counted: %v", x2.Get(j))
+	}
+}
+
+func TestTrigramExtractor(t *testing.T) {
+	e := &TrigramExtractor{}
+	e.Fit(fitSamples, false)
+	x := e.ExtractURL(urlx.Parse("http://wetter.de"))
+	i, ok := e.Vocab().Lookup("wet")
+	if !ok {
+		t.Fatal("trigram wet not interned")
+	}
+	if x.Get(i) != 1 {
+		t.Errorf("trigram count = %v", x.Get(i))
+	}
+	// Padded boundary trigram.
+	if _, ok := e.Vocab().Lookup(" we"); !ok {
+		t.Error("padded trigram ' we' not interned")
+	}
+}
+
+func TestTrigramNoCrossTokenGrams(t *testing.T) {
+	e := &TrigramExtractor{}
+	e.Fit([]langid.Sample{{URL: "http://www.hi-fly.de", Lang: langid.German}}, false)
+	// §3.1: the trigram "hi-" must NOT be generated; trigrams stay
+	// within token boundaries. ("hi" is also too short to tokenise.)
+	if _, ok := e.Vocab().Lookup("hi-"); ok {
+		t.Error("cross-token trigram generated")
+	}
+	if _, ok := e.Vocab().Lookup("fly"); !ok {
+		t.Error("token trigram fly missing")
+	}
+}
+
+func TestCustomFeatureCountIs74(t *testing.T) {
+	if NumCustomFeatures != 74 {
+		t.Fatalf("NumCustomFeatures = %d, want 74 (§3.1)", NumCustomFeatures)
+	}
+	e := NewCustomExtractor(false)
+	if e.Dim() != 74 {
+		t.Errorf("full extractor Dim = %d", e.Dim())
+	}
+	names := make(map[string]bool)
+	for i := 0; i < 74; i++ {
+		n := CustomFeatureName(i)
+		if n == "" || n == "?" {
+			t.Errorf("feature %d unnamed", i)
+		}
+		if names[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		names[n] = true
+	}
+	if CustomFeatureName(74) != "?" || CustomFeatureName(-1) != "?" {
+		t.Error("out-of-range names should be ?")
+	}
+}
+
+func TestSelectedFeatureIndices(t *testing.T) {
+	idx := SelectedFeatureIndices()
+	if len(idx) != NumSelectedFeatures || NumSelectedFeatures != 15 {
+		t.Fatalf("selected = %d features, want 15", len(idx))
+	}
+	// §3.1: TLD cc before first '/' x5, OO dict counts x5, trained
+	// dict counts x5.
+	wantNames := map[string]bool{}
+	for _, l := range langid.Languages() {
+		wantNames[l.String()+" TLD"] = true
+		wantNames[l.String()+" dict. count"] = true
+		wantNames[l.String()+" trained dict. count"] = true
+	}
+	for _, i := range idx {
+		if !wantNames[CustomFeatureName(i)] {
+			t.Errorf("unexpected selected feature %q", CustomFeatureName(i))
+		}
+	}
+}
+
+func TestCustomExtractorTLDFeatures(t *testing.T) {
+	e := NewCustomExtractor(false)
+	e.Fit(fitSamples, false)
+
+	// Strict German TLD.
+	x := e.ExtractURL(urlx.Parse("http://www.beispiel.de/seite"))
+	if x.Get(uint32(fCcBeforeSlash+int(langid.German))) != 1 {
+		t.Error("German cc-before-slash not set for .de URL")
+	}
+	if x.Get(uint32(fCcStrictTLD+int(langid.German))) != 1 {
+		t.Error("German strict TLD not set")
+	}
+
+	// Generalised: de.wikipedia.org counts as German-before-slash
+	// (Figure 1's footnote) but NOT as strict TLD.
+	x = e.ExtractURL(urlx.Parse("http://de.wikipedia.org/wiki"))
+	if x.Get(uint32(fCcBeforeSlash+int(langid.German))) != 1 {
+		t.Error("de.wikipedia.org should trigger German cc-before-slash")
+	}
+	if x.Get(uint32(fCcStrictTLD+int(langid.German))) != 0 {
+		t.Error("de.wikipedia.org must not set strict German TLD")
+	}
+	if x.Get(uint32(fIsOrg)) != 1 {
+		t.Error(".org indicator missing")
+	}
+
+	// cc anywhere: path token "fr".
+	x = e.ExtractURL(urlx.Parse("http://example.com/fr/accueil"))
+	if x.Get(uint32(fCcAnywhere+int(langid.French))) != 1 {
+		t.Error("French cc-anywhere not set for /fr/ path")
+	}
+	if x.Get(uint32(fCcBeforeSlash+int(langid.French))) != 0 {
+		t.Error("path cc wrongly counted as before-slash")
+	}
+}
+
+func TestCustomExtractorDictionaryCounts(t *testing.T) {
+	e := NewCustomExtractor(false)
+	e.Fit(fitSamples, false)
+	x := e.ExtractURL(urlx.Parse("http://www.nachrichten.de/wetter/berlin"))
+	de := int(langid.German)
+	if got := x.Get(uint32(fOODict + de)); got != 2 {
+		t.Errorf("German OO dict count = %v, want 2 (nachrichten, wetter)", got)
+	}
+	if got := x.Get(uint32(fOODictPre + de)); got != 1 {
+		t.Errorf("German OO dict host count = %v, want 1", got)
+	}
+	if got := x.Get(uint32(fOODictPost + de)); got != 1 {
+		t.Errorf("German OO dict path count = %v, want 1", got)
+	}
+	if got := x.Get(uint32(fCity + de)); got != 1 {
+		t.Errorf("German city count = %v, want 1 (berlin)", got)
+	}
+	if got := x.Get(uint32(fMerged + de)); got != 3 {
+		t.Errorf("German merged count = %v, want 3", got)
+	}
+}
+
+func TestCustomExtractorShapeCounters(t *testing.T) {
+	e := NewCustomExtractor(false)
+	e.Fit(fitSamples, false)
+	raw := "http://www.hi-fly.de/a-b/c2d"
+	x := e.ExtractURL(urlx.Parse(raw))
+	if got := x.Get(uint32(fHyphens)); got != 2 {
+		t.Errorf("hyphen count = %v, want 2", got)
+	}
+	if got := x.Get(uint32(fURLLength)); got != float64(float32(len(raw))/10) {
+		t.Errorf("URL length feature = %v", got)
+	}
+}
+
+func TestCustomSelectedRemap(t *testing.T) {
+	e := NewCustomExtractor(true)
+	if e.Dim() != 15 {
+		t.Fatalf("selected Dim = %d", e.Dim())
+	}
+	e.Fit(fitSamples, false)
+	x := e.ExtractURL(urlx.Parse("http://www.wetter.de/seite"))
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() == 0 {
+		t.Fatal("selected features all zero for a clearly German URL")
+	}
+	for _, i := range x.Idx {
+		if int(i) >= 15 {
+			t.Errorf("selected feature index %d out of dense range", i)
+		}
+	}
+	// Dense name lookup works.
+	if e.FeatureName(0) == "?" || e.FeatureName(15) != "?" {
+		t.Error("FeatureName remap broken")
+	}
+}
+
+func TestCustomTrainedDictFeature(t *testing.T) {
+	// Build a corpus where "arcor" is clearly German, then check the
+	// trained-dict feature fires.
+	var samples []langid.Sample
+	for i := 0; i < 300; i++ {
+		samples = append(samples,
+			langid.Sample{URL: "http://home.arcor.de/user/seite", Lang: langid.German},
+			langid.Sample{URL: "http://example.com/page", Lang: langid.English},
+		)
+	}
+	e := NewCustomExtractor(false)
+	e.Fit(samples, false)
+	if !e.TrainedDict().Contains(langid.German, "arcor") {
+		t.Fatal("arcor not in trained German dictionary")
+	}
+	x := e.ExtractURL(urlx.Parse("http://www.arcor.com/whatever"))
+	if x.Get(uint32(fTrained+int(langid.German))) != 1 {
+		t.Error("trained dict feature not firing on arcor")
+	}
+}
+
+func TestGobRoundTrips(t *testing.T) {
+	for _, kind := range []Kind{Words, Trigrams, Custom, CustomSelected} {
+		orig := New(kind)
+		orig.Fit(fitSamples, false)
+		var buf bytes.Buffer
+		var iface Extractor = orig
+		gob.Register(orig)
+		if err := gob.NewEncoder(&buf).Encode(&iface); err != nil {
+			t.Fatalf("%v encode: %v", kind, err)
+		}
+		var back Extractor
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+			t.Fatalf("%v decode: %v", kind, err)
+		}
+		u := urlx.Parse("http://www.wetter.de/berlin/nachrichten")
+		a, b := orig.ExtractURL(u), back.ExtractURL(u)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v extraction differs after gob round trip", kind)
+		}
+		if back.Dim() != orig.Dim() {
+			t.Errorf("%v Dim differs after round trip", kind)
+		}
+	}
+}

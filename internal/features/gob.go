@@ -1,0 +1,102 @@
+package features
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/textstat"
+	"urllangid/internal/vecspace"
+)
+
+// Gob round-tripping for the three extractor families, so trained systems
+// can be persisted and reloaded (Save/Load in the core package). Only the
+// fitted state is serialised: vocabularies by name list and trained
+// dictionaries by token list.
+
+type wordGob struct {
+	Names       []string
+	WithContent bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (e *WordExtractor) GobEncode() ([]byte, error) {
+	var names []string
+	if e.vocab != nil {
+		names = e.vocab.Names()
+	}
+	return encode(wordGob{Names: names, WithContent: e.withContent})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *WordExtractor) GobDecode(data []byte) error {
+	var g wordGob
+	if err := decode(data, &g); err != nil {
+		return err
+	}
+	e.vocab = vecspace.NewVocabFromNames(g.Names)
+	e.withContent = g.WithContent
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (e *TrigramExtractor) GobEncode() ([]byte, error) {
+	var names []string
+	if e.vocab != nil {
+		names = e.vocab.Names()
+	}
+	return encode(wordGob{Names: names, WithContent: e.withContent})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *TrigramExtractor) GobDecode(data []byte) error {
+	var g wordGob
+	if err := decode(data, &g); err != nil {
+		return err
+	}
+	e.vocab = vecspace.NewVocabFromNames(g.Names)
+	e.withContent = g.WithContent
+	return nil
+}
+
+type customGob struct {
+	Selected bool
+	Tokens   [langid.NumLanguages][]string
+	HasDict  bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (e *CustomExtractor) GobEncode() ([]byte, error) {
+	g := customGob{Selected: e.selected, HasDict: e.trained != nil}
+	if e.trained != nil {
+		for i := 0; i < langid.NumLanguages; i++ {
+			g.Tokens[i] = e.trained.Tokens(langid.Language(i))
+		}
+	}
+	return encode(g)
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *CustomExtractor) GobDecode(data []byte) error {
+	var g customGob
+	if err := decode(data, &g); err != nil {
+		return err
+	}
+	*e = *NewCustomExtractor(g.Selected)
+	if g.HasDict {
+		e.trained = textstat.FromTokens(g.Tokens)
+	}
+	return nil
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,82 @@
+package features
+
+import (
+	"strings"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+	"urllangid/internal/vecspace"
+)
+
+// RawTrigramExtractor computes trigrams over the raw URL string instead
+// of within token boundaries. §3.1 mentions this alternative — it would
+// generate the trigram "hi-" for http://www.hi-fly.de — and conjectures
+// that inter-token trigrams are much more random than intra-token ones,
+// leaving its verification as future work. The ablation benchmark
+// BenchmarkAblationTrigramTokenisation runs that experiment.
+type RawTrigramExtractor struct {
+	vocab *vecspace.Vocab
+}
+
+// Kind implements Extractor; raw trigrams reuse the Trigrams kind label
+// since they are a variant of the same family.
+func (e *RawTrigramExtractor) Kind() Kind { return Trigrams }
+
+// Dim implements Extractor.
+func (e *RawTrigramExtractor) Dim() int {
+	if e.vocab == nil {
+		return 0
+	}
+	return e.vocab.Len()
+}
+
+// Fit implements Extractor.
+func (e *RawTrigramExtractor) Fit(samples []langid.Sample, withContent bool) {
+	e.vocab = vecspace.NewVocab()
+	for _, s := range samples {
+		for _, g := range rawTrigrams(s.URL) {
+			e.vocab.Intern(g)
+		}
+		if withContent && s.Content != "" {
+			for _, g := range rawTrigrams(s.Content) {
+				e.vocab.Intern(g)
+			}
+		}
+	}
+	e.vocab.Freeze()
+}
+
+// ExtractURL implements Extractor.
+func (e *RawTrigramExtractor) ExtractURL(p urlx.Parts) vecspace.Sparse {
+	grams := rawTrigrams(p.Raw)
+	b := vecspace.NewBuilder(len(grams))
+	for _, g := range grams {
+		if i, ok := e.vocab.Lookup(g); ok {
+			b.Add(i, 1)
+		}
+	}
+	return b.Sparse()
+}
+
+// ExtractSample implements Extractor.
+func (e *RawTrigramExtractor) ExtractSample(s langid.Sample) vecspace.Sparse {
+	return e.ExtractURL(urlx.Parse(s.URL))
+}
+
+// rawTrigrams slides a window of 3 over the lower-cased URL with the
+// scheme stripped, keeping punctuation inside the grams (that is the
+// point of the variant).
+func rawTrigrams(raw string) []string {
+	s := strings.ToLower(strings.TrimSpace(raw))
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if len(s) < 3 {
+		return nil
+	}
+	out := make([]string, 0, len(s)-2)
+	for i := 0; i+3 <= len(s); i++ {
+		out = append(out, s[i:i+3])
+	}
+	return out
+}

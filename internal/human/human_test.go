@@ -1,0 +1,145 @@
+package human
+
+import (
+	"testing"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	urls := []string{
+		"http://www.example.com/some/page",
+		"http://www.wetter.de/berlin",
+		"http://site.org/download/forum",
+	}
+	a := NewEvaluator("a", 1, Params{})
+	b := NewEvaluator("b", 1, Params{})
+	for _, u := range urls {
+		if a.Classify(u) != b.Classify(u) {
+			t.Fatalf("same seed, different answers for %s", u)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := NewEvaluator("a", 1, Params{})
+	b := NewEvaluator("b", 2, Params{})
+	diff := 0
+	for i := 0; i < 300; i++ {
+		u := "http://ambiguous-site.net/page/profile/user"
+		if a.Classify(u) != b.Classify(u) {
+			diff++
+		}
+		u2 := "http://www.mundo-noticias.net/economia"
+		if a.Classify(u2) != b.Classify(u2) {
+			diff++
+		}
+	}
+	_ = diff // different seeds need not differ on every URL; just ensure vocab differs
+	va := a.known[langid.Spanish]
+	vb := b.known[langid.Spanish]
+	same := true
+	if len(va) != len(vb) {
+		same = false
+	} else {
+		for w := range va {
+			if _, ok := vb[w]; !ok {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("two evaluators know the identical vocabulary")
+	}
+}
+
+func TestFollowsCcTLD(t *testing.T) {
+	e := NewEvaluator("e", 3, Params{FollowTLD: 1.0, Fatigue: 1e-12})
+	cases := map[string]langid.Language{
+		"http://www.example.de/xyz":  langid.German,
+		"http://www.example.fr/xyz":  langid.French,
+		"http://www.example.it/xyz":  langid.Italian,
+		"http://www.example.es/xyz":  langid.Spanish,
+		"http://www.example.uk/xyz":  langid.English,
+		"http://www.example.gov/xyz": langid.English,
+	}
+	for u, want := range cases {
+		if got := e.Classify(u); got != want {
+			t.Errorf("Classify(%s) = %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestEnglishDefaultOnOpaqueURL(t *testing.T) {
+	e := NewEvaluator("e", 4, Params{EnglishDefault: 1.0})
+	// No recognisable words, neutral TLD.
+	got := e.Classify("http://qxzvkj.net/zzkjq/xxqv")
+	if got != langid.English {
+		t.Errorf("opaque URL classified %v, want English (the web's default)", got)
+	}
+}
+
+func TestRecognisesDistinctiveWord(t *testing.T) {
+	// Full knowledge, no fatigue/slip: a German word must beat the
+	// English default.
+	e := NewEvaluator("e", 5, Params{
+		VocabKnowledge: [langid.NumLanguages]float64{1, 1, 1, 1, 1},
+		Fatigue:        1e-12, Slip: 1e-12,
+	})
+	got := e.Classify("http://qxzvkj.net/nachrichten")
+	if got != langid.German {
+		t.Errorf("URL with 'nachrichten' classified %v", got)
+	}
+}
+
+func TestTechWordsPullTowardEnglish(t *testing.T) {
+	e := NewEvaluator("e", 6, Params{
+		VocabKnowledge: [langid.NumLanguages]float64{1, 1, 1, 1, 1},
+		Fatigue:        1e-12, Slip: 1e-12,
+	})
+	// One German word vs three tech words: English wins on votes
+	// (1.0 < 3×0.45).
+	got := e.Classify("http://site.net/forum/download/archive/wetter")
+	if got != langid.English {
+		t.Errorf("tech-heavy URL classified %v, want English", got)
+	}
+}
+
+func TestDecideIsOneHot(t *testing.T) {
+	e := NewEvaluator("e", 7, Params{})
+	for _, u := range []string{
+		"http://www.wetter.de", "http://opaque.net/x", "http://www.elpais.es/noticias",
+	} {
+		d := e.Decide(urlx.Parse(u))
+		n := 0
+		for _, v := range d {
+			if v {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("Decide(%s) claimed %d languages, humans answer exactly one", u, n)
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	for i, k := range p.VocabKnowledge {
+		if k <= 0 || k > 1 {
+			t.Errorf("default knowledge[%d] = %v", i, k)
+		}
+	}
+	if p.FollowTLD <= 0 || p.EnglishDefault <= 0 || p.Fatigue <= 0 || p.Slip <= 0 || p.CityKnowledge <= 0 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+}
+
+func TestPartialParamsPreserved(t *testing.T) {
+	p := Params{FollowTLD: 0.5}.withDefaults()
+	if p.FollowTLD != 0.5 {
+		t.Error("explicit param overwritten by defaults")
+	}
+}

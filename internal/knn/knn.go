@@ -1,0 +1,106 @@
+// Package knn implements a k-nearest-neighbour classifier with cosine
+// similarity. The paper ran kNN in preliminary experiments and omitted it
+// from the main evaluation because "they gave considerably worse results"
+// (§3.2); we implement it anyway so the ablation benches can demonstrate
+// the same conclusion.
+package knn
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+// Trainer configures kNN "training" (memorising a reference sample).
+// The zero value is usable.
+type Trainer struct {
+	// K is the number of neighbours; zero selects 5.
+	K int
+	// MaxReference caps the number of memorised training examples
+	// (subsampled uniformly when exceeded); zero selects 20000. kNN is
+	// O(reference size) per query, so this bound keeps classification
+	// tractable on the paper-scale training sets.
+	MaxReference int
+	// Seed drives the subsampling permutation.
+	Seed uint64
+}
+
+// Name implements mlkit.Trainer.
+func (t Trainer) Name() string { return "kNN" }
+
+// Model is a trained (memorised) kNN classifier.
+type Model struct {
+	X []vecspace.Sparse
+	Y []bool
+	K int
+}
+
+// Train implements mlkit.Trainer.
+func (t Trainer) Train(ds *mlkit.Dataset) (mlkit.BinaryModel, error) {
+	if ds.Len() == 0 {
+		return nil, mlkit.ErrEmptyDataset
+	}
+	k := t.K
+	if k <= 0 {
+		k = 5
+	}
+	maxRef := t.MaxReference
+	if maxRef <= 0 {
+		maxRef = 20000
+	}
+	m := &Model{K: k}
+	n := ds.Len()
+	if n <= maxRef {
+		m.X = ds.X
+		m.Y = ds.Y
+		return m, nil
+	}
+	rng := rand.New(rand.NewPCG(t.Seed, 0x6b6e6e))
+	perm := rng.Perm(n)[:maxRef]
+	m.X = make([]vecspace.Sparse, maxRef)
+	m.Y = make([]bool, maxRef)
+	for i, p := range perm {
+		m.X[i] = ds.X[p]
+		m.Y[i] = ds.Y[p]
+	}
+	return m, nil
+}
+
+// Score implements mlkit.BinaryModel: the similarity-weighted positive
+// vote share among the k nearest neighbours, centred at zero.
+func (m *Model) Score(x vecspace.Sparse) float64 {
+	type hit struct {
+		sim float64
+		pos bool
+	}
+	hits := make([]hit, 0, len(m.X))
+	for i := range m.X {
+		if s := vecspace.Cosine(x, m.X[i]); s > 0 {
+			hits = append(hits, hit{s, m.Y[i]})
+		}
+	}
+	if len(hits) == 0 {
+		return -1
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].sim > hits[b].sim })
+	k := m.K
+	if k > len(hits) {
+		k = len(hits)
+	}
+	var pos, total float64
+	for _, h := range hits[:k] {
+		total += h.sim
+		if h.pos {
+			pos += h.sim
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	return pos/total - 0.5
+}
+
+// Predict implements mlkit.BinaryModel.
+func (m *Model) Predict(x vecspace.Sparse) bool { return m.Score(x) >= 0 }

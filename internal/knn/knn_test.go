@@ -1,0 +1,117 @@
+package knn
+
+import (
+	"testing"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+func vec(pairs ...float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+func clustered(n int) *mlkit.Dataset {
+	ds := &mlkit.Dataset{Dim: 4}
+	for i := 0; i < n; i++ {
+		ds.Add(vec(0, 1, 1, 0.2), true)
+		ds.Add(vec(2, 1, 3, 0.2), false)
+	}
+	return ds
+}
+
+func TestNearestClusterWins(t *testing.T) {
+	m, err := Trainer{K: 3}.Train(clustered(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 2)) {
+		t.Error("vector near positive cluster classified negative")
+	}
+	if m.Predict(vec(2, 2)) {
+		t.Error("vector near negative cluster classified positive")
+	}
+}
+
+func TestNoOverlapScoresNegative(t *testing.T) {
+	m, err := Trainer{}.Train(clustered(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vector orthogonal to every reference has no neighbours.
+	if m.Predict(vec(9, 1)) {
+		t.Error("orthogonal vector classified positive")
+	}
+	if s := m.Score(vec(9, 1)); s != -1 {
+		t.Errorf("orthogonal score = %v, want -1", s)
+	}
+}
+
+func TestSubsamplingCap(t *testing.T) {
+	ds := clustered(500) // 1000 examples
+	m, err := Trainer{MaxReference: 100, Seed: 3}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn := m.(*Model)
+	if len(kn.X) != 100 || len(kn.Y) != 100 {
+		t.Errorf("reference size = %d, want 100", len(kn.X))
+	}
+	// Still classifies correctly after subsampling.
+	if !m.Predict(vec(0, 1)) || m.Predict(vec(2, 1)) {
+		t.Error("subsampled model lost the clusters")
+	}
+}
+
+func TestSubsamplingDeterministic(t *testing.T) {
+	ds := clustered(200)
+	a, _ := Trainer{MaxReference: 50, Seed: 7}.Train(ds)
+	b, _ := Trainer{MaxReference: 50, Seed: 7}.Train(ds)
+	am, bm := a.(*Model), b.(*Model)
+	for i := range am.Y {
+		if am.Y[i] != bm.Y[i] {
+			t.Fatal("same seed produced different subsamples")
+		}
+	}
+}
+
+func TestKClamp(t *testing.T) {
+	// K larger than the reference set must not panic.
+	m, err := Trainer{K: 100}.Train(clustered(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Predict(vec(0, 1))
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := (Trainer{}).Train(&mlkit.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestWeightedVoting(t *testing.T) {
+	// One very similar positive should outvote two dissimilar
+	// negatives under similarity weighting.
+	ds := &mlkit.Dataset{Dim: 4}
+	ds.Add(vec(0, 1), true)
+	ds.Add(vec(0, 1, 1, 3), false)
+	ds.Add(vec(0, 1, 2, 3), false)
+	m, err := Trainer{K: 3}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 5)) {
+		t.Error("similarity weighting failed")
+	}
+}
+
+func TestTrainerName(t *testing.T) {
+	if (Trainer{}).Name() != "kNN" {
+		t.Error("Name() != kNN")
+	}
+}

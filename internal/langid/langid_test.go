@@ -1,0 +1,162 @@
+package langid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLanguagesOrder(t *testing.T) {
+	langs := Languages()
+	want := []Language{English, German, French, Spanish, Italian}
+	if len(langs) != len(want) {
+		t.Fatalf("Languages() returned %d entries, want %d", len(langs), len(want))
+	}
+	for i := range want {
+		if langs[i] != want[i] {
+			t.Errorf("Languages()[%d] = %v, want %v", i, langs[i], want[i])
+		}
+	}
+}
+
+func TestLanguagesReturnsCopy(t *testing.T) {
+	a := Languages()
+	a[0] = Italian
+	if b := Languages(); b[0] != English {
+		t.Error("Languages() shares its backing array with callers")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Language]string{
+		English: "English", German: "German", French: "French",
+		Spanish: "Spanish", Italian: "Italian",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestStringInvalid(t *testing.T) {
+	if got := Language(99).String(); got != "Language(99)" {
+		t.Errorf("invalid language String() = %q", got)
+	}
+}
+
+func TestCode(t *testing.T) {
+	cases := map[Language]string{
+		English: "en", German: "de", French: "fr", Spanish: "es", Italian: "it",
+	}
+	for l, want := range cases {
+		if got := l.Code(); got != want {
+			t.Errorf("%v.Code() = %q, want %q", l, got, want)
+		}
+	}
+	if got := Language(200).Code(); got != "??" {
+		t.Errorf("invalid language Code() = %q", got)
+	}
+}
+
+func TestParseAcceptsNamesAndCodes(t *testing.T) {
+	for _, l := range Languages() {
+		for _, in := range []string{l.String(), l.Code()} {
+			got, err := Parse(in)
+			if err != nil {
+				t.Errorf("Parse(%q): %v", in, err)
+				continue
+			}
+			if got != l {
+				t.Errorf("Parse(%q) = %v, want %v", in, got, l)
+			}
+		}
+	}
+}
+
+func TestParseCaseAndSpace(t *testing.T) {
+	got, err := Parse("  GERMAN ")
+	if err != nil || got != German {
+		t.Errorf("Parse(\"  GERMAN \") = %v, %v", got, err)
+	}
+	got, err = Parse("De")
+	if err != nil || got != German {
+		t.Errorf("Parse(\"De\") = %v, %v", got, err)
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	if _, err := Parse("klingon"); err == nil {
+		t.Error("Parse(\"klingon\") succeeded, want error")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("Parse(\"\") succeeded, want error")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, l := range Languages() {
+		if !l.Valid() {
+			t.Errorf("%v.Valid() = false", l)
+		}
+	}
+	if Language(5).Valid() {
+		t.Error("Language(5).Valid() = true")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(b uint8) bool {
+		l := Language(b % 5)
+		got, err := Parse(l.Code())
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelSetAddHas(t *testing.T) {
+	var s LabelSet
+	if s.Has(German) {
+		t.Error("empty set Has(German)")
+	}
+	s = s.Add(German).Add(Italian)
+	if !s.Has(German) || !s.Has(Italian) || s.Has(French) {
+		t.Errorf("set %v has wrong membership", s)
+	}
+}
+
+func TestLabelSetIdempotentAdd(t *testing.T) {
+	s := LabelSet(0).Add(French).Add(French)
+	if s.Len() != 1 {
+		t.Errorf("double Add: Len = %d, want 1", s.Len())
+	}
+}
+
+func TestLabelSetSlice(t *testing.T) {
+	s := LabelSet(0).Add(Italian).Add(English)
+	got := s.Slice()
+	if len(got) != 2 || got[0] != English || got[1] != Italian {
+		t.Errorf("Slice() = %v, want [English Italian]", got)
+	}
+}
+
+func TestLabelSetString(t *testing.T) {
+	if got := LabelSet(0).String(); got != "∅" {
+		t.Errorf("empty LabelSet String() = %q", got)
+	}
+	s := LabelSet(0).Add(German).Add(French)
+	if got := s.String(); got != "de,fr" {
+		t.Errorf("LabelSet String() = %q, want \"de,fr\"", got)
+	}
+}
+
+func TestLabelSetLenMatchesSlice(t *testing.T) {
+	f := func(b uint8) bool {
+		s := LabelSet(b & 0x1f)
+		return s.Len() == len(s.Slice())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package linkgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+func pages(perLang int) []langid.Sample {
+	var out []langid.Sample
+	for _, l := range langid.Languages() {
+		for i := 0; i < perLang; i++ {
+			out = append(out, langid.Sample{URL: fmt.Sprintf("http://%s%d.com", l.Code(), i), Lang: l})
+		}
+	}
+	return out
+}
+
+func TestSynthesizeBasicShape(t *testing.T) {
+	ps := pages(100)
+	g, err := Synthesize(ps, SynthConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != len(ps) {
+		t.Fatalf("N = %d, want %d", g.N(), len(ps))
+	}
+	st := g.Statistics(ps)
+	if st.Edges == 0 {
+		t.Fatal("no edges")
+	}
+	if st.AvgOut < 2 || st.AvgOut > 20 {
+		t.Errorf("average out-degree = %.1f, implausible", st.AvgOut)
+	}
+}
+
+func TestHomophilyRealised(t *testing.T) {
+	ps := pages(200)
+	g, err := Synthesize(ps, SynthConfig{Seed: 2, Homophily: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Statistics(ps)
+	// Same-language share = homophily + (1-homophily)/5 ≈ .84.
+	if st.SameLangShare < 0.75 || st.SameLangShare > 0.92 {
+		t.Errorf("same-language edge share = %.2f, want ≈ .84", st.SameLangShare)
+	}
+}
+
+func TestLowHomophilyGraphMixes(t *testing.T) {
+	ps := pages(200)
+	g, err := Synthesize(ps, SynthConfig{Seed: 3, Homophily: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Statistics(ps)
+	// Uniform targets over 5 balanced languages: ~20% same-language.
+	if st.SameLangShare > 0.35 {
+		t.Errorf("same-language share = %.2f under near-zero homophily", st.SameLangShare)
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	ps := pages(50)
+	g, err := Synthesize(ps, SynthConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outEdges := 0
+	for _, outs := range g.Out {
+		outEdges += len(outs)
+	}
+	inEdges := 0
+	for _, ins := range g.In {
+		inEdges += len(ins)
+	}
+	if outEdges != inEdges {
+		t.Errorf("out edges %d != in edges %d", outEdges, inEdges)
+	}
+	// No self loops.
+	for src, outs := range g.Out {
+		for _, dst := range outs {
+			if int(dst) == src {
+				t.Fatal("self loop")
+			}
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize(nil, SynthConfig{}); err == nil {
+		t.Error("empty page set accepted")
+	}
+	bad := []langid.Sample{{Lang: langid.Language(99)}, {Lang: langid.English}}
+	if _, err := Synthesize(bad, SynthConfig{}); err == nil {
+		t.Error("invalid language accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	ps := pages(40)
+	a, _ := Synthesize(ps, SynthConfig{Seed: 5})
+	b, _ := Synthesize(ps, SynthConfig{Seed: 5})
+	if a.Statistics(ps) != b.Statistics(ps) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestBoosterAddsInlinkVotes(t *testing.T) {
+	// Page 0 (unknown) is linked from three known German pages.
+	ps := []langid.Sample{
+		{URL: "http://unknown.com", Lang: langid.German},
+		{URL: "http://a.de", Lang: langid.German},
+		{URL: "http://b.de", Lang: langid.German},
+		{URL: "http://c.de", Lang: langid.German},
+	}
+	g := &Graph{
+		Out: [][]int32{nil, {0}, {0}, {0}},
+		In:  [][]int32{{1, 2, 3}, nil, nil, nil},
+	}
+	known := []bool{false, true, true, true}
+	var base [langid.NumLanguages]bool // URL classifier said nothing
+	out := Booster{}.Boost(g, ps, known, 0, base)
+	if !out[langid.German] {
+		t.Error("three German in-links did not claim German")
+	}
+	if out[langid.French] {
+		t.Error("spurious claim")
+	}
+}
+
+func TestBoosterKeepsBaseDecision(t *testing.T) {
+	ps := pages(10)
+	g := &Graph{Out: make([][]int32, len(ps)), In: make([][]int32, len(ps))}
+	known := make([]bool, len(ps))
+	var base [langid.NumLanguages]bool
+	base[langid.Italian] = true
+	out := Booster{}.Boost(g, ps, known, 0, base)
+	if !out[langid.Italian] {
+		t.Error("booster dropped the base decision")
+	}
+}
+
+func TestBoosterMinInlinks(t *testing.T) {
+	// A single known in-link is below the default MinInlinks of 2.
+	ps := []langid.Sample{
+		{URL: "http://unknown.com", Lang: langid.French},
+		{URL: "http://a.fr", Lang: langid.French},
+	}
+	g := &Graph{Out: [][]int32{nil, {0}}, In: [][]int32{{1}, nil}}
+	known := []bool{false, true}
+	var base [langid.NumLanguages]bool
+	out := Booster{}.Boost(g, ps, known, 0, base)
+	if out[langid.French] {
+		t.Error("one in-link should not be enough by default")
+	}
+}
+
+func TestBoosterIgnoresUncrawledNeighbours(t *testing.T) {
+	ps := []langid.Sample{
+		{URL: "http://unknown.com", Lang: langid.Spanish},
+		{URL: "http://a.es", Lang: langid.Spanish},
+		{URL: "http://b.es", Lang: langid.Spanish},
+	}
+	g := &Graph{Out: [][]int32{nil, {0}, {0}}, In: [][]int32{{1, 2}, nil, nil}}
+	known := []bool{false, false, false} // nothing crawled yet
+	var base [langid.NumLanguages]bool
+	out := Booster{}.Boost(g, ps, known, 0, base)
+	if out[langid.Spanish] {
+		t.Error("votes counted from uncrawled pages")
+	}
+}
+
+func TestBoosterVoteShare(t *testing.T) {
+	// 2 German vs 2 French known in-links with VoteShare .5: both claimed.
+	ps := []langid.Sample{
+		{URL: "http://unknown.com", Lang: langid.German},
+		{URL: "http://a.de", Lang: langid.German},
+		{URL: "http://b.de", Lang: langid.German},
+		{URL: "http://c.fr", Lang: langid.French},
+		{URL: "http://d.fr", Lang: langid.French},
+	}
+	g := &Graph{
+		Out: [][]int32{nil, {0}, {0}, {0}, {0}},
+		In:  [][]int32{{1, 2, 3, 4}, nil, nil, nil, nil},
+	}
+	known := []bool{false, true, true, true, true}
+	var base [langid.NumLanguages]bool
+	out := Booster{VoteShare: 0.5}.Boost(g, ps, known, 0, base)
+	if !out[langid.German] || !out[langid.French] {
+		t.Error("50/50 split with share .5 should claim both")
+	}
+	out = Booster{VoteShare: 0.6}.Boost(g, ps, known, 0, base)
+	if out[langid.German] || out[langid.French] {
+		t.Error("share .6 should claim neither at 50/50")
+	}
+}

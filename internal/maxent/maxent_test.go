@@ -1,0 +1,174 @@
+package maxent
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+func vec(pairs ...float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+func separable(n int) *mlkit.Dataset {
+	ds := &mlkit.Dataset{Dim: 3}
+	for i := 0; i < n; i++ {
+		ds.Add(vec(0, 1, 2, 1), true)
+		ds.Add(vec(1, 1, 2, 1), false)
+	}
+	return ds
+}
+
+func TestLearnsSeparableData(t *testing.T) {
+	m, err := Trainer{}.Train(separable(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 1)) || m.Predict(vec(1, 1)) {
+		t.Error("separable data not learned")
+	}
+}
+
+func TestWeightsSigns(t *testing.T) {
+	m, err := Trainer{}.Train(separable(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := m.(*Model)
+	if me.Weights[0] <= 0 {
+		t.Errorf("positive marker weight = %v", me.Weights[0])
+	}
+	if me.Weights[1] >= 0 {
+		t.Errorf("negative marker weight = %v", me.Weights[1])
+	}
+	// Feature 2 is always-on and therefore collinear with the bias; its
+	// absolute weight is arbitrary, but it must stay well below the
+	// discriminative features.
+	if math.Abs(me.Weights[2]) > me.Weights[0] {
+		t.Errorf("neutral weight %v exceeds discriminative weight %v", me.Weights[2], me.Weights[0])
+	}
+}
+
+func TestProbabilityCalibrated(t *testing.T) {
+	m, err := Trainer{Iterations: 100}.Train(separable(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := m.(*Model)
+	pPos := me.Probability(vec(0, 1, 2, 1))
+	pNeg := me.Probability(vec(1, 1, 2, 1))
+	if pPos < 0.8 || pNeg > 0.2 {
+		t.Errorf("probabilities %v / %v insufficiently separated", pPos, pNeg)
+	}
+	if pPos > 1 || pPos < 0 || pNeg > 1 || pNeg < 0 {
+		t.Error("probabilities out of [0,1]")
+	}
+}
+
+func TestMoreIterationsSharpen(t *testing.T) {
+	ds := separable(50)
+	few, _ := Trainer{Iterations: 2}.Train(ds)
+	many, _ := Trainer{Iterations: 80}.Train(ds)
+	x := vec(0, 1)
+	if many.Score(x) <= few.Score(x) {
+		t.Error("more IIS iterations should sharpen a separable score")
+	}
+}
+
+func TestRegularisationShrinksSingletons(t *testing.T) {
+	// A feature seen in exactly one positive example should get a
+	// bounded weight under the Gaussian prior and a much larger one
+	// without it.
+	ds := separable(50)
+	ds.Add(vec(0, 1, 2, 1), true) // one more positive carrying...
+	// feature 2 is shared; add a singleton feature via a custom row.
+	b := vecspace.NewBuilder(2)
+	b.Add(1, 1) // looks negative...
+	b.Add(2, 1)
+	ds.Add(b.Sparse(), true) // ...but labeled positive: a noise example
+
+	reg, _ := Trainer{Sigma2: 2, Iterations: 60}.Train(ds)
+	loose, _ := Trainer{Sigma2: -1, Iterations: 60}.Train(ds)
+	wReg := reg.(*Model).Weights[1]
+	wLoose := loose.(*Model).Weights[1]
+	if math.Abs(wReg) >= math.Abs(wLoose) {
+		t.Errorf("prior did not shrink weights: |%v| >= |%v|", wReg, wLoose)
+	}
+}
+
+func TestBiasHandlesClassImbalance(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 2}
+	for i := 0; i < 90; i++ {
+		ds.Add(vec(0, 1), true)
+	}
+	for i := 0; i < 10; i++ {
+		ds.Add(vec(0, 1), false)
+	}
+	m, err := Trainer{Iterations: 80}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With identical features, the model must fall back to the prior:
+	// predict positive.
+	if !m.Predict(vec(0, 1)) {
+		t.Error("imbalanced prior not captured by bias")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := (Trainer{}).Train(&mlkit.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestScoresFiniteUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ds := &mlkit.Dataset{Dim: 30}
+	for i := 0; i < 300; i++ {
+		b := vecspace.NewBuilder(5)
+		for j := 0; j < 4; j++ {
+			b.Add(uint32(rng.IntN(30)), float32(1+rng.IntN(3)))
+		}
+		ds.Add(b.Sparse(), rng.Float64() < 0.5)
+	}
+	m, err := Trainer{}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s := m.Score(vec(float32(rng.IntN(40)), 1))
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("non-finite score %v", s)
+		}
+	}
+}
+
+func TestOOVScoredByBiasOnly(t *testing.T) {
+	m, err := Trainer{}.Train(separable(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := m.(*Model)
+	if got := me.Score(vec(25, 3)); got != me.Bias {
+		t.Errorf("OOV score = %v, want bias %v", got, me.Bias)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if DefaultIterations != 40 {
+		t.Error("the paper runs 40 IIS iterations on URLs")
+	}
+	if ContentIterations != 2 {
+		t.Error("the paper runs 2 IIS iterations on content")
+	}
+	if (Trainer{}).Name() != "ME" {
+		t.Error("Name() != ME")
+	}
+}

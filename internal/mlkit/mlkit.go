@@ -1,0 +1,135 @@
+// Package mlkit defines the common contract between feature extraction
+// and the learning algorithms: datasets of sparse vectors with binary
+// labels, the BinaryModel/Trainer interfaces every algorithm implements,
+// and shared utilities (splits, balanced subsampling).
+//
+// All classifiers in the repository are binary ("Is it language X or
+// not?"), matching §3.2 of the paper; multi-language behaviour emerges
+// from running five of them side by side.
+package mlkit
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"urllangid/internal/vecspace"
+)
+
+// ErrEmptyDataset is returned by trainers when no usable examples exist.
+var ErrEmptyDataset = errors.New("mlkit: empty dataset")
+
+// Dataset is a labeled collection of sparse feature vectors.
+type Dataset struct {
+	X   []vecspace.Sparse
+	Y   []bool
+	Dim int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Add appends one example.
+func (d *Dataset) Add(x vecspace.Sparse, y bool) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Positives returns the number of positive examples.
+func (d *Dataset) Positives() int {
+	n := 0
+	for _, y := range d.Y {
+		if y {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return errors.New("mlkit: X/Y length mismatch")
+	}
+	for _, x := range d.X {
+		if err := x.Validate(); err != nil {
+			return err
+		}
+		if n := len(x.Idx); n > 0 && int(x.Idx[n-1]) >= d.Dim {
+			return errors.New("mlkit: feature index out of range")
+		}
+	}
+	return nil
+}
+
+// BinaryModel is a trained binary classifier. Score returns a real-valued
+// margin whose sign is the decision: Score >= 0 means "yes, language X".
+// Magnitudes are only comparable within one model.
+type BinaryModel interface {
+	Score(x vecspace.Sparse) float64
+	Predict(x vecspace.Sparse) bool
+}
+
+// Trainer produces a BinaryModel from a dataset.
+type Trainer interface {
+	Name() string
+	Train(ds *Dataset) (BinaryModel, error)
+}
+
+// ThresholdModel wraps a model, shifting its decision boundary: the
+// wrapped model answers yes iff the inner score is at least Threshold.
+// Positive thresholds trade recall for precision.
+type ThresholdModel struct {
+	Inner     BinaryModel
+	Threshold float64
+}
+
+// Score implements BinaryModel.
+func (m ThresholdModel) Score(x vecspace.Sparse) float64 { return m.Inner.Score(x) - m.Threshold }
+
+// Predict implements BinaryModel.
+func (m ThresholdModel) Predict(x vecspace.Sparse) bool { return m.Score(x) >= 0 }
+
+// BalancedSample builds a training dataset from positives plus an
+// equal-size random subset of negatives, as §4.1 prescribes ("Using all
+// roughly 1.25M URLs ... would have led to too conservative classifiers").
+// When there are fewer negatives than positives, all negatives are used.
+// Vectors are shared, not copied.
+func BalancedSample(x []vecspace.Sparse, y []bool, dim int, rng *rand.Rand) *Dataset {
+	var posIdx, negIdx []int
+	for i, yi := range y {
+		if yi {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	want := len(posIdx)
+	if want > len(negIdx) {
+		want = len(negIdx)
+	}
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	ds := &Dataset{Dim: dim}
+	for _, i := range posIdx {
+		ds.Add(x[i], true)
+	}
+	for _, i := range negIdx[:want] {
+		ds.Add(x[i], false)
+	}
+	return ds
+}
+
+// Split partitions indices 0..n-1 into train/test with the given test
+// fraction, deterministically under rng.
+func Split(n int, testFrac float64, rng *rand.Rand) (train, test []int) {
+	perm := rng.Perm(n)
+	cut := int(float64(n) * testFrac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > n {
+		cut = n
+	}
+	test = perm[:cut]
+	train = perm[cut:]
+	return train, test
+}

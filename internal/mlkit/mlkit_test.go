@@ -1,0 +1,136 @@
+package mlkit
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"urllangid/internal/vecspace"
+)
+
+func vec(idx uint32, v float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(1)
+	b.Add(idx, v)
+	return b.Sparse()
+}
+
+func TestDatasetAddAndCounts(t *testing.T) {
+	ds := &Dataset{Dim: 4}
+	ds.Add(vec(0, 1), true)
+	ds.Add(vec(1, 1), false)
+	ds.Add(vec(2, 1), true)
+	if ds.Len() != 3 || ds.Positives() != 2 {
+		t.Errorf("Len=%d Positives=%d", ds.Len(), ds.Positives())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetValidateCatchesErrors(t *testing.T) {
+	ds := &Dataset{Dim: 2}
+	ds.Add(vec(5, 1), true) // index out of range
+	if err := ds.Validate(); err == nil {
+		t.Error("out-of-range feature accepted")
+	}
+	ds2 := &Dataset{Dim: 2, X: []vecspace.Sparse{vec(0, 1)}, Y: []bool{true, false}}
+	if err := ds2.Validate(); err == nil {
+		t.Error("X/Y mismatch accepted")
+	}
+}
+
+func TestBalancedSampleEqualClasses(t *testing.T) {
+	var x []vecspace.Sparse
+	var y []bool
+	for i := 0; i < 100; i++ {
+		x = append(x, vec(uint32(i%7), 1))
+		y = append(y, i < 20) // 20 positives, 80 negatives
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	ds := BalancedSample(x, y, 7, rng)
+	if ds.Len() != 40 {
+		t.Fatalf("balanced size = %d, want 40", ds.Len())
+	}
+	if ds.Positives() != 20 {
+		t.Fatalf("positives = %d, want 20", ds.Positives())
+	}
+}
+
+func TestBalancedSampleFewNegatives(t *testing.T) {
+	var x []vecspace.Sparse
+	var y []bool
+	for i := 0; i < 30; i++ {
+		x = append(x, vec(0, 1))
+		y = append(y, i < 25)
+	}
+	ds := BalancedSample(x, y, 1, rand.New(rand.NewPCG(2, 2)))
+	if ds.Positives() != 25 || ds.Len() != 30 {
+		t.Errorf("got %d/%d, want all 25 positives and all 5 negatives", ds.Positives(), ds.Len())
+	}
+}
+
+func TestBalancedSampleDeterministic(t *testing.T) {
+	var x []vecspace.Sparse
+	var y []bool
+	for i := 0; i < 50; i++ {
+		x = append(x, vec(uint32(i), 1))
+		y = append(y, i%5 == 0)
+	}
+	a := BalancedSample(x, y, 50, rand.New(rand.NewPCG(3, 3)))
+	b := BalancedSample(x, y, 50, rand.New(rand.NewPCG(3, 3)))
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.X {
+		if a.X[i].Idx[0] != b.X[i].Idx[0] || a.Y[i] != b.Y[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	train, test := Split(100, 0.3, rand.New(rand.NewPCG(4, 4)))
+	if len(test) != 30 || len(train) != 70 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatal("index appears twice")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("covered %d indices", len(seen))
+	}
+}
+
+func TestSplitEdgeFractions(t *testing.T) {
+	train, test := Split(10, 0, rand.New(rand.NewPCG(5, 5)))
+	if len(test) != 0 || len(train) != 10 {
+		t.Error("zero fraction should put everything in train")
+	}
+	train, test = Split(10, 2.0, rand.New(rand.NewPCG(5, 5)))
+	if len(test) != 10 || len(train) != 0 {
+		t.Error("fraction > 1 should clamp to all-test")
+	}
+}
+
+type constModel struct{ score float64 }
+
+func (m constModel) Score(vecspace.Sparse) float64  { return m.score }
+func (m constModel) Predict(x vecspace.Sparse) bool { return m.Score(x) >= 0 }
+
+func TestThresholdModel(t *testing.T) {
+	inner := constModel{score: 0.5}
+	m := ThresholdModel{Inner: inner, Threshold: 1.0}
+	if m.Predict(vecspace.Sparse{}) {
+		t.Error("score 0.5 with threshold 1.0 should be negative")
+	}
+	if got := m.Score(vecspace.Sparse{}); got != -0.5 {
+		t.Errorf("shifted score = %v", got)
+	}
+	m.Threshold = 0.2
+	if !m.Predict(vecspace.Sparse{}) {
+		t.Error("score 0.5 with threshold 0.2 should be positive")
+	}
+}

@@ -1,0 +1,184 @@
+package nb
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+func vec(pairs ...float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+// separableDataset: feature 0 marks positives, feature 1 negatives.
+func separableDataset(n int) *mlkit.Dataset {
+	ds := &mlkit.Dataset{Dim: 3}
+	for i := 0; i < n; i++ {
+		ds.Add(vec(0, 1, 2, 1), true)
+		ds.Add(vec(1, 1, 2, 1), false)
+	}
+	return ds
+}
+
+func TestLearnsSeparableData(t *testing.T) {
+	m, err := Trainer{}.Train(separableDataset(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 1)) {
+		t.Error("positive-feature vector classified negative")
+	}
+	if m.Predict(vec(1, 1)) {
+		t.Error("negative-feature vector classified positive")
+	}
+}
+
+func TestScoreSignMatchesPredict(t *testing.T) {
+	m, err := Trainer{}.Train(separableDataset(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c uint8) bool {
+		x := vec(0, float32(a%4), 1, float32(b%4), 2, float32(c%4))
+		return m.Predict(x) == (m.Score(x) >= 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeutralFeatureIgnored(t *testing.T) {
+	m, err := Trainer{}.Train(separableDataset(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := m.(*Model)
+	// Feature 2 appears equally in both classes: log-ratio ~ 0.
+	if math.Abs(nb.LogLik[2]) > 1e-9 {
+		t.Errorf("neutral feature log-ratio = %v", nb.LogLik[2])
+	}
+	// Feature 0 strongly positive, feature 1 strongly negative.
+	if nb.LogLik[0] <= 0 || nb.LogLik[1] >= 0 {
+		t.Errorf("discriminative ratios: %v, %v", nb.LogLik[0], nb.LogLik[1])
+	}
+}
+
+func TestPriorFromClassBalance(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 1}
+	for i := 0; i < 30; i++ {
+		ds.Add(vec(0, 1), true)
+	}
+	for i := 0; i < 10; i++ {
+		ds.Add(vec(0, 1), false)
+	}
+	m, err := Trainer{}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(3)
+	if got := m.(*Model).LogPrior; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogPrior = %v, want log(3)", got)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := (Trainer{}).Train(&mlkit.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestOneClassDegenerate(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 1}
+	ds.Add(vec(0, 1), true)
+	m, err := Trainer{}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 1)) {
+		t.Error("all-positive training should always predict positive")
+	}
+
+	ds2 := &mlkit.Dataset{Dim: 1}
+	ds2.Add(vec(0, 1), false)
+	m2, err := Trainer{}.Train(ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Predict(vec(0, 1)) {
+		t.Error("all-negative training should always predict negative")
+	}
+}
+
+func TestSmoothingHandlesUnseenFeatures(t *testing.T) {
+	m, err := Trainer{Alpha: 1}.Train(separableDataset(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vector with an index beyond the training dimension must not
+	// produce NaN and must use the unseen log-ratio.
+	s := m.Score(vec(7, 2))
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("unseen feature score = %v", s)
+	}
+}
+
+func TestAlphaInfluencesSharpness(t *testing.T) {
+	dsBig := separableDataset(100)
+	weak, _ := Trainer{Alpha: 100}.Train(dsBig)
+	strong, _ := Trainer{Alpha: 0.01}.Train(dsBig)
+	x := vec(0, 1)
+	if strong.Score(x) <= weak.Score(x) {
+		t.Error("smaller alpha should sharpen confident scores")
+	}
+}
+
+func TestRobustToNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	ds := &mlkit.Dataset{Dim: 20}
+	for i := 0; i < 400; i++ {
+		pos := i%2 == 0
+		b := vecspace.NewBuilder(4)
+		if pos {
+			b.Add(0, 1)
+		} else {
+			b.Add(1, 1)
+		}
+		// Random noise features.
+		b.Add(uint32(2+rng.IntN(18)), 1)
+		// 5% label noise.
+		if rng.Float64() < 0.05 {
+			pos = !pos
+		}
+		ds.Add(b.Sparse(), pos)
+	}
+	m, err := Trainer{}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if m.Predict(vec(0, 1, float32(2+rng.IntN(18)), 1)) {
+			correct++
+		}
+		if !m.Predict(vec(1, 1, float32(2+rng.IntN(18)), 1)) {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Errorf("accuracy under noise: %d/200", correct)
+	}
+}
+
+func TestTrainerName(t *testing.T) {
+	if (Trainer{}).Name() != "NB" {
+		t.Error("Name() != NB")
+	}
+}

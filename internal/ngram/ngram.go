@@ -1,0 +1,203 @@
+// Package ngram implements character n-gram extraction within token
+// boundaries, exactly as §3.1 of the paper prescribes for the trigram
+// feature set, plus order-k character Markov chains used by the synthetic
+// data generator to invent plausible words in each language.
+//
+// Trigrams are generated per token with one space of padding on either
+// side: the token "weather" yields " we", "wea", "eat", "ath", "the",
+// "her", "er ". Trigrams never span token boundaries — the paper
+// deliberately avoids cross-token trigrams such as "hi-" from
+// "www.hi-fly.de" because inter-token character sequences are much more
+// random than intra-token ones.
+package ngram
+
+import (
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// Trigrams returns the padded trigrams of a single token. A token of
+// length L yields exactly L trigrams (for L >= 2). Tokens shorter than
+// two characters yield nothing, mirroring the tokeniser's minimum length.
+func Trigrams(token string) []string {
+	return NGrams(token, 3)
+}
+
+// NGrams returns the padded n-grams of token for any n >= 2. The token is
+// padded with a single space on each side and a sliding window of width n
+// is applied, so a token of length L yields L+3-n grams (L+1 for bigrams,
+// L for trigrams, L-1 for 4-grams, ...).
+func NGrams(token string, n int) []string {
+	if n < 2 || len(token) < 2 {
+		return nil
+	}
+	padded := " " + token + " "
+	if len(padded) < n {
+		return nil
+	}
+	out := make([]string, 0, len(padded)-n+1)
+	for i := 0; i+n <= len(padded); i++ {
+		out = append(out, padded[i:i+n])
+	}
+	return out
+}
+
+// AppendTrigrams appends the trigrams of every token to dst and returns it.
+// It is the allocation-friendly form used by the trigram feature extractor.
+func AppendTrigrams(dst []string, tokens []string) []string {
+	for _, tok := range tokens {
+		if len(tok) < 2 {
+			continue
+		}
+		padded := " " + tok + " "
+		for i := 0; i+3 <= len(padded); i++ {
+			dst = append(dst, padded[i:i+3])
+		}
+	}
+	return dst
+}
+
+// Markov is an order-k character Markov chain over the lower-case ASCII
+// alphabet. The synthetic corpus generator trains one chain per language
+// on that language's lexicon and uses it to invent never-seen words whose
+// character statistics still look like the language — this is what gives
+// the trigram feature set something to learn on unseen tokens.
+type Markov struct {
+	order int
+	// transitions maps a k-character context to the cumulative
+	// distribution over next characters ('a'..'z' plus '\x00' for
+	// end-of-word).
+	transitions map[string][]charWeight
+	starts      []string // observed word prefixes of length k, with repetition
+}
+
+type charWeight struct {
+	c   byte
+	cum float64
+}
+
+// NewMarkov trains an order-k chain (k in 1..4) on the given words.
+// Words shorter than k+1 characters are skipped. NewMarkov panics if no
+// word is usable, since a generator without transitions is unusable.
+func NewMarkov(order int, words []string) *Markov {
+	if order < 1 {
+		order = 1
+	}
+	if order > 4 {
+		order = 4
+	}
+	counts := make(map[string]map[byte]int)
+	var starts []string
+	for _, w := range words {
+		w = normalizeWord(w)
+		if len(w) <= order {
+			continue
+		}
+		starts = append(starts, w[:order])
+		for i := order; i < len(w); i++ {
+			ctx := w[i-order : i]
+			m := counts[ctx]
+			if m == nil {
+				m = make(map[byte]int)
+				counts[ctx] = m
+			}
+			m[w[i]]++
+		}
+		ctx := w[len(w)-order:]
+		m := counts[ctx]
+		if m == nil {
+			m = make(map[byte]int)
+			counts[ctx] = m
+		}
+		m[0]++ // end of word
+	}
+	if len(starts) == 0 {
+		panic("ngram: no words long enough to train Markov chain")
+	}
+	mk := &Markov{order: order, transitions: make(map[string][]charWeight, len(counts)), starts: starts}
+	for ctx, m := range counts {
+		total := 0
+		chars := make([]byte, 0, len(m))
+		for c, n := range m {
+			total += n
+			chars = append(chars, c)
+		}
+		sort.Slice(chars, func(i, j int) bool { return chars[i] < chars[j] })
+		cum := 0.0
+		ws := make([]charWeight, 0, len(chars))
+		for _, c := range chars {
+			cum += float64(m[c]) / float64(total)
+			ws = append(ws, charWeight{c: c, cum: cum})
+		}
+		ws[len(ws)-1].cum = 1.0 // guard against rounding
+		mk.transitions[ctx] = ws
+	}
+	return mk
+}
+
+// Order returns the order of the chain.
+func (mk *Markov) Order() int { return mk.order }
+
+// Generate samples a pseudo-word of length between minLen and maxLen
+// (inclusive). The chain walks until it emits an end-of-word symbol past
+// minLen or reaches maxLen. Generation is deterministic given rng.
+func (mk *Markov) Generate(rng *rand.Rand, minLen, maxLen int) string {
+	if minLen < mk.order+1 {
+		minLen = mk.order + 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	var b strings.Builder
+	start := mk.starts[rng.IntN(len(mk.starts))]
+	b.WriteString(start)
+	for b.Len() < maxLen {
+		ctx := tail(b.String(), mk.order)
+		ws, ok := mk.transitions[ctx]
+		if !ok {
+			break
+		}
+		r := rng.Float64()
+		var next byte
+		for _, w := range ws {
+			if r <= w.cum {
+				next = w.c
+				break
+			}
+		}
+		if next == 0 { // end of word
+			if b.Len() >= minLen {
+				break
+			}
+			// too short: restart the context from a fresh prefix
+			b.WriteString(string(mk.starts[rng.IntN(len(mk.starts))][0]))
+			continue
+		}
+		b.WriteByte(next)
+	}
+	return b.String()
+}
+
+func tail(s string, k int) string {
+	if len(s) <= k {
+		return s
+	}
+	return s[len(s)-k:]
+}
+
+// normalizeWord lower-cases and strips non a-z bytes; the chains operate
+// on the same alphabet as the URL tokeniser.
+func normalizeWord(w string) string {
+	var b strings.Builder
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c >= 'a' && c <= 'z' {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

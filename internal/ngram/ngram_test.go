@@ -1,0 +1,174 @@
+package ngram
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrigramsPaperExample(t *testing.T) {
+	// §3.1: the token "weather" gives rise to the trigrams
+	// " we","wea","eat","ath","the","her","er ".
+	got := Trigrams("weather")
+	want := []string{" we", "wea", "eat", "ath", "the", "her", "er "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Trigrams(weather) = %q, want %q", got, want)
+	}
+}
+
+func TestTrigramsShortTokens(t *testing.T) {
+	if got := Trigrams("a"); got != nil {
+		t.Errorf("Trigrams(a) = %v, want nil", got)
+	}
+	got := Trigrams("de")
+	want := []string{" de", "de "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Trigrams(de) = %q, want %q", got, want)
+	}
+}
+
+func TestTrigramsCountEqualsLength(t *testing.T) {
+	// A token of length L yields exactly L trigrams.
+	f := func(raw string) bool {
+		tok := normalizeWord(raw)
+		if len(tok) < 2 {
+			return true
+		}
+		return len(Trigrams(tok)) == len(tok)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNGramsBigrams(t *testing.T) {
+	got := NGrams("ab", 2)
+	want := []string{" a", "ab", "b "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams(ab,2) = %q, want %q", got, want)
+	}
+}
+
+func TestNGramsFourGrams(t *testing.T) {
+	got := NGrams("wein", 4)
+	want := []string{" wei", "wein", "ein "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams(wein,4) = %q, want %q", got, want)
+	}
+}
+
+func TestNGramsDegenerate(t *testing.T) {
+	if NGrams("abc", 1) != nil {
+		t.Error("n=1 should yield nil")
+	}
+	if NGrams("ab", 7) != nil {
+		t.Error("n longer than padded token should yield nil")
+	}
+}
+
+func TestAppendTrigrams(t *testing.T) {
+	got := AppendTrigrams(nil, []string{"de", "it"})
+	want := []string{" de", "de ", " it", "it "}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendTrigrams = %q, want %q", got, want)
+	}
+	// Appends to existing slice.
+	got = AppendTrigrams(got[:2], []string{"it"})
+	if len(got) != 4 {
+		t.Errorf("reuse length = %d, want 4", len(got))
+	}
+	// Short tokens skipped.
+	if out := AppendTrigrams(nil, []string{"x"}); out != nil {
+		t.Errorf("short token yielded %v", out)
+	}
+}
+
+func TestAppendTrigramsMatchesTrigrams(t *testing.T) {
+	tokens := []string{"weather", "wetter", "meteo"}
+	var all []string
+	for _, tok := range tokens {
+		all = append(all, Trigrams(tok)...)
+	}
+	got := AppendTrigrams(nil, tokens)
+	if !reflect.DeepEqual(got, all) {
+		t.Errorf("AppendTrigrams disagrees with Trigrams")
+	}
+}
+
+var markovWords = []string{
+	"wasser", "wetter", "kaufen", "verkaufen", "nachrichten", "strasse",
+	"gesundheit", "wirtschaft", "unternehmen", "reise", "urlaub", "bilder",
+}
+
+func TestMarkovDeterministic(t *testing.T) {
+	m := NewMarkov(2, markovWords)
+	a := m.Generate(rand.New(rand.NewPCG(1, 2)), 4, 10)
+	b := m.Generate(rand.New(rand.NewPCG(1, 2)), 4, 10)
+	if a != b {
+		t.Errorf("same seed produced %q and %q", a, b)
+	}
+}
+
+func TestMarkovLengthBounds(t *testing.T) {
+	m := NewMarkov(2, markovWords)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 200; i++ {
+		w := m.Generate(rng, 4, 9)
+		if len(w) < 3 || len(w) > 9 {
+			t.Fatalf("generated %q with length %d outside [3,9]", w, len(w))
+		}
+	}
+}
+
+func TestMarkovAlphabet(t *testing.T) {
+	m := NewMarkov(2, markovWords)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 200; i++ {
+		w := m.Generate(rng, 4, 12)
+		for j := 0; j < len(w); j++ {
+			if w[j] < 'a' || w[j] > 'z' {
+				t.Fatalf("generated %q with non a-z byte", w)
+			}
+		}
+	}
+}
+
+func TestMarkovOrderClamped(t *testing.T) {
+	if got := NewMarkov(0, markovWords).Order(); got != 1 {
+		t.Errorf("order 0 clamped to %d, want 1", got)
+	}
+	if got := NewMarkov(9, markovWords).Order(); got != 4 {
+		t.Errorf("order 9 clamped to %d, want 4", got)
+	}
+}
+
+func TestMarkovPanicsWithoutWords(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMarkov with no usable words did not panic")
+		}
+	}()
+	NewMarkov(3, []string{"ab"}) // all words <= order
+}
+
+func TestMarkovUsesTrainingCharacters(t *testing.T) {
+	// A chain trained only on "aaaa" can only produce 'a's.
+	m := NewMarkov(1, []string{"aaaa", "aaaaa"})
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 50; i++ {
+		if w := m.Generate(rng, 2, 8); strings.Trim(w, "a") != "" {
+			t.Fatalf("chain invented characters: %q", w)
+		}
+	}
+}
+
+func TestNormalizeWord(t *testing.T) {
+	if got := normalizeWord("Straße-42"); got != "strae" {
+		t.Errorf("normalizeWord = %q, want strae (non-ASCII stripped)", got)
+	}
+	if got := normalizeWord("ABC"); got != "abc" {
+		t.Errorf("normalizeWord(ABC) = %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package rankorder implements the rank-order n-gram classifier of
+// Cavnar & Trenkle ("N-Gram-Based Text Categorization", SDAIR 1994),
+// reference [2] of the paper. §2 describes it: build an n-gram frequency
+// profile per class, keep the k most frequent n-grams, and classify a
+// document by the "out-of-place" distance between its own ranked profile
+// and each class profile.
+//
+// The paper's authors compared rank-order statistics, character Markov
+// models and relative entropy in preliminary experiments and picked
+// relative entropy because it performed best; this package (together
+// with internal/charmarkov) lets the repository reproduce that
+// comparison — see the PreliminaryComparison experiment and the
+// corresponding benchmark.
+package rankorder
+
+import (
+	"sort"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+// Trainer configures rank-order training. The zero value is usable.
+type Trainer struct {
+	// ProfileSize is the number of top-ranked features kept per class
+	// profile (Cavnar & Trenkle used 300 for language identification).
+	// Zero selects 300.
+	ProfileSize int
+}
+
+// Name implements mlkit.Trainer.
+func (t Trainer) Name() string { return "RO" }
+
+// Model is a trained rank-order binary classifier.
+type Model struct {
+	// PosRank and NegRank map feature index -> rank (0 = most
+	// frequent) within each class profile.
+	PosRank, NegRank map[uint32]int
+	// ProfileSize is the out-of-place penalty for features missing
+	// from a profile.
+	ProfileSize int
+}
+
+// Train implements mlkit.Trainer.
+func (t Trainer) Train(ds *mlkit.Dataset) (mlkit.BinaryModel, error) {
+	if ds.Len() == 0 {
+		return nil, mlkit.ErrEmptyDataset
+	}
+	k := t.ProfileSize
+	if k <= 0 {
+		k = 300
+	}
+	posCounts := make(map[uint32]float64)
+	negCounts := make(map[uint32]float64)
+	for i, x := range ds.X {
+		dst := negCounts
+		if ds.Y[i] {
+			dst = posCounts
+		}
+		for j, f := range x.Idx {
+			dst[f] += float64(x.Val[j])
+		}
+	}
+	return &Model{
+		PosRank:     topRanks(posCounts, k),
+		NegRank:     topRanks(negCounts, k),
+		ProfileSize: k,
+	}, nil
+}
+
+// topRanks returns the rank of the k most frequent features. Ties break
+// by feature index so training is deterministic.
+func topRanks(counts map[uint32]float64, k int) map[uint32]int {
+	type fc struct {
+		f uint32
+		c float64
+	}
+	all := make([]fc, 0, len(counts))
+	for f, c := range counts {
+		all = append(all, fc{f, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].f < all[j].f
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	ranks := make(map[uint32]int, len(all))
+	for r, e := range all {
+		ranks[e.f] = r
+	}
+	return ranks
+}
+
+// outOfPlace computes the Cavnar-Trenkle distance between the document's
+// ranked profile and a class profile: for each document feature, the
+// absolute difference between its document rank and its class rank, with
+// a maximum penalty for features absent from the class profile.
+func (m *Model) outOfPlace(docRanks []uint32, classRank map[uint32]int) float64 {
+	var dist float64
+	for docRank, f := range docRanks {
+		classPos, ok := classRank[f]
+		if !ok {
+			dist += float64(m.ProfileSize)
+			continue
+		}
+		d := docRank - classPos
+		if d < 0 {
+			d = -d
+		}
+		dist += float64(d)
+	}
+	return dist
+}
+
+// docProfile ranks the document's own features by value (then index).
+func docProfile(x vecspace.Sparse) []uint32 {
+	type fv struct {
+		f uint32
+		v float32
+	}
+	all := make([]fv, x.Len())
+	for i := range x.Idx {
+		all[i] = fv{x.Idx[i], x.Val[i]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].f < all[j].f
+	})
+	out := make([]uint32, len(all))
+	for i, e := range all {
+		out[i] = e.f
+	}
+	return out
+}
+
+// Score implements mlkit.BinaryModel: the negative-profile distance minus
+// the positive-profile distance, so larger means closer to the positive
+// class.
+func (m *Model) Score(x vecspace.Sparse) float64 {
+	doc := docProfile(x)
+	if len(doc) == 0 {
+		return -1
+	}
+	return m.outOfPlace(doc, m.NegRank) - m.outOfPlace(doc, m.PosRank)
+}
+
+// Predict implements mlkit.BinaryModel.
+func (m *Model) Predict(x vecspace.Sparse) bool { return m.Score(x) >= 0 }

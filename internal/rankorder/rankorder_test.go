@@ -1,0 +1,124 @@
+package rankorder
+
+import (
+	"testing"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+func vec(pairs ...float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+func separable(n int) *mlkit.Dataset {
+	ds := &mlkit.Dataset{Dim: 6}
+	for i := 0; i < n; i++ {
+		// Positives: feature 0 dominant, 2 secondary.
+		ds.Add(vec(0, 5, 2, 2, 4, 1), true)
+		// Negatives: feature 1 dominant, 3 secondary.
+		ds.Add(vec(1, 5, 3, 2, 4, 1), false)
+	}
+	return ds
+}
+
+func TestLearnsSeparableProfiles(t *testing.T) {
+	m, err := Trainer{}.Train(separable(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 3, 2, 1)) {
+		t.Error("positive-profile vector misclassified")
+	}
+	if m.Predict(vec(1, 3, 3, 1)) {
+		t.Error("negative-profile vector misclassified")
+	}
+}
+
+func TestRanksAreOrdered(t *testing.T) {
+	m, err := Trainer{}.Train(separable(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := m.(*Model)
+	// Positive profile: feature 0 has rank 0 (most frequent), feature 4
+	// and 2 follow.
+	if ro.PosRank[0] != 0 {
+		t.Errorf("feature 0 rank = %d, want 0", ro.PosRank[0])
+	}
+	if ro.PosRank[2] >= ro.PosRank[0] == false {
+		t.Error("secondary feature ranked above dominant")
+	}
+}
+
+func TestProfileSizeCaps(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 50}
+	b := vecspace.NewBuilder(50)
+	for f := 0; f < 50; f++ {
+		b.Add(uint32(f), float32(50-f))
+	}
+	ds.Add(b.Sparse(), true)
+	ds.Add(vec(0, 1), false)
+	m, err := Trainer{ProfileSize: 10}.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := m.(*Model)
+	if len(ro.PosRank) != 10 {
+		t.Errorf("profile size = %d, want 10", len(ro.PosRank))
+	}
+}
+
+func TestMissingFeaturePenalty(t *testing.T) {
+	m, err := Trainer{ProfileSize: 5}.Train(separable(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := m.(*Model)
+	// A document made only of a feature unknown to both profiles gets
+	// the maximum penalty on both sides: score 0 -> positive by >= 0
+	// convention, but the magnitude must be 0.
+	if s := ro.Score(vec(40, 1)); s != 0 {
+		t.Errorf("unknown-feature score = %v, want 0 (equal penalties)", s)
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	m, err := Trainer{}.Train(separable(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(vecspace.Sparse{}) {
+		t.Error("empty vector classified positive")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := (Trainer{}).Train(&mlkit.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ds := &mlkit.Dataset{Dim: 4}
+	ds.Add(vec(0, 1, 1, 1, 2, 1, 3, 1), true) // all-equal counts: tie
+	ds.Add(vec(3, 1), false)
+	a, _ := Trainer{}.Train(ds)
+	b, _ := Trainer{}.Train(ds)
+	am, bm := a.(*Model), b.(*Model)
+	for f, r := range am.PosRank {
+		if bm.PosRank[f] != r {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if (Trainer{}).Name() != "RO" {
+		t.Error("Name() != RO")
+	}
+}

@@ -1,0 +1,128 @@
+// Package relent implements the Relative Entropy classifier of §3.2,
+// following Sibun & Reynar: training learns one probability distribution
+// per class by averaging the L1-normalised feature vectors of that class;
+// a test vector is normalised to a distribution and assigned to the class
+// with the lowest relative entropy (Kullback-Leibler divergence) between
+// the test distribution and the class distribution.
+//
+// In the paper's experiments Relative Entropy achieves the highest
+// precision of all machine-learning algorithms for every language and
+// test set (§5.6), at the price of a lower recall — which is why it is the
+// preferred helper in the recall-boosting classifier combinations.
+package relent
+
+import (
+	"math"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+// Trainer configures Relative Entropy training. The zero value is usable.
+type Trainer struct {
+	// Epsilon is the additive smoothing applied to the class
+	// distributions so KL stays finite on unseen features. Zero selects
+	// the default of 1e-4.
+	Epsilon float64
+	// Margin shifts the decision boundary: the model answers positive
+	// iff KL(x||neg) - KL(x||pos) >= Margin. Zero keeps the natural
+	// boundary.
+	Margin float64
+}
+
+// Name implements mlkit.Trainer.
+func (t Trainer) Name() string { return "RE" }
+
+// Model is a trained Relative Entropy binary classifier.
+type Model struct {
+	// LogPos and LogNeg hold the log of the smoothed class
+	// distributions; storing logs makes scoring a single pass.
+	LogPos, LogNeg []float64
+	// LogUnseenPos/Neg apply to features beyond the training dimension.
+	LogUnseenPos, LogUnseenNeg float64
+	// Margin is the decision threshold (see Trainer.Margin).
+	Margin float64
+}
+
+// Train implements mlkit.Trainer.
+func (t Trainer) Train(ds *mlkit.Dataset) (mlkit.BinaryModel, error) {
+	if ds.Len() == 0 {
+		return nil, mlkit.ErrEmptyDataset
+	}
+	eps := t.Epsilon
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	dim := ds.Dim
+	pos := make([]float64, dim)
+	neg := make([]float64, dim)
+	var nPos, nNeg float64
+	for k, x := range ds.X {
+		sum := x.Sum()
+		if sum <= 0 {
+			continue
+		}
+		dst := neg
+		if ds.Y[k] {
+			dst = pos
+			nPos++
+		} else {
+			nNeg++
+		}
+		for j, i := range x.Idx {
+			dst[i] += float64(x.Val[j]) / sum
+		}
+	}
+	m := &Model{
+		LogPos: make([]float64, dim),
+		LogNeg: make([]float64, dim),
+		Margin: t.Margin,
+	}
+	normalizeLog(pos, nPos, eps, m.LogPos)
+	normalizeLog(neg, nNeg, eps, m.LogNeg)
+	m.LogUnseenPos = math.Log(eps) - math.Log(nPosOr1(nPos)+eps*float64(dim))
+	m.LogUnseenNeg = math.Log(eps) - math.Log(nPosOr1(nNeg)+eps*float64(dim))
+	return m, nil
+}
+
+func nPosOr1(n float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+// normalizeLog converts summed per-example distributions into the log of
+// the smoothed class average: q_i = (sum_i + eps) / (n + eps*dim).
+func normalizeLog(sum []float64, n, eps float64, out []float64) {
+	z := math.Log(nPosOr1(n) + eps*float64(len(sum)))
+	for i, v := range sum {
+		out[i] = math.Log(v+eps) - z
+	}
+}
+
+// Score implements mlkit.BinaryModel. It returns
+// KL(x||neg) - KL(x||pos) - margin; positive values mean the test
+// distribution is closer (in relative entropy) to the positive class.
+// Because the p·log p term cancels, this reduces to
+// Σ_i p_i·(logPos_i − logNeg_i).
+func (m *Model) Score(x vecspace.Sparse) float64 {
+	sum := x.Sum()
+	if sum <= 0 {
+		return -m.Margin
+	}
+	var s float64
+	n := uint32(len(m.LogPos))
+	for j, i := range x.Idx {
+		p := float64(x.Val[j]) / sum
+		if i < n {
+			s += p * (m.LogPos[i] - m.LogNeg[i])
+		} else {
+			s += p * (m.LogUnseenPos - m.LogUnseenNeg)
+		}
+	}
+	return s - m.Margin
+}
+
+// Predict implements mlkit.BinaryModel.
+func (m *Model) Predict(x vecspace.Sparse) bool { return m.Score(x) >= 0 }

@@ -1,0 +1,136 @@
+package relent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"urllangid/internal/mlkit"
+	"urllangid/internal/vecspace"
+)
+
+func vec(pairs ...float32) vecspace.Sparse {
+	b := vecspace.NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+func separable(n int) *mlkit.Dataset {
+	ds := &mlkit.Dataset{Dim: 4}
+	for i := 0; i < n; i++ {
+		ds.Add(vec(0, 2, 2, 1), true)
+		ds.Add(vec(1, 2, 3, 1), false)
+	}
+	return ds
+}
+
+func TestLearnsSeparableData(t *testing.T) {
+	m, err := Trainer{}.Train(separable(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict(vec(0, 3)) {
+		t.Error("positive profile misclassified")
+	}
+	if m.Predict(vec(1, 3)) {
+		t.Error("negative profile misclassified")
+	}
+}
+
+func TestScoreIsKLDifference(t *testing.T) {
+	// For a test vector equal to the positive class profile, the score
+	// must be positive (closer to positive class in relative entropy).
+	m, err := Trainer{}.Train(separable(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Score(vec(0, 2, 2, 1)); s <= 0 {
+		t.Errorf("score on class centroid = %v, want > 0", s)
+	}
+}
+
+func TestEmptyVectorNeutral(t *testing.T) {
+	m, err := Trainer{}.Train(separable(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(vecspace.Sparse{}); got != 0 {
+		t.Errorf("empty vector score = %v, want 0 (margin 0)", got)
+	}
+}
+
+func TestMarginShiftsDecision(t *testing.T) {
+	ds := separable(30)
+	neutral, _ := Trainer{}.Train(ds)
+	strict, _ := Trainer{Margin: 5}.Train(ds)
+	x := vec(0, 1)
+	if !neutral.Predict(x) {
+		t.Fatal("neutral model should accept clear positive")
+	}
+	if strict.Predict(x) && strict.Score(x) >= neutral.Score(x) {
+		t.Error("margin did not shift the decision boundary")
+	}
+	if neutral.Score(x)-strict.Score(x) != 5 {
+		t.Errorf("score difference = %v, want exactly the margin", neutral.Score(x)-strict.Score(x))
+	}
+}
+
+func TestScoreFiniteOnUnseenFeatures(t *testing.T) {
+	m, err := Trainer{}.Train(separable(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(i uint8, v uint8) bool {
+		if v == 0 {
+			return true
+		}
+		s := m.Score(vec(float32(i), float32(v)))
+		return !math.IsNaN(s) && !math.IsInf(s, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalisationInvariance(t *testing.T) {
+	// RE operates on L1-normalised profiles: scaling a test vector must
+	// not change its score.
+	m, err := Trainer{}.Train(separable(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Score(vec(0, 1, 2, 1))
+	b := m.Score(vec(0, 10, 2, 10))
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("scaling changed score: %v vs %v", a, b)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := (Trainer{}).Train(&mlkit.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestHighPrecisionTendency(t *testing.T) {
+	// RE assigns by distribution similarity; an ambiguous vector with
+	// mass on both class markers should score near zero (abstain-ish),
+	// unlike a clear positive.
+	m, err := Trainer{}.Train(separable(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear := m.Score(vec(0, 4))
+	ambiguous := m.Score(vec(0, 1, 1, 1))
+	if ambiguous >= clear {
+		t.Errorf("ambiguous %v should score below clear %v", ambiguous, clear)
+	}
+}
+
+func TestTrainerName(t *testing.T) {
+	if (Trainer{}).Name() != "RE" {
+		t.Error("Name() != RE")
+	}
+}

@@ -1,0 +1,163 @@
+// Package textstat derives corpus-level statistics from training URLs.
+// Its central artifact is the trained dictionary of §3.1: a token is added
+// to language X's dictionary if (i) it appears in at least 0.01% of X's
+// training URLs, (ii) at least 80% of the URLs containing it belong to X,
+// and (iii) it is at least 3 characters long. This is how the classifier
+// learns, e.g., that "arcor" is German and "galeon" is Spanish.
+package textstat
+
+import (
+	"sort"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+// Defaults for the trained-dictionary thresholds, straight from §3.1.
+const (
+	DefaultMinFraction      = 0.0001 // token must appear in >= 0.01% of a language's URLs
+	DefaultMinConcentration = 0.80   // >= 80% of URLs containing the token belong to the language
+	DefaultMinTokenLength   = 3
+)
+
+// TrainedDict holds per-language token sets learned from training URLs.
+type TrainedDict struct {
+	sets [langid.NumLanguages]map[string]struct{}
+}
+
+// Options tunes the dictionary-construction thresholds. The zero value
+// selects the paper's defaults.
+type Options struct {
+	MinFraction      float64
+	MinConcentration float64
+	MinTokenLength   int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinFraction <= 0 {
+		o.MinFraction = DefaultMinFraction
+	}
+	if o.MinConcentration <= 0 {
+		o.MinConcentration = DefaultMinConcentration
+	}
+	if o.MinTokenLength <= 0 {
+		o.MinTokenLength = DefaultMinTokenLength
+	}
+	return o
+}
+
+// Build constructs the trained dictionary from labeled training samples.
+// Token occurrence is counted per URL (presence, not multiplicity), since
+// both thresholds in the paper are phrased over URLs.
+func Build(samples []langid.Sample, opts Options) *TrainedDict {
+	opts = opts.withDefaults()
+
+	type tokenStat struct {
+		perLang [langid.NumLanguages]int32
+		total   int32
+	}
+	stats := make(map[string]*tokenStat)
+	var urlsPerLang [langid.NumLanguages]int
+
+	seen := make(map[string]struct{}, 16)
+	for _, s := range samples {
+		if !s.Lang.Valid() {
+			continue
+		}
+		urlsPerLang[s.Lang]++
+		p := urlx.Parse(s.URL)
+		clear(seen)
+		for _, tok := range p.Tokens {
+			if len(tok) < opts.MinTokenLength {
+				continue
+			}
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			st := stats[tok]
+			if st == nil {
+				st = &tokenStat{}
+				stats[tok] = st
+			}
+			st.perLang[s.Lang]++
+			st.total++
+		}
+	}
+
+	d := &TrainedDict{}
+	for i := range d.sets {
+		d.sets[i] = make(map[string]struct{})
+	}
+	for tok, st := range stats {
+		for l := 0; l < langid.NumLanguages; l++ {
+			if urlsPerLang[l] == 0 {
+				continue
+			}
+			frac := float64(st.perLang[l]) / float64(urlsPerLang[l])
+			conc := float64(st.perLang[l]) / float64(st.total)
+			if frac >= opts.MinFraction && conc >= opts.MinConcentration {
+				d.sets[l][tok] = struct{}{}
+			}
+		}
+	}
+	return d
+}
+
+// FromTokens rebuilds a trained dictionary from per-language token lists,
+// as produced by Tokens. It is used when loading persisted models.
+func FromTokens(tokens [langid.NumLanguages][]string) *TrainedDict {
+	d := &TrainedDict{}
+	for l := range d.sets {
+		d.sets[l] = make(map[string]struct{}, len(tokens[l]))
+		for _, t := range tokens[l] {
+			d.sets[l][t] = struct{}{}
+		}
+	}
+	return d
+}
+
+// Contains reports whether token is in l's trained dictionary.
+func (d *TrainedDict) Contains(l langid.Language, token string) bool {
+	if d == nil {
+		return false
+	}
+	_, ok := d.sets[l][token]
+	return ok
+}
+
+// Count returns how many of the tokens are in l's trained dictionary
+// (with multiplicity, matching the "token counts" custom features).
+func (d *TrainedDict) Count(l langid.Language, tokens []string) int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range tokens {
+		if _, ok := d.sets[l][t]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of tokens in l's dictionary.
+func (d *TrainedDict) Size(l langid.Language) int {
+	if d == nil {
+		return 0
+	}
+	return len(d.sets[l])
+}
+
+// Tokens returns a sorted copy of l's dictionary, for inspection and tests.
+func (d *TrainedDict) Tokens(l langid.Language) []string {
+	if d == nil {
+		return nil
+	}
+	out := make([]string, 0, len(d.sets[l]))
+	for t := range d.sets[l] {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package textstat
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+// corpusWith builds a corpus where token appears in frac of lang's URLs
+// and the rest is filler.
+func corpusWith(lang langid.Language, token string, occurrences, totalPerLang int) []langid.Sample {
+	var samples []langid.Sample
+	for _, l := range langid.Languages() {
+		for i := 0; i < totalPerLang; i++ {
+			url := fmt.Sprintf("http://filler%d.example/%s", i, l.Code())
+			if l == lang && i < occurrences {
+				url = fmt.Sprintf("http://site%d.example/%s", i, token)
+			}
+			samples = append(samples, langid.Sample{URL: url, Lang: l})
+		}
+	}
+	return samples
+}
+
+func TestBuildAddsConcentratedFrequentToken(t *testing.T) {
+	// "arcor" appears in 5% of German URLs and only there (§3.1's
+	// example of a learned German token).
+	samples := corpusWith(langid.German, "arcor", 50, 1000)
+	d := Build(samples, Options{})
+	if !d.Contains(langid.German, "arcor") {
+		t.Error("arcor not learned as German")
+	}
+	for _, l := range langid.Languages() {
+		if l != langid.German && d.Contains(l, "arcor") {
+			t.Errorf("arcor wrongly in %s dictionary", l)
+		}
+	}
+}
+
+func TestBuildRespectsMinFraction(t *testing.T) {
+	samples := corpusWith(langid.Spanish, "galeon", 2, 1000)
+	// 2/1000 = 0.2% >= default 0.01% -> included.
+	if d := Build(samples, Options{}); !d.Contains(langid.Spanish, "galeon") {
+		t.Error("galeon above default threshold but excluded")
+	}
+	// A much higher threshold excludes it.
+	d := Build(samples, Options{MinFraction: 0.01})
+	if d.Contains(langid.Spanish, "galeon") {
+		t.Error("galeon below 1% threshold but included")
+	}
+}
+
+func TestBuildRespectsConcentration(t *testing.T) {
+	// Token split 60/40 between two languages: below the 80%
+	// concentration requirement for both.
+	var samples []langid.Sample
+	for i := 0; i < 60; i++ {
+		samples = append(samples, langid.Sample{URL: fmt.Sprintf("http://a%d.com/shared", i), Lang: langid.French})
+	}
+	for i := 0; i < 40; i++ {
+		samples = append(samples, langid.Sample{URL: fmt.Sprintf("http://b%d.com/shared", i), Lang: langid.Italian})
+	}
+	d := Build(samples, Options{})
+	if d.Contains(langid.French, "shared") || d.Contains(langid.Italian, "shared") {
+		t.Error("token with 60/40 split must not enter any dictionary")
+	}
+}
+
+func TestBuildRespectsMinLength(t *testing.T) {
+	var samples []langid.Sample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, langid.Sample{URL: fmt.Sprintf("http://x%d.com/de", i), Lang: langid.German})
+		samples = append(samples, langid.Sample{URL: fmt.Sprintf("http://y%d.com/fr", i), Lang: langid.French})
+	}
+	d := Build(samples, Options{})
+	if d.Contains(langid.German, "de") {
+		t.Error("two-letter token entered the dictionary (min length is 3)")
+	}
+}
+
+func TestBuildCountsPresencePerURL(t *testing.T) {
+	// A token repeated many times inside one URL counts once.
+	samples := []langid.Sample{
+		{URL: "http://kaufen.de/kaufen/kaufen/kaufen", Lang: langid.German},
+	}
+	for i := 0; i < 99; i++ {
+		samples = append(samples, langid.Sample{URL: fmt.Sprintf("http://f%d.de/x", i), Lang: langid.German})
+		samples = append(samples, langid.Sample{URL: fmt.Sprintf("http://e%d.com/word%d", i, i), Lang: langid.English})
+	}
+	d := Build(samples, Options{MinFraction: 0.02})
+	// 1/100 German URLs = 1% < 2% threshold even though the token
+	// occurs 4 times in that URL.
+	if d.Contains(langid.German, "kaufen") {
+		t.Error("multiplicity within one URL inflated the presence count")
+	}
+}
+
+func TestCount(t *testing.T) {
+	samples := corpusWith(langid.Italian, "virgilio", 100, 1000)
+	d := Build(samples, Options{})
+	n := d.Count(langid.Italian, []string{"virgilio", "virgilio", "other"})
+	if n != 2 {
+		t.Errorf("Count = %d, want 2 (with multiplicity)", n)
+	}
+	if d.Count(langid.French, []string{"virgilio"}) != 0 {
+		t.Error("Count leaked across languages")
+	}
+}
+
+func TestNilDictSafe(t *testing.T) {
+	var d *TrainedDict
+	if d.Contains(langid.German, "x") || d.Count(langid.German, []string{"x"}) != 0 || d.Size(langid.German) != 0 {
+		t.Error("nil TrainedDict must behave as empty")
+	}
+	if d.Tokens(langid.German) != nil {
+		t.Error("nil TrainedDict Tokens must be nil")
+	}
+}
+
+func TestTokensSortedAndFromTokensRoundTrip(t *testing.T) {
+	samples := corpusWith(langid.English, "zebra", 100, 1000)
+	samples = append(samples, corpusWith(langid.English, "apple", 100, 1000)...)
+	d := Build(samples, Options{})
+	toks := d.Tokens(langid.English)
+	for i := 1; i < len(toks); i++ {
+		if toks[i] <= toks[i-1] {
+			t.Fatalf("Tokens not sorted at %d", i)
+		}
+	}
+	var lists [langid.NumLanguages][]string
+	for _, l := range langid.Languages() {
+		lists[l] = d.Tokens(l)
+	}
+	rebuilt := FromTokens(lists)
+	for _, l := range langid.Languages() {
+		if !reflect.DeepEqual(rebuilt.Tokens(l), d.Tokens(l)) {
+			t.Errorf("FromTokens round trip lost %s entries", l)
+		}
+	}
+}
+
+func TestBuildIgnoresInvalidLanguage(t *testing.T) {
+	samples := []langid.Sample{{URL: "http://x.com/token", Lang: langid.Language(99)}}
+	d := Build(samples, Options{})
+	for _, l := range langid.Languages() {
+		if d.Size(l) != 0 {
+			t.Error("invalid-language sample contributed tokens")
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MinFraction != DefaultMinFraction || o.MinConcentration != DefaultMinConcentration || o.MinTokenLength != DefaultMinTokenLength {
+		t.Errorf("withDefaults = %+v", o)
+	}
+}

@@ -1,0 +1,87 @@
+package tldbase
+
+import (
+	"testing"
+
+	"urllangid/internal/dict"
+	"urllangid/internal/langid"
+	"urllangid/internal/urlx"
+)
+
+func TestCcTLDAssignsAllPaperTLDs(t *testing.T) {
+	c := CcTLD()
+	for _, l := range langid.Languages() {
+		for _, tld := range dict.CcTLDs(l) {
+			got, ok := c.ClassifyURL("http://www.example." + tld + "/page")
+			if !ok || got != l {
+				t.Errorf("ClassifyURL(.%s) = %v, %v; want %v", tld, got, ok, l)
+			}
+		}
+	}
+}
+
+func TestCcTLDUnassigned(t *testing.T) {
+	c := CcTLD()
+	for _, tld := range []string{"com", "org", "net", "info", "ch", "jp"} {
+		if _, ok := c.ClassifyURL("http://example." + tld); ok {
+			t.Errorf(".%s should be unassigned under plain ccTLD", tld)
+		}
+	}
+}
+
+func TestCcTLDPlusMapsComOrgToEnglish(t *testing.T) {
+	c := CcTLDPlus()
+	for _, tld := range []string{"com", "org"} {
+		got, ok := c.ClassifyURL("http://example." + tld)
+		if !ok || got != langid.English {
+			t.Errorf("ccTLD+ .%s = %v, %v; want English", tld, got, ok)
+		}
+	}
+	// .net stays unassigned even under ccTLD+.
+	if _, ok := c.ClassifyURL("http://example.net"); ok {
+		t.Error("ccTLD+ wrongly assigns .net")
+	}
+	// Country codes still win over the .com/.org default.
+	got, ok := c.ClassifyURL("http://example.de")
+	if !ok || got != langid.German {
+		t.Error("ccTLD+ broke country-code handling")
+	}
+}
+
+func TestPositiveBinaryMapping(t *testing.T) {
+	// §3.2: the multi-way classifier maps to five binary classifiers in
+	// the obvious way.
+	c := CcTLD()
+	p := urlx.Parse("http://www.beispiel.de/seite")
+	if !c.Positive(p, langid.German) {
+		t.Error("German binary classifier rejects .de")
+	}
+	for _, l := range langid.Languages() {
+		if l != langid.German && c.Positive(p, l) {
+			t.Errorf("%v binary classifier accepts .de", l)
+		}
+	}
+	// Unassigned TLD: all five say no.
+	p = urlx.Parse("http://example.net/page")
+	for _, l := range langid.Languages() {
+		if c.Positive(p, l) {
+			t.Errorf("%v classifier accepts unassigned .net", l)
+		}
+	}
+}
+
+func TestSubdomainDoesNotFool(t *testing.T) {
+	// Only the actual TLD counts for the baseline — de.wikipedia.org is
+	// NOT German for ccTLD (that generalisation belongs to the custom
+	// features).
+	c := CcTLD()
+	if _, ok := c.ClassifyURL("http://de.wikipedia.org/wiki"); ok {
+		t.Error("baseline used a non-TLD host label")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if CcTLD().Name() != "ccTLD" || CcTLDPlus().Name() != "ccTLD+" {
+		t.Error("baseline names wrong")
+	}
+}

@@ -1,0 +1,51 @@
+// Package trainctl provides training-set control utilities used by the
+// §6 experiments: stratified subsampling for the training-fraction sweep
+// of Figure 2 and deterministic shuffling.
+package trainctl
+
+import (
+	"math/rand/v2"
+
+	"urllangid/internal/langid"
+)
+
+// Fractions are the training-data fractions of Figure 2 (0.1% .. 100%).
+var Fractions = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0}
+
+// Subsample returns a stratified random subset containing the given
+// fraction of each language's samples, preserving the per-language
+// balance of the pool. frac >= 1 returns the input unchanged (shared,
+// not copied). The selection is deterministic in seed.
+func Subsample(samples []langid.Sample, frac float64, seed uint64) []langid.Sample {
+	if frac >= 1 {
+		return samples
+	}
+	if frac <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5ab5a))
+	byLang := make([][]int, langid.NumLanguages)
+	for i, s := range samples {
+		byLang[s.Lang] = append(byLang[s.Lang], i)
+	}
+	var out []langid.Sample
+	for _, idx := range byLang {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := int(float64(len(idx)) * frac)
+		if n < 1 && len(idx) > 0 {
+			n = 1
+		}
+		for _, i := range idx[:n] {
+			out = append(out, samples[i])
+		}
+	}
+	return out
+}
+
+// Shuffle returns a deterministically shuffled copy of samples.
+func Shuffle(samples []langid.Sample, seed uint64) []langid.Sample {
+	out := append([]langid.Sample(nil), samples...)
+	rng := rand.New(rand.NewPCG(seed, 0x5caff1e))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,120 @@
+package trainctl
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+func pool(perLang int) []langid.Sample {
+	var out []langid.Sample
+	for _, l := range langid.Languages() {
+		for i := 0; i < perLang; i++ {
+			out = append(out, langid.Sample{URL: fmt.Sprintf("http://%s%d.com", l.Code(), i), Lang: l})
+		}
+	}
+	return out
+}
+
+func TestSubsampleStratified(t *testing.T) {
+	samples := pool(100)
+	sub := Subsample(samples, 0.1, 1)
+	if len(sub) != 50 {
+		t.Fatalf("subsample size = %d, want 50", len(sub))
+	}
+	var counts [langid.NumLanguages]int
+	for _, s := range sub {
+		counts[s.Lang]++
+	}
+	for _, l := range langid.Languages() {
+		if counts[l] != 10 {
+			t.Errorf("%s got %d samples, want 10 (stratified)", l, counts[l])
+		}
+	}
+}
+
+func TestSubsampleWholeAndEmpty(t *testing.T) {
+	samples := pool(5)
+	if got := Subsample(samples, 1.0, 1); len(got) != len(samples) {
+		t.Error("frac 1.0 should return everything")
+	}
+	if got := Subsample(samples, 1.5, 1); len(got) != len(samples) {
+		t.Error("frac > 1 should return everything")
+	}
+	if got := Subsample(samples, 0, 1); got != nil {
+		t.Error("frac 0 should return nil")
+	}
+	if got := Subsample(samples, -1, 1); got != nil {
+		t.Error("negative frac should return nil")
+	}
+}
+
+func TestSubsampleAtLeastOnePerLanguage(t *testing.T) {
+	samples := pool(3)
+	sub := Subsample(samples, 0.01, 1)
+	var counts [langid.NumLanguages]int
+	for _, s := range sub {
+		counts[s.Lang]++
+	}
+	for _, l := range langid.Languages() {
+		if counts[l] < 1 {
+			t.Errorf("%s lost all samples at tiny fraction", l)
+		}
+	}
+}
+
+func TestSubsampleDeterministic(t *testing.T) {
+	samples := pool(50)
+	a := Subsample(samples, 0.2, 42)
+	b := Subsample(samples, 0.2, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different subsamples")
+	}
+	c := Subsample(samples, 0.2, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical subsamples (suspicious)")
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	samples := pool(20)
+	a := Shuffle(samples, 5)
+	b := Shuffle(samples, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different shuffles")
+	}
+	if len(a) != len(samples) {
+		t.Error("shuffle changed length")
+	}
+	// Original untouched.
+	if samples[0] != pool(20)[0] {
+		t.Error("Shuffle mutated its input")
+	}
+	// Same multiset.
+	seen := make(map[string]int)
+	for _, s := range samples {
+		seen[s.URL]++
+	}
+	for _, s := range a {
+		seen[s.URL]--
+	}
+	for url, n := range seen {
+		if n != 0 {
+			t.Fatalf("shuffle lost/duplicated %s", url)
+		}
+	}
+}
+
+func TestFractionsMatchPaper(t *testing.T) {
+	// Figure 2 sweeps 0.1% to 100%.
+	if Fractions[0] != 0.001 || Fractions[len(Fractions)-1] != 1.0 {
+		t.Errorf("Fractions = %v", Fractions)
+	}
+	for i := 1; i < len(Fractions); i++ {
+		if Fractions[i] <= Fractions[i-1] {
+			t.Error("Fractions not increasing")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package urlx parses and tokenises URLs the way the paper's feature
+// extractors require (§3.1 of Baykan et al., VLDB 2008).
+//
+// A URL is split into a sequence of strings of letters at any punctuation
+// mark, digit, or other non-letter character. Strings shorter than two
+// letters and the special words "www", "index", "html", "htm", "http" and
+// "https" are removed; the survivors are called tokens. For example
+//
+//	http://www.internetwordstats.com/africa2.htm
+//
+// yields the tokens [internetwordstats com africa].
+//
+// The package also extracts the host, top-level domain, the registrable
+// domain (used by the Figure 3 domain-memorisation experiment), the
+// pre-/post-slash split that several custom features distinguish, and the
+// hyphen count (German URLs carry about five times more hyphens than
+// English ones, §3.1).
+package urlx
+
+import "strings"
+
+// specialTokens are removed during tokenisation per §3.1 of the paper.
+var specialTokens = map[string]struct{}{
+	"www":   {},
+	"index": {},
+	"html":  {},
+	"htm":   {},
+	"http":  {},
+	"https": {},
+}
+
+// Parts is the decomposition of a single URL. All fields are lower-case.
+type Parts struct {
+	// Raw is the original input string.
+	Raw string
+	// Host is the authority component without port or credentials,
+	// e.g. "fr.search.yahoo.com".
+	Host string
+	// Path is everything after the host (path, query and fragment).
+	Path string
+	// TLD is the last dot-separated label of the host, e.g. "com".
+	TLD string
+	// Domain is the registrable domain, e.g. "cam.ac.uk" for
+	// "chu.cam.ac.uk" or "epfl.ch" for "ltaa.epfl.ch".
+	Domain string
+	// HostLabels are the dot-separated labels of the host in order,
+	// e.g. ["fr", "search", "yahoo", "com"].
+	HostLabels []string
+	// Tokens are the paper's URL tokens for the whole URL.
+	Tokens []string
+	// PreTokens are the tokens occurring before the first '/' (the host
+	// part); PostTokens are the rest. Several custom features keep
+	// separate counters for the two regions.
+	PreTokens  []string
+	PostTokens []string
+	// HyphenCount is the number of '-' characters in the whole URL.
+	HyphenCount int
+	// DigitRunCount is the number of maximal digit runs in the URL.
+	DigitRunCount int
+}
+
+// Parse decomposes rawURL. It is forgiving: scheme and "www." prefixes are
+// optional, percent-escapes are decoded before tokenisation, and a bare
+// host such as "example.de" is accepted. Parse never fails; pathological
+// inputs simply yield empty token lists.
+func Parse(rawURL string) Parts {
+	p := Parts{Raw: rawURL}
+	s := strings.TrimSpace(rawURL)
+	s = decodePercent(s)
+	s = strings.ToLower(s)
+
+	// Strip scheme.
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	}
+	// Split authority from path.
+	host := s
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		host = s[:i]
+		p.Path = s[i:]
+	}
+	// Strip credentials and port.
+	if i := strings.LastIndexByte(host, '@'); i >= 0 {
+		host = host[i+1:]
+	}
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.Trim(host, ".")
+	p.Host = host
+
+	if host != "" {
+		p.HostLabels = strings.Split(host, ".")
+		p.TLD = p.HostLabels[len(p.HostLabels)-1]
+		p.Domain = RegistrableDomain(host)
+	}
+
+	p.PreTokens = Tokenize(host)
+	p.PostTokens = Tokenize(p.Path)
+	p.Tokens = make([]string, 0, len(p.PreTokens)+len(p.PostTokens))
+	p.Tokens = append(p.Tokens, p.PreTokens...)
+	p.Tokens = append(p.Tokens, p.PostTokens...)
+
+	p.HyphenCount = strings.Count(s, "-")
+	p.DigitRunCount = countDigitRuns(s)
+	return p
+}
+
+// Tokenize splits s into the paper's tokens: maximal runs of ASCII letters,
+// lower-cased, with runs shorter than 2 and the special words removed.
+func Tokenize(s string) []string {
+	var tokens []string
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		if end-start >= 2 {
+			tok := strings.ToLower(s[start:end])
+			if _, special := specialTokens[tok]; !special {
+				tokens = append(tokens, tok)
+			}
+		}
+		start = -1
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if isLetter(c) {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(s))
+	return tokens
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// decodePercent resolves %XX escapes in place; malformed escapes are kept
+// verbatim. Decoded bytes outside the ASCII letter/digit range act as token
+// separators downstream, which is the behaviour we want.
+func decodePercent(s string) string {
+	if !strings.ContainsRune(s, '%') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func countDigitRuns(s string) int {
+	runs := 0
+	in := false
+	for i := 0; i < len(s); i++ {
+		if isDigit(s[i]) {
+			if !in {
+				runs++
+				in = true
+			}
+		} else {
+			in = false
+		}
+	}
+	return runs
+}
+
+// multiPartSuffixes lists public suffixes that span two labels, so that
+// RegistrableDomain("chu.cam.ac.uk") returns "cam.ac.uk" and not "ac.uk".
+// The table covers the country codes the paper's §3.2 baseline uses plus
+// the most common second-level registries under them.
+var multiPartSuffixes = map[string]struct{}{
+	"co.uk": {}, "org.uk": {}, "ac.uk": {}, "gov.uk": {}, "net.uk": {}, "me.uk": {}, "ltd.uk": {}, "plc.uk": {},
+	"com.au": {}, "net.au": {}, "org.au": {}, "edu.au": {}, "gov.au": {}, "id.au": {},
+	"co.nz": {}, "net.nz": {}, "org.nz": {}, "govt.nz": {}, "ac.nz": {}, "school.nz": {},
+	"com.ar": {}, "net.ar": {}, "org.ar": {}, "gov.ar": {}, "edu.ar": {},
+	"com.mx": {}, "net.mx": {}, "org.mx": {}, "gob.mx": {}, "edu.mx": {},
+	"com.co": {}, "net.co": {}, "org.co": {}, "edu.co": {}, "gov.co": {},
+	"com.pe": {}, "net.pe": {}, "org.pe": {}, "edu.pe": {}, "gob.pe": {},
+	"com.ve": {}, "net.ve": {}, "org.ve": {}, "co.ve": {},
+	"co.at": {}, "or.at": {}, "ac.at": {}, "gv.at": {},
+	"com.es": {}, "org.es": {}, "nom.es": {}, "edu.es": {}, "gob.es": {},
+	"com.fr": {}, "asso.fr": {}, "gouv.fr": {}, "tm.fr": {},
+	"com.it": {}, "edu.it": {}, "gov.it": {},
+	"co.il": {}, "co.jp": {}, "co.kr": {}, "com.br": {}, "com.cn": {}, "com.tr": {}, "com.tn": {},
+	"gov.tn": {}, "org.tn": {}, "net.tn": {},
+	"com.dz": {}, "gov.dz": {}, "org.dz": {},
+	"com.mg": {}, "org.mg": {},
+	"co.cl": {}, "gob.cl": {},
+	"co.us": {}, "state.us": {},
+	"co.ie": {}, "gov.ie": {},
+}
+
+// RegistrableDomain returns the registrable domain of host: the public
+// suffix plus one label. Hosts that are themselves a suffix (or empty)
+// are returned unchanged. The paper uses this notion of "domain" in §6:
+// the domain of ltaa.epfl.ch is epfl.ch, the domain of chu.cam.ac.uk is
+// cam.ac.uk.
+func RegistrableDomain(host string) string {
+	host = strings.Trim(strings.ToLower(host), ".")
+	if host == "" {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	n := len(labels)
+	if n <= 2 {
+		return host
+	}
+	lastTwo := labels[n-2] + "." + labels[n-1]
+	if _, ok := multiPartSuffixes[lastTwo]; ok {
+		// suffix spans two labels: registrable domain is three labels.
+		return labels[n-3] + "." + lastTwo
+	}
+	return lastTwo
+}
+
+// HasToken reports whether tokens contains tok.
+func HasToken(tokens []string, tok string) bool {
+	for _, t := range tokens {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}

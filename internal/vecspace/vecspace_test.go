@@ -1,0 +1,269 @@
+package vecspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sparseOf(pairs ...float32) Sparse {
+	// pairs alternate index, value.
+	b := NewBuilder(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.Add(uint32(pairs[i]), pairs[i+1])
+	}
+	return b.Sparse()
+}
+
+func TestBuilderProducesSortedSparse(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(7, 1)
+	b.Add(2, 3)
+	b.Add(7, 1)
+	b.Add(0, 5)
+	s := b.Sparse()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Get(7) != 2 || s.Get(2) != 3 || s.Get(0) != 5 || s.Get(1) != 0 {
+		t.Errorf("wrong values: %+v", s)
+	}
+}
+
+func TestBuilderDropsZeros(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(3, 1)
+	b.Add(3, -1)
+	b.Add(4, 2)
+	s := b.Sparse()
+	if s.Len() != 1 || s.Get(4) != 2 {
+		t.Errorf("zero entry survived: %+v", s)
+	}
+}
+
+func TestBuilderResetAfterSparse(t *testing.T) {
+	b := NewBuilder(1)
+	b.Add(1, 1)
+	_ = b.Sparse()
+	if b.Len() != 0 {
+		t.Error("builder not reset after Sparse()")
+	}
+	b.Set(2, 9)
+	s := b.Sparse()
+	if s.Len() != 1 || s.Get(2) != 9 {
+		t.Errorf("builder reuse broken: %+v", s)
+	}
+}
+
+func TestBuilderSetOverwrites(t *testing.T) {
+	var b Builder
+	b.Add(1, 5)
+	b.Set(1, 2)
+	if s := b.Sparse(); s.Get(1) != 2 {
+		t.Errorf("Set did not overwrite: %v", s.Get(1))
+	}
+}
+
+func TestZeroBuilderUsable(t *testing.T) {
+	var b Builder
+	b.Add(0, 1)
+	if s := b.Sparse(); s.Len() != 1 {
+		t.Error("zero-value Builder unusable")
+	}
+}
+
+func TestSparseSums(t *testing.T) {
+	s := sparseOf(0, 1, 3, 2, 9, 3)
+	if s.Sum() != 6 {
+		t.Errorf("Sum = %v, want 6", s.Sum())
+	}
+	if s.L1() != 6 {
+		t.Errorf("L1 = %v, want 6", s.L1())
+	}
+}
+
+func TestValidateRejectsBadVectors(t *testing.T) {
+	bad := []Sparse{
+		{Idx: []uint32{1}, Val: []float32{1, 2}},
+		{Idx: []uint32{2, 1}, Val: []float32{1, 1}},
+		{Idx: []uint32{1, 1}, Val: []float32{1, 1}},
+		{Idx: []uint32{0}, Val: []float32{float32(math.NaN())}},
+		{Idx: []uint32{0}, Val: []float32{float32(math.Inf(1))}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid vector", i)
+		}
+	}
+	if err := (Sparse{}).Validate(); err != nil {
+		t.Errorf("empty vector rejected: %v", err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	s := sparseOf(0, 2, 2, 3)
+	w := []float64{1, 10, 100}
+	if got := s.Dot(w); got != 302 {
+		t.Errorf("Dot = %v, want 302", got)
+	}
+	// Indices beyond len(w) are ignored.
+	s2 := sparseOf(0, 1, 9, 5)
+	if got := s2.Dot(w); got != 1 {
+		t.Errorf("Dot with OOR index = %v, want 1", got)
+	}
+}
+
+func TestCosineIdentities(t *testing.T) {
+	a := sparseOf(0, 1, 1, 2)
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Cosine(a,a) = %v, want 1", got)
+	}
+	b := sparseOf(2, 5)
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("orthogonal Cosine = %v, want 0", got)
+	}
+	if got := Cosine(a, Sparse{}); got != 0 {
+		t.Errorf("Cosine with empty = %v, want 0", got)
+	}
+}
+
+func TestCosineSymmetricAndBounded(t *testing.T) {
+	f := func(av, bv [6]uint8) bool {
+		ba := NewBuilder(6)
+		bb := NewBuilder(6)
+		for i := 0; i < 6; i++ {
+			if av[i] > 0 {
+				ba.Add(uint32(i), float32(av[i]))
+			}
+			if bv[i] > 0 {
+				bb.Add(uint32(i), float32(bv[i]))
+			}
+		}
+		a, b := ba.Sparse(), bb.Sparse()
+		ab, ba2 := Cosine(a, b), Cosine(b, a)
+		return math.Abs(ab-ba2) < 1e-9 && ab >= 0 && ab <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabInternLookup(t *testing.T) {
+	v := NewVocab()
+	i0, ok := v.Intern("alpha")
+	if !ok || i0 != 0 {
+		t.Fatalf("first Intern = %d, %v", i0, ok)
+	}
+	i1, _ := v.Intern("beta")
+	if i1 != 1 {
+		t.Fatalf("second Intern = %d", i1)
+	}
+	if again, _ := v.Intern("alpha"); again != i0 {
+		t.Error("re-Intern allocated a new index")
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Error("Lookup invented an entry")
+	}
+	if v.Name(0) != "alpha" || v.Name(9) != "" {
+		t.Error("Name misbehaves")
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d", v.Len())
+	}
+}
+
+func TestVocabFreeze(t *testing.T) {
+	v := NewVocab()
+	v.Intern("seen")
+	v.Freeze()
+	if !v.Frozen() {
+		t.Error("Frozen() = false after Freeze")
+	}
+	if _, ok := v.Intern("unseen"); ok {
+		t.Error("frozen vocab allocated a new index")
+	}
+	if i, ok := v.Intern("seen"); !ok || i != 0 {
+		t.Error("frozen vocab forgot existing entry")
+	}
+	if v.Len() != 1 {
+		t.Errorf("Len = %d after frozen Intern", v.Len())
+	}
+}
+
+func TestVocabFromNames(t *testing.T) {
+	orig := NewVocab()
+	orig.Intern("x")
+	orig.Intern("y")
+	rebuilt := NewVocabFromNames(orig.Names())
+	if !rebuilt.Frozen() {
+		t.Error("rebuilt vocab not frozen")
+	}
+	if i, ok := rebuilt.Lookup("y"); !ok || i != 1 {
+		t.Errorf("rebuilt Lookup(y) = %d, %v", i, ok)
+	}
+	names := rebuilt.Names()
+	names[0] = "mutated"
+	if rebuilt.Name(0) != "x" {
+		t.Error("Names() exposes internal storage")
+	}
+}
+
+func TestNormalizeL1(t *testing.T) {
+	d := Dense{1, 3}
+	d.NormalizeL1()
+	if math.Abs(d[0]-0.25) > 1e-12 || math.Abs(d[1]-0.75) > 1e-12 {
+		t.Errorf("NormalizeL1 = %v", d)
+	}
+	z := Dense{0, 0, 0, 0}
+	z.NormalizeL1()
+	for _, v := range z {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("zero vector normalised to %v, want uniform", z)
+		}
+	}
+}
+
+func TestKLSparseProperties(t *testing.T) {
+	q := Dense{0.5, 0.25, 0.25}
+	// KL of a distribution with itself is 0.
+	p := sparseOf(0, 2, 1, 1, 2, 1)
+	if got := KLSparse(p, p.Sum(), q); math.Abs(got) > 1e-9 {
+		t.Errorf("KL(q||q) = %v, want 0", got)
+	}
+	// KL is non-negative for any p against q.
+	f := func(vals [3]uint8) bool {
+		b := NewBuilder(3)
+		sum := 0.0
+		for i, v := range vals {
+			if v > 0 {
+				b.Add(uint32(i), float32(v))
+				sum += float64(v)
+			}
+		}
+		if sum == 0 {
+			return true
+		}
+		return KLSparse(b.Sparse(), sum, q) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKLSparseZeroMass(t *testing.T) {
+	if got := KLSparse(sparseOf(0, 1), 0, Dense{1}); got != 0 {
+		t.Errorf("KL with zero mass = %v", got)
+	}
+}
+
+func TestKLSparseUnseenSupport(t *testing.T) {
+	// Support outside q must not produce NaN/Inf thanks to the floor.
+	p := sparseOf(5, 1)
+	got := KLSparse(p, 1, Dense{1})
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("KL with unseen support = %v", got)
+	}
+}

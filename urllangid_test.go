@@ -1,0 +1,161 @@
+package urllangid_test
+
+import (
+	"bytes"
+	"testing"
+
+	"urllangid"
+	"urllangid/internal/datagen"
+)
+
+func trainSamples(t *testing.T, perLang int) []urllangid.Sample {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 21, TrainPerLang: perLang, TestPerLang: 1,
+	})
+	return ds.Train
+}
+
+func TestTrainDefaultIsNBWords(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{}, trainSamples(t, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clf.Describe(); got != "NB/word" {
+		t.Errorf("default Describe = %q, want NB/word", got)
+	}
+}
+
+func TestClassifierEndToEnd(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Seed: 1}, trainSamples(t, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]urllangid.Language{
+		"http://www.nachrichten-wetter.de/zeitung": urllangid.German,
+		"http://www.recherche-produits.fr/annonce": urllangid.French,
+		"http://www.noticias-tienda.es/precios":    urllangid.Spanish,
+		"http://www.notizie-azienda.it/prodotti":   urllangid.Italian,
+	}
+	for u, want := range cases {
+		if !clf.Is(u, want) {
+			t.Errorf("Is(%s, %v) = false", u, want)
+		}
+		best, _, claimed := clf.Best(u)
+		if !claimed || best != want {
+			t.Errorf("Best(%s) = %v (claimed=%v), want %v", u, best, claimed, want)
+		}
+	}
+}
+
+func TestPredictionsComplete(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Seed: 2}, trainSamples(t, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := clf.Predictions("http://www.example.com/page")
+	if len(preds) != urllangid.NumLanguages {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i, p := range preds {
+		if p.Lang != urllangid.Languages()[i] {
+			t.Error("predictions out of canonical order")
+		}
+		if p.Positive != (p.Score >= 0) {
+			t.Error("Positive inconsistent with Score")
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Seed: 3}, trainSamples(t, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := urllangid.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := "http://www.wetter-bericht.de/heute"
+	a, b := clf.Predictions(u), loaded.Predictions(u)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("predictions differ after Save/Load")
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := urllangid.Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestBaselineWithoutTraining(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Algorithm: urllangid.CcTLD}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	langs := clf.Languages("http://www.example.it/pagina")
+	if len(langs) != 1 || langs[0] != urllangid.Italian {
+		t.Errorf("ccTLD .it = %v", langs)
+	}
+	if langs := clf.Languages("http://example.com"); len(langs) != 0 {
+		t.Errorf("plain ccTLD claimed .com: %v", langs)
+	}
+}
+
+func TestAllOptionCombinations(t *testing.T) {
+	samples := trainSamples(t, 400)
+	feats := []urllangid.FeatureSet{
+		urllangid.WordFeatures, urllangid.TrigramFeatures,
+		urllangid.CustomFeatures, urllangid.CustomFeaturesAll,
+	}
+	algos := []urllangid.Algorithm{
+		urllangid.NaiveBayes, urllangid.RelativeEntropy, urllangid.MaximumEntropy,
+	}
+	for _, f := range feats {
+		for _, a := range algos {
+			opts := urllangid.Options{Features: f, Algorithm: a, MaxEntIterations: 5, Seed: 4}
+			clf, err := urllangid.Train(opts, samples)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", a, f, err)
+			}
+			_ = clf.Languages("http://www.beispiel.de/seite")
+		}
+	}
+}
+
+func TestParseLanguage(t *testing.T) {
+	l, err := urllangid.ParseLanguage("it")
+	if err != nil || l != urllangid.Italian {
+		t.Errorf("ParseLanguage(it) = %v, %v", l, err)
+	}
+	if _, err := urllangid.ParseLanguage("xx"); err == nil {
+		t.Error("ParseLanguage(xx) succeeded")
+	}
+}
+
+func TestFeatureSetAndAlgorithmStrings(t *testing.T) {
+	if urllangid.WordFeatures.String() != "word" {
+		t.Error("WordFeatures name")
+	}
+	if urllangid.NaiveBayes.String() != "NB" || urllangid.CcTLDPlus.String() != "ccTLD+" {
+		t.Error("Algorithm names")
+	}
+}
+
+func TestTrainOnContentOption(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 23, TrainPerLang: 300, TestPerLang: 1, WithContent: true,
+	})
+	clf, err := urllangid.Train(urllangid.Options{TrainOnContent: true, Seed: 5}, ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = clf.Languages("http://www.wetter.de")
+}
