@@ -1,0 +1,31 @@
+# Tier-1 verification gate: make verify must pass before any change
+# lands. It enforces formatting and vet cleanliness in addition to the
+# build and test suite, so style/vet regressions fail loudly instead of
+# accumulating.
+
+GO ?= go
+
+.PHONY: verify build fmt vet test bench fuzz
+
+verify: fmt vet build test
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run NONE -bench 'Predict|ClassifyBatch|Extract|ParseURL' -benchmem .
+
+fuzz:
+	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

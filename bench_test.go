@@ -19,11 +19,13 @@ import (
 	"testing"
 
 	"urllangid"
+	"urllangid/internal/compiled"
 	"urllangid/internal/core"
 	"urllangid/internal/datagen"
 	"urllangid/internal/experiments"
 	"urllangid/internal/features"
 	"urllangid/internal/langid"
+	"urllangid/internal/serve"
 	"urllangid/internal/urlx"
 )
 
@@ -343,6 +345,96 @@ func BenchmarkClassifyThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = sys.Languages(urls[i%len(urls)])
+	}
+}
+
+// --- Serving benches ----------------------------------------------------
+//
+// The serving subsystem's reason to exist: the compiled snapshot must
+// beat the training-time Predictions path on single-URL latency, and the
+// cached batch engine must beat both on crawl-frontier workloads.
+
+func servingURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://www.beispiel-seite%d.de/nachrichten/artikel%d.html", i%173, i)
+	}
+	return urls
+}
+
+func benchSystemAndSnapshot(b *testing.B) (*core.System, *compiled.Snapshot) {
+	b.Helper()
+	e := env(b)
+	sys, err := e.System(core.Config{Algo: core.NaiveBayes, Features: features.Words})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, compiled.FromSystem(sys)
+}
+
+func BenchmarkPredictSystem(b *testing.B) {
+	sys, _ := benchSystemAndSnapshot(b)
+	urls := servingURLs(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Predictions(urls[i%len(urls)])
+	}
+}
+
+func BenchmarkPredictSnapshot(b *testing.B) {
+	_, snap := benchSystemAndSnapshot(b)
+	urls := servingURLs(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Predictions(urls[i%len(urls)])
+	}
+}
+
+// BenchmarkPredictSnapshotScores is the engine's actual hot path: raw
+// score arrays, no prediction-slice allocation at all.
+func BenchmarkPredictSnapshotScores(b *testing.B) {
+	_, snap := benchSystemAndSnapshot(b)
+	urls := servingURLs(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Scores(urls[i%len(urls)])
+	}
+}
+
+func BenchmarkClassifyBatchUncached(b *testing.B) {
+	_, snap := benchSystemAndSnapshot(b)
+	eng := serve.New(snap, serve.Options{CacheCapacity: 0})
+	urls := servingURLs(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.ClassifyBatch(urls)
+	}
+	b.ReportMetric(float64(len(urls)), "URLs/batch")
+}
+
+func BenchmarkClassifyBatchCached(b *testing.B) {
+	_, snap := benchSystemAndSnapshot(b)
+	eng := serve.New(snap, serve.Options{CacheCapacity: 4096})
+	urls := servingURLs(1024)
+	eng.ClassifyBatch(urls) // warm the cache, as a steady-state frontier would
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.ClassifyBatch(urls)
+	}
+	b.ReportMetric(float64(len(urls)), "URLs/batch")
+}
+
+func BenchmarkSnapshotCompile(b *testing.B) {
+	sys, _ := benchSystemAndSnapshot(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = compiled.FromSystem(sys)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Command urllangid-serve is the production serving front end: it loads
+// a compiled model snapshot (or compiles a saved model on the fly) and
+// serves classification over HTTP with worker-pool batching and a
+// sharded result cache.
+//
+// Endpoints:
+//
+//	POST /v1/classify  JSON {"url": "..."} or {"urls": ["...", ...]}
+//	POST /v1/stream    NDJSON in, NDJSON out — bulk crawl frontiers
+//	GET  /healthz      liveness and model description
+//	GET  /stats        cache hit-rate, QPS, latency percentiles
+//
+// Example:
+//
+//	urllangid train -in corpus-train.tsv -model nb.model
+//	urllangid compile -model nb.model -out nb.snapshot
+//	urllangid-serve -snapshot nb.snapshot -addr :8080 -cache 1048576
+//
+//	curl -s localhost:8080/v1/classify -d '{"urls": ["http://www.wetter.de/bericht"]}'
+//	seq 1 1000 | sed 's|.*|http://www.seite-&.de/artikel|' | \
+//	    curl -s --data-binary @- localhost:8080/v1/stream
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"urllangid/internal/compiled"
+	"urllangid/internal/core"
+	"urllangid/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "urllangid-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("urllangid-serve", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "compiled snapshot file (from 'urllangid compile')")
+	modelPath := fs.String("model", "", "saved model file; compiled in-process when -snapshot is not given")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+	cacheCap := fs.Int("cache", 1<<20, "result cache capacity in entries (0 disables)")
+	cacheShards := fs.Int("cache-shards", 16, "result cache shard count")
+	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch, "largest /v1/classify batch accepted")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	snap, err := loadSnapshot(*snapPath, *modelPath)
+	if err != nil {
+		return err
+	}
+	engine := serve.New(snap, serve.Options{
+		Workers:       *workers,
+		CacheCapacity: *cacheCap,
+		CacheShards:   *cacheShards,
+	})
+	handler := serve.NewHandler(engine, serve.HandlerOptions{
+		Model:    snap.Describe(),
+		MaxBatch: *maxBatch,
+	})
+
+	form := "compiled"
+	if !snap.Compiled() {
+		form = "wrapped"
+	}
+	fmt.Printf("serving %s (%s snapshot) on %s — cache %d entries, %d shards\n",
+		snap.Describe(), form, *addr, *cacheCap, *cacheShards)
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadSnapshot resolves the model source: a pre-compiled snapshot file,
+// or a training-format model compiled at startup.
+func loadSnapshot(snapPath, modelPath string) (*compiled.Snapshot, error) {
+	switch {
+	case snapPath != "":
+		f, err := os.Open(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		snap, err := compiled.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		return snap, nil
+	case modelPath != "":
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sys, err := core.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		return compiled.FromSystem(sys), nil
+	default:
+		return nil, errors.New("provide -snapshot (preferred) or -model")
+	}
+}

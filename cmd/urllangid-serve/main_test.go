@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"urllangid"
+	"urllangid/internal/datagen"
+	"urllangid/internal/serve"
+)
+
+// writeSnapshotFile trains a small classifier and persists both a model
+// file and a compiled snapshot file, as the documented CLI flow does.
+func writeSnapshotFile(t *testing.T) (snapPath, modelPath string) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 17, TrainPerLang: 500, TestPerLang: 1,
+	})
+	clf, err := urllangid.Train(urllangid.Options{Seed: 17}, ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	modelPath = filepath.Join(dir, "nb.model")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	snapPath = filepath.Join(dir, "nb.snapshot")
+	sf, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Compile().Save(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	return snapPath, modelPath
+}
+
+// TestServeFromSnapshotFile is the end-to-end acceptance path: snapshot
+// file on disk -> engine -> HTTP API, exercising single, batch, stream
+// and stats.
+func TestServeFromSnapshotFile(t *testing.T) {
+	snapPath, _ := writeSnapshotFile(t)
+	snap, err := loadSnapshot(snapPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Compiled() {
+		t.Fatal("NB/word snapshot did not compile")
+	}
+	engine := serve.New(snap, serve.Options{CacheCapacity: 1024})
+	srv := httptest.NewServer(serve.NewHandler(engine, serve.HandlerOptions{Model: snap.Describe()}))
+	defer srv.Close()
+
+	// Single classification.
+	resp, err := http.Post(srv.URL+"/v1/classify", "application/json",
+		strings.NewReader(`{"url": "http://www.nachrichten-wetter.de/zeitung"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single struct {
+		Model   string `json:"model"`
+		Results []struct {
+			URL       string             `json:"url"`
+			Languages []string           `json:"languages"`
+			Scores    map[string]float64 `json:"scores"`
+			Cached    bool               `json:"cached"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if single.Model != "NB/word" || len(single.Results) != 1 || len(single.Results[0].Scores) != 5 {
+		t.Fatalf("single classify response: %+v", single)
+	}
+
+	// Batch with a repeat of the single URL: must be served from cache.
+	resp, err = http.Post(srv.URL+"/v1/classify", "application/json",
+		strings.NewReader(`{"urls": ["http://www.nachrichten-wetter.de/zeitung", "http://www.produits.fr/annonces"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(single.Results) != 2 {
+		t.Fatalf("batch returned %d results", len(single.Results))
+	}
+	if !single.Results[0].Cached {
+		t.Error("repeated URL not served from cache")
+	}
+
+	// NDJSON stream.
+	var frontier bytes.Buffer
+	urls := []string{
+		"http://www.wasserbett-heizung.de/kaufen",
+		"http://www.annonces-voiture.fr/occasion",
+		"http://www.tienda-ofertas.es/rebajas",
+	}
+	for _, u := range urls {
+		frontier.WriteString(u + "\n")
+	}
+	resp, err = http.Post(srv.URL+"/v1/stream", "application/x-ndjson", &frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	streamed := 0
+	for sc.Scan() {
+		var r struct {
+			URL string `json:"url"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		if r.URL != urls[streamed] {
+			t.Errorf("stream order: got %q at %d", r.URL, streamed)
+		}
+		streamed++
+	}
+	resp.Body.Close()
+	if streamed != len(urls) {
+		t.Fatalf("streamed %d of %d", streamed, len(urls))
+	}
+
+	// Stats must report the cache hit.
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.CacheHits < 1 {
+		t.Errorf("stats cache hits = %d, want >= 1", stats.CacheHits)
+	}
+	if stats.CacheHitRate <= 0 {
+		t.Errorf("stats hit rate = %v", stats.CacheHitRate)
+	}
+	if stats.URLs != 6 {
+		t.Errorf("stats URLs = %d, want 6", stats.URLs)
+	}
+
+	// Health.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v", health)
+	}
+}
+
+func TestLoadSnapshotFromModelFile(t *testing.T) {
+	_, modelPath := writeSnapshotFile(t)
+	snap, err := loadSnapshot("", modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Compiled() || snap.Describe() != "NB/word" {
+		t.Errorf("model-file compile: compiled=%v describe=%q", snap.Compiled(), snap.Describe())
+	}
+}
+
+func TestLoadSnapshotErrors(t *testing.T) {
+	if _, err := loadSnapshot("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadSnapshot(filepath.Join(t.TempDir(), "missing"), ""); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	os.WriteFile(bad, []byte("junk"), 0o644)
+	if _, err := loadSnapshot(bad, ""); err == nil {
+		t.Error("junk snapshot accepted")
+	}
+	if _, err := loadSnapshot("", bad); err == nil {
+		t.Error("junk model accepted")
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	generate  synthesise a labeled URL corpus (TSV: url<TAB>lang)
 //	train     train a classifier from a TSV corpus and save the model
+//	compile   flatten a saved model into a serving snapshot
 //	classify  classify URLs from arguments or stdin
 //	eval      evaluate a saved model on a labeled TSV corpus
 //	serve     HTTP classification service (GET /classify?url=...)
@@ -13,9 +14,13 @@
 //
 //	urllangid generate -kind odp -train-per-lang 20000 -out corpus
 //	urllangid train -in corpus-train.tsv -model nb-words.model
+//	urllangid compile -model nb-words.model -out nb-words.snapshot
 //	urllangid classify -model nb-words.model http://www.wasserbett-test.com
 //	urllangid eval -model nb-words.model -in corpus-test.tsv
 //	urllangid serve -model nb-words.model -addr :8080
+//
+// For production serving use cmd/urllangid-serve, which loads a compiled
+// snapshot and adds batching, caching and streaming endpoints.
 package main
 
 import (
@@ -45,6 +50,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
+	case "compile":
+		err = cmdCompile(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
 	case "eval":
@@ -65,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: urllangid <generate|train|classify|eval|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: urllangid <generate|train|compile|classify|eval|serve> [flags]")
 }
 
 func cmdGenerate(args []string) error {
@@ -225,6 +232,41 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("trained %s on %d samples in %v -> %s\n",
 		clf.Describe(), len(samples), time.Since(start).Round(time.Millisecond), *modelPath)
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	modelPath := fs.String("model", "urllangid.model", "input model file (from train)")
+	out := fs.String("out", "urllangid.snapshot", "output snapshot file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	clf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	snap := clf.Compile()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := snap.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	form := "compiled"
+	if !snap.Compiled() {
+		form = "wrapped (configuration outside the linear family)"
+	}
+	fmt.Printf("%s %s snapshot (%d bytes) -> %s\n", form, snap.Describe(), info.Size(), *out)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -58,6 +59,58 @@ func TestReadTSVErrors(t *testing.T) {
 	}
 	if _, err := readTSV(filepath.Join(dir, "missing.tsv")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdCompileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "c.tsv")
+	samples := make([]langid.Sample, 0, 400)
+	for i := 0; i < 80; i++ {
+		samples = append(samples,
+			langid.Sample{URL: fmt.Sprintf("http://www.wetter-seite%d.de/bericht%d", i, i), Lang: langid.German},
+			langid.Sample{URL: fmt.Sprintf("http://www.recherche%d.fr/produit%d", i, i), Lang: langid.French},
+			langid.Sample{URL: fmt.Sprintf("http://www.weather%d.com/report%d", i, i), Lang: langid.English},
+			langid.Sample{URL: fmt.Sprintf("http://www.tienda%d.es/oferta%d", i, i), Lang: langid.Spanish},
+			langid.Sample{URL: fmt.Sprintf("http://www.notizie%d.it/calcio%d", i, i), Lang: langid.Italian},
+		)
+	}
+	if err := writeTSV(corpus, samples); err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(dir, "m.model")
+	if err := cmdTrain([]string{"-in", corpus, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "m.snapshot")
+	if err := cmdCompile([]string{"-model", model, "-out", snapPath}); err != nil {
+		t.Fatal(err)
+	}
+	clf, err := loadModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := urllangid.LoadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Compiled() {
+		t.Error("CLI-compiled snapshot is not in packed form")
+	}
+	u := "http://www.wetter-bericht.de/heute"
+	a, b := clf.Predictions(u), snap.Predictions(u)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("CLI snapshot predictions differ from model")
+		}
+	}
+	if err := cmdCompile([]string{"-model", filepath.Join(dir, "missing"), "-out", snapPath}); err == nil {
+		t.Error("compile accepted a missing model")
 	}
 }
 

@@ -1,0 +1,3 @@
+module urllangid
+
+go 1.22

@@ -1,0 +1,413 @@
+// Package compiled flattens a trained core.System into a read-only
+// Snapshot optimised for serving: the five per-language weight vectors
+// are packed into one contiguous, language-interleaved slice keyed by
+// token ID, and tokens resolve through an open-addressing string table
+// backed by a single byte blob instead of the training-time Go maps.
+//
+// Classifying a URL with a Snapshot performs no training-time work: no
+// Parts struct, no sparse-vector builder map, and one cache-friendly
+// pass that accumulates all five language scores at once. Scores are
+// bit-identical to the source System's Predictions — the snapshot
+// replays exactly the same float64 operations in exactly the same order,
+// it only reorganises where the operands live (see snapshot_test.go for
+// the round-trip proof).
+//
+// The linear compilation covers the Naive Bayes, Relative Entropy and
+// Maximum Entropy models over word and trigram features — every
+// serving-relevant configuration, including the paper's headline
+// NB/word system. Other configurations (decision trees, kNN, custom
+// feature vectors, the TLD baselines and the raw-trigram ablation
+// variant) fall back to embedding the original System behind the same
+// Snapshot API, so callers never need to care which path they got.
+package compiled
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+
+	"urllangid/internal/core"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+	"urllangid/internal/maxent"
+	"urllangid/internal/nb"
+	"urllangid/internal/ngram"
+	"urllangid/internal/relent"
+	"urllangid/internal/urlx"
+)
+
+// mode selects the score finalisation of the compiled linear path. Each
+// mode reproduces one model family's exact accumulation order, which is
+// what keeps snapshot scores bit-identical to the source models.
+type mode uint8
+
+const (
+	// modeFallback delegates to the embedded core.System.
+	modeFallback mode = iota
+	// modeCount starts from a per-language prior and adds count-weighted
+	// feature weights (Naive Bayes: s = prior + Σ c·w).
+	modeCount
+	// modeCountPost accumulates from zero and adds a per-language bias
+	// last (Maximum Entropy: s = Σ c·w + bias).
+	modeCountPost
+	// modeNormalized divides counts by their total mass before weighting
+	// and adds the (negated) margin last (Relative Entropy:
+	// s = Σ (c/Σc)·w − margin; an empty vector scores −margin).
+	modeNormalized
+)
+
+// Snapshot is a read-only compiled classifier. It is safe for concurrent
+// use: all state is immutable after construction, and per-call scratch
+// buffers come from an internal pool.
+type Snapshot struct {
+	cfg  core.Config
+	mode mode
+	kind features.Kind
+	dim  uint32
+	// weights is language-interleaved: weights[id*NumLanguages+li] is the
+	// weight of token id for language li, so one token lookup touches one
+	// contiguous 40-byte strip instead of five scattered slices.
+	weights []float64
+	pre     [langid.NumLanguages]float64
+	post    [langid.NumLanguages]float64
+	table   tokenTable
+	sys     *core.System // fallback only
+	pool    sync.Pool
+}
+
+type scratch struct {
+	tokens []string
+	grams  []string
+	ids    []uint32
+}
+
+// FromSystem compiles sys into a Snapshot. Configurations outside the
+// linear family are wrapped rather than compiled; Compiled reports which
+// path was taken.
+func FromSystem(sys *core.System) *Snapshot {
+	s := &Snapshot{cfg: sys.Config, mode: modeFallback, sys: sys}
+	s.pool.New = func() any { return new(scratch) }
+
+	var names []string
+	switch ext := sys.Extractor.(type) {
+	case *features.WordExtractor:
+		s.kind = features.Words
+		names = ext.Vocab().Names()
+	case *features.TrigramExtractor:
+		s.kind = features.Trigrams
+		names = ext.Vocab().Names()
+	default:
+		return s
+	}
+	dim := len(names)
+
+	m, ok := compileModels(sys, dim)
+	if !ok {
+		return s
+	}
+	s.mode, s.weights, s.pre, s.post = m.mode, m.weights, m.pre, m.post
+	s.dim = uint32(dim)
+	s.table = newTokenTable(names)
+	s.sys = nil
+	return s
+}
+
+type compiledModels struct {
+	mode      mode
+	weights   []float64
+	pre, post [langid.NumLanguages]float64
+}
+
+// compileModels packs the five binary models into the interleaved layout.
+// All five must share one linear model family and the extractor's
+// dimensionality; anything else reports !ok and the caller falls back.
+func compileModels(sys *core.System, dim int) (compiledModels, bool) {
+	var m compiledModels
+	m.weights = make([]float64, dim*langid.NumLanguages)
+	pack := func(li int, w []float64) bool {
+		if len(w) != dim {
+			return false
+		}
+		for i, v := range w {
+			m.weights[i*langid.NumLanguages+li] = v
+		}
+		return true
+	}
+	switch sys.Models[0].(type) {
+	case *nb.Model:
+		m.mode = modeCount
+		for li := 0; li < langid.NumLanguages; li++ {
+			nm, ok := sys.Models[li].(*nb.Model)
+			if !ok || !pack(li, nm.LogLik) {
+				return m, false
+			}
+			m.pre[li] = nm.LogPrior
+		}
+	case *maxent.Model:
+		m.mode = modeCountPost
+		for li := 0; li < langid.NumLanguages; li++ {
+			mm, ok := sys.Models[li].(*maxent.Model)
+			if !ok || !pack(li, mm.Weights) {
+				return m, false
+			}
+			m.post[li] = mm.Bias
+		}
+	case *relent.Model:
+		m.mode = modeNormalized
+		for li := 0; li < langid.NumLanguages; li++ {
+			rm, ok := sys.Models[li].(*relent.Model)
+			if !ok || len(rm.LogPos) != dim || len(rm.LogNeg) != dim {
+				return m, false
+			}
+			// Precompute the log-ratio; the subtraction is the same
+			// float64 operation relent.Model.Score performs per feature,
+			// so hoisting it to compile time changes nothing bit-wise.
+			for i := range rm.LogPos {
+				m.weights[i*langid.NumLanguages+li] = rm.LogPos[i] - rm.LogNeg[i]
+			}
+			m.post[li] = -rm.Margin
+		}
+	default:
+		return m, false
+	}
+	return m, true
+}
+
+// Compiled reports whether the snapshot runs the packed linear path
+// (true) or wraps the original System (false).
+func (s *Snapshot) Compiled() bool { return s.mode != modeFallback }
+
+// Describe returns the source configuration label, e.g. "NB/word".
+func (s *Snapshot) Describe() string { return s.cfg.Describe() }
+
+// Dim returns the feature-space dimensionality of the compiled path
+// (0 for fallback snapshots).
+func (s *Snapshot) Dim() int { return int(s.dim) }
+
+// CacheKey returns the cache key under which rawURL's result may be
+// shared. The compiled path depends only on the normalized URL, so
+// scheme variants and percent-encodings collapse onto one entry; the
+// fallback path may consult the raw string (custom features score the
+// raw URL length), so there the key is the URL itself.
+func (s *Snapshot) CacheKey(rawURL string) string {
+	if s.mode == modeFallback {
+		return rawURL
+	}
+	return urlx.Normalize(rawURL)
+}
+
+// Scores returns the five per-language decision scores for rawURL in
+// canonical language order. The sign of each score is the binary
+// decision, exactly as in core.System.Predictions.
+func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
+	if s.mode == modeFallback {
+		return s.fallbackScores(rawURL)
+	}
+	return s.scoreNormalized(urlx.Normalize(rawURL))
+}
+
+// ScoresForKey scores a URL already reduced to its CacheKey form,
+// skipping the second normalization the Classify miss path would
+// otherwise pay. The key contract matches CacheKey exactly: normal form
+// on the compiled path, raw URL on the fallback path.
+func (s *Snapshot) ScoresForKey(key string) [langid.NumLanguages]float64 {
+	if s.mode == modeFallback {
+		return s.fallbackScores(key)
+	}
+	return s.scoreNormalized(key)
+}
+
+func (s *Snapshot) fallbackScores(rawURL string) [langid.NumLanguages]float64 {
+	return langid.ScoresFromPredictions(s.sys.Predictions(rawURL))
+}
+
+// scoreNormalized runs the packed linear path over a URL in
+// urlx.Normalize form.
+func (s *Snapshot) scoreNormalized(norm string) [langid.NumLanguages]float64 {
+	var out [langid.NumLanguages]float64
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+
+	host, path := urlx.SplitNormalized(norm)
+	sc.tokens = urlx.AppendTokens(sc.tokens[:0], host)
+	sc.tokens = urlx.AppendTokens(sc.tokens, path)
+	terms := sc.tokens
+	if s.kind == features.Trigrams {
+		sc.grams = ngram.AppendTrigrams(sc.grams[:0], sc.tokens)
+		terms = sc.grams
+	}
+	sc.ids = sc.ids[:0]
+	for _, t := range terms {
+		if id, ok := s.table.lookup(t); ok {
+			sc.ids = append(sc.ids, id)
+		}
+	}
+	// The sparse-vector path scores features in ascending index order;
+	// replaying that order (with identical float32 counts) is what makes
+	// the sums bit-identical.
+	slices.Sort(sc.ids)
+
+	switch s.mode {
+	case modeCount:
+		out = s.pre
+		s.accumulate(sc.ids, 1, &out)
+	case modeCountPost:
+		s.accumulate(sc.ids, 1, &out)
+		for li := range out {
+			out[li] += s.post[li]
+		}
+	case modeNormalized:
+		var sum float64
+		forEachRun(sc.ids, func(_ uint32, c float32) {
+			sum += float64(c)
+		})
+		if sum <= 0 {
+			return s.post
+		}
+		s.accumulate(sc.ids, sum, &out)
+		for li := range out {
+			out[li] += s.post[li]
+		}
+	}
+	return out
+}
+
+// accumulate adds each unique token's weight strip, scaled by its count
+// divided by div, into all five language accumulators.
+func (s *Snapshot) accumulate(ids []uint32, div float64, out *[langid.NumLanguages]float64) {
+	forEachRun(ids, func(id uint32, count float32) {
+		v := float64(count)
+		if div != 1 {
+			v /= div
+		}
+		w := s.weights[int(id)*langid.NumLanguages : (int(id)+1)*langid.NumLanguages]
+		for li := range out {
+			out[li] += v * w[li]
+		}
+	})
+}
+
+// forEachRun walks sorted ids, yielding each unique id with its
+// occurrence count as a float32 — the same value the training-time
+// sparse builder accumulates one increment at a time.
+func forEachRun(ids []uint32, fn func(id uint32, count float32)) {
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[i] {
+			j++
+		}
+		fn(ids[i], float32(j-i))
+		i = j
+	}
+}
+
+// Predictions classifies rawURL, returning one scored prediction per
+// language in canonical order — the drop-in replacement for
+// core.System.Predictions.
+func (s *Snapshot) Predictions(rawURL string) []langid.Prediction {
+	if s.mode == modeFallback {
+		return s.sys.Predictions(rawURL)
+	}
+	return langid.PredictionsFromScores(s.Scores(rawURL))
+}
+
+// Languages returns the languages whose classifier answered yes.
+func (s *Snapshot) Languages(rawURL string) []langid.Language {
+	return langid.LanguagesFromScores(s.Scores(rawURL))
+}
+
+// Best returns the highest-scoring language, its score, and whether any
+// classifier answered yes, mirroring core.System.Best.
+func (s *Snapshot) Best(rawURL string) (langid.Language, float64, bool) {
+	return langid.BestFromScores(s.Scores(rawURL))
+}
+
+// wireSnapshot is the gob wire format. Version guards future layout
+// changes; fallback snapshots carry the core.System gob instead of the
+// packed fields.
+type wireSnapshot struct {
+	Version uint8
+	Mode    uint8
+	Config  core.Config
+	Kind    features.Kind
+	Dim     uint32
+	Blob    []byte
+	Offs    []uint32
+	Weights []float64
+	Pre     [langid.NumLanguages]float64
+	Post    [langid.NumLanguages]float64
+	System  []byte
+}
+
+const wireVersion = 1
+
+// Save serialises the snapshot with encoding/gob.
+func (s *Snapshot) Save(w io.Writer) error {
+	wire := wireSnapshot{
+		Version: wireVersion,
+		Mode:    uint8(s.mode),
+		Config:  s.cfg,
+		Kind:    s.kind,
+		Dim:     s.dim,
+		Blob:    s.table.blob,
+		Offs:    s.table.offs,
+		Weights: s.weights,
+		Pre:     s.pre,
+		Post:    s.post,
+	}
+	if s.mode == modeFallback {
+		var buf bytes.Buffer
+		if err := s.sys.Save(&buf); err != nil {
+			return fmt.Errorf("compiled: saving fallback system: %w", err)
+		}
+		wire.System = buf.Bytes()
+		wire.Blob, wire.Offs, wire.Weights = nil, nil, nil
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("compiled: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load restores a snapshot saved with Save, validating the packed layout
+// before accepting it.
+func Load(r io.Reader) (*Snapshot, error) {
+	var wire wireSnapshot
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("compiled: loading snapshot: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("compiled: unsupported snapshot version %d", wire.Version)
+	}
+	s := &Snapshot{cfg: wire.Config, mode: mode(wire.Mode), kind: wire.Kind, dim: wire.Dim}
+	s.pool.New = func() any { return new(scratch) }
+	if s.mode == modeFallback {
+		sys, err := core.Load(bytes.NewReader(wire.System))
+		if err != nil {
+			return nil, fmt.Errorf("compiled: loading fallback system: %w", err)
+		}
+		s.sys = sys
+		return s, nil
+	}
+	if s.mode > modeNormalized {
+		return nil, fmt.Errorf("compiled: unknown snapshot mode %d", wire.Mode)
+	}
+	if s.kind != features.Words && s.kind != features.Trigrams {
+		return nil, fmt.Errorf("compiled: feature kind %d is not compilable", uint8(wire.Kind))
+	}
+	if len(wire.Weights) != int(wire.Dim)*langid.NumLanguages {
+		return nil, fmt.Errorf("compiled: weight slice has %d entries, want %d",
+			len(wire.Weights), int(wire.Dim)*langid.NumLanguages)
+	}
+	table, err := tableFromWire(wire.Blob, wire.Offs, int(wire.Dim))
+	if err != nil {
+		return nil, err
+	}
+	s.weights = wire.Weights
+	s.pre, s.post = wire.Pre, wire.Post
+	s.table = table
+	return s, nil
+}

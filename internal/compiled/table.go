@@ -1,0 +1,111 @@
+package compiled
+
+import "fmt"
+
+// tokenTable maps token strings to dense IDs through open addressing with
+// linear probing at ≤50% load. All names live in one contiguous byte blob
+// addressed by an offset slice — no per-entry string headers, no pointer
+// chasing, and lookups never allocate.
+type tokenTable struct {
+	mask  uint32
+	slots []uint32 // token ID + 1; 0 marks an empty slot
+	blob  []byte
+	offs  []uint32 // len(offs) == n+1; name i is blob[offs[i]:offs[i+1]]
+}
+
+// newTokenTable builds a table over names, whose positions become the
+// token IDs.
+func newTokenTable(names []string) tokenTable {
+	size := 0
+	for _, s := range names {
+		size += len(s)
+	}
+	t := tokenTable{
+		blob: make([]byte, 0, size),
+		offs: make([]uint32, len(names)+1),
+	}
+	for i, s := range names {
+		t.offs[i] = uint32(len(t.blob))
+		t.blob = append(t.blob, s...)
+	}
+	t.offs[len(names)] = uint32(len(t.blob))
+	t.rebuild()
+	return t
+}
+
+// tableFromWire revalidates a deserialised blob/offset pair and rebuilds
+// the probe slots (which are derived state and never persisted).
+func tableFromWire(blob []byte, offs []uint32, n int) (tokenTable, error) {
+	if len(offs) != n+1 {
+		return tokenTable{}, fmt.Errorf("compiled: token table has %d offsets, want %d", len(offs), n+1)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return tokenTable{}, fmt.Errorf("compiled: token table offsets not monotonic at %d", i)
+		}
+	}
+	if n > 0 && int(offs[n]) != len(blob) {
+		return tokenTable{}, fmt.Errorf("compiled: token table blob has %d bytes, offsets claim %d", len(blob), offs[n])
+	}
+	t := tokenTable{blob: blob, offs: offs}
+	t.rebuild()
+	return t, nil
+}
+
+// rebuild populates the probe slots from blob/offs.
+func (t *tokenTable) rebuild() {
+	n := len(t.offs) - 1
+	if n <= 0 {
+		t.mask, t.slots = 0, nil
+		return
+	}
+	sz := 1
+	for sz < 2*n {
+		sz <<= 1
+	}
+	t.mask = uint32(sz - 1)
+	t.slots = make([]uint32, sz)
+	for id := 0; id < n; id++ {
+		name := t.name(uint32(id))
+		for i := fnv1a(name) & t.mask; ; i = (i + 1) & t.mask {
+			if t.slots[i] == 0 {
+				t.slots[i] = uint32(id) + 1
+				break
+			}
+		}
+	}
+}
+
+// name returns token id's name. The conversion is only used during table
+// construction; lookups compare against the blob directly.
+func (t *tokenTable) name(id uint32) string {
+	return string(t.blob[t.offs[id]:t.offs[id+1]])
+}
+
+// lookup resolves tok to its ID without allocating.
+func (t *tokenTable) lookup(tok string) (uint32, bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	for i := fnv1a(tok) & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		id := s - 1
+		a, b := t.offs[id], t.offs[id+1]
+		if int(b-a) == len(tok) && string(t.blob[a:b]) == tok {
+			return id, true
+		}
+	}
+}
+
+// fnv1a is the 32-bit FNV-1a hash.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -59,6 +59,25 @@ func (e *TrigramExtractor) GobDecode(data []byte) error {
 	return nil
 }
 
+// GobEncode implements gob.GobEncoder.
+func (e *RawTrigramExtractor) GobEncode() ([]byte, error) {
+	var names []string
+	if e.vocab != nil {
+		names = e.vocab.Names()
+	}
+	return encode(wordGob{Names: names})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *RawTrigramExtractor) GobDecode(data []byte) error {
+	var g wordGob
+	if err := decode(data, &g); err != nil {
+		return err
+	}
+	e.vocab = vecspace.NewVocabFromNames(g.Names)
+	return nil
+}
+
 type customGob struct {
 	Selected bool
 	Tokens   [langid.NumLanguages][]string

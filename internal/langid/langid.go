@@ -97,6 +97,64 @@ type Prediction struct {
 	Positive bool
 }
 
+// The serving layers move classifications around as plain score arrays
+// in canonical language order — the sign of a score IS the binary
+// decision. These helpers are the single place that convention expands
+// back into richer shapes, so snapshot, engine and classifier answers
+// cannot drift apart.
+
+// ScoresFromPredictions is the inverse of PredictionsFromScores: it
+// collapses a canonical-order prediction slice back into the score
+// array, tolerating short slices (missing entries keep a zero score).
+func ScoresFromPredictions(preds []Prediction) [NumLanguages]float64 {
+	var out [NumLanguages]float64
+	for i, p := range preds {
+		if i < NumLanguages {
+			out[i] = p.Score
+		}
+	}
+	return out
+}
+
+// PredictionsFromScores expands a score vector into one Prediction per
+// language in canonical order.
+func PredictionsFromScores(scores [NumLanguages]float64) []Prediction {
+	preds := make([]Prediction, NumLanguages)
+	for li := range preds {
+		preds[li] = Prediction{
+			Lang:     Language(li),
+			Score:    scores[li],
+			Positive: scores[li] >= 0,
+		}
+	}
+	return preds
+}
+
+// LanguagesFromScores returns the languages whose score means "yes",
+// in canonical order.
+func LanguagesFromScores(scores [NumLanguages]float64) []Language {
+	var out []Language
+	for li, s := range scores {
+		if s >= 0 {
+			out = append(out, Language(li))
+		}
+	}
+	return out
+}
+
+// BestFromScores returns the top-scoring language (first wins ties), its
+// score, and whether any language answered "yes".
+func BestFromScores(scores [NumLanguages]float64) (Language, float64, bool) {
+	bestI, any := 0, false
+	for li, s := range scores {
+		if s > scores[bestI] {
+			bestI = li
+		}
+		any = any || s >= 0
+	}
+	return Language(bestI), scores[bestI], any
+}
+
 // LabelSet is a compact set of languages, used where a URL is assigned
 // multiple languages simultaneously.
 type LabelSet uint8

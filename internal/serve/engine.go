@@ -1,0 +1,208 @@
+// Package serve is the high-throughput serving layer: a worker-pool
+// batch engine with a sharded result cache over any classifier, plus the
+// HTTP front end cmd/urllangid-serve exposes.
+//
+// The paper's motivating application (§1) is a crawler that classifies
+// millions of *uncrawled* URLs to avoid downloading wrong-language
+// pages; at that scale classification throughput, not accuracy, is the
+// binding constraint, and frontier URLs repeat hosts so heavily that a
+// modest cache absorbs most of the scoring work. The engine is built for
+// exactly that workload: lock-light cached reads, batch fan-out across
+// workers, and compiled-snapshot scoring underneath.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urllangid/internal/langid"
+)
+
+// Predictor is the minimal classifier contract the engine needs;
+// *core.System, *compiled.Snapshot and the public urllangid types all
+// satisfy it.
+type Predictor interface {
+	Predictions(rawURL string) []langid.Prediction
+}
+
+// Scorer is the allocation-free fast path. When the predictor implements
+// it (compiled snapshots do), the engine skips building []Prediction for
+// every URL and moves plain score arrays around instead.
+type Scorer interface {
+	Scores(rawURL string) [langid.NumLanguages]float64
+}
+
+// CacheKeyer lets a predictor declare which URLs it considers
+// equivalent. Compiled snapshots return the normalized URL so scheme and
+// percent-encoding variants share one cache entry; predictors that do
+// not implement it are cached under the raw URL, which is always sound
+// (custom features score the raw string's length, so normalizing for
+// them would change answers).
+type CacheKeyer interface {
+	CacheKey(rawURL string) string
+}
+
+// KeyScorer scores a URL already reduced to its CacheKey form, letting
+// the miss path skip re-deriving the key's normal form. Implementations
+// must guarantee ScoresForKey(CacheKey(u)) == Scores(u) for every URL.
+type KeyScorer interface {
+	CacheKeyer
+	ScoresForKey(key string) [langid.NumLanguages]float64
+}
+
+// Options configures an Engine. The zero value serves with GOMAXPROCS
+// workers and caching disabled.
+type Options struct {
+	// Workers bounds batch parallelism (default GOMAXPROCS).
+	Workers int
+	// CacheCapacity is the total cached-result budget across shards;
+	// 0 disables caching.
+	CacheCapacity int
+	// CacheShards is the shard count, rounded up to a power of two
+	// (default 16). More shards spread write contention at a small fixed
+	// memory cost.
+	CacheShards int
+}
+
+// Result is one URL's classification. Scores alone determine everything:
+// score ≥ 0 is the per-language yes, exactly as in Classifier.Predictions.
+type Result struct {
+	URL    string
+	Scores [langid.NumLanguages]float64
+	Cached bool
+}
+
+// Predictions expands the result into the canonical prediction slice.
+func (r Result) Predictions() []langid.Prediction {
+	return langid.PredictionsFromScores(r.Scores)
+}
+
+// Languages returns the claimed languages in canonical order.
+func (r Result) Languages() []langid.Language {
+	return langid.LanguagesFromScores(r.Scores)
+}
+
+// Best mirrors Classifier.Best: the top-scoring language, its score, and
+// whether any classifier answered yes.
+func (r Result) Best() (langid.Language, float64, bool) {
+	return langid.BestFromScores(r.Scores)
+}
+
+// Engine classifies URLs through a predictor with batching and caching.
+// It is safe for concurrent use.
+type Engine struct {
+	pred      Predictor
+	scorer    Scorer     // nil when pred lacks the fast path
+	keyer     CacheKeyer // nil when pred lacks a custom key
+	keyScorer KeyScorer  // nil when pred cannot score from a key
+	cache     *lruCache
+	stats     *Stats
+	workers   int
+}
+
+// New builds an engine over p.
+func New(p Predictor, opts Options) *Engine {
+	e := &Engine{
+		pred:    p,
+		cache:   newCache(opts.CacheShards, opts.CacheCapacity),
+		stats:   NewStats(),
+		workers: opts.Workers,
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.scorer, _ = p.(Scorer)
+	e.keyer, _ = p.(CacheKeyer)
+	e.keyScorer, _ = p.(KeyScorer)
+	return e
+}
+
+// Stats returns the engine's live metrics collector (shared with the
+// HTTP layer, which adds request counts).
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// StatsSnapshot returns current metrics, including cache occupancy.
+func (e *Engine) StatsSnapshot() Snapshot {
+	entries := 0
+	if e.cache != nil {
+		entries = e.cache.len()
+	}
+	return e.stats.TakeSnapshot(entries)
+}
+
+// Classify classifies one URL, consulting and populating the cache.
+// It never fails: malformed URLs tokenize to nothing and score like any
+// other token-free input.
+func (e *Engine) Classify(rawURL string) Result {
+	start := time.Now()
+	r := Result{URL: rawURL}
+	if e.cache == nil {
+		r.Scores = e.score(rawURL)
+		e.stats.RecordUncached(time.Since(start))
+		return r
+	}
+	key := rawURL
+	if e.keyer != nil {
+		key = e.keyer.CacheKey(rawURL)
+	}
+	if scores, ok := e.cache.get(key); ok {
+		r.Scores, r.Cached = scores, true
+		e.stats.RecordURL(time.Since(start), true)
+		return r
+	}
+	if e.keyScorer != nil {
+		// The key already carries the predictor's normal form; score
+		// from it directly rather than re-normalizing the raw URL.
+		r.Scores = e.keyScorer.ScoresForKey(key)
+	} else {
+		r.Scores = e.score(rawURL)
+	}
+	e.cache.put(key, r.Scores)
+	e.stats.RecordURL(time.Since(start), false)
+	return r
+}
+
+func (e *Engine) score(rawURL string) [langid.NumLanguages]float64 {
+	if e.scorer != nil {
+		return e.scorer.Scores(rawURL)
+	}
+	return langid.ScoresFromPredictions(e.pred.Predictions(rawURL))
+}
+
+// ClassifyBatch classifies urls across the worker pool, preserving input
+// order in the result slice. Workers pull indices from a shared atomic
+// counter, so a slow URL (cold cache, long path) never stalls a whole
+// pre-assigned chunk.
+func (e *Engine) ClassifyBatch(urls []string) []Result {
+	out := make([]Result, len(urls))
+	n := len(urls)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, u := range urls {
+			out[i] = e.Classify(u)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = e.Classify(urls[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"urllangid/internal/compiled"
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+)
+
+var (
+	testSnapOnce sync.Once
+	testSnap     *compiled.Snapshot
+	testSys      *core.System
+)
+
+// snapshot trains the headline NB/word system once and compiles it.
+func snapshot(t testing.TB) (*compiled.Snapshot, *core.System) {
+	t.Helper()
+	testSnapOnce.Do(func() {
+		ds := datagen.Generate(datagen.Config{
+			Kind: datagen.ODP, Seed: 41, TrainPerLang: 800, TestPerLang: 1,
+		})
+		sys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 41}, ds.Train)
+		if err != nil {
+			panic(err)
+		}
+		testSys = sys
+		testSnap = compiled.FromSystem(sys)
+	})
+	return testSnap, testSys
+}
+
+func testURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://www.nachrichten-seite%d.de/artikel/%d.html", i%97, i)
+	}
+	return urls
+}
+
+func TestClassifyMatchesPredictor(t *testing.T) {
+	snap, sys := snapshot(t)
+	e := New(snap, Options{CacheCapacity: 128})
+	for _, u := range append(testURLs(50), "", "::not::a::url::", "gibberish") {
+		got := e.Classify(u)
+		want := sys.Predictions(u)
+		for li := range want {
+			if got.Scores[li] != want[li].Score {
+				t.Fatalf("%q lang %d: engine %v, system %v", u, li, got.Scores[li], want[li].Score)
+			}
+		}
+		preds := got.Predictions()
+		for li := range preds {
+			if preds[li] != want[li] {
+				t.Fatalf("%q: prediction drift %+v vs %+v", u, preds[li], want[li])
+			}
+		}
+	}
+}
+
+func TestClassifyBatchOrderAndParity(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{Workers: 8, CacheCapacity: 1024})
+	urls := testURLs(500)
+	results := e.ClassifyBatch(urls)
+	if len(results) != len(urls) {
+		t.Fatalf("got %d results for %d urls", len(results), len(urls))
+	}
+	for i, r := range results {
+		if r.URL != urls[i] {
+			t.Fatalf("result %d is for %q, want %q", i, r.URL, urls[i])
+		}
+		if r.Scores != e.Classify(urls[i]).Scores {
+			t.Fatalf("batch and single disagree on %q", urls[i])
+		}
+	}
+}
+
+func TestCacheHitsAndNormalizedKeys(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{CacheCapacity: 64})
+	u := "http://www.wetter-bericht.de/heute"
+	first := e.Classify(u)
+	if first.Cached {
+		t.Fatal("first classification reported cached")
+	}
+	second := e.Classify(u)
+	if !second.Cached || second.Scores != first.Scores {
+		t.Fatalf("second classification cached=%v scores equal=%v", second.Cached, second.Scores == first.Scores)
+	}
+	// The compiled snapshot keys by normalized URL: scheme variants and
+	// uppercase collapse onto the same entry.
+	for _, variant := range []string{
+		"https://www.wetter-bericht.de/heute",
+		"WWW.WETTER-BERICHT.DE/heute",
+		"//www.wetter-bericht.de/heute",
+	} {
+		r := e.Classify(variant)
+		if !r.Cached {
+			t.Errorf("variant %q missed the cache", variant)
+		}
+		if r.Scores != first.Scores {
+			t.Errorf("variant %q scored differently", variant)
+		}
+	}
+	snapStats := e.StatsSnapshot()
+	if snapStats.CacheHits != 4 || snapStats.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 4/1", snapStats.CacheHits, snapStats.CacheMisses)
+	}
+	if snapStats.CacheHitRate < 0.79 || snapStats.CacheHitRate > 0.81 {
+		t.Errorf("hit rate = %v, want 0.8", snapStats.CacheHitRate)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{CacheCapacity: 0})
+	u := "http://www.wetter.de/"
+	e.Classify(u)
+	if r := e.Classify(u); r.Cached {
+		t.Error("cache disabled but result reported cached")
+	}
+	stats := e.StatsSnapshot()
+	if stats.CacheEntries != 0 {
+		t.Errorf("cache entries = %d with caching disabled", stats.CacheEntries)
+	}
+	// A cache-less engine must not report its traffic as misses.
+	if stats.CacheHits != 0 || stats.CacheMisses != 0 {
+		t.Errorf("cache-less engine counted hits=%d misses=%d", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.URLs != 2 {
+		t.Errorf("URLs = %d, want 2", stats.URLs)
+	}
+	if stats.LatencyP50Usec <= 0 {
+		t.Error("cache-less engine recorded no latency samples")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newCache(1, 4)
+	var s [langid.NumLanguages]float64
+	for i := 0; i < 16; i++ {
+		c.put(fmt.Sprintf("k%d", i), s)
+	}
+	if n := c.len(); n != 4 {
+		t.Errorf("cache grew to %d entries, capacity 4", n)
+	}
+	// The most recently inserted key must have survived.
+	if _, ok := c.get("k15"); !ok {
+		t.Error("latest insert evicted")
+	}
+}
+
+func TestCacheSecondChance(t *testing.T) {
+	c := newCache(1, 2)
+	var s [langid.NumLanguages]float64
+	c.put("hot", s)
+	c.put("cold", s)
+	c.get("hot") // referenced: survives one eviction round
+	c.put("new", s)
+	if _, ok := c.get("hot"); !ok {
+		t.Error("referenced entry evicted before unreferenced one")
+	}
+	if _, ok := c.get("cold"); ok {
+		t.Error("unreferenced entry survived")
+	}
+}
+
+func TestEngineConcurrentMixedLoad(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{Workers: 4, CacheCapacity: 256, CacheShards: 4})
+	urls := testURLs(200)
+	want := e.ClassifyBatch(urls)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				got := e.ClassifyBatch(urls)
+				for i := range got {
+					if got[i].Scores != want[i].Scores {
+						t.Errorf("concurrent batch drift at %d", i)
+						return
+					}
+				}
+				return
+			}
+			for i, u := range urls {
+				if e.Classify(u).Scores != want[i].Scores {
+					t.Errorf("concurrent single drift at %d", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Scores: [langid.NumLanguages]float64{-1, 2, -3, 0.5, -0.1}}
+	langs := r.Languages()
+	if len(langs) != 2 || langs[0] != langid.German || langs[1] != langid.Spanish {
+		t.Errorf("Languages = %v", langs)
+	}
+	best, score, any := r.Best()
+	if best != langid.German || score != 2 || !any {
+		t.Errorf("Best = %v, %v, %v", best, score, any)
+	}
+	r = Result{Scores: [langid.NumLanguages]float64{-1, -2, -3, -4, -5}}
+	best, score, any = r.Best()
+	if best != langid.English || score != -1 || any {
+		t.Errorf("all-negative Best = %v, %v, %v", best, score, any)
+	}
+}
+
+func TestEngineFallbackPredictorWithoutScorer(t *testing.T) {
+	_, sys := snapshot(t)
+	// *core.System implements Predictions but not Scores/CacheKey: the
+	// engine must fall back to the generic path and key by raw URL.
+	e := New(sys, Options{CacheCapacity: 16})
+	u := "http://www.wetter.de/bericht"
+	first := e.Classify(u)
+	if !e.Classify(u).Cached {
+		t.Error("raw-key cache missed on identical URL")
+	}
+	if e.Classify("https://www.wetter.de/bericht").Cached {
+		t.Error("raw-key cache hit on a different raw URL")
+	}
+	want := sys.Predictions(u)
+	for li := range want {
+		if first.Scores[li] != want[li].Score {
+			t.Fatal("fallback path scores differ from system")
+		}
+	}
+}

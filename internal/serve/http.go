@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"urllangid/internal/langid"
+)
+
+// DefaultMaxBatch bounds the URLs accepted in one /v1/classify request.
+const DefaultMaxBatch = 10000
+
+// streamChunk is the micro-batch size of the NDJSON stream: big enough
+// to fan out across workers, small enough to keep results flowing while
+// the client is still uploading its frontier.
+const streamChunk = 512
+
+// streamFlushInterval bounds how long a partial chunk may sit waiting
+// for more input. Without it, a client that sends a few lines and waits
+// for their results before sending more would deadlock against the
+// chunk-boundary batching.
+const streamFlushInterval = 50 * time.Millisecond
+
+// HandlerOptions tunes the HTTP front end.
+type HandlerOptions struct {
+	// Model is the description reported by /healthz (e.g. "NB/word").
+	Model string
+	// MaxBatch overrides DefaultMaxBatch.
+	MaxBatch int
+}
+
+// NewHandler builds the HTTP API over an engine:
+//
+//	POST /v1/classify  {"url": "..."} or {"urls": ["...", ...]}
+//	POST /v1/stream    NDJSON in ({"url": "..."} or bare-string lines),
+//	                   NDJSON out, one result per input line, in order
+//	GET  /healthz      liveness + model description
+//	GET  /stats        cache hit-rate, QPS, latency percentiles
+func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
+	h := &handler{engine: e, model: opts.Model, maxBatch: opts.MaxBatch, start: time.Now()}
+	if h.maxBatch <= 0 {
+		h.maxBatch = DefaultMaxBatch
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", h.classify)
+	mux.HandleFunc("POST /v1/stream", h.stream)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /stats", h.stats)
+	return mux
+}
+
+type handler struct {
+	engine   *Engine
+	model    string
+	maxBatch int
+	start    time.Time
+}
+
+// classifyRequest accepts both the single and the batch shape.
+type classifyRequest struct {
+	URL  string   `json:"url"`
+	URLs []string `json:"urls"`
+}
+
+// resultJSON is the wire form of one Result.
+type resultJSON struct {
+	URL       string             `json:"url"`
+	Languages []string           `json:"languages"`
+	Scores    map[string]float64 `json:"scores"`
+	Cached    bool               `json:"cached,omitempty"`
+}
+
+type classifyResponse struct {
+	Model   string       `json:"model"`
+	Results []resultJSON `json:"results"`
+}
+
+func toJSON(r Result) resultJSON {
+	out := resultJSON{
+		URL:       r.URL,
+		Languages: []string{},
+		Scores:    make(map[string]float64, langid.NumLanguages),
+		Cached:    r.Cached,
+	}
+	for li, s := range r.Scores {
+		l := langid.Language(li)
+		out.Scores[l.Code()] = s
+		if s >= 0 {
+			out.Languages = append(out.Languages, l.Code())
+		}
+	}
+	return out
+}
+
+// maxURLBytes is the per-URL byte budget behind the /v1/classify body
+// cap. Real URLs rarely exceed 2KB; 8KB leaves room for JSON overhead.
+const maxURLBytes = 8192
+
+func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
+	h.engine.Stats().RecordRequest()
+	// Cap the body before decoding: the batch limit would otherwise only
+	// be enforced after an arbitrarily large []string had already been
+	// materialised. /v1/stream is the unbounded-input endpoint, and it
+	// holds at most one micro-batch in memory.
+	body := http.MaxBytesReader(w, r.Body, int64(h.maxBatch)*maxURLBytes+4096)
+	var req classifyRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes; use /v1/stream for bulk frontiers", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	urls := req.URLs
+	if req.URL != "" {
+		urls = append([]string{req.URL}, urls...)
+	}
+	if len(urls) == 0 {
+		httpError(w, http.StatusBadRequest, `provide "url" or a non-empty "urls" array`)
+		return
+	}
+	if len(urls) > h.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds limit %d; use /v1/stream for bulk frontiers", len(urls), h.maxBatch)
+		return
+	}
+	resp := classifyResponse{Model: h.model, Results: make([]resultJSON, 0, len(urls))}
+	for _, res := range h.engine.ClassifyBatch(urls) {
+		resp.Results = append(resp.Results, toJSON(res))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stream consumes NDJSON: each non-empty line is either a JSON object
+// with a "url" field, a JSON string, or a bare URL. Responses stream
+// back in input order, one JSON object per line, flushed per chunk so a
+// crawler can pipe its frontier through without buffering it.
+func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
+	h.engine.Stats().RecordRequest()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Results stream back while the frontier is still uploading. Without
+	// full duplex the HTTP/1.x server aborts the request body at the
+	// first response write, silently truncating large frontiers; HTTP/2
+	// is duplex natively and returns an ignorable error here.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	enc := json.NewEncoder(w)
+
+	chunk := make([]string, 0, streamChunk)
+	emit := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		for _, res := range h.engine.ClassifyBatch(chunk) {
+			if err := enc.Encode(toJSON(res)); err != nil {
+				return false // client went away
+			}
+		}
+		rc.Flush()
+		chunk = chunk[:0]
+		return true
+	}
+
+	// A reader goroutine feeds lines so the batching loop can also wake
+	// on a timer and flush partial chunks; the scanner itself blocks in
+	// Read and could not honour a deadline. The done channel unblocks a
+	// pending send when the handler bails out early; a reader blocked in
+	// Scan is released by the server closing the request body.
+	type streamLine struct {
+		url string
+		err error
+	}
+	lines := make(chan streamLine)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		lineNo := 0
+		send := func(l streamLine) bool {
+			select {
+			case lines <- l:
+				return true
+			case <-done:
+				return false
+			}
+		}
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			url, err := parseStreamLine(line)
+			if err != nil {
+				send(streamLine{err: fmt.Errorf("line %d: %w", lineNo, err)})
+				return
+			}
+			if !send(streamLine{url: url}) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			send(streamLine{err: fmt.Errorf("reading stream: %w", err)})
+		}
+	}()
+
+	ticker := time.NewTicker(streamFlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case ln, ok := <-lines:
+			if !ok {
+				emit()
+				return
+			}
+			if ln.err != nil {
+				// Emit pending results first so output order still
+				// matches input order, then report the bad line in-band.
+				if emit() {
+					enc.Encode(map[string]string{"error": ln.err.Error()})
+				}
+				return
+			}
+			chunk = append(chunk, ln.url)
+			if len(chunk) >= streamChunk {
+				if !emit() {
+					return
+				}
+			}
+		case <-ticker.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+// parseStreamLine extracts the URL from one NDJSON input line.
+func parseStreamLine(line string) (string, error) {
+	switch line[0] {
+	case '{':
+		var obj struct {
+			URL string `json:"url"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			return "", fmt.Errorf("invalid JSON object: %v", err)
+		}
+		if obj.URL == "" {
+			return "", fmt.Errorf(`object lacks a "url" field`)
+		}
+		return obj.URL, nil
+	case '"':
+		var s string
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return "", fmt.Errorf("invalid JSON string: %v", err)
+		}
+		return s, nil
+	default:
+		return line, nil
+	}
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"model":          h.model,
+		"uptime_seconds": time.Since(h.start).Seconds(),
+	})
+}
+
+func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.engine.StatsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Engine) {
+	t.Helper()
+	snap, _ := snapshot(t)
+	e := New(snap, opts)
+	srv := httptest.NewServer(NewHandler(e, HandlerOptions{Model: snap.Describe()}))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPClassifySingle(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 128})
+	resp := postJSON(t, srv.URL+"/v1/classify", map[string]string{
+		"url": "http://www.nachrichten-wetter.de/zeitung",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decodeBody[classifyResponse](t, resp)
+	if body.Model != "NB/word" {
+		t.Errorf("model = %q", body.Model)
+	}
+	if len(body.Results) != 1 {
+		t.Fatalf("got %d results", len(body.Results))
+	}
+	r := body.Results[0]
+	if len(r.Scores) != 5 {
+		t.Errorf("scores = %v", r.Scores)
+	}
+	for _, code := range r.Languages {
+		if r.Scores[code] < 0 {
+			t.Errorf("claimed language %s has negative score", code)
+		}
+	}
+}
+
+func TestHTTPClassifyBatchAndCacheFlag(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 128})
+	urls := []string{
+		"http://www.recherche-produits.fr/annonce",
+		"http://www.noticias-tienda.es/precios",
+		"http://www.recherche-produits.fr/annonce", // duplicate
+	}
+	resp := postJSON(t, srv.URL+"/v1/classify", map[string][]string{"urls": urls})
+	body := decodeBody[classifyResponse](t, resp)
+	if len(body.Results) != 3 {
+		t.Fatalf("got %d results", len(body.Results))
+	}
+	for i, r := range body.Results {
+		if r.URL != urls[i] {
+			t.Errorf("result %d for %q, want %q", i, r.URL, urls[i])
+		}
+	}
+	// Re-post: everything must now come from the cache.
+	resp = postJSON(t, srv.URL+"/v1/classify", map[string][]string{"urls": urls[:2]})
+	for _, r := range decodeBody[classifyResponse](t, resp).Results {
+		if !r.Cached {
+			t.Errorf("%q not served from cache on second request", r.URL)
+		}
+	}
+}
+
+func TestHTTPClassifyErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	resp, err := http.Post(srv.URL+"/v1/classify", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, srv.URL+"/v1/classify", map[string][]string{"urls": {}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", resp.StatusCode)
+	}
+	// GET on a POST route must not classify.
+	getResp, err := http.Get(srv.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/classify: status %d", getResp.StatusCode)
+	}
+}
+
+func TestHTTPClassifyBatchLimit(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{})
+	srv := httptest.NewServer(NewHandler(e, HandlerOptions{Model: "NB/word", MaxBatch: 2}))
+	defer srv.Close()
+	resp := postJSON(t, srv.URL+"/v1/classify", map[string][]string{
+		"urls": {"http://a.de", "http://b.de", "http://c.de"},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d", resp.StatusCode)
+	}
+	// A body over the byte cap must be rejected before it is decoded,
+	// not after an enormous slice has been allocated.
+	huge := `{"urls": ["http://a.de/` + strings.Repeat("x", 3*maxURLBytes) + `"]}`
+	resp, err := http.Post(srv.URL+"/v1/classify", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStreamNDJSON(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 128})
+	var in bytes.Buffer
+	urls := []string{
+		"http://www.wasserbett-test.de/preise",
+		"http://www.produits-recherche.fr/annonces",
+		"http://www.pagina-notizie.it/articolo",
+	}
+	// Mix all three accepted line shapes.
+	fmt.Fprintf(&in, "{\"url\": %q}\n", urls[0])
+	fmt.Fprintf(&in, "%q\n", urls[1])
+	fmt.Fprintf(&in, "%s\n\n", urls[2]) // plus a blank line to skip
+
+	resp, err := http.Post(srv.URL+"/v1/stream", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var got []resultJSON
+	for sc.Scan() {
+		var r resultJSON
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != len(urls) {
+		t.Fatalf("streamed %d results for %d lines", len(got), len(urls))
+	}
+	for i, r := range got {
+		if r.URL != urls[i] {
+			t.Errorf("stream result %d for %q, want %q (order violated)", i, r.URL, urls[i])
+		}
+	}
+}
+
+func TestHTTPStreamLargeFrontierExercisesChunking(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 4, CacheCapacity: 4096})
+	n := streamChunk*2 + 37
+	var in bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&in, "http://www.seite-%d.de/artikel/%d\n", i%113, i)
+	}
+	resp, err := http.Post(srv.URL+"/v1/stream", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	count := 0
+	for sc.Scan() {
+		count++
+	}
+	if count != n {
+		t.Errorf("streamed %d results for %d inputs", count, n)
+	}
+}
+
+// TestHTTPStreamFullDuplex uploads a frontier far larger than the
+// socket buffers while reading results concurrently — the shape a real
+// crawler client uses. Regression test for the HTTP/1.x server aborting
+// the request body at the first response write (silent truncation).
+func TestHTTPStreamFullDuplex(t *testing.T) {
+	srv, e := newTestServer(t, Options{Workers: 4, CacheCapacity: 1 << 16})
+	const n = 30000
+	pr, pw := io.Pipe()
+	go func() {
+		defer pw.Close()
+		for i := 0; i < n; i++ {
+			k := i % 2500 // 2500 unique URLs cycled 12 times, like a frontier re-visiting hosts
+			if _, err := fmt.Fprintf(pw, "http://www.seite-%d.de/artikel/%d\n", k%97, k); err != nil {
+				return
+			}
+		}
+	}()
+	resp, err := http.Post(srv.URL+"/v1/stream", "application/x-ndjson", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	count := 0
+	for sc.Scan() {
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("response scan: %v", err)
+	}
+	if count != n {
+		t.Errorf("streamed %d results for %d inputs; stats %+v", count, n, e.StatsSnapshot())
+	}
+	if stats := e.StatsSnapshot(); stats.CacheHitRate < 0.9 {
+		t.Errorf("repetitive frontier hit-rate = %v, want > 0.9", stats.CacheHitRate)
+	}
+}
+
+// TestHTTPStreamLockstepClient sends a few lines, keeps the request
+// body open, and insists on receiving those results before sending the
+// next round — the request/response cadence an adaptive crawler uses.
+// Partial chunks must flush on the idle timer, not wait for 512 lines
+// or EOF.
+func TestHTTPStreamLockstepClient(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 64})
+	pr, pw := io.Pipe()
+	resp := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		r, err := http.Post(srv.URL+"/v1/stream", "application/x-ndjson", pr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		resp <- r
+	}()
+
+	if _, err := io.WriteString(pw, "http://www.wetter.de/eins\nhttp://www.wetter.de/zwei\n"); err != nil {
+		t.Fatal(err)
+	}
+	var r *http.Response
+	select {
+	case r = <-resp:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no response headers while request body open")
+	}
+	defer r.Body.Close()
+
+	sc := bufio.NewScanner(r.Body)
+	readOne := func() string {
+		t.Helper()
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				lineCh <- ""
+			}
+		}()
+		select {
+		case l := <-lineCh:
+			if l == "" {
+				t.Fatalf("stream ended early (scan err: %v)", sc.Err())
+			}
+			return l
+		case <-time.After(5 * time.Second):
+			t.Fatal("result not flushed while request body stayed open")
+			return ""
+		}
+	}
+	for _, want := range []string{"/eins", "/zwei"} {
+		if got := readOne(); !strings.Contains(got, want) {
+			t.Fatalf("lockstep result = %q, want URL containing %q", got, want)
+		}
+	}
+	// Second round on the same open stream.
+	if _, err := io.WriteString(pw, "http://www.annonces.fr/drei\n"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readOne(); !strings.Contains(got, "/drei") {
+		t.Fatalf("second round result = %q", got)
+	}
+	pw.Close()
+	if sc.Scan() {
+		t.Errorf("unexpected trailing line %q", sc.Text())
+	}
+}
+
+func TestHTTPStreamBadLineReportsError(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	in := "http://ok.de/eins\n{\"not\": \"a url field\"}\nhttp://never-reached.de\n"
+	resp, err := http.Post(srv.URL+"/v1/stream", "application/x-ndjson", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want result + error: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[1], "error") || !strings.Contains(lines[1], "line 2") {
+		t.Errorf("error line = %q", lines[1])
+	}
+}
+
+func TestHTTPHealthzAndStats(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 64})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decodeBody[map[string]any](t, resp)
+	if health["status"] != "ok" || health["model"] != "NB/word" {
+		t.Errorf("healthz = %v", health)
+	}
+
+	// Generate some traffic: one miss, one hit.
+	u := "http://www.einzigartig-seite.de/pfad"
+	postJSON(t, srv.URL+"/v1/classify", map[string]string{"url": u}).Body.Close()
+	postJSON(t, srv.URL+"/v1/classify", map[string]string{"url": u}).Body.Close()
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody[Snapshot](t, resp)
+	if stats.CacheHits < 1 || stats.CacheMisses < 1 {
+		t.Errorf("stats did not count traffic: %+v", stats)
+	}
+	if stats.CacheHitRate <= 0 || stats.CacheHitRate >= 1 {
+		t.Errorf("hit rate = %v", stats.CacheHitRate)
+	}
+	if stats.Requests != 2 {
+		t.Errorf("requests = %d, want 2 classify calls counted", stats.Requests)
+	}
+	if stats.LatencyP50Usec <= 0 || stats.LatencyP99Usec < stats.LatencyP50Usec {
+		t.Errorf("latency percentiles p50=%v p99=%v", stats.LatencyP50Usec, stats.LatencyP99Usec)
+	}
+	if stats.QPSRecent <= 0 {
+		t.Errorf("recent QPS = %v", stats.QPSRecent)
+	}
+}
+
+func TestHTTPMalformedURLsNeverPanic(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 16})
+	bad := []string{
+		"", " ", "%%%", "http://", "://x", "http://[::1]:bad/",
+		"a\tb\x00c", strings.Repeat("%2e", 5000), "xn--zzzz--0-",
+	}
+	resp := postJSON(t, srv.URL+"/v1/classify", map[string][]string{"urls": bad})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decodeBody[classifyResponse](t, resp)
+	if len(body.Results) != len(bad) {
+		t.Errorf("got %d results for %d malformed URLs", len(body.Results), len(bad))
+	}
+}

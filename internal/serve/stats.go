@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRingSize bounds the per-URL latency samples kept for percentile
+// estimation; power of two so the write index wraps with a mask.
+const latencyRingSize = 4096
+
+// recentWindow is the lookback used for the "recent" QPS figure.
+const recentWindow = 10 * time.Second
+
+// secBuckets is the number of one-second QPS buckets; must exceed the
+// recent window so in-window buckets are never being overwritten.
+const secBuckets = 16
+
+// Stats aggregates serving metrics with atomics only — recording on the
+// hot path never takes a lock. Latency samples land in a fixed ring;
+// tearing between the timestamp and duration slots of one sample is
+// possible under contention and harmless for percentile estimates.
+type Stats struct {
+	start     time.Time
+	requests  atomic.Int64 // HTTP requests (classify + stream)
+	urls      atomic.Int64 // URLs classified, cached or not
+	hits      atomic.Int64
+	misses    atomic.Int64
+	ringPos   atomic.Uint64
+	ringNanos [latencyRingSize]atomic.Int64 // classification latency
+	// One-second QPS buckets, indexed by unix-second modulo secBuckets.
+	// The tag-reset on second rollover is racy by design: a lost count
+	// or two under contention does not matter for a rate estimate.
+	bucketSec   [secBuckets]atomic.Int64
+	bucketCount [secBuckets]atomic.Int64
+}
+
+// NewStats returns a zeroed stats collector anchored at now.
+func NewStats() *Stats {
+	return &Stats{start: time.Now()}
+}
+
+// RecordRequest counts one HTTP request.
+func (s *Stats) RecordRequest() {
+	if s != nil {
+		s.requests.Add(1)
+	}
+}
+
+// RecordURL counts one classified URL on a cache-enabled engine. Cache
+// hits contribute to the hit-rate but not to the latency ring — a hit's
+// latency says nothing about scoring cost.
+func (s *Stats) RecordURL(d time.Duration, cached bool) {
+	if s == nil {
+		return
+	}
+	s.countURL()
+	if cached {
+		s.hits.Add(1)
+		return
+	}
+	s.misses.Add(1)
+	s.recordLatency(d)
+}
+
+// RecordUncached counts one classified URL on a cache-less engine:
+// throughput and latency are tracked, but neither hit nor miss counters
+// move, so /stats reads "caching disabled" rather than "0% hit-rate".
+func (s *Stats) RecordUncached(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.countURL()
+	s.recordLatency(d)
+}
+
+func (s *Stats) countURL() {
+	s.urls.Add(1)
+	sec := time.Now().Unix()
+	b := int(sec % secBuckets)
+	if s.bucketSec[b].Load() != sec {
+		s.bucketSec[b].Store(sec)
+		s.bucketCount[b].Store(0)
+	}
+	s.bucketCount[b].Add(1)
+}
+
+func (s *Stats) recordLatency(d time.Duration) {
+	i := (s.ringPos.Add(1) - 1) & (latencyRingSize - 1)
+	s.ringNanos[i].Store(int64(d))
+}
+
+// Snapshot is a point-in-time view of the metrics, shaped for JSON.
+type Snapshot struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       int64   `json:"requests"`
+	URLs           int64   `json:"urls"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheEntries   int     `json:"cache_entries"`
+	QPSLifetime    float64 `json:"qps_lifetime"`
+	QPSRecent      float64 `json:"qps_recent"`
+	LatencyP50Usec float64 `json:"latency_p50_us"`
+	LatencyP90Usec float64 `json:"latency_p90_us"`
+	LatencyP99Usec float64 `json:"latency_p99_us"`
+}
+
+// TakeSnapshot computes the derived figures. cacheEntries is supplied by
+// the engine, which owns the cache.
+func (s *Stats) TakeSnapshot(cacheEntries int) Snapshot {
+	now := time.Now()
+	snap := Snapshot{
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		URLs:          s.urls.Load(),
+		CacheHits:     s.hits.Load(),
+		CacheMisses:   s.misses.Load(),
+		CacheEntries:  cacheEntries,
+	}
+	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
+		snap.CacheHitRate = float64(snap.CacheHits) / float64(total)
+	}
+	if snap.UptimeSeconds > 0 {
+		snap.QPSLifetime = float64(snap.URLs) / snap.UptimeSeconds
+	}
+
+	var recent int64
+	cutoff := now.Unix() - int64(recentWindow.Seconds())
+	for i := 0; i < secBuckets; i++ {
+		if s.bucketSec[i].Load() > cutoff {
+			recent += s.bucketCount[i].Load()
+		}
+	}
+	snap.QPSRecent = float64(recent) / recentWindow.Seconds()
+
+	n := int(s.ringPos.Load())
+	if n > latencyRingSize {
+		n = latencyRingSize
+	}
+	lat := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		lat = append(lat, float64(s.ringNanos[i].Load())/1e3)
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		snap.LatencyP50Usec = percentile(lat, 0.50)
+		snap.LatencyP90Usec = percentile(lat, 0.90)
+		snap.LatencyP99Usec = percentile(lat, 0.99)
+	}
+	return snap
+}
+
+// percentile reads the p-quantile from an ascending sample slice.
+func percentile(sorted []float64, p float64) float64 {
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -65,31 +65,10 @@ type Parts struct {
 // inputs simply yield empty token lists.
 func Parse(rawURL string) Parts {
 	p := Parts{Raw: rawURL}
-	s := strings.TrimSpace(rawURL)
-	s = decodePercent(s)
-	s = strings.ToLower(s)
-
-	// Strip scheme.
-	if i := strings.Index(s, "://"); i >= 0 {
-		s = s[i+3:]
-	} else if strings.HasPrefix(s, "//") {
-		s = s[2:]
-	}
-	// Split authority from path.
-	host := s
-	if i := strings.IndexAny(s, "/?#"); i >= 0 {
-		host = s[:i]
-		p.Path = s[i:]
-	}
-	// Strip credentials and port.
-	if i := strings.LastIndexByte(host, '@'); i >= 0 {
-		host = host[i+1:]
-	}
-	if i := strings.IndexByte(host, ':'); i >= 0 {
-		host = host[:i]
-	}
-	host = strings.Trim(host, ".")
+	s := Normalize(rawURL)
+	host, path := SplitNormalized(s)
 	p.Host = host
+	p.Path = path
 
 	if host != "" {
 		p.HostLabels = strings.Split(host, ".")
@@ -108,10 +87,65 @@ func Parse(rawURL string) Parts {
 	return p
 }
 
+// Normalize returns the canonical form of rawURL that all tokenisation
+// operates on: whitespace-trimmed, percent-decoded, lower-cased, with the
+// scheme ("http://", "//") stripped. Two URLs with equal normal forms
+// parse to identical Parts apart from the Raw field, which makes the
+// normal form a sound cache key for any classifier that ignores Raw.
+func Normalize(rawURL string) string {
+	s := strings.TrimSpace(rawURL)
+	s = decodePercent(s)
+	s = strings.ToLower(s)
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	}
+	return s
+}
+
+// SplitHostPath splits the normal form of rawURL into the host —
+// credentials, port and surrounding dots stripped — and everything after
+// it (path, query and fragment). It is the front half of Parse, exposed
+// for serving paths that only need tokens and want to skip the full
+// Parts decomposition.
+func SplitHostPath(rawURL string) (host, path string) {
+	return SplitNormalized(Normalize(rawURL))
+}
+
+// SplitNormalized splits a string that is already in Normalize's normal
+// form into host and path. Callers holding a normal form (e.g. a cache
+// key) must use this rather than SplitHostPath: Normalize is not
+// idempotent on doubly percent-encoded input, so re-normalizing would
+// decode one escape layer too many.
+func SplitNormalized(s string) (host, path string) {
+	host = s
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		host = s[:i]
+		path = s[i:]
+	}
+	if i := strings.LastIndexByte(host, '@'); i >= 0 {
+		host = host[i+1:]
+	}
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.Trim(host, ".")
+	return host, path
+}
+
 // Tokenize splits s into the paper's tokens: maximal runs of ASCII letters,
 // lower-cased, with runs shorter than 2 and the special words removed.
 func Tokenize(s string) []string {
-	var tokens []string
+	return AppendTokens(nil, s)
+}
+
+// AppendTokens appends the tokens of s to dst and returns the extended
+// slice. When s is already lower-case — as the strings produced by
+// Normalize and SplitHostPath are — the appended tokens alias s and the
+// only allocation is the occasional growth of dst, which is what the
+// compiled serving path relies on for its zero-garbage hot loop.
+func AppendTokens(dst []string, s string) []string {
 	start := -1
 	flush := func(end int) {
 		if start < 0 {
@@ -120,7 +154,7 @@ func Tokenize(s string) []string {
 		if end-start >= 2 {
 			tok := strings.ToLower(s[start:end])
 			if _, special := specialTokens[tok]; !special {
-				tokens = append(tokens, tok)
+				dst = append(dst, tok)
 			}
 		}
 		start = -1
@@ -136,7 +170,7 @@ func Tokenize(s string) []string {
 		}
 	}
 	flush(len(s))
-	return tokens
+	return dst
 }
 
 func isLetter(c byte) bool {

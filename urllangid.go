@@ -28,18 +28,25 @@
 // Scaling), Decision Tree and kNN learners; and the training-free
 // ccTLD / ccTLD+ baselines.
 //
-// Models serialise with Save/Load. Synthetic corpora matching the
-// paper's three evaluation datasets can be generated with the repro
-// tooling under cmd/repro; see DESIGN.md and EXPERIMENTS.md.
+// Models serialise with Save/Load. For serving, Compile flattens a
+// trained classifier into a read-only Snapshot whose predictions are
+// bit-identical but markedly faster, and cmd/urllangid-serve exposes
+// snapshots over a batch/streaming HTTP API. Synthetic corpora matching
+// the paper's three evaluation datasets can be generated with the repro
+// tooling under cmd/repro; see README.md for usage and DESIGN.md for the
+// architecture and experiment index.
 package urllangid
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
+	"urllangid/internal/compiled"
 	"urllangid/internal/core"
 	"urllangid/internal/features"
 	"urllangid/internal/langid"
+	"urllangid/internal/serve"
 )
 
 // Language identifies one of the five supported languages.
@@ -172,6 +179,9 @@ type Options struct {
 // binary deciders, one per language, over a shared feature extractor.
 type Classifier struct {
 	sys *core.System
+
+	batchOnce sync.Once
+	batch     *serve.Engine
 }
 
 // Train builds a classifier from labeled samples. The TLD baselines
@@ -224,6 +234,30 @@ func (c *Classifier) Best(rawURL string) (Language, float64, bool) {
 	return c.sys.Best(rawURL)
 }
 
+// PredictionsBatch classifies many URLs in parallel across a worker
+// pool, returning one prediction slice per URL in input order. Results
+// are identical to calling Predictions per URL; only the wall-clock
+// changes. For sustained serving workloads with repeated hosts, compile
+// the classifier into a Snapshot instead — it adds result caching and a
+// faster scoring path.
+func (c *Classifier) PredictionsBatch(urls []string) [][]Prediction {
+	return predictionsBatch(&c.batchOnce, &c.batch, c.sys, serve.Options{}, urls)
+}
+
+// predictionsBatch lazily builds a serving engine over p and runs one
+// ordered batch through it — shared by Classifier and Snapshot.
+func predictionsBatch(once *sync.Once, engine **serve.Engine, p serve.Predictor, opts serve.Options, urls []string) [][]Prediction {
+	once.Do(func() {
+		*engine = serve.New(p, opts)
+	})
+	results := (*engine).ClassifyBatch(urls)
+	out := make([][]Prediction, len(results))
+	for i, r := range results {
+		out[i] = r.Predictions()
+	}
+	return out
+}
+
 // Describe returns the classifier's configuration label, e.g. "NB/word".
 func (c *Classifier) Describe() string { return c.sys.Config.Describe() }
 
@@ -237,4 +271,85 @@ func Load(r io.Reader) (*Classifier, error) {
 		return nil, fmt.Errorf("urllangid: %w", err)
 	}
 	return &Classifier{sys: sys}, nil
+}
+
+// Snapshot is a compiled, read-only form of a Classifier built for
+// serving: feature weights packed into contiguous language-interleaved
+// slices keyed by token ID, resolved through an allocation-free string
+// table. Predictions are bit-identical to the source classifier's while
+// single-URL latency drops severalfold (see the BenchmarkPredict*
+// benches). Snapshots are immutable and safe for concurrent use.
+//
+// Naive Bayes, Relative Entropy and Maximum Entropy models over word or
+// trigram features compile to the packed form; other configurations are
+// transparently wrapped, keeping the same API and serialisation at the
+// original speed. Compiled reports which form a snapshot took.
+type Snapshot struct {
+	snap *compiled.Snapshot
+
+	batchOnce sync.Once
+	batch     *serve.Engine
+}
+
+// Compile flattens the classifier into a Snapshot.
+func (c *Classifier) Compile() *Snapshot {
+	return &Snapshot{snap: compiled.FromSystem(c.sys)}
+}
+
+// LoadSnapshot restores a snapshot saved with Snapshot.Save, e.g. the
+// output of "urllangid compile".
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	snap, err := compiled.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("urllangid: %w", err)
+	}
+	return &Snapshot{snap: snap}, nil
+}
+
+// Save serialises the snapshot (encoding/gob).
+func (s *Snapshot) Save(w io.Writer) error { return s.snap.Save(w) }
+
+// Compiled reports whether the snapshot runs the packed fast path; false
+// means the configuration fell back to wrapping the original models.
+func (s *Snapshot) Compiled() bool { return s.snap.Compiled() }
+
+// Describe returns the source configuration label, e.g. "NB/word".
+func (s *Snapshot) Describe() string { return s.snap.Describe() }
+
+// Predictions returns all five scored binary decisions for a URL, in
+// canonical language order, bit-identical to the source classifier's.
+func (s *Snapshot) Predictions(rawURL string) []Prediction {
+	return s.snap.Predictions(rawURL)
+}
+
+// Languages returns the languages whose classifiers answered "yes".
+func (s *Snapshot) Languages(rawURL string) []Language {
+	return s.snap.Languages(rawURL)
+}
+
+// Is answers the single binary question "is this URL in language l?".
+func (s *Snapshot) Is(rawURL string, l Language) bool {
+	if !l.Valid() {
+		return false
+	}
+	return s.snap.Scores(rawURL)[l] >= 0
+}
+
+// Best returns the highest-scoring language for the URL, as
+// Classifier.Best does.
+func (s *Snapshot) Best(rawURL string) (Language, float64, bool) {
+	return s.snap.Best(rawURL)
+}
+
+// snapshotBatchCache bounds the result cache behind
+// Snapshot.PredictionsBatch: 64k entries of five float64 scores plus the
+// normalized key, a few MB at most.
+const snapshotBatchCache = 1 << 16
+
+// PredictionsBatch classifies many URLs in parallel, in input order,
+// through the serving engine's worker pool, with repeated URLs (after
+// normalization) served from a bounded result cache.
+func (s *Snapshot) PredictionsBatch(urls []string) [][]Prediction {
+	return predictionsBatch(&s.batchOnce, &s.batch, s.snap,
+		serve.Options{CacheCapacity: snapshotBatchCache}, urls)
 }

@@ -89,6 +89,106 @@ func TestSaveLoad(t *testing.T) {
 	}
 }
 
+func TestCompileSnapshotMatchesClassifier(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Seed: 6}, trainSamples(t, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := clf.Compile()
+	if !snap.Compiled() {
+		t.Fatal("NB/word did not compile")
+	}
+	if snap.Describe() != clf.Describe() {
+		t.Errorf("Describe %q vs %q", snap.Describe(), clf.Describe())
+	}
+	urls := []string{
+		"http://www.nachrichten-wetter.de/zeitung",
+		"http://www.recherche-produits.fr/annonce",
+		"http://www.example.com/page",
+		"", "not a url", "http://user:pw@host.es:9/x%20y",
+	}
+	for _, u := range urls {
+		a, b := clf.Predictions(u), snap.Predictions(u)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("snapshot predictions differ on %q: %+v vs %+v", u, a[i], b[i])
+			}
+		}
+		wantLang, wantScore, wantAny := clf.Best(u)
+		gotLang, gotScore, gotAny := snap.Best(u)
+		if wantLang != gotLang || wantScore != gotScore || wantAny != gotAny {
+			t.Fatalf("snapshot Best differs on %q", u)
+		}
+		for _, l := range urllangid.Languages() {
+			if clf.Is(u, l) != snap.Is(u, l) {
+				t.Fatalf("snapshot Is differs on %q/%v", u, l)
+			}
+		}
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Seed: 7}, trainSamples(t, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := clf.Compile()
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := urllangid.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := "http://www.wetter-bericht.de/heute"
+	a, b := snap.Predictions(u), loaded.Predictions(u)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("snapshot predictions differ after Save/LoadSnapshot")
+		}
+	}
+	if _, err := urllangid.LoadSnapshot(bytes.NewReader([]byte{9, 9})); err == nil {
+		t.Error("LoadSnapshot accepted garbage")
+	}
+}
+
+func TestPredictionsBatch(t *testing.T) {
+	clf, err := urllangid.Train(urllangid.Options{Seed: 8}, trainSamples(t, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, 300)
+	for i := range urls {
+		urls[i] = "http://www.seite-" + string(rune('a'+i%26)) + ".de/artikel"
+	}
+	urls = append(urls, "", "garbage url")
+	batch := clf.PredictionsBatch(urls)
+	if len(batch) != len(urls) {
+		t.Fatalf("batch returned %d slices for %d urls", len(batch), len(urls))
+	}
+	for i, u := range urls {
+		want := clf.Predictions(u)
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("batch[%d] differs from Predictions(%q)", i, u)
+			}
+		}
+	}
+	// Snapshot batching must agree too.
+	snapBatch := clf.Compile().PredictionsBatch(urls)
+	for i := range urls {
+		for j := range snapBatch[i] {
+			if snapBatch[i][j] != batch[i][j] {
+				t.Fatalf("snapshot batch differs at %d", i)
+			}
+		}
+	}
+	if got := clf.PredictionsBatch(nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}
+
 func TestLoadGarbage(t *testing.T) {
 	if _, err := urllangid.Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
 		t.Error("Load accepted garbage")
