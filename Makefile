@@ -1,13 +1,20 @@
 # Tier-1 verification gate: make verify must pass before any change
 # lands. It enforces formatting and vet cleanliness in addition to the
-# build and test suite, so style/vet regressions fail loudly instead of
+# build and test suite, runs the concurrency-sensitive packages under
+# the race detector, and smoke-fuzzes the urlx invariants, so style,
+# vet, race and normalization regressions fail loudly instead of
 # accumulating.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify build fmt vet test bench fuzz
+# Fuzz targets guarding the urlx normalization contract; go test only
+# accepts one -fuzz pattern per invocation, so the smoke loops.
+URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 
-verify: fmt vet build test
+.PHONY: verify build fmt vet test race fuzz-smoke bench fuzz
+
+verify: fmt vet build test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,8 +31,18 @@ vet:
 test:
 	$(GO) test ./...
 
+# The packages with lock/atomic concurrency (cache, stats, worker pool,
+# snapshot scratch pool) under the race detector.
+race:
+	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/
+
+fuzz-smoke:
+	@for target in $(URLX_FUZZ); do \
+		$(GO) test ./internal/urlx/ -run NONE -fuzz $$target -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
 bench:
-	$(GO) test -run NONE -bench 'Predict|ClassifyBatch|Extract|ParseURL' -benchmem .
+	$(GO) test -run NONE -bench 'Predict|ClassifyBatch|Extract|ParseURL|Normalize' -benchmem .
 
 fuzz:
 	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

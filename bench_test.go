@@ -302,6 +302,42 @@ func BenchmarkParseURL(b *testing.B) {
 	}
 }
 
+// BenchmarkNormalize measures the structural normalizer's fast path: a
+// URL already in normal form modulo scheme-stripping, which must cost
+// zero allocations (the normal form is a substring of the input).
+func BenchmarkNormalize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if urlx.Normalize("http://forum.mamboserver.com/archive/index.php/t-7062.html") == "" {
+			b.Fatal("empty normal form")
+		}
+	}
+}
+
+// BenchmarkNormalizeRewrite exercises the byte-rewriting path
+// (uppercase + percent-escapes); Normalize must allocate only the
+// returned string here.
+func BenchmarkNormalizeRewrite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if urlx.Normalize("HTTP://Forum.MamboServer.COM/Archive/Index%2Ephp/T-7062.html") == "" {
+			b.Fatal("empty normal form")
+		}
+	}
+}
+
+// BenchmarkNormalizeInto is the rewrite path through caller-owned
+// scratch, as the compiled serving hot path drives it: zero allocations.
+func BenchmarkNormalizeInto(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if urlx.NormalizeInto(&buf, "HTTP://Forum.MamboServer.COM/Archive/Index%2Ephp/T-7062.html") == "" {
+			b.Fatal("empty normal form")
+		}
+	}
+}
+
 func benchExtract(b *testing.B, kind features.Kind) {
 	e := env(b)
 	ext := features.New(kind)
@@ -404,6 +440,22 @@ func BenchmarkPredictSnapshotScores(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictSnapshotScoresRewrite is the same hot path fed URLs
+// that need byte rewriting during normalization; pooled scratch keeps
+// it at 0 allocs/op too.
+func BenchmarkPredictSnapshotScoresRewrite(b *testing.B) {
+	_, snap := benchSystemAndSnapshot(b)
+	urls := make([]string, 256)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("HTTP://WWW.Beispiel-Seite%d.DE/Nachrichten/Artikel%%31%d.html", i%173, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Scores(urls[i%len(urls)])
+	}
+}
+
 func BenchmarkClassifyBatchUncached(b *testing.B) {
 	_, snap := benchSystemAndSnapshot(b)
 	eng := serve.New(snap, serve.Options{CacheCapacity: 0})
@@ -421,6 +473,25 @@ func BenchmarkClassifyBatchCached(b *testing.B) {
 	eng := serve.New(snap, serve.Options{CacheCapacity: 4096})
 	urls := servingURLs(1024)
 	eng.ClassifyBatch(urls) // warm the cache, as a steady-state frontier would
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.ClassifyBatch(urls)
+	}
+	b.ReportMetric(float64(len(urls)), "URLs/batch")
+}
+
+// BenchmarkClassifyBatchDuplicateHeavy is the workload the in-batch
+// dedup targets: a frontier where each link repeats ~8 times (nav bars,
+// footers). Without dedup and without a cache every repeat pays a full
+// scoring.
+func BenchmarkClassifyBatchDuplicateHeavy(b *testing.B) {
+	_, snap := benchSystemAndSnapshot(b)
+	eng := serve.New(snap, serve.Options{CacheCapacity: 0})
+	urls := make([]string, 1024)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://www.beispiel-seite%d.de/nachrichten/artikel%d.html", (i/8)%173, i/8)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

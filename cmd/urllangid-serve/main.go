@@ -20,6 +20,12 @@
 //	seq 1 1000 | sed 's|.*|http://www.seite-&.de/artikel|' | \
 //	    curl -s --data-binary @- localhost:8080/v1/stream
 //
+// Compiled snapshots cache results under the structural URL normal form
+// (urlx package doc): scheme, case and percent-encoding variants of one
+// URL share a single cache entry, and identical URLs inside one batch
+// are scored once. /stats reports nearest-rank latency percentiles and
+// a recent-QPS figure over the last ten *complete* seconds.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
 package main

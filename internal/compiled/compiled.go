@@ -79,6 +79,12 @@ type Snapshot struct {
 }
 
 type scratch struct {
+	// norm backs urlx.NormalizeInto: URLs that need byte rewriting
+	// (escapes, uppercase) normalize into this reused buffer instead of
+	// a fresh string, keeping the hot path allocation-free. tokens and
+	// grams alias it (or the raw URL) and are only valid until the next
+	// use of the same scratch.
+	norm   []byte
 	tokens []string
 	grams  []string
 	ids    []uint32
@@ -201,12 +207,16 @@ func (s *Snapshot) CacheKey(rawURL string) string {
 
 // Scores returns the five per-language decision scores for rawURL in
 // canonical language order. The sign of each score is the binary
-// decision, exactly as in core.System.Predictions.
+// decision, exactly as in core.System.Predictions. On the compiled path
+// the whole call is allocation-free: normalization rewrites into pooled
+// scratch and tokens alias the normal form.
 func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
 	if s.mode == modeFallback {
 		return s.fallbackScores(rawURL)
 	}
-	return s.scoreNormalized(urlx.Normalize(rawURL))
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	return s.scoreNormalized(urlx.NormalizeInto(&sc.norm, rawURL), sc)
 }
 
 // ScoresForKey scores a URL already reduced to its CacheKey form,
@@ -217,7 +227,9 @@ func (s *Snapshot) ScoresForKey(key string) [langid.NumLanguages]float64 {
 	if s.mode == modeFallback {
 		return s.fallbackScores(key)
 	}
-	return s.scoreNormalized(key)
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	return s.scoreNormalized(key, sc)
 }
 
 func (s *Snapshot) fallbackScores(rawURL string) [langid.NumLanguages]float64 {
@@ -225,11 +237,10 @@ func (s *Snapshot) fallbackScores(rawURL string) [langid.NumLanguages]float64 {
 }
 
 // scoreNormalized runs the packed linear path over a URL in
-// urlx.Normalize form.
-func (s *Snapshot) scoreNormalized(norm string) [langid.NumLanguages]float64 {
+// urlx.Normalize form. norm may alias sc.norm (NormalizeInto), so sc
+// must not be reused until the scores are computed.
+func (s *Snapshot) scoreNormalized(norm string, sc *scratch) [langid.NumLanguages]float64 {
 	var out [langid.NumLanguages]float64
-	sc := s.pool.Get().(*scratch)
-	defer s.pool.Put(sc)
 
 	host, path := urlx.SplitNormalized(norm)
 	sc.tokens = urlx.AppendTokens(sc.tokens[:0], host)

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 	"testing"
 
@@ -203,6 +204,58 @@ func TestScoresForKeyContract(t *testing.T) {
 				t.Fatalf("%s: ScoresForKey(CacheKey(%q)) = %v, Scores = %v",
 					cfg.Describe(), u, got, want)
 			}
+		}
+	}
+}
+
+// TestScoresZeroAlloc pins the hot-path guarantee the serving engine is
+// built on: on the compiled path, Scores and ScoresForKey allocate
+// nothing per call — including for URLs that need byte rewriting
+// (uppercase, percent-escapes), which normalize into pooled scratch.
+// GC is paused so a collection can't empty the sync.Pool mid-measure.
+func TestScoresZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	train, _ := corpusEnv(t)
+	sys := trainSystem(t, core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 13}, train)
+	snap := FromSystem(sys)
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	urls := []string{
+		"http://www.wetter-bericht.de/nachrichten/artikel.html",    // fast path
+		"HTTP://WWW.Wetter-Bericht.DE/Nachrichten/Artikel%31.html", // rewrite path
+	}
+	for _, u := range urls {
+		u := u
+		snap.Scores(u) // warm the scratch pool
+		if avg := testing.AllocsPerRun(200, func() { snap.Scores(u) }); avg > 0 {
+			t.Errorf("Scores(%q) allocates %v per op", u, avg)
+		}
+		key := snap.CacheKey(u)
+		snap.ScoresForKey(key)
+		if avg := testing.AllocsPerRun(200, func() { snap.ScoresForKey(key) }); avg > 0 {
+			t.Errorf("ScoresForKey(%q) allocates %v per op", key, avg)
+		}
+	}
+}
+
+// TestScratchReuseIsolation guards the aliasing contract of the pooled
+// normalization buffer: scoring URL A, then B (which rewrites into the
+// same scratch), then A again must reproduce A's scores exactly.
+func TestScratchReuseIsolation(t *testing.T) {
+	train, _ := corpusEnv(t)
+	sys := trainSystem(t, core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 17}, train)
+	snap := FromSystem(sys)
+	a := "HTTP://WWW.Beispiel.DE/Lange/Nachrichten/Seite%20Eins"
+	b := "HTTPS://Kurz.FR/%41"
+	wantA, wantB := snap.Scores(a), snap.Scores(b)
+	for i := 0; i < 50; i++ {
+		if got := snap.Scores(a); got != wantA {
+			t.Fatalf("iteration %d: Scores(a) drifted", i)
+		}
+		if got := snap.Scores(b); got != wantB {
+			t.Fatalf("iteration %d: Scores(b) drifted", i)
 		}
 	}
 }

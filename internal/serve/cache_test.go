@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+// scoresFor gives each key a distinguishable score vector so corruption
+// (entry served under the wrong key) is observable, not just crashes.
+func scoresFor(key string) [langid.NumLanguages]float64 {
+	var s [langid.NumLanguages]float64
+	h := 0.0
+	for i := 0; i < len(key); i++ {
+		h = h*31 + float64(key[i])
+	}
+	for i := range s {
+		s[i] = h + float64(i)
+	}
+	return s
+}
+
+// checkShardConsistent verifies the map/ring bijection every put must
+// maintain: each map entry points at a ring slot holding exactly that
+// key, and no two map entries share a slot.
+func checkShardConsistent(t *testing.T, c *lruCache) {
+	t.Helper()
+	for si := range c.shards {
+		s := &c.shards[si]
+		s.mu.RLock()
+		if len(s.m) != len(s.ring) {
+			t.Errorf("shard %d: map has %d entries, ring %d", si, len(s.m), len(s.ring))
+		}
+		seen := make(map[int]bool, len(s.m))
+		for key, i := range s.m {
+			if i < 0 || i >= len(s.ring) {
+				t.Errorf("shard %d: key %q maps to out-of-range slot %d", si, key, i)
+				continue
+			}
+			if s.ring[i].key != key {
+				t.Errorf("shard %d: slot %d holds %q, map says %q", si, i, s.ring[i].key, key)
+			}
+			if seen[i] {
+				t.Errorf("shard %d: slot %d referenced twice", si, i)
+			}
+			seen[i] = true
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// TestCacheClockWraparound drives the hand through several full
+// revolutions and checks the map/ring stay consistent and capacity is
+// never exceeded.
+func TestCacheClockWraparound(t *testing.T) {
+	c := newCache(1, 4)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 7; i++ {
+			key := fmt.Sprintf("r%d-k%d", round, i)
+			c.put(key, scoresFor(key))
+			checkShardConsistent(t, c)
+			if got, ok := c.get(key); !ok || got != scoresFor(key) {
+				t.Fatalf("just-inserted %q missing or wrong (ok=%v)", key, ok)
+			}
+		}
+		if n := c.len(); n != 4 {
+			t.Fatalf("round %d: len = %d, want capacity 4", round, n)
+		}
+	}
+}
+
+// TestCacheAllReferencedShard pins the bounded second-chance sweep: when
+// every entry has its referenced bit set, put must still evict (after
+// one bit-clearing revolution) rather than spin or drop the insert.
+func TestCacheAllReferencedShard(t *testing.T) {
+	c := newCache(1, 3)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.put(key, scoresFor(key))
+	}
+	for i := 0; i < 3; i++ {
+		c.get(fmt.Sprintf("k%d", i)) // set every referenced bit
+	}
+	c.put("new", scoresFor("new"))
+	if _, ok := c.get("new"); !ok {
+		t.Fatal("insert into all-referenced shard was dropped")
+	}
+	if n := c.len(); n != 3 {
+		t.Fatalf("len = %d, want 3", n)
+	}
+	checkShardConsistent(t, c)
+	// Exactly one of the original keys was evicted.
+	evicted := 0
+	for i := 0; i < 3; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			evicted++
+		}
+	}
+	if evicted != 1 {
+		t.Errorf("%d original keys evicted, want exactly 1", evicted)
+	}
+}
+
+// TestCacheOverwriteExisting checks an update-in-place put refreshes
+// scores without growing the shard or touching other entries.
+func TestCacheOverwriteExisting(t *testing.T) {
+	c := newCache(1, 2)
+	c.put("a", scoresFor("a"))
+	c.put("b", scoresFor("b"))
+	c.put("a", scoresFor("a2"))
+	if got, ok := c.get("a"); !ok || got != scoresFor("a2") {
+		t.Errorf("overwrite lost: ok=%v", ok)
+	}
+	if got, ok := c.get("b"); !ok || got != scoresFor("b") {
+		t.Errorf("neighbour disturbed: ok=%v", ok)
+	}
+	if n := c.len(); n != 2 {
+		t.Errorf("len = %d, want 2", n)
+	}
+	checkShardConsistent(t, c)
+}
+
+// TestCacheConcurrentPutGet hammers overlapping keys from many
+// goroutines; run with -race (the Makefile verify gate does). Every get
+// that returns ok must return that key's scores — eviction may lose
+// entries, it must never cross-wire them.
+func TestCacheConcurrentPutGet(t *testing.T) {
+	c := newCache(4, 64)
+	const (
+		workers = 8
+		keys    = 256
+		rounds  = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("k%d", (r*7+w*13)%keys)
+				if r%3 == 0 {
+					c.put(key, scoresFor(key))
+					continue
+				}
+				if got, ok := c.get(key); ok && got != scoresFor(key) {
+					t.Errorf("get(%q) returned another key's scores", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.len(); n > 64 {
+		t.Errorf("cache grew to %d entries, capacity 64", n)
+	}
+	checkShardConsistent(t, c)
+}

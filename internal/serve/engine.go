@@ -7,8 +7,9 @@
 // pages; at that scale classification throughput, not accuracy, is the
 // binding constraint, and frontier URLs repeat hosts so heavily that a
 // modest cache absorbs most of the scoring work. The engine is built for
-// exactly that workload: lock-light cached reads, batch fan-out across
-// workers, and compiled-snapshot scoring underneath.
+// exactly that workload: lock-light cached reads, in-batch
+// deduplication of repeated links, batch fan-out across workers, and
+// compiled-snapshot scoring underneath.
 package serve
 
 import (
@@ -172,37 +173,76 @@ func (e *Engine) score(rawURL string) [langid.NumLanguages]float64 {
 }
 
 // ClassifyBatch classifies urls across the worker pool, preserving input
-// order in the result slice. Workers pull indices from a shared atomic
-// counter, so a slow URL (cold cache, long path) never stalls a whole
-// pre-assigned chunk.
+// order in the result slice. Identical URLs within the batch are scored
+// once and the result fanned out — crawl frontiers repeat links heavily,
+// and before the cache warms each duplicate would otherwise pay a full
+// scoring. Workers pull work from a shared atomic counter, so a slow URL
+// (cold cache, long path) never stalls a whole pre-assigned chunk.
 func (e *Engine) ClassifyBatch(urls []string) []Result {
 	out := make([]Result, len(urls))
 	n := len(urls)
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i, u := range urls {
-			out[i] = e.Classify(u)
-		}
+	if n == 0 {
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = e.Classify(urls[i])
+
+	// Dedup pass: work holds the index of each first occurrence; first
+	// maps a URL to that index so copies can find their primary.
+	var first map[string]int32
+	work := make([]int32, 0, n)
+	if n > 1 {
+		first = make(map[string]int32, n)
+		for i, u := range urls {
+			if _, dup := first[u]; dup {
+				continue
 			}
-		}()
+			first[u] = int32(i)
+			work = append(work, int32(i))
+		}
+	} else {
+		work = append(work, 0)
 	}
-	wg.Wait()
+
+	workers := e.workers
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, i := range work {
+			out[i] = e.Classify(urls[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(work) {
+						return
+					}
+					i := work[k]
+					out[i] = e.Classify(urls[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if len(work) < n {
+		cached := e.cache != nil
+		for i, u := range urls {
+			if j := first[u]; int(j) != i {
+				r := out[j]
+				r.URL = u
+				// With a cache, the primary's entry would have served
+				// this copy; report it the way a Classify call would.
+				r.Cached = r.Cached || cached
+				out[i] = r
+				e.stats.RecordDeduped(cached)
+			}
+		}
+	}
 	return out
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -216,6 +217,159 @@ func TestResultHelpers(t *testing.T) {
 	best, score, any = r.Best()
 	if best != langid.English || score != -1 || any {
 		t.Errorf("all-negative Best = %v, %v, %v", best, score, any)
+	}
+}
+
+// countingPredictor is a stub whose score depends on the URL and which
+// counts every Predictions call plus the exact argument it received.
+type countingPredictor struct {
+	mu    sync.Mutex
+	calls []string
+	key   func(string) string // nil: no CacheKeyer
+}
+
+func (p *countingPredictor) Predictions(rawURL string) []langid.Prediction {
+	p.mu.Lock()
+	p.calls = append(p.calls, rawURL)
+	p.mu.Unlock()
+	var preds []langid.Prediction
+	for li := 0; li < langid.NumLanguages; li++ {
+		preds = append(preds, langid.Prediction{
+			Lang: langid.Language(li), Score: float64(len(rawURL) + li),
+		})
+	}
+	return preds
+}
+
+// keyedPredictor adds CacheKey (but NOT ScoresForKey/Scores) on top.
+type keyedPredictor struct{ countingPredictor }
+
+func (p *keyedPredictor) CacheKey(rawURL string) string { return p.key(rawURL) }
+
+// TestEngineCacheKeyerWithoutKeyScorer pins the fallback ordering: with
+// a predictor that implements CacheKeyer but not KeyScorer, the engine
+// must key the cache by CacheKey yet score the *raw* URL through
+// Predictions — scoring the key instead would change answers for any
+// predictor whose features see the raw string.
+func TestEngineCacheKeyerWithoutKeyScorer(t *testing.T) {
+	p := &keyedPredictor{}
+	p.key = strings.ToLower
+	e := New(p, Options{CacheCapacity: 16})
+	if e.keyer == nil || e.keyScorer != nil || e.scorer != nil {
+		t.Fatalf("interface detection: keyer=%v keyScorer=%v scorer=%v",
+			e.keyer != nil, e.keyScorer != nil, e.scorer != nil)
+	}
+
+	raw := "HTTP://Example.DE/Seite"
+	first := e.Classify(raw)
+	if first.Cached {
+		t.Fatal("first classification reported cached")
+	}
+	p.mu.Lock()
+	if len(p.calls) != 1 || p.calls[0] != raw {
+		t.Fatalf("miss path scored %v, want exactly the raw URL %q", p.calls, raw)
+	}
+	p.mu.Unlock()
+
+	// A key-equivalent variant must hit the shared entry — and must NOT
+	// trigger a second scoring, even though its raw form differs.
+	variant := "http://example.de/seite"
+	second := e.Classify(variant)
+	if !second.Cached {
+		t.Error("key-equivalent variant missed the cache")
+	}
+	if second.Scores != first.Scores {
+		t.Error("variant served different scores than the shared entry")
+	}
+	p.mu.Lock()
+	if len(p.calls) != 1 {
+		t.Errorf("variant re-scored: calls = %v", p.calls)
+	}
+	p.mu.Unlock()
+}
+
+// TestEngineKeyScorerMissPath pins the complementary ordering: a full
+// KeyScorer predictor must have its miss path driven through
+// ScoresForKey with the key, not through Predictions with the raw URL.
+func TestEngineKeyScorerMissPath(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{CacheCapacity: 16})
+	if e.keyScorer == nil {
+		t.Fatal("compiled snapshot lost its KeyScorer implementation")
+	}
+	raw := "HTTP://WWW.Wetter-Bericht.DE/Heute"
+	got := e.Classify(raw)
+	want := snap.Scores(raw)
+	if got.Scores != want {
+		t.Fatalf("key-scored miss path diverged: %v vs %v", got.Scores, want)
+	}
+}
+
+func TestClassifyBatchDeduplicates(t *testing.T) {
+	p := &countingPredictor{}
+	e := New(p, Options{Workers: 4, CacheCapacity: 0})
+	urls := []string{
+		"http://a.de/1", "http://b.fr/2", "http://a.de/1", "http://c.es/3",
+		"http://a.de/1", "http://b.fr/2",
+	}
+	out := e.ClassifyBatch(urls)
+	if len(out) != len(urls) {
+		t.Fatalf("got %d results for %d urls", len(out), len(urls))
+	}
+	p.mu.Lock()
+	scorings := len(p.calls)
+	p.mu.Unlock()
+	if scorings != 3 {
+		t.Errorf("scored %d times for 3 unique URLs", scorings)
+	}
+	for i, r := range out {
+		if r.URL != urls[i] {
+			t.Errorf("result %d is for %q, want %q", i, r.URL, urls[i])
+		}
+		if r.Scores != e.score(urls[i]) {
+			t.Errorf("result %d has wrong scores", i)
+		}
+		// No cache on this engine: copies must not claim to be cached.
+		if r.Cached {
+			t.Errorf("cache-less result %d reported cached", i)
+		}
+	}
+	if stats := e.StatsSnapshot(); stats.URLs != int64(len(urls)) {
+		t.Errorf("URLs = %d, want %d (duplicates still count as traffic)", stats.URLs, len(urls))
+	}
+}
+
+func TestClassifyBatchDedupWithCache(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{Workers: 4, CacheCapacity: 64})
+	u := "http://www.doppelt-seite.de/artikel"
+	out := e.ClassifyBatch([]string{u, u, u})
+	if out[0].Scores != out[1].Scores || out[1].Scores != out[2].Scores {
+		t.Fatal("duplicate results diverged")
+	}
+	// The copies would have been cache hits had they classified after
+	// the primary; they must report Cached and count as hits.
+	if !out[1].Cached || !out[2].Cached {
+		t.Errorf("deduped copies not reported cached: %v %v", out[1].Cached, out[2].Cached)
+	}
+	stats := e.StatsSnapshot()
+	if stats.URLs != 3 {
+		t.Errorf("URLs = %d, want 3", stats.URLs)
+	}
+	if stats.CacheHits != 2 || stats.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", stats.CacheHits, stats.CacheMisses)
+	}
+}
+
+func TestClassifyBatchEmptyAndSingle(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{CacheCapacity: 16})
+	if out := e.ClassifyBatch(nil); len(out) != 0 {
+		t.Errorf("nil batch returned %d results", len(out))
+	}
+	out := e.ClassifyBatch([]string{"http://einzel.de/x"})
+	if len(out) != 1 || out[0].URL != "http://einzel.de/x" {
+		t.Errorf("single batch = %+v", out)
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -75,6 +76,21 @@ func (s *Stats) RecordUncached(d time.Duration) {
 	s.recordLatency(d)
 }
 
+// RecordDeduped counts one URL whose result was copied from an earlier
+// identical URL in the same batch. With a cache present the copy is
+// indistinguishable from a hit (the primary's entry would have served
+// it); without one it only counts toward throughput — no latency sample
+// either way, since nothing was scored.
+func (s *Stats) RecordDeduped(cached bool) {
+	if s == nil {
+		return
+	}
+	s.countURL()
+	if cached {
+		s.hits.Add(1)
+	}
+}
+
 func (s *Stats) countURL() {
 	s.urls.Add(1)
 	sec := time.Now().Unix()
@@ -126,10 +142,14 @@ func (s *Stats) TakeSnapshot(cacheEntries int) Snapshot {
 		snap.QPSLifetime = float64(snap.URLs) / snap.UptimeSeconds
 	}
 
+	// Recent QPS averages the last recentWindow *complete* seconds: the
+	// current second is still filling, so including its partial count
+	// would inflate the rate right after a burst.
 	var recent int64
-	cutoff := now.Unix() - int64(recentWindow.Seconds())
+	nowSec := now.Unix()
+	cutoff := nowSec - int64(recentWindow.Seconds()) - 1
 	for i := 0; i < secBuckets; i++ {
-		if s.bucketSec[i].Load() > cutoff {
+		if sec := s.bucketSec[i].Load(); sec > cutoff && sec < nowSec {
 			recent += s.bucketCount[i].Load()
 		}
 	}
@@ -152,9 +172,19 @@ func (s *Stats) TakeSnapshot(cacheEntries int) Snapshot {
 	return snap
 }
 
-// percentile reads the p-quantile from an ascending sample slice.
+// percentile reads the p-quantile from an ascending sample slice using
+// the nearest-rank definition: the smallest element with at least p·n
+// samples at or below it, i.e. index ceil(p·n)-1. (The naive int(p·n)
+// over-reads by one rank whenever p·n is integral: p50 over four
+// samples must be the 2nd element, not the 3rd.)
 func percentile(sorted []float64, p float64) float64 {
-	i := int(p * float64(len(sorted)))
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		// Nearest rank: ceil(p·n)-1. With n=4, p50 is the 2nd element —
+		// the old int(p·n) indexing read the 3rd.
+		{[]float64{1, 2, 3, 4}, 0.50, 2},
+		{[]float64{1, 2, 3, 4}, 0.90, 4},
+		{[]float64{1, 2, 3, 4}, 0.99, 4},
+		{[]float64{1, 2, 3, 4}, 0.25, 1},
+		{[]float64{1, 2, 3, 4}, 1.00, 4},
+		{[]float64{1, 2, 3, 4, 5}, 0.50, 3},
+		{[]float64{7}, 0.50, 7},
+		{[]float64{7}, 0.99, 7},
+		{nil, 0.50, 0},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v, %v) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestQPSRecentExcludesPartialSecond fabricates bucket state directly:
+// the current second is still filling, so its count must not contribute
+// to the recent-QPS figure, while the immediately preceding complete
+// seconds must.
+func TestQPSRecentExcludesPartialSecond(t *testing.T) {
+	for attempt := 0; attempt < 100; attempt++ {
+		s := NewStats()
+		now := time.Now().Unix()
+		set := func(sec, count int64) {
+			b := int(sec % secBuckets)
+			s.bucketSec[b].Store(sec)
+			s.bucketCount[b].Store(count)
+		}
+		set(now, 1000) // in-progress partial second: excluded
+		set(now-1, 30) // complete seconds: included
+		set(now-2, 50)
+		set(now-int64(recentWindow.Seconds()), 20)   // oldest in-window second
+		set(now-int64(recentWindow.Seconds())-3, 70) // outside the window
+
+		snap := s.TakeSnapshot(0)
+		if time.Now().Unix() != now {
+			// A second boundary passed mid-test, shifting which buckets
+			// count as complete; the fabricated state is stale. Redo.
+			continue
+		}
+		want := float64(30+50+20) / recentWindow.Seconds()
+		if snap.QPSRecent != want {
+			t.Errorf("QPSRecent = %v, want %v", snap.QPSRecent, want)
+		}
+		return
+	}
+	t.Skip("clock crossed a second boundary on every attempt")
+}
+
+func TestQPSRecentEmpty(t *testing.T) {
+	if snap := NewStats().TakeSnapshot(0); snap.QPSRecent != 0 {
+		t.Errorf("idle QPSRecent = %v, want 0", snap.QPSRecent)
+	}
+}
+
+func TestRecordDeduped(t *testing.T) {
+	s := NewStats()
+	s.RecordURL(time.Millisecond, false)
+	s.RecordDeduped(true)
+	s.RecordDeduped(true)
+	snap := s.TakeSnapshot(0)
+	if snap.URLs != 3 {
+		t.Errorf("URLs = %d, want 3", snap.URLs)
+	}
+	if snap.CacheHits != 2 || snap.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", snap.CacheHits, snap.CacheMisses)
+	}
+
+	// Cache-less engines keep hit/miss untouched for deduped URLs too.
+	s2 := NewStats()
+	s2.RecordUncached(time.Millisecond)
+	s2.RecordDeduped(false)
+	snap2 := s2.TakeSnapshot(0)
+	if snap2.URLs != 2 || snap2.CacheHits != 0 || snap2.CacheMisses != 0 {
+		t.Errorf("cache-less dedup: URLs=%d hits=%d misses=%d, want 2/0/0",
+			snap2.URLs, snap2.CacheHits, snap2.CacheMisses)
+	}
+
+	// A nil Stats must no-op rather than panic (engines without stats).
+	var nilStats *Stats
+	nilStats.RecordDeduped(true)
+}

@@ -1,0 +1,230 @@
+package urlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// This file is the differential harness for the structural normalizer
+// rewrite: the pre-rewrite Normalize/SplitNormalized are preserved below
+// verbatim (as oldNormalize/oldSplitNormalized) and compared against the
+// new implementations over a generated corpus. Divergence is only
+// permitted on inputs exhibiting one of the fixed bug classes:
+//
+//   - scheme-strip: the input contains "://" whose prefix is not a valid
+//     RFC 3986 scheme, so the old code discarded everything before it
+//     (the example.fr/go?u=http://example.de/seite bug);
+//   - ipv6: the authority contains a '['-bracketed literal, which the
+//     old code truncated at the first ':';
+//   - non-ascii: the input carries bytes outside ASCII, where the old
+//     code applied Unicode lower-casing and replaced invalid UTF-8 with
+//     U+FFFD while the new code passes bytes through verbatim. This
+//     class may change the normal form but never the token stream.
+//
+// Anything else must match byte-for-byte, which pins the rewrite to
+// "fixes the bugs, changes nothing else".
+
+// oldNormalize is the pre-rewrite Normalize, kept for differencing.
+func oldNormalize(rawURL string) string {
+	s := strings.TrimSpace(rawURL)
+	s = oldDecodePercent(s)
+	s = strings.ToLower(s)
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	}
+	return s
+}
+
+// oldSplitNormalized is the pre-rewrite SplitNormalized.
+func oldSplitNormalized(s string) (host, path string) {
+	host = s
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		host = s[:i]
+		path = s[i:]
+	}
+	if i := strings.LastIndexByte(host, '@'); i >= 0 {
+		host = host[i+1:]
+	}
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.Trim(host, ".")
+	return host, path
+}
+
+// oldDecodePercent is the pre-rewrite decodePercent.
+func oldDecodePercent(s string) string {
+	if !strings.ContainsRune(s, '%') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// decodedLower is the shared front of both implementations (trim, one
+// decode layer, ASCII lower-case), used to classify inputs.
+func decodedLower(rawURL string) string {
+	return string(appendDecodedLower(nil, strings.TrimSpace(rawURL)))
+}
+
+// bugClassScheme reports whether the input carries a "://" that the old
+// code mis-treated as a scheme delimiter: one whose prefix is not a
+// valid scheme.
+func bugClassScheme(rawURL string) bool {
+	d := decodedLower(rawURL)
+	i := strings.Index(d, "://")
+	if i < 0 {
+		return strings.HasPrefix(d, "//") && schemeEnd(d) != 2
+	}
+	return schemeEnd(d) != i+3
+}
+
+// bugClassIPv6 reports whether the authority span contains a bracketed
+// IP literal (or a stray '[', which the two implementations also treat
+// differently around the port strip).
+func bugClassIPv6(rawURL string) bool {
+	d := decodedLower(rawURL)
+	d = d[schemeEnd(d):]
+	auth := d
+	if i := strings.IndexAny(auth, "/?#"); i >= 0 {
+		auth = auth[:i]
+	}
+	return strings.ContainsRune(auth, '[')
+}
+
+// bugClassNonASCII reports bytes outside ASCII after decoding, where
+// old and new lower-casing differ by design.
+func bugClassNonASCII(rawURL string) bool {
+	d := decodedLower(rawURL)
+	for i := 0; i < len(d); i++ {
+		if d[i] >= 0x80 {
+			return true
+		}
+	}
+	return false
+}
+
+// diffCorpus builds a deterministic cross product of URL components
+// covering clean URLs, both bug classes, and assorted malice.
+func diffCorpus() []string {
+	schemes := []string{
+		"", "http://", "https://", "HTTP://", "//", "ftp://",
+		"svn+ssh://", "%68%74%74%70://", "1http://", "://",
+	}
+	userinfos := []string{"", "user@", "User:Pa%73s@", "a@b@"}
+	hosts := []string{
+		"example.de", "WWW.Example.FR", "xn--mnchen-3ya.de",
+		"a.b.c.example.co.uk", "192.168.0.1", "[2001:db8::1]", "[::1]",
+		"caf\xc3\xa9.fr", "CAF\xc3\x89.FR", "bad\xffbyte.de", "...", "",
+	}
+	ports := []string{"", ":80", ":8080"}
+	paths := []string{
+		"", "/", "/seite", "/go?u=http://example.de/seite",
+		"/a%20b/Pfad", "/%2e%2e/x", "?q=1#f", "/caf%C3%A9s",
+		"/doppelt%2541kodiert", "/t-7062.html",
+	}
+	var corpus []string
+	for _, sc := range schemes {
+		for _, ui := range userinfos {
+			for _, h := range hosts {
+				for _, po := range ports {
+					for _, pa := range paths {
+						corpus = append(corpus, sc+ui+h+po+pa)
+					}
+				}
+			}
+		}
+	}
+	return corpus
+}
+
+func TestDifferentialOldVsNew(t *testing.T) {
+	corpus := diffCorpus()
+	var normDiffs, hostDiffs, tokenDiffs int
+	for _, u := range corpus {
+		oldNorm := oldNormalize(u)
+		newNorm := Normalize(u)
+		oldHost, oldPath := oldSplitNormalized(oldNorm)
+		newHost, newPath := SplitNormalized(newNorm)
+		oldToks := AppendTokens(AppendTokens(nil, oldHost), oldPath)
+		newToks := AppendTokens(AppendTokens(nil, newHost), newPath)
+
+		scheme, ipv6, nonASCII := bugClassScheme(u), bugClassIPv6(u), bugClassNonASCII(u)
+
+		if oldNorm != newNorm {
+			normDiffs++
+			if !scheme && !ipv6 && !nonASCII {
+				t.Errorf("normal form changed outside the bug classes for %q:\n  old %q\n  new %q", u, oldNorm, newNorm)
+			}
+		}
+		if oldHost != newHost || oldPath != newPath {
+			hostDiffs++
+			// The non-ascii class changes normal-form bytes but never
+			// the host/path *structure*... unless the structural bytes
+			// themselves were non-ASCII mangled; scheme and ipv6 are the
+			// only classes allowed to move the split.
+			if !scheme && !ipv6 && !nonASCII {
+				t.Errorf("host/path changed outside the bug classes for %q:\n  old %q %q\n  new %q %q",
+					u, oldHost, oldPath, newHost, newPath)
+			}
+		}
+		if !tokensEqual(oldToks, newToks) {
+			tokenDiffs++
+			// Tokens (and therefore scores) may only move on the two
+			// host-parsing bug classes — non-ASCII differences must be
+			// invisible to the token stream.
+			if !scheme && !ipv6 {
+				t.Errorf("token stream changed outside the bug classes for %q:\n  old %v\n  new %v", u, oldToks, newToks)
+			}
+		}
+	}
+	// The harness must not be vacuous: the corpus contains both bug
+	// classes, so divergence must actually occur.
+	if normDiffs == 0 || hostDiffs == 0 || tokenDiffs == 0 {
+		t.Errorf("differential corpus exercised no divergence (norm=%d host=%d token=%d diffs over %d inputs)",
+			normDiffs, hostDiffs, tokenDiffs, len(corpus))
+	}
+	t.Logf("differential corpus: %d inputs, %d norm / %d host / %d token divergences, all within bug classes",
+		len(corpus), normDiffs, hostDiffs, tokenDiffs)
+}
+
+// TestDifferentialCleanInputsIdentical hammers the complementary
+// guarantee: on inputs with no bug-class trait the two implementations
+// agree byte-for-byte.
+func TestDifferentialCleanInputsIdentical(t *testing.T) {
+	for _, u := range diffCorpus() {
+		if bugClassScheme(u) || bugClassIPv6(u) || bugClassNonASCII(u) {
+			continue
+		}
+		if old, new := oldNormalize(u), Normalize(u); old != new {
+			t.Errorf("clean input %q: old %q, new %q", u, old, new)
+		}
+	}
+}
+
+func tokensEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -49,10 +49,46 @@ func TestParseServingEdgeCases(t *testing.T) {
 			wantTokens: []string{"xn", "mnchen", "ya", "de", "stadtplan"},
 		},
 		{
-			name:       "ipv6 literal does not panic and yields no host letters",
+			name:       "ipv6 literal keeps the bracketed span, port dropped",
 			in:         "http://[::1]:8080/path",
-			wantHost:   "[",
+			wantHost:   "[::1]",
 			wantTokens: []string{"path"},
+		},
+		{
+			name:       "ipv6 literal with hex letter runs and userinfo",
+			in:         "http://user@[2001:db8::1]:8080/chemin",
+			wantHost:   "[2001:db8::1]",
+			wantTokens: []string{"db", "chemin"},
+		},
+		{
+			name:       "unterminated ipv6 literal kept verbatim",
+			in:         "http://[::1/path",
+			wantHost:   "[::1",
+			wantTokens: []string{"path"},
+		},
+		{
+			name:       "embedded scheme in query is not a scheme",
+			in:         "example.fr/go?u=http://example.de/seite",
+			wantHost:   "example.fr",
+			wantTokens: []string{"example", "fr", "go", "example", "de", "seite"},
+		},
+		{
+			name:       "leading scheme plus embedded scheme strips only the leading one",
+			in:         "http://example.fr/go?u=http://example.de/seite",
+			wantHost:   "example.fr",
+			wantTokens: []string{"example", "fr", "go", "example", "de", "seite"},
+		},
+		{
+			name:       "digit-led prefix before :// is not a scheme",
+			in:         "1http://example.de/seite",
+			wantHost:   "1http",
+			wantTokens: []string{"example", "de", "seite"},
+		},
+		{
+			name:       "plus and dot allowed in scheme",
+			in:         "svn+ssh://code.example.de/repo",
+			wantHost:   "code.example.de",
+			wantTokens: []string{"code", "example", "de", "repo"},
 		},
 		{
 			name:       "bare ipv4",

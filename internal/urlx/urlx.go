@@ -15,9 +15,43 @@
 // pre-/post-slash split that several custom features distinguish, and the
 // hyphen count (German URLs carry about five times more hyphens than
 // English ones, §3.1).
+//
+// # Normalization contract
+//
+// Everything downstream — tokens, the TLD/domain baselines, and the
+// serving cache key — derives from one normal form, produced by a single
+// structural pass:
+//
+//  1. Surrounding whitespace is trimmed.
+//  2. One layer of %XX escapes is decoded (malformed escapes are kept
+//     verbatim).
+//  3. ASCII letters are lower-cased. Bytes outside ASCII pass through
+//     unchanged — they act as token separators either way.
+//  4. A *leading* scheme is stripped: either "//" (scheme-relative) or a
+//     prefix matching the RFC 3986 scheme grammar
+//     (ALPHA *(ALPHA / DIGIT / "+" / "-" / ".") followed by "://").
+//     A "://" appearing anywhere else — for example inside a redirect
+//     query parameter — is never treated as a scheme, so
+//     "example.fr/go?u=http://example.de/seite" keeps host example.fr.
+//
+// The host is then the authority span of the normal form (everything
+// before the first '/', '?' or '#'), with the userinfo up to the last
+// '@' removed, and the port removed positionally: for a "[...]"-bracketed
+// IPv6/IPvFuture literal the host is the whole bracketed span (brackets
+// kept, so "http://[2001:db8::1]:8080/x" keeps host "[2001:db8::1]");
+// otherwise the host ends at the first ':'. Surrounding dots are trimmed
+// from non-bracketed hosts.
+//
+// Scheme detection runs on the decoded form, so a percent-encoded leading
+// scheme ("%68ttp://…") is still stripped. Consequently Normalize is not
+// idempotent on doubly percent-encoded input; holders of a normal form
+// (cache keys) must use SplitNormalized, never re-normalize.
 package urlx
 
-import "strings"
+import (
+	"strings"
+	"unsafe"
+)
 
 // specialTokens are removed during tokenisation per §3.1 of the paper.
 var specialTokens = map[string]struct{}{
@@ -34,17 +68,21 @@ type Parts struct {
 	// Raw is the original input string.
 	Raw string
 	// Host is the authority component without port or credentials,
-	// e.g. "fr.search.yahoo.com".
+	// e.g. "fr.search.yahoo.com". Bracketed IP literals keep their
+	// brackets: "[2001:db8::1]".
 	Host string
 	// Path is everything after the host (path, query and fragment).
 	Path string
 	// TLD is the last dot-separated label of the host, e.g. "com".
+	// Empty for bracketed IP-literal hosts, which have no TLD.
 	TLD string
 	// Domain is the registrable domain, e.g. "cam.ac.uk" for
-	// "chu.cam.ac.uk" or "epfl.ch" for "ltaa.epfl.ch".
+	// "chu.cam.ac.uk" or "epfl.ch" for "ltaa.epfl.ch". Empty for
+	// bracketed IP-literal hosts.
 	Domain string
 	// HostLabels are the dot-separated labels of the host in order,
-	// e.g. ["fr", "search", "yahoo", "com"].
+	// e.g. ["fr", "search", "yahoo", "com"]. Nil for bracketed
+	// IP-literal hosts.
 	HostLabels []string
 	// Tokens are the paper's URL tokens for the whole URL.
 	Tokens []string
@@ -70,7 +108,7 @@ func Parse(rawURL string) Parts {
 	p.Host = host
 	p.Path = path
 
-	if host != "" {
+	if host != "" && host[0] != '[' {
 		p.HostLabels = strings.Split(host, ".")
 		p.TLD = p.HostLabels[len(p.HostLabels)-1]
 		p.Domain = RegistrableDomain(host)
@@ -88,20 +126,121 @@ func Parse(rawURL string) Parts {
 }
 
 // Normalize returns the canonical form of rawURL that all tokenisation
-// operates on: whitespace-trimmed, percent-decoded, lower-cased, with the
-// scheme ("http://", "//") stripped. Two URLs with equal normal forms
-// parse to identical Parts apart from the Raw field, which makes the
-// normal form a sound cache key for any classifier that ignores Raw.
+// operates on: whitespace-trimmed, percent-decoded, ASCII-lower-cased,
+// with a leading scheme ("http://", "//") stripped. Two URLs with equal
+// normal forms parse to identical Parts apart from the Raw field, which
+// makes the normal form a sound cache key for any classifier that
+// ignores Raw.
+//
+// When no byte of rawURL needs rewriting — no decodable escape, no
+// upper-case ASCII — the result is a substring of rawURL and Normalize
+// performs zero allocations.
 func Normalize(rawURL string) string {
 	s := strings.TrimSpace(rawURL)
-	s = decodePercent(s)
-	s = strings.ToLower(s)
-	if i := strings.Index(s, "://"); i >= 0 {
-		s = s[i+3:]
-	} else if strings.HasPrefix(s, "//") {
-		s = s[2:]
+	k := rewriteIndex(s)
+	if k < 0 {
+		return s[schemeEnd(s):]
 	}
-	return s
+	b := make([]byte, 0, len(s))
+	b = append(b, s[:k]...)
+	b = appendDecodedLower(b, s[k:])
+	return string(b[schemeEnd(b):])
+}
+
+// NormalizeInto is Normalize with caller-owned scratch: when the normal
+// form needs byte rewriting it is built in *buf — grown as needed,
+// contents overwritten — and the returned string aliases that buffer.
+// Inputs already in normal form modulo trimming and scheme-stripping
+// return a substring of rawURL. Either way the steady state allocates
+// nothing, which is what the compiled serving path pools scratch for.
+//
+// The caller must treat the returned string, and anything aliasing it
+// (such as AppendTokens output), as invalid once *buf is mutated again.
+func NormalizeInto(buf *[]byte, rawURL string) string {
+	s := strings.TrimSpace(rawURL)
+	k := rewriteIndex(s)
+	if k < 0 {
+		return s[schemeEnd(s):]
+	}
+	b := append((*buf)[:0], s[:k]...)
+	b = appendDecodedLower(b, s[k:])
+	*buf = b
+	b = b[schemeEnd(b):]
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// rewriteIndex returns the index of the first byte the normal form
+// rewrites — a decodable percent-escape or an upper-case ASCII letter —
+// or -1 when the normal form is a plain substring of s.
+func rewriteIndex(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			return i
+		}
+		if c == '%' && i+2 < len(s) {
+			if _, ok := unhex(s[i+1]); ok {
+				if _, ok := unhex(s[i+2]); ok {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// appendDecodedLower appends s to dst, resolving one layer of %XX
+// escapes and lower-casing ASCII letters. Malformed escapes are kept
+// verbatim; bytes outside ASCII pass through unchanged. Decoded bytes
+// outside the ASCII letter/digit range act as token separators
+// downstream, which is the behaviour we want.
+func appendDecodedLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '%' && i+2 < len(s) {
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				c = hi<<4 | lo
+				i += 2
+			}
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// schemeEnd returns the number of leading bytes the normal form strips:
+// the length of "scheme://" when s begins with an RFC 3986 scheme
+// (ALPHA *(ALPHA / DIGIT / "+" / "-" / ".")) followed by "://", 2 for a
+// scheme-relative "//" prefix, and 0 otherwise. s must already be
+// lower-cased, which both Normalize paths guarantee.
+func schemeEnd[T ~string | ~[]byte](s T) int {
+	if len(s) >= 2 && s[0] == '/' && s[1] == '/' {
+		return 2
+	}
+	if len(s) == 0 || s[0] < 'a' || s[0] > 'z' {
+		return 0
+	}
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '+', c == '-', c == '.':
+		case c == ':':
+			if i+2 < len(s) && s[i+1] == '/' && s[i+2] == '/' {
+				return i + 3
+			}
+			return 0
+		default:
+			return 0
+		}
+	}
+	return 0
 }
 
 // SplitHostPath splits the normal form of rawURL into the host —
@@ -118,20 +257,33 @@ func SplitHostPath(rawURL string) (host, path string) {
 // key) must use this rather than SplitHostPath: Normalize is not
 // idempotent on doubly percent-encoded input, so re-normalizing would
 // decode one escape layer too many.
+//
+// The split is positional: the authority span ends at the first '/',
+// '?' or '#'; userinfo ends at the last '@' within that span; a host
+// starting with '[' is an IP literal whose brackets delimit it (a
+// ':port' after ']' is dropped; an unterminated literal, or non-port
+// bytes after ']', keep the whole span as an opaque host rather than
+// discarding data); otherwise the host ends at the first ':'.
 func SplitNormalized(s string) (host, path string) {
-	host = s
+	auth := s
 	if i := strings.IndexAny(s, "/?#"); i >= 0 {
-		host = s[:i]
-		path = s[i:]
+		auth, path = s[:i], s[i:]
 	}
-	if i := strings.LastIndexByte(host, '@'); i >= 0 {
-		host = host[i+1:]
+	if i := strings.LastIndexByte(auth, '@'); i >= 0 {
+		auth = auth[i+1:]
 	}
-	if i := strings.IndexByte(host, ':'); i >= 0 {
-		host = host[:i]
+	if len(auth) > 0 && auth[0] == '[' {
+		if i := strings.IndexByte(auth, ']'); i >= 0 {
+			if rest := auth[i+1:]; rest == "" || rest[0] == ':' {
+				return auth[:i+1], path
+			}
+		}
+		return auth, path
 	}
-	host = strings.Trim(host, ".")
-	return host, path
+	if i := strings.IndexByte(auth, ':'); i >= 0 {
+		auth = auth[:i]
+	}
+	return strings.Trim(auth, "."), path
 }
 
 // Tokenize splits s into the paper's tokens: maximal runs of ASCII letters,
@@ -178,30 +330,6 @@ func isLetter(c byte) bool {
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
-
-// decodePercent resolves %XX escapes in place; malformed escapes are kept
-// verbatim. Decoded bytes outside the ASCII letter/digit range act as token
-// separators downstream, which is the behaviour we want.
-func decodePercent(s string) string {
-	if !strings.ContainsRune(s, '%') {
-		return s
-	}
-	var b strings.Builder
-	b.Grow(len(s))
-	for i := 0; i < len(s); i++ {
-		if s[i] == '%' && i+2 < len(s) {
-			hi, ok1 := unhex(s[i+1])
-			lo, ok2 := unhex(s[i+2])
-			if ok1 && ok2 {
-				b.WriteByte(hi<<4 | lo)
-				i += 2
-				continue
-			}
-		}
-		b.WriteByte(s[i])
-	}
-	return b.String()
-}
 
 func unhex(c byte) (byte, bool) {
 	switch {
