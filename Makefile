@@ -12,9 +12,16 @@ FUZZTIME ?= 10s
 # accepts one -fuzz pattern per invocation, so the smoke loops.
 URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 
-.PHONY: verify build fmt vet test race fuzz-smoke bench fuzz
+# The committed public API surface: declaration lines distilled from
+# `go doc -all` (sections start at CONSTANTS/...; doc prose is indented
+# four spaces and dropped). api-check fails verify on undocumented
+# drift; `make api` accepts an intentional change.
+API_SURFACE := api/urllangid.txt
+API_DISTILL := $(GO) doc -all . | awk '/^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$$/{on=1} on && NF && substr($$0,1,4) != "    "'
 
-verify: fmt vet build test race fuzz-smoke
+.PHONY: verify build fmt vet test race fuzz-smoke bench fuzz api api-check
+
+verify: fmt vet build api-check test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -41,8 +48,25 @@ fuzz-smoke:
 		$(GO) test ./internal/urlx/ -run NONE -fuzz $$target -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
+api:
+	@mkdir -p api
+	@$(API_DISTILL) > $(API_SURFACE)
+	@echo "wrote $(API_SURFACE)"
+
+api-check:
+	@mkdir -p api
+	@$(API_DISTILL) > $(API_SURFACE).tmp; \
+	if ! cmp -s $(API_SURFACE) $(API_SURFACE).tmp; then \
+		echo "public API surface drifted from $(API_SURFACE):"; \
+		diff -u $(API_SURFACE) $(API_SURFACE).tmp || true; \
+		rm -f $(API_SURFACE).tmp; \
+		echo "run 'make api' and commit the result if the change is intentional"; \
+		exit 1; \
+	fi; \
+	rm -f $(API_SURFACE).tmp
+
 bench:
-	$(GO) test -run NONE -bench 'Predict|ClassifyBatch|Extract|ParseURL|Normalize' -benchmem .
+	$(GO) test -run NONE -bench 'Predict|Classify|Batcher|Extract|ParseURL|Normalize' -benchmem .
 
 fuzz:
 	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

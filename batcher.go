@@ -1,0 +1,144 @@
+package urllangid
+
+import (
+	"io"
+
+	"urllangid/internal/langid"
+	"urllangid/internal/serve"
+)
+
+// Batcher wraps any Model with the serving engine: a persistent worker
+// pool for batch fan-out, an optional sharded result cache keyed by the
+// model's URL normal form, and optional serving statistics. Unlike the
+// transient pool behind Model.ClassifyBatch, a Batcher keeps its
+// workers and cache alive across calls — build one per long-lived
+// serving loop and Close it when done, or the worker goroutines stay
+// parked forever.
+//
+// A Batcher is itself a Model, so it can be dropped anywhere one is
+// expected; Describe and Save delegate to the wrapped model. Wrapping a
+// Batcher in another Batcher does not stack engines: NewBatcher unwraps
+// to the innermost model, so only the outer Batcher's pool, cache and
+// stats apply — configure the one you keep, and don't nest them
+// expecting the inner configuration to be consulted. It is safe for
+// concurrent use.
+type Batcher struct {
+	model  Model
+	engine *serve.Engine
+}
+
+// BatcherStats is a point-in-time view of a Batcher's serving metrics:
+// throughput, cache hit-rate and latency percentiles.
+type BatcherStats = serve.Snapshot
+
+// batcherConfig collects the functional options.
+type batcherConfig struct {
+	workers int
+	cache   int
+	stats   bool
+}
+
+// A BatcherOption configures NewBatcher.
+type BatcherOption func(*batcherConfig)
+
+// WithWorkers bounds the batch worker pool (default GOMAXPROCS).
+func WithWorkers(n int) BatcherOption {
+	return func(c *batcherConfig) { c.workers = n }
+}
+
+// WithCache enables a bounded result cache of the given capacity in
+// entries (sharded CLOCK eviction). Snapshot-backed batchers key the
+// cache by the structural URL normal form, so scheme, case and
+// percent-encoding variants of one URL share a single entry.
+func WithCache(entries int) BatcherOption {
+	return func(c *batcherConfig) { c.cache = entries }
+}
+
+// WithStats enables serving metrics (throughput, cache hit-rate,
+// latency percentiles), readable through Stats. Collection costs two
+// clock reads per URL, so it is off by default.
+func WithStats() BatcherOption {
+	return func(c *batcherConfig) { c.stats = true }
+}
+
+// NewBatcher builds a Batcher over m. The zero configuration matches
+// Model.ClassifyBatch semantics (GOMAXPROCS workers, no cache, no
+// stats) but keeps the pool warm across calls. Close it when done.
+func NewBatcher(m Model, opts ...BatcherOption) *Batcher {
+	var cfg batcherConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	b := &Batcher{model: m}
+	b.engine = serve.New(enginePredictor(m), serve.Options{
+		Workers:       cfg.workers,
+		CacheCapacity: cfg.cache,
+		NoStats:       !cfg.stats,
+	})
+	return b
+}
+
+// enginePredictor unwraps the concrete model forms to their internal
+// scoring fast paths (compiled snapshots additionally expose the
+// normalized cache key); foreign Model implementations are adapted
+// through Classify. Nested Batchers unwrap to the innermost model —
+// routing through the inner engine would stack pools and double-count
+// stats; the type's doc comment states this contract.
+func enginePredictor(m Model) serve.Predictor {
+	switch v := m.(type) {
+	case *Classifier:
+		return v.sys
+	case *Snapshot:
+		return v.snap
+	case *Batcher:
+		return enginePredictor(v.model)
+	default:
+		return modelPredictor{m}
+	}
+}
+
+// modelPredictor adapts a foreign Model to the serving interfaces.
+type modelPredictor struct{ m Model }
+
+func (p modelPredictor) Predictions(rawURL string) []Prediction {
+	return p.m.Classify(rawURL).Predictions()
+}
+
+func (p modelPredictor) Scores(rawURL string) [langid.NumLanguages]float64 {
+	return p.m.Classify(rawURL).Scores()
+}
+
+// Classify classifies one URL through the engine, consulting and
+// populating the cache.
+func (b *Batcher) Classify(rawURL string) Result {
+	return b.engine.Classify(rawURL).Result
+}
+
+// ClassifyBatch classifies urls across the persistent worker pool, one
+// Result per URL in input order. Identical URLs within a batch are
+// scored once; with WithCache, repeats across batches are served from
+// the cache.
+func (b *Batcher) ClassifyBatch(urls []string) []Result {
+	return collapseBatch(b.engine.ClassifyBatch(urls))
+}
+
+// Describe returns the wrapped model's configuration label.
+func (b *Batcher) Describe() string { return b.model.Describe() }
+
+// Save serialises the wrapped model; the batcher configuration itself
+// is runtime state and is not persisted.
+func (b *Batcher) Save(w io.Writer) error { return b.model.Save(w) }
+
+// Stats returns current serving metrics. The boolean is false when the
+// batcher was built without WithStats.
+func (b *Batcher) Stats() (BatcherStats, bool) {
+	if b.engine.Stats() == nil {
+		return BatcherStats{}, false
+	}
+	return b.engine.StatsSnapshot(), true
+}
+
+// Close stops the worker pool and waits for its goroutines to exit. It
+// is idempotent; a closed Batcher still classifies correctly, merely
+// without pool parallelism.
+func (b *Batcher) Close() error { return b.engine.Close() }

@@ -500,6 +500,95 @@ func BenchmarkClassifyBatchDuplicateHeavy(b *testing.B) {
 	b.ReportMetric(float64(len(urls)), "URLs/batch")
 }
 
+// --- Public Result API benches ------------------------------------------
+//
+// The redesigned surface's contract: Snapshot.Classify returns a full
+// Result value — scores plus decision bits — at 0 allocs/op, so a
+// crawler can filter millions of frontier URLs without GC pressure.
+
+var (
+	benchPublicOnce sync.Once
+	benchPublicClf  *urllangid.Classifier
+	benchPublicSnap *urllangid.Snapshot
+)
+
+func benchPublicModels(b *testing.B) (*urllangid.Classifier, *urllangid.Snapshot) {
+	b.Helper()
+	e := env(b)
+	benchPublicOnce.Do(func() {
+		clf, err := urllangid.Train(urllangid.Options{Seed: 1}, e.TrainingPool())
+		if err != nil {
+			panic(err)
+		}
+		benchPublicClf = clf
+		benchPublicSnap = clf.Compile()
+	})
+	return benchPublicClf, benchPublicSnap
+}
+
+// BenchmarkClassifyResult pins 0 allocs/op for Snapshot-backed Classify
+// on already-normalized URLs — the steady-state frontier case where the
+// normal form is a substring of the input.
+func BenchmarkClassifyResult(b *testing.B) {
+	_, snap := benchPublicModels(b)
+	urls := servingURLs(256)
+	for i := range urls {
+		urls[i] = urlx.Normalize(urls[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := snap.Classify(urls[i%len(urls)])
+		if r.Is(urllangid.English) && r.Score(urllangid.English) < 0 {
+			b.Fatal("decision bit disagrees with score")
+		}
+	}
+}
+
+// BenchmarkClassifyResultRewrite feeds Classify URLs that need byte
+// rewriting during normalization (uppercase, percent-escapes); pooled
+// scratch keeps even this path at 0 allocs/op.
+func BenchmarkClassifyResultRewrite(b *testing.B) {
+	_, snap := benchPublicModels(b)
+	urls := make([]string, 256)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("HTTP://WWW.Beispiel-Seite%d.DE/Nachrichten/Artikel%%31%d.html", i%173, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Classify(urls[i%len(urls)])
+	}
+}
+
+// BenchmarkClassifyResultClassifier is the training-structure baseline
+// the snapshot rows are measured against.
+func BenchmarkClassifyResultClassifier(b *testing.B) {
+	clf, _ := benchPublicModels(b)
+	urls := servingURLs(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = clf.Classify(urls[i%len(urls)])
+	}
+}
+
+// BenchmarkBatcherClassifyBatch drives the public cached batch path the
+// way a crawler embeds it.
+func BenchmarkBatcherClassifyBatch(b *testing.B) {
+	_, snap := benchPublicModels(b)
+	batcher := urllangid.NewBatcher(snap, urllangid.WithCache(4096))
+	defer batcher.Close()
+	urls := servingURLs(1024)
+	batcher.ClassifyBatch(urls) // warm, as a steady-state frontier would
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = batcher.ClassifyBatch(urls)
+	}
+	b.ReportMetric(float64(len(urls)), "URLs/batch")
+}
+
 func BenchmarkSnapshotCompile(b *testing.B) {
 	sys, _ := benchSystemAndSnapshot(b)
 	b.ReportAllocs()

@@ -42,7 +42,7 @@ import (
 	"time"
 
 	"urllangid/internal/compiled"
-	"urllangid/internal/core"
+	"urllangid/internal/modelfile"
 	"urllangid/internal/serve"
 )
 
@@ -76,6 +76,7 @@ func run(args []string) error {
 		CacheCapacity: *cacheCap,
 		CacheShards:   *cacheShards,
 	})
+	defer engine.Close()
 	handler := serve.NewHandler(engine, serve.HandlerOptions{
 		Model:    snap.Describe(),
 		MaxBatch: *maxBatch,
@@ -115,33 +116,29 @@ func run(args []string) error {
 	return nil
 }
 
-// loadSnapshot resolves the model source: a pre-compiled snapshot file,
-// or a training-format model compiled at startup.
+// loadSnapshot resolves the model source. Model files are
+// self-describing (modelfile header, with legacy headerless gobs
+// sniffed), so either flag accepts either kind: a pre-compiled snapshot
+// serves as-is, a training-format model is compiled at startup.
 func loadSnapshot(snapPath, modelPath string) (*compiled.Snapshot, error) {
-	switch {
-	case snapPath != "":
-		f, err := os.Open(snapPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		snap, err := compiled.Load(f)
-		if err != nil {
-			return nil, err
-		}
-		return snap, nil
-	case modelPath != "":
-		f, err := os.Open(modelPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		sys, err := core.Load(f)
-		if err != nil {
-			return nil, err
-		}
-		return compiled.FromSystem(sys), nil
-	default:
+	path := snapPath
+	if path == "" {
+		path = modelPath
+	}
+	if path == "" {
 		return nil, errors.New("provide -snapshot (preferred) or -model")
 	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, snap, err := modelfile.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap == nil {
+		snap = compiled.FromSystem(sys)
+	}
+	return snap, nil
 }

@@ -10,6 +10,10 @@
 //	eval      evaluate a saved model on a labeled TSV corpus
 //	serve     HTTP classification service (GET /classify?url=...)
 //
+// Model files are self-describing: classify, eval and serve open either
+// a trained model or a compiled snapshot (urllangid.Open picks the kind
+// from the header), so a serving snapshot can be evaluated directly.
+//
 // Example session:
 //
 //	urllangid generate -kind odp -train-per-lang 20000 -out corpus
@@ -242,7 +246,7 @@ func cmdCompile(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	clf, err := loadModel(*modelPath)
+	clf, err := loadClassifier(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -270,7 +274,20 @@ func cmdCompile(args []string) error {
 	return nil
 }
 
-func loadModel(path string) (*urllangid.Classifier, error) {
+// loadModel opens a model file of either kind — trained classifier or
+// compiled snapshot — through the self-describing header.
+func loadModel(path string) (urllangid.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return urllangid.Open(f)
+}
+
+// loadClassifier opens a model file that must hold a trained classifier
+// (Load reports the detected kind when handed a snapshot).
+func loadClassifier(path string) (*urllangid.Classifier, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -291,9 +308,10 @@ func cmdClassify(args []string) error {
 		return err
 	}
 	classify := func(url string) {
+		r := clf.Classify(url)
 		if *scores {
 			fmt.Printf("%s:\n", url)
-			for _, p := range clf.Predictions(url) {
+			for _, p := range r.Predictions() {
 				mark := " "
 				if p.Positive {
 					mark = "+"
@@ -302,7 +320,7 @@ func cmdClassify(args []string) error {
 			}
 			return
 		}
-		langs := clf.Languages(url)
+		langs := r.Languages()
 		codes := make([]string, len(langs))
 		for i, l := range langs {
 			codes[i] = l.Code()
@@ -344,13 +362,10 @@ func cmdEval(args []string) error {
 	}
 	var counts [langid.NumLanguages]evalx.Counts
 	for _, s := range samples {
-		claimed := make(map[langid.Language]bool)
-		for _, l := range clf.Languages(s.URL) {
-			claimed[l] = true
-		}
+		r := clf.Classify(s.URL)
 		for li := 0; li < langid.NumLanguages; li++ {
 			l := langid.Language(li)
-			counts[li].Observe(s.Lang == l, claimed[l])
+			counts[li].Observe(s.Lang == l, r.Is(l))
 		}
 	}
 	var sumF float64
@@ -389,7 +404,7 @@ func cmdServe(args []string) error {
 			return
 		}
 		resp := classifyResponse{URL: url, Scores: make(map[string]string)}
-		for _, p := range clf.Predictions(url) {
+		for _, p := range clf.Classify(url).Predictions() {
 			if p.Positive {
 				resp.Languages = append(resp.Languages, p.Lang.Code())
 			}

@@ -1,0 +1,191 @@
+package urllangid_test
+
+// The golden old-API/new-API equivalence matrix: for every Algorithm ×
+// FeatureSet that trains from the tiny fixture corpus (plus the
+// training-free baselines), the deprecated per-URL methods and the
+// Result accessors must be bit-identical — on the Classifier, on its
+// compiled Snapshot, and on both after a Save/Open round-trip. This is
+// the contract that lets current callers migrate method-by-method
+// without a single score changing.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"urllangid"
+	"urllangid/internal/datagen"
+)
+
+// equivalenceURLs mixes fixture-like inputs with the normalizer's edge
+// cases; score paths must agree on all of them.
+var equivalenceURLs = []string{
+	"http://www.nachrichten-wetter.de/zeitung",
+	"http://www.recherche-produits.fr/annonce",
+	"http://www.noticias-tienda.es/precios",
+	"http://www.notizie-azienda.it/prodotti",
+	"http://www.weather-report.com/forecast.html",
+	"HTTP://WWW.Wetter-Bericht.DE/Heute%2Ehtml",
+	"http://user:pw@host.es:9/x%20y",
+	"http://[2001:db8::1]:8080/chemin",
+	"//scheme-less.fr/page",
+	"example.fr/go?u=http://example.de/seite",
+	"",
+	"not a url",
+	"::::",
+}
+
+// assertOldNewEquivalent checks every deprecated method against its
+// Result accessor on one model.
+func assertOldNewEquivalent(t *testing.T, label string, m urllangid.Model) {
+	t.Helper()
+	type oldAPI interface {
+		Predictions(string) []urllangid.Prediction
+		Languages(string) []urllangid.Language
+		Is(string, urllangid.Language) bool
+		Best(string) (urllangid.Language, float64, bool)
+		PredictionsBatch([]string) [][]urllangid.Prediction
+	}
+	old, ok := m.(oldAPI)
+	if !ok {
+		t.Fatalf("%s: model lost its deprecated compatibility surface", label)
+	}
+	for _, u := range equivalenceURLs {
+		r := m.Classify(u)
+		if got, want := r.Predictions(), old.Predictions(u); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Predictions(%q): new %v, old %v", label, u, got, want)
+		}
+		if got, want := r.Languages(), old.Languages(u); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Languages(%q): new %v, old %v", label, u, got, want)
+		}
+		gl, gs, ga := r.Best()
+		wl, ws, wa := old.Best(u)
+		if gl != wl || gs != ws || ga != wa {
+			t.Fatalf("%s: Best(%q): new %v/%v/%v, old %v/%v/%v", label, u, gl, gs, ga, wl, ws, wa)
+		}
+		for li := 0; li <= urllangid.NumLanguages; li++ { // one past the end: invalid
+			l := urllangid.Language(li)
+			if got, want := r.Is(l), old.Is(u, l); got != want {
+				t.Fatalf("%s: Is(%q, %v): new %v, old %v", label, u, l, got, want)
+			}
+		}
+		// Decision bits must agree with score signs.
+		for li, s := range r.Scores() {
+			if r.Is(urllangid.Language(li)) != (s >= 0) {
+				t.Fatalf("%s: %q decision bit disagrees with score %v", label, u, s)
+			}
+		}
+	}
+	newBatch := m.ClassifyBatch(equivalenceURLs)
+	oldBatch := old.PredictionsBatch(equivalenceURLs)
+	if len(newBatch) != len(equivalenceURLs) || len(oldBatch) != len(equivalenceURLs) {
+		t.Fatalf("%s: batch lengths %d/%d", label, len(newBatch), len(oldBatch))
+	}
+	for i, u := range equivalenceURLs {
+		if newBatch[i] != m.Classify(u) {
+			t.Fatalf("%s: ClassifyBatch[%d] differs from Classify(%q)", label, i, u)
+		}
+		if !reflect.DeepEqual(oldBatch[i], newBatch[i].Predictions()) {
+			t.Fatalf("%s: PredictionsBatch[%d] differs from ClassifyBatch", label, i)
+		}
+	}
+}
+
+// assertModelsIdentical pins two models to bit-identical Classify
+// output on the equivalence URL set.
+func assertModelsIdentical(t *testing.T, label string, a, b urllangid.Model) {
+	t.Helper()
+	for _, u := range equivalenceURLs {
+		if ra, rb := a.Classify(u), b.Classify(u); ra != rb {
+			t.Fatalf("%s: Classify(%q) diverged: %v vs %v", label, u, ra.Scores(), rb.Scores())
+		}
+	}
+}
+
+func TestGoldenEquivalenceMatrix(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 21, TrainPerLang: 300, TestPerLang: 1,
+	})
+	samples := ds.Train
+
+	feats := map[string]urllangid.FeatureSet{
+		"word":     urllangid.WordFeatures,
+		"trigram":  urllangid.TrigramFeatures,
+		"custom":   urllangid.CustomFeatures,
+		"custom74": urllangid.CustomFeaturesAll,
+	}
+	algos := map[string]urllangid.Algorithm{
+		"NB":  urllangid.NaiveBayes,
+		"RE":  urllangid.RelativeEntropy,
+		"ME":  urllangid.MaximumEntropy,
+		"DT":  urllangid.DecisionTree,
+		"kNN": urllangid.KNN,
+	}
+	for an, algo := range algos {
+		for fn, feat := range feats {
+			name := an + "/" + fn
+			opts := urllangid.Options{
+				Features: feat, Algorithm: algo, Seed: 4, MaxEntIterations: 3,
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				clf, err := urllangid.Train(opts, samples)
+				if err != nil {
+					t.Fatalf("%s failed to train from the fixture corpus: %v", name, err)
+				}
+				snap := clf.Compile()
+				assertOldNewEquivalent(t, name+"/classifier", clf)
+				assertOldNewEquivalent(t, name+"/snapshot", snap)
+				assertModelsIdentical(t, name+"/classifier-vs-snapshot", clf, snap)
+			})
+		}
+	}
+	for _, baseline := range []urllangid.Algorithm{urllangid.CcTLD, urllangid.CcTLDPlus} {
+		clf, err := urllangid.Train(urllangid.Options{Algorithm: baseline}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := clf.Describe()
+		assertOldNewEquivalent(t, label+"/classifier", clf)
+		snap := clf.Compile()
+		assertOldNewEquivalent(t, label+"/snapshot", snap)
+		assertModelsIdentical(t, label+"/classifier-vs-snapshot", clf, snap)
+	}
+}
+
+// TestGoldenEquivalenceSurvivesSaveOpen extends the matrix across the
+// wire: a Save/Open round trip (both kinds) must preserve bit-identical
+// classification for a compiled config and a fallback config.
+func TestGoldenEquivalenceSurvivesSaveOpen(t *testing.T) {
+	samples := trainSamples(t, 300)
+	for _, opts := range []urllangid.Options{
+		{Seed: 9}, // NB/word — packed snapshot
+		{Seed: 9, Algorithm: urllangid.DecisionTree, // DT/custom — fallback snapshot
+			Features: urllangid.CustomFeatures},
+	} {
+		clf, err := urllangid.Train(opts, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cbuf bytes.Buffer
+		if err := clf.Save(&cbuf); err != nil {
+			t.Fatal(err)
+		}
+		reloaded, err := urllangid.Open(&cbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertModelsIdentical(t, clf.Describe()+"/classifier-vs-opened", clf, reloaded)
+
+		snap := clf.Compile()
+		var sbuf bytes.Buffer
+		if err := snap.Save(&sbuf); err != nil {
+			t.Fatal(err)
+		}
+		reSnap, err := urllangid.Open(&sbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertModelsIdentical(t, clf.Describe()+"/snapshot-vs-opened", snap, reSnap)
+	}
+}

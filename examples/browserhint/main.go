@@ -37,9 +37,9 @@ type hint struct {
 	Score          float64 `json:"score"`
 }
 
-func decide(clf *urllangid.Classifier, userLang urllangid.Language, url string) hint {
+func decide(clf urllangid.Model, userLang urllangid.Language, url string) hint {
 	h := hint{URL: url, UserLanguage: userLang.Code()}
-	best, score, claimed := clf.Best(url)
+	best, score, claimed := clf.Classify(url).Best()
 	if !claimed {
 		h.Confidence = "low"
 		return h

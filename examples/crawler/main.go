@@ -67,8 +67,8 @@ func main() {
 	cfg := crawlsim.Config{Target: target, Quota: quota}
 	policies := []crawlsim.Policy{
 		crawlsim.Blind(),
-		crawlsim.PolicyFunc{Label: "ccTLD", Fn: func(u string) bool { return baseline.Is(u, target) }},
-		crawlsim.PolicyFunc{Label: "classifier", Fn: func(u string) bool { return clf.Is(u, target) }},
+		crawlsim.PolicyFunc{Label: "ccTLD", Fn: func(u string) bool { return baseline.Classify(u).Is(target) }},
+		crawlsim.PolicyFunc{Label: "classifier", Fn: func(u string) bool { return clf.Classify(u).Is(target) }},
 		crawlsim.Oracle(truth, target),
 	}
 	fmt.Printf("frontier: %d URLs\n\n", len(frontier))

@@ -41,10 +41,9 @@ func main() {
 		"http://www.corriere.it/cronache/articolo_primo.html", // Italian ccTLD + words
 	}
 	for _, u := range urls {
-		langs := clf.Languages(u)
-		best, score, claimed := clf.Best(u)
-		fmt.Printf("%-55s -> %v", u, langs)
-		if claimed {
+		r := clf.Classify(u) // one Result answers every question below
+		fmt.Printf("%-55s -> %v", u, r.Languages())
+		if best, score, claimed := r.Best(); claimed {
 			fmt.Printf("  (best: %s %.2f)", best, score)
 		}
 		fmt.Println()
@@ -53,7 +52,7 @@ func main() {
 	// Quick sanity check on held-out data.
 	correct, total := 0, 0
 	for _, s := range corpus.Test {
-		if clf.Is(s.URL, s.Lang) {
+		if clf.Classify(s.URL).Is(s.Lang) {
 			correct++
 		}
 		total++

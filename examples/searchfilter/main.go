@@ -36,7 +36,7 @@ func main() {
 	groups := make(map[string][]string)
 	correct := 0
 	for _, s := range results {
-		best, _, claimed := clf.Best(s.URL)
+		best, _, claimed := clf.Classify(s.URL).Best()
 		key := "unknown"
 		if claimed {
 			key = best.String()

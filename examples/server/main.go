@@ -7,11 +7,15 @@
 //
 //  1. train the paper's best classifier (NB/word) on a synthetic corpus;
 //  2. compile it into a read-only snapshot — same answers bit-for-bit,
-//     severalfold faster per URL;
+//     severalfold faster per URL — and round-trip it through the
+//     self-describing model file format (urllangid.Open detects the
+//     kind from the header, exactly as cmd/urllangid-serve does);
 //  3. serve the snapshot over HTTP with worker-pool batching and a
 //     sharded result cache;
 //  4. drive the batch and streaming endpoints like a crawler would, and
-//     read the cache hit-rate off /stats.
+//     read the cache hit-rate off /stats;
+//  5. run the same workload in-process through the public Batcher —
+//     the no-HTTP embedding of the identical engine.
 //
 // Everything runs in-process on a loopback listener; no flags, no files.
 //
@@ -30,8 +34,8 @@ import (
 	"strings"
 
 	"urllangid"
-	"urllangid/internal/compiled"
 	"urllangid/internal/datagen"
+	"urllangid/internal/modelfile"
 	"urllangid/internal/serve"
 )
 
@@ -46,12 +50,22 @@ func main() {
 	}
 
 	// 2. Compile. Round-trip through the wire format to prove the served
-	// model is exactly what "urllangid compile" writes to disk.
+	// model is exactly what "urllangid compile" writes to disk: the
+	// public Open reads the self-describing header and reports the kind,
+	// and modelfile.Read is the same loader cmd/urllangid-serve uses.
 	var wire bytes.Buffer
 	if err := clf.Compile().Save(&wire); err != nil {
 		log.Fatal(err)
 	}
-	snap, err := compiled.Load(&wire)
+	wireBytes := wire.Bytes()
+	model, err := urllangid.Open(bytes.NewReader(wireBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, isSnap := model.(*urllangid.Snapshot); !isSnap {
+		log.Fatal("Open mis-detected the snapshot file")
+	}
+	_, snap, err := modelfile.Read(bytes.NewReader(wireBytes))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +73,7 @@ func main() {
 
 	// 3. Serve on a loopback port.
 	engine := serve.New(snap, serve.Options{CacheCapacity: 1 << 16})
+	defer engine.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -160,4 +175,28 @@ func main() {
 		stats.URLs, 100*stats.CacheHitRate, stats.CacheHits, stats.CacheMisses, stats.LatencyP50Usec)
 	fmt.Println("\nrepeated frontier rounds land in the cache — exactly why a crawler")
 	fmt.Println("front end holds its own result cache before touching the model.")
+
+	// 5. The same engine without HTTP: a crawler embedding the library
+	// wraps the model (the one Open returned) in a Batcher — persistent
+	// worker pool, result cache, serving stats — and must Close it so
+	// the pool is released.
+	batcher := urllangid.NewBatcher(model,
+		urllangid.WithCache(1<<16), urllangid.WithStats())
+	defer batcher.Close()
+	frontier := make([]string, 0, 3*len(kinds))
+	for round := 0; round < 3; round++ {
+		for _, s := range kinds {
+			frontier = append(frontier, s.URL)
+		}
+	}
+	german := 0
+	for _, r := range batcher.ClassifyBatch(frontier) {
+		if r.Is(urllangid.German) {
+			german++
+		}
+	}
+	if bs, ok := batcher.Stats(); ok {
+		fmt.Printf("\nin-process Batcher: %d frontier URLs, %d claimed German, cache hit-rate %.0f%%\n",
+			len(frontier), german, 100*bs.CacheHitRate)
+	}
 }

@@ -205,18 +205,45 @@ func (s *Snapshot) CacheKey(rawURL string) string {
 	return urlx.Normalize(rawURL)
 }
 
-// Scores returns the five per-language decision scores for rawURL in
-// canonical language order. The sign of each score is the binary
-// decision, exactly as in core.System.Predictions. On the compiled path
-// the whole call is allocation-free: normalization rewrites into pooled
-// scratch and tokens alias the normal form.
-func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
+// ScoresInto computes the five per-language decision scores for rawURL,
+// in canonical language order, into *out. The sign of each score is the
+// binary decision, exactly as in core.System.Predictions. This is the
+// primitive backing the serving layers' zero-allocation contract: on the
+// compiled path the whole call is allocation-free — normalization
+// rewrites into pooled scratch and tokens alias the normal form.
+func (s *Snapshot) ScoresInto(out *[langid.NumLanguages]float64, rawURL string) {
 	if s.mode == modeFallback {
-		return s.fallbackScores(rawURL)
+		*out = s.fallbackScores(rawURL)
+		return
 	}
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
-	return s.scoreNormalized(urlx.NormalizeInto(&sc.norm, rawURL), sc)
+	*out = s.scoreNormalized(urlx.NormalizeInto(&sc.norm, rawURL), sc)
+}
+
+// Scores returns the five per-language decision scores for rawURL; see
+// ScoresInto. Returning the array by value stays allocation-free.
+func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
+	var out [langid.NumLanguages]float64
+	s.ScoresInto(&out, rawURL)
+	return out
+}
+
+// ClassifyInto fills *r with rawURL's classification — scores plus the
+// packed decision bits. Allocation-free on the compiled path, like
+// ScoresInto.
+func (s *Snapshot) ClassifyInto(r *langid.Result, rawURL string) {
+	var scores [langid.NumLanguages]float64
+	s.ScoresInto(&scores, rawURL)
+	*r = langid.NewResult(scores)
+}
+
+// Classify returns rawURL's classification as a langid.Result value,
+// bit-identical to the source classifier's scores.
+func (s *Snapshot) Classify(rawURL string) langid.Result {
+	var r langid.Result
+	s.ClassifyInto(&r, rawURL)
+	return r
 }
 
 // ScoresForKey scores a URL already reduced to its CacheKey form,

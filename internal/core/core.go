@@ -271,57 +271,54 @@ func (s *System) Positive(p urlx.Parts, l langid.Language) bool {
 	return s.Models[l].Predict(x)
 }
 
+// Scores classifies a raw URL, returning the five decision scores in
+// canonical language order. The sign of a score is the binary decision.
+// Baselines answer ±1 (they have no margin); learners return their
+// real-valued margins, exactly the float64 operations the per-model
+// Score methods perform — Predictions, Classify, Languages and Best are
+// all thin expansions of this one vector.
+func (s *System) Scores(rawURL string) [langid.NumLanguages]float64 {
+	p := urlx.Parse(rawURL)
+	var out [langid.NumLanguages]float64
+	if !s.Config.Algo.NeedsTraining() {
+		got, ok := s.baseline.Classify(p)
+		for li := range out {
+			out[li] = -1
+			if ok && got == langid.Language(li) {
+				out[li] = 1
+			}
+		}
+		return out
+	}
+	x := s.Extractor.ExtractURL(p)
+	for li := range out {
+		out[li] = s.Models[li].Score(x)
+	}
+	return out
+}
+
+// Classify runs all five binary classifiers on a raw URL and packs the
+// outcome into a langid.Result value.
+func (s *System) Classify(rawURL string) langid.Result {
+	return langid.NewResult(s.Scores(rawURL))
+}
+
 // Predictions classifies a raw URL, returning one scored prediction per
 // language in canonical order.
 func (s *System) Predictions(rawURL string) []langid.Prediction {
-	p := urlx.Parse(rawURL)
-	preds := make([]langid.Prediction, langid.NumLanguages)
-	if !s.Config.Algo.NeedsTraining() {
-		got, ok := s.baseline.Classify(p)
-		for li := range preds {
-			l := langid.Language(li)
-			pos := ok && got == l
-			score := -1.0
-			if pos {
-				score = 1.0
-			}
-			preds[li] = langid.Prediction{Lang: l, Score: score, Positive: pos}
-		}
-		return preds
-	}
-	x := s.Extractor.ExtractURL(p)
-	for li := range preds {
-		l := langid.Language(li)
-		score := s.Models[li].Score(x)
-		preds[li] = langid.Prediction{Lang: l, Score: score, Positive: score >= 0}
-	}
-	return preds
+	return langid.PredictionsFromScores(s.Scores(rawURL))
 }
 
 // Languages returns the set of languages whose binary classifier answered
 // yes for rawURL.
 func (s *System) Languages(rawURL string) []langid.Language {
-	var out []langid.Language
-	for _, p := range s.Predictions(rawURL) {
-		if p.Positive {
-			out = append(out, p.Lang)
-		}
-	}
-	return out
+	return langid.LanguagesFromScores(s.Scores(rawURL))
 }
 
 // Best returns the language with the highest score and that score.
 // The second result is false when no classifier answered yes.
 func (s *System) Best(rawURL string) (langid.Language, float64, bool) {
-	preds := s.Predictions(rawURL)
-	bestI, bestScore, any := 0, preds[0].Score, preds[0].Positive
-	for i := 1; i < len(preds); i++ {
-		if preds[i].Score > bestScore {
-			bestI, bestScore = i, preds[i].Score
-		}
-		any = any || preds[i].Positive
-	}
-	return preds[bestI].Lang, bestScore, any
+	return langid.BestFromScores(s.Scores(rawURL))
 }
 
 // savedSystem is the gob wire format of a System.

@@ -1,0 +1,68 @@
+package langid
+
+// Result is one URL's complete classification: the five per-language
+// decision scores plus the binary decisions packed into a LabelSet. It
+// is a fixed-size value type — constructing, copying and querying one
+// performs no heap allocation — so serving hot paths can move results
+// around by value at zero cost. Only the accessors that expand into
+// slices (Languages, Predictions) allocate, and only for their return
+// value.
+//
+// The sign convention is the one every layer of the system shares: a
+// score >= 0 is that language's binary "yes", exactly as in Prediction.
+type Result struct {
+	scores [NumLanguages]float64
+	claims LabelSet
+}
+
+// NewResult builds a Result from a score vector in canonical language
+// order, deriving the decision bits from the score signs.
+func NewResult(scores [NumLanguages]float64) Result {
+	var claims LabelSet
+	for li, s := range scores {
+		if s >= 0 {
+			claims = claims.Add(Language(li))
+		}
+	}
+	return Result{scores: scores, claims: claims}
+}
+
+// Scores returns the five decision scores in canonical language order.
+func (r Result) Scores() [NumLanguages]float64 { return r.scores }
+
+// Score returns the decision score for l, or 0 for an invalid Language.
+func (r Result) Score(l Language) float64 {
+	if !l.Valid() {
+		return 0
+	}
+	return r.scores[l]
+}
+
+// Is answers the single binary question "is this URL in language l?".
+// Invalid languages are never claimed.
+func (r Result) Is(l Language) bool {
+	return l.Valid() && r.claims.Has(l)
+}
+
+// Claims returns the set of languages whose classifier answered "yes".
+func (r Result) Claims() LabelSet { return r.claims }
+
+// Languages returns the claimed languages in canonical order. The slice
+// may be empty or hold several languages — the five decisions are
+// independent. Returns nil when no language is claimed.
+func (r Result) Languages() []Language {
+	return LanguagesFromScores(r.scores)
+}
+
+// Best returns the top-scoring language, its score, and whether any
+// language was actually claimed; when false the language is only the
+// least unlikely guess.
+func (r Result) Best() (Language, float64, bool) {
+	return BestFromScores(r.scores)
+}
+
+// Predictions expands the result into one scored Prediction per
+// language in canonical order.
+func (r Result) Predictions() []Prediction {
+	return PredictionsFromScores(r.scores)
+}

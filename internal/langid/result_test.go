@@ -1,0 +1,71 @@
+package langid
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestResultAccessorsAgreeWithScoreHelpers(t *testing.T) {
+	cases := [][NumLanguages]float64{
+		{-1, 2, -3, 0.5, -0.1},
+		{-1, -2, -3, -4, -5},
+		{0, 0, 0, 0, 0}, // zero scores claim everything (>= 0 convention)
+		{3.25, -0.0, 1e-9, -1e-9, 7},
+	}
+	for _, scores := range cases {
+		r := NewResult(scores)
+		if r.Scores() != scores {
+			t.Fatalf("Scores() = %v, want %v", r.Scores(), scores)
+		}
+		if !reflect.DeepEqual(r.Languages(), LanguagesFromScores(scores)) {
+			t.Errorf("Languages() = %v, want %v", r.Languages(), LanguagesFromScores(scores))
+		}
+		if !reflect.DeepEqual(r.Predictions(), PredictionsFromScores(scores)) {
+			t.Errorf("Predictions() diverged for %v", scores)
+		}
+		wantL, wantS, wantAny := BestFromScores(scores)
+		gotL, gotS, gotAny := r.Best()
+		if gotL != wantL || gotS != wantS || gotAny != wantAny {
+			t.Errorf("Best() = %v/%v/%v, want %v/%v/%v", gotL, gotS, gotAny, wantL, wantS, wantAny)
+		}
+		for li := 0; li < NumLanguages; li++ {
+			l := Language(li)
+			if r.Is(l) != (scores[li] >= 0) {
+				t.Errorf("Is(%v) = %v with score %v", l, r.Is(l), scores[li])
+			}
+			if r.Score(l) != scores[li] {
+				t.Errorf("Score(%v) = %v, want %v", l, r.Score(l), scores[li])
+			}
+			if r.Claims().Has(l) != (scores[li] >= 0) {
+				t.Errorf("Claims().Has(%v) = %v with score %v", l, r.Claims().Has(l), scores[li])
+			}
+		}
+	}
+}
+
+func TestResultInvalidLanguage(t *testing.T) {
+	r := NewResult([NumLanguages]float64{1, 2, 3, 4, 5})
+	bad := Language(numLanguages)
+	if r.Is(bad) {
+		t.Error("Is(invalid) = true")
+	}
+	if r.Score(bad) != 0 {
+		t.Errorf("Score(invalid) = %v, want 0", r.Score(bad))
+	}
+	if r.Is(Language(200)) {
+		t.Error("Is(200) = true")
+	}
+}
+
+func TestResultIsValueType(t *testing.T) {
+	// Copies must be independent snapshots — nothing in Result may alias
+	// shared mutable state.
+	a := NewResult([NumLanguages]float64{1, -1, 1, -1, 1})
+	b := a
+	if a != b {
+		t.Error("Result copies compare unequal")
+	}
+	if !a.Is(English) || a.Is(German) {
+		t.Errorf("claim bits wrong: %v", a.Claims())
+	}
+}

@@ -1,0 +1,158 @@
+// Package modelfile defines the on-disk container for urllangid models:
+// a fixed magic header, a format version and a kind byte, followed by
+// the kind's gob payload. The header makes model files self-describing —
+// one loader opens both trained classifiers and compiled snapshots and
+// reports *which* it found, instead of two incompatible entry points
+// failing with raw gob errors when handed the other's file.
+//
+// Files written before the header existed (plain core.System or
+// compiled.Snapshot gobs) still load: Read falls back to sniffing the
+// gob payload when the magic is absent.
+package modelfile
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"urllangid/internal/compiled"
+	"urllangid/internal/core"
+)
+
+// magic opens every headered model file. Modeled on the PNG signature:
+// the high bit in the first byte breaks text-mode transfers, and no
+// legacy gob stream can start with it (a gob message starts with its
+// byte count — either one byte < 0x80 or a small negated length count
+// 0xff..0xf8 — never 0x89).
+var magic = [8]byte{0x89, 'U', 'R', 'L', 'I', 'D', '\r', '\n'}
+
+// version is the container format version. It versions the header
+// framing only; the payloads carry their own compatibility story (gob
+// field matching for classifiers, an explicit version field for
+// snapshots).
+const version byte = 1
+
+// Model kinds, stored in the header's kind byte.
+const (
+	KindClassifier byte = 'C' // a trained core.System
+	KindSnapshot   byte = 'S' // a compiled serving snapshot
+)
+
+// headerLen is magic + version byte + kind byte.
+const headerLen = len(magic) + 2
+
+// KindName names a kind byte for error messages.
+func KindName(kind byte) string {
+	switch kind {
+	case KindClassifier:
+		return "trained classifier"
+	case KindSnapshot:
+		return "compiled snapshot"
+	default:
+		return fmt.Sprintf("unknown kind 0x%02x", kind)
+	}
+}
+
+func writeHeader(w io.Writer, kind byte) error {
+	var h [headerLen]byte
+	copy(h[:], magic[:])
+	h[len(magic)] = version
+	h[len(magic)+1] = kind
+	if _, err := w.Write(h[:]); err != nil {
+		return fmt.Errorf("writing model header: %w", err)
+	}
+	return nil
+}
+
+// WriteClassifier serialises a trained system with the classifier
+// header.
+func WriteClassifier(w io.Writer, sys *core.System) error {
+	if err := writeHeader(w, KindClassifier); err != nil {
+		return err
+	}
+	return sys.Save(w)
+}
+
+// WriteSnapshot serialises a compiled snapshot with the snapshot
+// header.
+func WriteSnapshot(w io.Writer, snap *compiled.Snapshot) error {
+	if err := writeHeader(w, KindSnapshot); err != nil {
+		return err
+	}
+	return snap.Save(w)
+}
+
+// Read loads a model of either kind from r, returning exactly one of
+// (sys, snap) non-nil. Headered files dispatch on their kind byte;
+// headerless files from pre-header releases are sniffed: the snapshot
+// decoder is tried first because it validates an internal version field,
+// whereas force-decoding a snapshot gob as a classifier would "succeed"
+// with an empty system.
+func Read(r io.Reader) (sys *core.System, snap *compiled.Snapshot, err error) {
+	br := bufio.NewReader(r)
+	head, peekErr := br.Peek(headerLen)
+	if peekErr == nil && bytes.Equal(head[:len(magic)], magic[:]) {
+		ver, kind := head[len(magic)], head[len(magic)+1]
+		if _, err := br.Discard(headerLen); err != nil {
+			return nil, nil, fmt.Errorf("reading model header: %w", err)
+		}
+		if ver != version {
+			return nil, nil, fmt.Errorf("model file has container version %d; this build reads version %d (rebuild or re-save the model)", ver, version)
+		}
+		switch kind {
+		case KindClassifier:
+			sys, err := core.Load(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("loading %s payload: %w", KindName(kind), err)
+			}
+			return sys, nil, nil
+		case KindSnapshot:
+			snap, err := compiled.Load(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("loading %s payload: %w", KindName(kind), err)
+			}
+			return nil, snap, nil
+		default:
+			return nil, nil, fmt.Errorf("model file declares %s; this build knows classifiers (%q) and snapshots (%q)",
+				KindName(kind), KindClassifier, KindSnapshot)
+		}
+	}
+
+	// Headerless: a legacy gob payload (or not a model file at all).
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading model data: %w", err)
+	}
+	if snap, err := compiled.Load(bytes.NewReader(data)); err == nil {
+		return nil, snap, nil
+	}
+	sys, sysErr := core.Load(bytes.NewReader(data))
+	if sysErr == nil {
+		if !completeSystem(sys) {
+			sysErr = errors.New("decoded classifier is missing its extractor or models (truncated or foreign gob data)")
+		} else {
+			return sys, nil, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("unrecognized model data: no urllangid header and the payload is neither a saved classifier nor a compiled snapshot (%v)", sysErr)
+}
+
+// completeSystem guards the legacy sniff path: gob happily decodes
+// near-miss streams into a System with nil members, which must read as
+// "not a classifier", not as a model that panics on first use.
+func completeSystem(s *core.System) bool {
+	if !s.Config.Algo.NeedsTraining() {
+		return true // baselines carry no extractor or models
+	}
+	if s.Extractor == nil {
+		return false
+	}
+	for _, m := range s.Models {
+		if m == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package modelfile
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"urllangid/internal/compiled"
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/features"
+)
+
+var (
+	sysOnce sync.Once
+	testSys *core.System
+)
+
+func system(t *testing.T) *core.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		ds := datagen.Generate(datagen.Config{
+			Kind: datagen.ODP, Seed: 71, TrainPerLang: 300, TestPerLang: 1,
+		})
+		sys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 71}, ds.Train)
+		if err != nil {
+			panic(err)
+		}
+		testSys = sys
+	})
+	return testSys
+}
+
+func TestHeaderedClassifierRoundTrip(t *testing.T) {
+	sys := system(t)
+	var buf bytes.Buffer
+	if err := WriteClassifier(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[0]; got != 0x89 {
+		t.Fatalf("header starts with 0x%02x, want 0x89", got)
+	}
+	loadedSys, loadedSnap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedSnap != nil || loadedSys == nil {
+		t.Fatalf("classifier file read as (sys=%v snap=%v)", loadedSys != nil, loadedSnap != nil)
+	}
+	u := "http://www.wetter-bericht.de/heute"
+	if loadedSys.Scores(u) != sys.Scores(u) {
+		t.Error("round-tripped classifier scores differ")
+	}
+}
+
+func TestHeaderedSnapshotRoundTrip(t *testing.T) {
+	snap := compiled.FromSystem(system(t))
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	loadedSys, loadedSnap, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedSys != nil || loadedSnap == nil {
+		t.Fatalf("snapshot file read as (sys=%v snap=%v)", loadedSys != nil, loadedSnap != nil)
+	}
+	u := "http://www.wetter-bericht.de/heute"
+	if loadedSnap.Scores(u) != snap.Scores(u) {
+		t.Error("round-tripped snapshot scores differ")
+	}
+}
+
+// TestLegacyHeaderlessFiles pins backward compatibility: raw gob
+// payloads written by the pre-header Save paths must still load, and
+// must resolve to the right kind.
+func TestLegacyHeaderlessFiles(t *testing.T) {
+	sys := system(t)
+	u := "http://www.nachrichten-seite.de/artikel"
+
+	var legacyClf bytes.Buffer
+	if err := sys.Save(&legacyClf); err != nil {
+		t.Fatal(err)
+	}
+	gotSys, gotSnap, err := Read(&legacyClf)
+	if err != nil {
+		t.Fatalf("legacy classifier gob rejected: %v", err)
+	}
+	if gotSnap != nil || gotSys == nil {
+		t.Fatal("legacy classifier gob resolved to the wrong kind")
+	}
+	if gotSys.Scores(u) != sys.Scores(u) {
+		t.Error("legacy classifier scores differ")
+	}
+
+	snap := compiled.FromSystem(sys)
+	var legacySnap bytes.Buffer
+	if err := snap.Save(&legacySnap); err != nil {
+		t.Fatal(err)
+	}
+	gotSys, gotSnap, err = Read(&legacySnap)
+	if err != nil {
+		t.Fatalf("legacy snapshot gob rejected: %v", err)
+	}
+	if gotSys != nil || gotSnap == nil {
+		t.Fatal("legacy snapshot gob resolved to the wrong kind")
+	}
+	if gotSnap.Scores(u) != snap.Scores(u) {
+		t.Error("legacy snapshot scores differ")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{},
+		{1, 2, 3},
+		[]byte("not a model file at all, just some text"),
+		bytes.Repeat([]byte{0xff}, 64),
+	} {
+		if _, _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("Read accepted %d garbage bytes", len(data))
+		} else if !strings.Contains(err.Error(), "unrecognized model data") {
+			t.Errorf("garbage error %q does not name the problem", err)
+		}
+	}
+}
+
+func TestReadRejectsUnknownKindAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(version)
+	buf.WriteByte('Z')
+	if _, _, err := Read(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown kind error = %v", err)
+	}
+
+	buf.Reset()
+	buf.Write(magic[:])
+	buf.WriteByte(version + 1)
+	buf.WriteByte(KindClassifier)
+	if _, _, err := Read(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version error = %v", err)
+	}
+}
+
+// TestReadRejectsTruncatedHeaderedFile: a valid header followed by a
+// cut-off payload must error, naming the declared kind.
+func TestReadRejectsTruncatedHeaderedFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClassifier(&buf, system(t)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:headerLen+16]
+	if _, _, err := Read(bytes.NewReader(cut)); err == nil || !strings.Contains(err.Error(), "trained classifier") {
+		t.Errorf("truncated payload error = %v", err)
+	}
+}
+
+// TestLegacySnapshotNeverMisreadAsClassifier guards the sniff ordering:
+// a snapshot gob force-decoded as a classifier yields an empty System,
+// so the snapshot decoder must win and the classifier guard must hold.
+func TestLegacySnapshotNeverMisreadAsClassifier(t *testing.T) {
+	snap := compiled.FromSystem(system(t))
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sys, gotSnap, err := Read(&buf)
+	if err != nil || sys != nil || gotSnap == nil {
+		t.Fatalf("sniff resolved to sys=%v snap=%v err=%v", sys != nil, gotSnap != nil, err)
+	}
+	if !completeSystem(system(t)) {
+		t.Error("completeSystem rejects a genuinely trained system")
+	}
+}
+
+func TestKindName(t *testing.T) {
+	if KindName(KindClassifier) != "trained classifier" || KindName(KindSnapshot) != "compiled snapshot" {
+		t.Error("kind names changed")
+	}
+	if !strings.Contains(KindName(0x7f), "0x7f") {
+		t.Error("unknown kind name lacks the byte value")
+	}
+}

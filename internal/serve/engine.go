@@ -8,8 +8,8 @@
 // binding constraint, and frontier URLs repeat hosts so heavily that a
 // modest cache absorbs most of the scoring work. The engine is built for
 // exactly that workload: lock-light cached reads, in-batch
-// deduplication of repeated links, batch fan-out across workers, and
-// compiled-snapshot scoring underneath.
+// deduplication of repeated links, batch fan-out across a persistent
+// worker pool, and compiled-snapshot scoring underneath.
 package serve
 
 import (
@@ -29,8 +29,9 @@ type Predictor interface {
 }
 
 // Scorer is the allocation-free fast path. When the predictor implements
-// it (compiled snapshots do), the engine skips building []Prediction for
-// every URL and moves plain score arrays around instead.
+// it (core systems and compiled snapshots do), the engine skips building
+// []Prediction for every URL and moves plain score arrays around
+// instead.
 type Scorer interface {
 	Scores(rawURL string) [langid.NumLanguages]float64
 }
@@ -56,7 +57,8 @@ type KeyScorer interface {
 // Options configures an Engine. The zero value serves with GOMAXPROCS
 // workers and caching disabled.
 type Options struct {
-	// Workers bounds batch parallelism (default GOMAXPROCS).
+	// Workers bounds batch parallelism (default GOMAXPROCS). The pool is
+	// persistent: workers start with the engine and run until Close.
 	Workers int
 	// CacheCapacity is the total cached-result budget across shards;
 	// 0 disables caching.
@@ -65,34 +67,23 @@ type Options struct {
 	// (default 16). More shards spread write contention at a small fixed
 	// memory cost.
 	CacheShards int
+	// NoStats disables metrics collection entirely — no clock reads on
+	// the classify path. StatsSnapshot then reports zeroes.
+	NoStats bool
 }
 
-// Result is one URL's classification. Scores alone determine everything:
-// score ≥ 0 is the per-language yes, exactly as in Classifier.Predictions.
+// Result is one URL's classification: the shared langid.Result value
+// (scores plus decision bits) tagged with the URL it answers and whether
+// the cache served it.
 type Result struct {
-	URL    string
-	Scores [langid.NumLanguages]float64
+	URL string
+	langid.Result
 	Cached bool
 }
 
-// Predictions expands the result into the canonical prediction slice.
-func (r Result) Predictions() []langid.Prediction {
-	return langid.PredictionsFromScores(r.Scores)
-}
-
-// Languages returns the claimed languages in canonical order.
-func (r Result) Languages() []langid.Language {
-	return langid.LanguagesFromScores(r.Scores)
-}
-
-// Best mirrors Classifier.Best: the top-scoring language, its score, and
-// whether any classifier answered yes.
-func (r Result) Best() (langid.Language, float64, bool) {
-	return langid.BestFromScores(r.Scores)
-}
-
 // Engine classifies URLs through a predictor with batching and caching.
-// It is safe for concurrent use.
+// It is safe for concurrent use. New starts the worker pool; Close
+// releases it — an engine left un-Closed keeps its idle workers alive.
 type Engine struct {
 	pred      Predictor
 	scorer    Scorer     // nil when pred lacks the fast path
@@ -101,15 +92,34 @@ type Engine struct {
 	cache     *lruCache
 	stats     *Stats
 	workers   int
+
+	// The persistent pool: ClassifyBatch offers assist closures on tasks;
+	// workers run them until quit closes. Offers never block — a
+	// saturated (or closed) pool only costs parallelism, never progress,
+	// because the calling goroutine always works the batch too. mu
+	// serialises offers against Close (read-locked once per batch, not
+	// per URL) so no closure can slip into tasks after Close has drained
+	// it — a stranded closure would pin its batch's memory for the
+	// engine's remaining lifetime.
+	tasks     chan func()
+	quit      chan struct{}
+	mu        sync.RWMutex
+	closed    bool
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
-// New builds an engine over p.
+// New builds an engine over p and starts its worker pool. Callers that
+// create engines dynamically must Close them; a handful of
+// process-lifetime engines may skip it.
 func New(p Predictor, opts Options) *Engine {
 	e := &Engine{
 		pred:    p,
 		cache:   newCache(opts.CacheShards, opts.CacheCapacity),
-		stats:   NewStats(),
 		workers: opts.Workers,
+	}
+	if !opts.NoStats {
+		e.stats = NewStats()
 	}
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
@@ -117,15 +127,71 @@ func New(p Predictor, opts Options) *Engine {
 	e.scorer, _ = p.(Scorer)
 	e.keyer, _ = p.(CacheKeyer)
 	e.keyScorer, _ = p.(KeyScorer)
+	if e.workers > 1 {
+		// The calling goroutine always participates in its batch, so
+		// workers-1 pool goroutines deliver the full `workers`-way
+		// parallelism; a pool of `workers` would leave one always idle.
+		e.tasks = make(chan func(), e.workers-1)
+		e.quit = make(chan struct{})
+		for i := 0; i < e.workers-1; i++ {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				for {
+					select {
+					case <-e.quit:
+						return
+					case fn := <-e.tasks:
+						fn()
+					}
+				}
+			}()
+		}
+	}
 	return e
 }
 
+// Close stops the worker pool and waits for its goroutines to exit. It
+// is idempotent. Batches in flight complete normally (their calling
+// goroutine finishes the work), and later ClassifyBatch calls still
+// return correct results, merely without pool parallelism.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		if e.quit == nil {
+			return
+		}
+		// Taking the write lock waits out any in-flight recruit loops;
+		// once closed is set no new offer can start, so the drain below
+		// is final.
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
+		close(e.quit)
+		e.wg.Wait()
+		// Drop any assist closures still buffered so the batches they
+		// capture can be collected; their callers complete the work
+		// themselves (the pool only ever assists).
+		for {
+			select {
+			case <-e.tasks:
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
 // Stats returns the engine's live metrics collector (shared with the
-// HTTP layer, which adds request counts).
+// HTTP layer, which adds request counts). Nil when Options.NoStats was
+// set; the recording methods tolerate a nil receiver.
 func (e *Engine) Stats() *Stats { return e.stats }
 
 // StatsSnapshot returns current metrics, including cache occupancy.
 func (e *Engine) StatsSnapshot() Snapshot {
+	if e.stats == nil {
+		return Snapshot{}
+	}
 	entries := 0
 	if e.cache != nil {
 		entries = e.cache.len()
@@ -137,11 +203,16 @@ func (e *Engine) StatsSnapshot() Snapshot {
 // It never fails: malformed URLs tokenize to nothing and score like any
 // other token-free input.
 func (e *Engine) Classify(rawURL string) Result {
-	start := time.Now()
+	var start time.Time
+	if e.stats != nil {
+		start = time.Now()
+	}
 	r := Result{URL: rawURL}
 	if e.cache == nil {
-		r.Scores = e.score(rawURL)
-		e.stats.RecordUncached(time.Since(start))
+		r.Result = langid.NewResult(e.score(rawURL))
+		if e.stats != nil {
+			e.stats.RecordUncached(time.Since(start))
+		}
 		return r
 	}
 	key := rawURL
@@ -149,19 +220,25 @@ func (e *Engine) Classify(rawURL string) Result {
 		key = e.keyer.CacheKey(rawURL)
 	}
 	if scores, ok := e.cache.get(key); ok {
-		r.Scores, r.Cached = scores, true
-		e.stats.RecordURL(time.Since(start), true)
+		r.Result, r.Cached = langid.NewResult(scores), true
+		if e.stats != nil {
+			e.stats.RecordURL(time.Since(start), true)
+		}
 		return r
 	}
+	var scores [langid.NumLanguages]float64
 	if e.keyScorer != nil {
 		// The key already carries the predictor's normal form; score
 		// from it directly rather than re-normalizing the raw URL.
-		r.Scores = e.keyScorer.ScoresForKey(key)
+		scores = e.keyScorer.ScoresForKey(key)
 	} else {
-		r.Scores = e.score(rawURL)
+		scores = e.score(rawURL)
 	}
-	e.cache.put(key, r.Scores)
-	e.stats.RecordURL(time.Since(start), false)
+	r.Result = langid.NewResult(scores)
+	e.cache.put(key, scores)
+	if e.stats != nil {
+		e.stats.RecordURL(time.Since(start), false)
+	}
 	return r
 }
 
@@ -176,8 +253,10 @@ func (e *Engine) score(rawURL string) [langid.NumLanguages]float64 {
 // order in the result slice. Identical URLs within the batch are scored
 // once and the result fanned out — crawl frontiers repeat links heavily,
 // and before the cache warms each duplicate would otherwise pay a full
-// scoring. Workers pull work from a shared atomic counter, so a slow URL
-// (cold cache, long path) never stalls a whole pre-assigned chunk.
+// scoring. The caller's goroutine and any pool workers it recruits pull
+// work from a shared atomic counter, so a slow URL (cold cache, long
+// path) never stalls a whole pre-assigned chunk, and a busy pool only
+// reduces parallelism — the batch always completes.
 func (e *Engine) ClassifyBatch(urls []string) []Result {
 	out := make([]Result, len(urls))
 	n := len(urls)
@@ -206,28 +285,43 @@ func (e *Engine) ClassifyBatch(urls []string) []Result {
 	if workers > len(work) {
 		workers = len(work)
 	}
-	if workers <= 1 {
+	if workers <= 1 || e.tasks == nil {
 		for _, i := range work {
 			out[i] = e.Classify(urls[i])
 		}
 	} else {
+		var pending sync.WaitGroup
+		pending.Add(len(work))
 		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(work) {
-						return
-					}
-					i := work[k]
-					out[i] = e.Classify(urls[i])
+		run := func() {
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(work) {
+					return
 				}
-			}()
+				i := work[k]
+				out[i] = e.Classify(urls[i])
+				pending.Done()
+			}
 		}
-		wg.Wait()
+		// Recruit up to workers-1 assists; the non-blocking offer means
+		// a saturated pool degrades to caller-only execution. The read
+		// lock excludes Close's drain, so a closed engine never ends up
+		// with a stranded closure in tasks.
+		e.mu.RLock()
+		if !e.closed {
+		recruit:
+			for w := 1; w < workers; w++ {
+				select {
+				case e.tasks <- run:
+				default:
+					break recruit // buffer full: further offers fail too
+				}
+			}
+		}
+		e.mu.RUnlock()
+		run()
+		pending.Wait()
 	}
 
 	if len(work) < n {

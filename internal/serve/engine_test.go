@@ -2,9 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"urllangid/internal/compiled"
 	"urllangid/internal/core"
@@ -51,8 +53,8 @@ func TestClassifyMatchesPredictor(t *testing.T) {
 		got := e.Classify(u)
 		want := sys.Predictions(u)
 		for li := range want {
-			if got.Scores[li] != want[li].Score {
-				t.Fatalf("%q lang %d: engine %v, system %v", u, li, got.Scores[li], want[li].Score)
+			if got.Scores()[li] != want[li].Score {
+				t.Fatalf("%q lang %d: engine %v, system %v", u, li, got.Scores()[li], want[li].Score)
 			}
 		}
 		preds := got.Predictions()
@@ -76,7 +78,7 @@ func TestClassifyBatchOrderAndParity(t *testing.T) {
 		if r.URL != urls[i] {
 			t.Fatalf("result %d is for %q, want %q", i, r.URL, urls[i])
 		}
-		if r.Scores != e.Classify(urls[i]).Scores {
+		if r.Scores() != e.Classify(urls[i]).Scores() {
 			t.Fatalf("batch and single disagree on %q", urls[i])
 		}
 	}
@@ -91,8 +93,8 @@ func TestCacheHitsAndNormalizedKeys(t *testing.T) {
 		t.Fatal("first classification reported cached")
 	}
 	second := e.Classify(u)
-	if !second.Cached || second.Scores != first.Scores {
-		t.Fatalf("second classification cached=%v scores equal=%v", second.Cached, second.Scores == first.Scores)
+	if !second.Cached || second.Scores() != first.Scores() {
+		t.Fatalf("second classification cached=%v scores equal=%v", second.Cached, second.Scores() == first.Scores())
 	}
 	// The compiled snapshot keys by normalized URL: scheme variants and
 	// uppercase collapse onto the same entry.
@@ -105,7 +107,7 @@ func TestCacheHitsAndNormalizedKeys(t *testing.T) {
 		if !r.Cached {
 			t.Errorf("variant %q missed the cache", variant)
 		}
-		if r.Scores != first.Scores {
+		if r.Scores() != first.Scores() {
 			t.Errorf("variant %q scored differently", variant)
 		}
 	}
@@ -185,7 +187,7 @@ func TestEngineConcurrentMixedLoad(t *testing.T) {
 			if w%2 == 0 {
 				got := e.ClassifyBatch(urls)
 				for i := range got {
-					if got[i].Scores != want[i].Scores {
+					if got[i].Scores() != want[i].Scores() {
 						t.Errorf("concurrent batch drift at %d", i)
 						return
 					}
@@ -193,7 +195,7 @@ func TestEngineConcurrentMixedLoad(t *testing.T) {
 				return
 			}
 			for i, u := range urls {
-				if e.Classify(u).Scores != want[i].Scores {
+				if e.Classify(u).Scores() != want[i].Scores() {
 					t.Errorf("concurrent single drift at %d", i)
 					return
 				}
@@ -204,7 +206,7 @@ func TestEngineConcurrentMixedLoad(t *testing.T) {
 }
 
 func TestResultHelpers(t *testing.T) {
-	r := Result{Scores: [langid.NumLanguages]float64{-1, 2, -3, 0.5, -0.1}}
+	r := Result{Result: langid.NewResult([langid.NumLanguages]float64{-1, 2, -3, 0.5, -0.1})}
 	langs := r.Languages()
 	if len(langs) != 2 || langs[0] != langid.German || langs[1] != langid.Spanish {
 		t.Errorf("Languages = %v", langs)
@@ -213,7 +215,7 @@ func TestResultHelpers(t *testing.T) {
 	if best != langid.German || score != 2 || !any {
 		t.Errorf("Best = %v, %v, %v", best, score, any)
 	}
-	r = Result{Scores: [langid.NumLanguages]float64{-1, -2, -3, -4, -5}}
+	r = Result{Result: langid.NewResult([langid.NumLanguages]float64{-1, -2, -3, -4, -5})}
 	best, score, any = r.Best()
 	if best != langid.English || score != -1 || any {
 		t.Errorf("all-negative Best = %v, %v, %v", best, score, any)
@@ -278,7 +280,7 @@ func TestEngineCacheKeyerWithoutKeyScorer(t *testing.T) {
 	if !second.Cached {
 		t.Error("key-equivalent variant missed the cache")
 	}
-	if second.Scores != first.Scores {
+	if second.Scores() != first.Scores() {
 		t.Error("variant served different scores than the shared entry")
 	}
 	p.mu.Lock()
@@ -300,8 +302,8 @@ func TestEngineKeyScorerMissPath(t *testing.T) {
 	raw := "HTTP://WWW.Wetter-Bericht.DE/Heute"
 	got := e.Classify(raw)
 	want := snap.Scores(raw)
-	if got.Scores != want {
-		t.Fatalf("key-scored miss path diverged: %v vs %v", got.Scores, want)
+	if got.Scores() != want {
+		t.Fatalf("key-scored miss path diverged: %v vs %v", got.Scores(), want)
 	}
 }
 
@@ -326,7 +328,7 @@ func TestClassifyBatchDeduplicates(t *testing.T) {
 		if r.URL != urls[i] {
 			t.Errorf("result %d is for %q, want %q", i, r.URL, urls[i])
 		}
-		if r.Scores != e.score(urls[i]) {
+		if r.Scores() != e.score(urls[i]) {
 			t.Errorf("result %d has wrong scores", i)
 		}
 		// No cache on this engine: copies must not claim to be cached.
@@ -344,7 +346,7 @@ func TestClassifyBatchDedupWithCache(t *testing.T) {
 	e := New(snap, Options{Workers: 4, CacheCapacity: 64})
 	u := "http://www.doppelt-seite.de/artikel"
 	out := e.ClassifyBatch([]string{u, u, u})
-	if out[0].Scores != out[1].Scores || out[1].Scores != out[2].Scores {
+	if out[0].Scores() != out[1].Scores() || out[1].Scores() != out[2].Scores() {
 		t.Fatal("duplicate results diverged")
 	}
 	// The copies would have been cache hits had they classified after
@@ -375,8 +377,8 @@ func TestClassifyBatchEmptyAndSingle(t *testing.T) {
 
 func TestEngineFallbackPredictorWithoutScorer(t *testing.T) {
 	_, sys := snapshot(t)
-	// *core.System implements Predictions but not Scores/CacheKey: the
-	// engine must fall back to the generic path and key by raw URL.
+	// *core.System implements Scores but not CacheKey: the engine takes
+	// the score fast path but must key the cache by raw URL.
 	e := New(sys, Options{CacheCapacity: 16})
 	u := "http://www.wetter.de/bericht"
 	first := e.Classify(u)
@@ -388,8 +390,142 @@ func TestEngineFallbackPredictorWithoutScorer(t *testing.T) {
 	}
 	want := sys.Predictions(u)
 	for li := range want {
-		if first.Scores[li] != want[li].Score {
+		if first.Scores()[li] != want[li].Score {
 			t.Fatal("fallback path scores differ from system")
+		}
+	}
+}
+
+// countGoroutines samples runtime.NumGoroutine after giving exiting
+// goroutines a moment to unwind.
+func countGoroutines() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// waitForGoroutines polls until the goroutine count drops to at most
+// want or the deadline passes, returning the last observed count.
+func waitForGoroutines(want int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	n := countGoroutines()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = countGoroutines()
+	}
+	return n
+}
+
+// TestEngineCloseReleasesWorkers pins the pool lifecycle: New starts the
+// workers, Close reaps every one of them, and Close is idempotent.
+func TestEngineCloseReleasesWorkers(t *testing.T) {
+	snap, _ := snapshot(t)
+	before := countGoroutines()
+	e := New(snap, Options{Workers: 8, CacheCapacity: 64})
+	e.ClassifyBatch(testURLs(100))
+	// Workers: 8 means caller + 7 pool goroutines.
+	if n := countGoroutines(); n < before+7 {
+		t.Fatalf("pool not running: %d goroutines, had %d before New", n, before)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if n := waitForGoroutines(before); n > before {
+		t.Errorf("after Close: %d goroutines, want <= %d", n, before)
+	}
+}
+
+// TestClassifyBatchAfterClose: a closed engine must still answer batches
+// correctly (caller-only execution), never hang or panic.
+func TestClassifyBatchAfterClose(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{Workers: 4, CacheCapacity: 64})
+	urls := testURLs(50)
+	want := e.ClassifyBatch(urls)
+	e.Close()
+	got := e.ClassifyBatch(urls)
+	for i := range want {
+		if got[i].Scores() != want[i].Scores() {
+			t.Fatalf("post-Close batch diverged at %d", i)
+		}
+	}
+}
+
+// TestEngineConcurrentBatchesShareOnePool floods the pool from many
+// goroutines at once: every batch must complete with correct, ordered
+// results even when most assist offers are rejected.
+func TestEngineConcurrentBatchesSharePool(t *testing.T) {
+	snap, _ := snapshot(t)
+	e := New(snap, Options{Workers: 2, CacheCapacity: 0})
+	defer e.Close()
+	urls := testURLs(64)
+	want := e.ClassifyBatch(urls)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := e.ClassifyBatch(urls)
+			for i := range want {
+				if got[i].URL != urls[i] || got[i].Scores() != want[i].Scores() {
+					t.Errorf("concurrent pooled batch diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEngineNoStats: with stats disabled the engine must classify
+// normally and report a zero snapshot rather than panicking.
+func TestEngineNoStats(t *testing.T) {
+	snap, sys := snapshot(t)
+	e := New(snap, Options{CacheCapacity: 16, NoStats: true})
+	defer e.Close()
+	if e.Stats() != nil {
+		t.Fatal("NoStats engine still carries a collector")
+	}
+	u := "http://www.wetter.de/bericht"
+	if e.Classify(u).Scores() != sys.Scores(u) {
+		t.Error("NoStats engine classifies differently")
+	}
+	e.ClassifyBatch([]string{u, u, "http://autre.fr/page"})
+	if snap := e.StatsSnapshot(); snap.URLs != 0 || snap.Requests != 0 {
+		t.Errorf("NoStats snapshot recorded traffic: %+v", snap)
+	}
+	// The HTTP layer records requests through Stats(); nil must be safe.
+	e.Stats().RecordRequest()
+}
+
+// TestCloseRacingBatches stresses Close against in-flight batches: every
+// batch must complete with correct results, and no assist closure may
+// remain buffered after Close (it would pin the batch's memory).
+func TestCloseRacingBatches(t *testing.T) {
+	snap, _ := snapshot(t)
+	urls := testURLs(64)
+	for round := 0; round < 20; round++ {
+		e := New(snap, Options{Workers: 4, NoStats: true})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got := e.ClassifyBatch(urls)
+				for i := range got {
+					if got[i].URL != urls[i] {
+						t.Errorf("round %d: result %d misordered", round, i)
+						return
+					}
+				}
+			}()
+		}
+		e.Close() // races the batches above
+		wg.Wait()
+		if n := len(e.tasks); n != 0 {
+			t.Fatalf("round %d: %d closures stranded in the pool after Close", round, n)
 		}
 	}
 }

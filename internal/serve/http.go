@@ -87,10 +87,10 @@ func toJSON(r Result) resultJSON {
 		Scores:    make(map[string]float64, langid.NumLanguages),
 		Cached:    r.Cached,
 	}
-	for li, s := range r.Scores {
+	for li, s := range r.Scores() {
 		l := langid.Language(li)
 		out.Scores[l.Code()] = s
-		if s >= 0 {
+		if r.Is(l) {
 			out.Languages = append(out.Languages, l.Code())
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package urllangid_test
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose instrumentation of sync.Pool introduces spurious allocations.
+const raceEnabled = false

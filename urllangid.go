@@ -18,7 +18,9 @@
 //	}
 //	clf, err := urllangid.Train(urllangid.Options{}, train)
 //	if err != nil { ... }
-//	langs := clf.Languages("http://home.arcor.de/weather/seite.html")
+//	r := clf.Classify("http://home.arcor.de/weather/seite.html")
+//	if r.Is(urllangid.German) { ... }
+//	langs := r.Languages()
 //
 // The default configuration — multinomial Naive Bayes over URL word
 // features — is the paper's best single classifier (average F ≈ .91
@@ -28,24 +30,35 @@
 // Scaling), Decision Tree and kNN learners; and the training-free
 // ccTLD / ccTLD+ baselines.
 //
-// Models serialise with Save/Load. For serving, Compile flattens a
-// trained classifier into a read-only Snapshot whose predictions are
-// bit-identical but markedly faster, and cmd/urllangid-serve exposes
-// snapshots over a batch/streaming HTTP API. Synthetic corpora matching
-// the paper's three evaluation datasets can be generated with the repro
-// tooling under cmd/repro; see README.md for usage and DESIGN.md for the
-// architecture and experiment index.
+// # The Model interface
+//
+// Every classifier form implements Model, whose primary method is
+// Classify(rawURL) Result: a fixed-size value holding all five scores
+// and decisions, queried through Is, Best, Languages and Predictions.
+// Compile flattens a trained Classifier into a read-only Snapshot whose
+// results are bit-identical but markedly faster — and allocation-free,
+// which is what lets a crawler filter millions of frontier URLs without
+// GC pressure. For sustained throughput, wrap any Model in a Batcher
+// (worker pool, result cache, serving stats); cmd/urllangid-serve
+// exposes the same engine over a batch/streaming HTTP API.
+//
+// Models serialise with Save into a self-describing file format that
+// Open reads back regardless of kind. Synthetic corpora matching the
+// paper's three evaluation datasets can be generated with the repro
+// tooling under cmd/repro; see README.md for usage and DESIGN.md for
+// the architecture and experiment index.
 package urllangid
 
 import (
 	"fmt"
 	"io"
-	"sync"
+	"runtime"
 
 	"urllangid/internal/compiled"
 	"urllangid/internal/core"
 	"urllangid/internal/features"
 	"urllangid/internal/langid"
+	"urllangid/internal/modelfile"
 	"urllangid/internal/serve"
 )
 
@@ -76,6 +89,55 @@ type Sample = langid.Sample
 
 // Prediction is one binary classifier's scored decision.
 type Prediction = langid.Prediction
+
+// Result is one URL's complete classification: a fixed-size value type
+// holding the five per-language decision scores plus the packed binary
+// decisions. Constructing, copying and querying a Result allocates
+// nothing — on the Snapshot path the whole Classify call runs at zero
+// heap allocations — and the accessors answer every question the five
+// independent binary classifiers can:
+//
+//	r := model.Classify(url)
+//	r.Is(urllangid.German)  // one binary decision
+//	r.Languages()           // all claimed languages, canonical order
+//	r.Best()                // top language, its score, any claim?
+//	r.Predictions()         // the full scored slice
+//	r.Scores()              // the raw five-score vector
+type Result = langid.Result
+
+// NewResult builds a Result from a score vector in canonical language
+// order, deriving the decision bits from the score signs (score >= 0 is
+// "yes"). Custom Model implementations use it to construct their
+// Classify return value.
+func NewResult(scores [NumLanguages]float64) Result {
+	return langid.NewResult(scores)
+}
+
+// Model is the interface every classifier form implements: a trained
+// Classifier, a compiled Snapshot, and a Batcher wrapping either. Open
+// returns a Model without the caller caring which kind a file holds.
+//
+// Classify never fails: malformed URLs tokenize to nothing and score
+// like any other token-free input.
+type Model interface {
+	// Classify returns the URL's five-language classification.
+	Classify(rawURL string) Result
+	// ClassifyBatch classifies many URLs in parallel, one Result per
+	// URL in input order. Identical URLs are scored once per batch.
+	ClassifyBatch(urls []string) []Result
+	// Describe returns the configuration label, e.g. "NB/word".
+	Describe() string
+	// Save serialises the model in the self-describing file format that
+	// Open, Load and LoadSnapshot read.
+	Save(w io.Writer) error
+}
+
+// The concrete model forms implement Model.
+var (
+	_ Model = (*Classifier)(nil)
+	_ Model = (*Snapshot)(nil)
+	_ Model = (*Batcher)(nil)
+)
 
 // FeatureSet selects the feature family of §3.1.
 type FeatureSet uint8
@@ -177,11 +239,9 @@ type Options struct {
 
 // Classifier is a trained URL language classifier: five independent
 // binary deciders, one per language, over a shared feature extractor.
+// It implements Model.
 type Classifier struct {
 	sys *core.System
-
-	batchOnce sync.Once
-	batch     *serve.Engine
 }
 
 // Train builds a classifier from labeled samples. The TLD baselines
@@ -203,92 +263,33 @@ func Train(opts Options, samples []Sample) (*Classifier, error) {
 	return &Classifier{sys: sys}, nil
 }
 
-// Predictions returns all five scored binary decisions for a URL, in
-// canonical language order.
-func (c *Classifier) Predictions(rawURL string) []Prediction {
-	return c.sys.Predictions(rawURL)
+// Classify returns the URL's five-language classification as a Result
+// value.
+func (c *Classifier) Classify(rawURL string) Result {
+	return c.sys.Classify(rawURL)
 }
 
-// Languages returns the languages whose classifiers answered "yes" for
-// the URL. The slice may be empty (no classifier claimed the URL) or
-// contain several languages — the five decisions are independent, as in
-// the paper.
-func (c *Classifier) Languages(rawURL string) []Language {
-	return c.sys.Languages(rawURL)
-}
-
-// Is answers the single binary question "is this URL in language l?".
-func (c *Classifier) Is(rawURL string, l Language) bool {
-	for _, p := range c.sys.Predictions(rawURL) {
-		if p.Lang == l {
-			return p.Positive
-		}
-	}
-	return false
-}
-
-// Best returns the highest-scoring language for the URL. The boolean
-// reports whether any classifier actually answered "yes"; when false the
-// returned language is only the least unlikely guess.
-func (c *Classifier) Best(rawURL string) (Language, float64, bool) {
-	return c.sys.Best(rawURL)
-}
-
-// PredictionsBatch classifies many URLs in parallel across a worker
-// pool, returning one prediction slice per URL in input order. Results
-// are identical to calling Predictions per URL; only the wall-clock
-// changes. For sustained serving workloads with repeated hosts, compile
-// the classifier into a Snapshot instead — it adds result caching and a
-// faster scoring path.
-func (c *Classifier) PredictionsBatch(urls []string) [][]Prediction {
-	return predictionsBatch(&c.batchOnce, &c.batch, c.sys, serve.Options{}, urls)
-}
-
-// predictionsBatch lazily builds a serving engine over p and runs one
-// ordered batch through it — shared by Classifier and Snapshot.
-func predictionsBatch(once *sync.Once, engine **serve.Engine, p serve.Predictor, opts serve.Options, urls []string) [][]Prediction {
-	once.Do(func() {
-		*engine = serve.New(p, opts)
-	})
-	results := (*engine).ClassifyBatch(urls)
-	out := make([][]Prediction, len(results))
-	for i, r := range results {
-		out[i] = r.Predictions()
-	}
-	return out
+// ClassifyBatch classifies many URLs in parallel across a transient
+// worker pool, returning one Result per URL in input order. Results are
+// identical to calling Classify per URL; only the wall-clock changes.
+// For sustained serving workloads, wrap the classifier in a Batcher —
+// it keeps its worker pool and result cache alive across batches — or
+// Compile it into a Snapshot for a faster scoring path.
+func (c *Classifier) ClassifyBatch(urls []string) []Result {
+	return classifyBatchOnce(c.sys, urls)
 }
 
 // Describe returns the classifier's configuration label, e.g. "NB/word".
 func (c *Classifier) Describe() string { return c.sys.Config.Describe() }
 
-// Save serialises the classifier (encoding/gob).
-func (c *Classifier) Save(w io.Writer) error { return c.sys.Save(w) }
-
-// Load restores a classifier saved with Save.
-func Load(r io.Reader) (*Classifier, error) {
-	sys, err := core.Load(r)
-	if err != nil {
-		return nil, fmt.Errorf("urllangid: %w", err)
+// Save serialises the classifier in the self-describing model file
+// format (magic header + kind + gob payload); Open and Load read it
+// back.
+func (c *Classifier) Save(w io.Writer) error {
+	if err := modelfile.WriteClassifier(w, c.sys); err != nil {
+		return fmt.Errorf("urllangid: %w", err)
 	}
-	return &Classifier{sys: sys}, nil
-}
-
-// Snapshot is a compiled, read-only form of a Classifier built for
-// serving: feature weights packed into contiguous language-interleaved
-// slices keyed by token ID, resolved through an allocation-free string
-// table. Predictions are bit-identical to the source classifier's while
-// single-URL latency drops severalfold (see the BenchmarkPredict*
-// benches). Snapshots are immutable and safe for concurrent use.
-//
-// Naive Bayes, Relative Entropy and Maximum Entropy models over word or
-// trigram features compile to the packed form; other configurations are
-// transparently wrapped, keeping the same API and serialisation at the
-// original speed. Compiled reports which form a snapshot took.
-type Snapshot struct {
-	snap *compiled.Snapshot
-
-	batchOnce sync.Once
-	batch     *serve.Engine
+	return nil
 }
 
 // Compile flattens the classifier into a Snapshot.
@@ -296,60 +297,218 @@ func (c *Classifier) Compile() *Snapshot {
 	return &Snapshot{snap: compiled.FromSystem(c.sys)}
 }
 
+// Predictions returns all five scored binary decisions for a URL, in
+// canonical language order.
+//
+// Deprecated: use Classify(rawURL).Predictions().
+func (c *Classifier) Predictions(rawURL string) []Prediction {
+	return c.Classify(rawURL).Predictions()
+}
+
+// Languages returns the languages whose classifiers answered "yes" for
+// the URL. The slice may be empty (no classifier claimed the URL) or
+// contain several languages — the five decisions are independent, as in
+// the paper.
+//
+// Deprecated: use Classify(rawURL).Languages().
+func (c *Classifier) Languages(rawURL string) []Language {
+	return c.Classify(rawURL).Languages()
+}
+
+// Is answers the single binary question "is this URL in language l?".
+// Invalid languages are never claimed.
+//
+// Deprecated: use Classify(rawURL).Is(l).
+func (c *Classifier) Is(rawURL string, l Language) bool {
+	return c.Classify(rawURL).Is(l)
+}
+
+// Best returns the highest-scoring language for the URL. The boolean
+// reports whether any classifier actually answered "yes"; when false the
+// returned language is only the least unlikely guess.
+//
+// Deprecated: use Classify(rawURL).Best().
+func (c *Classifier) Best(rawURL string) (Language, float64, bool) {
+	return c.Classify(rawURL).Best()
+}
+
+// PredictionsBatch classifies many URLs in parallel, returning one
+// prediction slice per URL in input order.
+//
+// Deprecated: use ClassifyBatch, or a Batcher for sustained workloads
+// (it adds a persistent worker pool and result caching).
+func (c *Classifier) PredictionsBatch(urls []string) [][]Prediction {
+	return expandBatch(c.ClassifyBatch(urls))
+}
+
+// Load restores a classifier saved with Classifier.Save (headerless
+// files from earlier releases load too). Handed a snapshot file, it
+// fails with an error saying so; use Open when the kind is unknown.
+func Load(r io.Reader) (*Classifier, error) {
+	m, err := Open(r)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := m.(*Classifier)
+	if !ok {
+		return nil, fmt.Errorf("urllangid: Load: file holds a compiled snapshot, not a trained classifier — read it with LoadSnapshot or Open")
+	}
+	return c, nil
+}
+
+// Snapshot is a compiled, read-only form of a Classifier built for
+// serving: feature weights packed into contiguous language-interleaved
+// slices keyed by token ID, resolved through an allocation-free string
+// table. Results are bit-identical to the source classifier's while
+// single-URL latency drops severalfold, and Classify performs zero heap
+// allocations (see BenchmarkClassifyResult). Snapshots are immutable
+// and safe for concurrent use; they implement Model.
+//
+// Naive Bayes, Relative Entropy and Maximum Entropy models over word or
+// trigram features compile to the packed form; other configurations are
+// transparently wrapped, keeping the same API and serialisation at the
+// original speed. Compiled reports which form a snapshot took.
+type Snapshot struct {
+	snap *compiled.Snapshot
+}
+
 // LoadSnapshot restores a snapshot saved with Snapshot.Save, e.g. the
-// output of "urllangid compile".
+// output of "urllangid compile" (headerless files from earlier releases
+// load too). Handed a classifier file, it fails with an error saying
+// so; use Open when the kind is unknown.
 func LoadSnapshot(r io.Reader) (*Snapshot, error) {
-	snap, err := compiled.Load(r)
+	m, err := Open(r)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := m.(*Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("urllangid: LoadSnapshot: file holds a trained classifier, not a compiled snapshot — read it with Load or Open, or compile it first")
+	}
+	return s, nil
+}
+
+// Open loads a model of either kind — trained classifier or compiled
+// snapshot — from its self-describing file format, dispatching on the
+// header. Headerless gob files written by earlier releases are sniffed
+// and still load. The error for unrecognizable data names both accepted
+// formats.
+func Open(r io.Reader) (Model, error) {
+	sys, snap, err := modelfile.Read(r)
 	if err != nil {
 		return nil, fmt.Errorf("urllangid: %w", err)
 	}
-	return &Snapshot{snap: snap}, nil
+	if snap != nil {
+		return &Snapshot{snap: snap}, nil
+	}
+	return &Classifier{sys: sys}, nil
 }
 
-// Save serialises the snapshot (encoding/gob).
-func (s *Snapshot) Save(w io.Writer) error { return s.snap.Save(w) }
+// Classify returns the URL's five-language classification, bit-identical
+// to the source classifier's. On the compiled path the call performs no
+// heap allocations.
+func (s *Snapshot) Classify(rawURL string) Result {
+	return s.snap.Classify(rawURL)
+}
+
+// ClassifyBatch classifies many URLs in parallel across a transient
+// worker pool, one Result per URL in input order; identical URLs within
+// the batch are scored once. For sustained workloads wrap the snapshot
+// in a Batcher, which keeps its pool and result cache across batches.
+func (s *Snapshot) ClassifyBatch(urls []string) []Result {
+	return classifyBatchOnce(s.snap, urls)
+}
+
+// Describe returns the source configuration label, e.g. "NB/word".
+func (s *Snapshot) Describe() string { return s.snap.Describe() }
+
+// Save serialises the snapshot in the self-describing model file
+// format; Open and LoadSnapshot read it back.
+func (s *Snapshot) Save(w io.Writer) error {
+	if err := modelfile.WriteSnapshot(w, s.snap); err != nil {
+		return fmt.Errorf("urllangid: %w", err)
+	}
+	return nil
+}
 
 // Compiled reports whether the snapshot runs the packed fast path; false
 // means the configuration fell back to wrapping the original models.
 func (s *Snapshot) Compiled() bool { return s.snap.Compiled() }
 
-// Describe returns the source configuration label, e.g. "NB/word".
-func (s *Snapshot) Describe() string { return s.snap.Describe() }
-
 // Predictions returns all five scored binary decisions for a URL, in
 // canonical language order, bit-identical to the source classifier's.
+//
+// Deprecated: use Classify(rawURL).Predictions().
 func (s *Snapshot) Predictions(rawURL string) []Prediction {
-	return s.snap.Predictions(rawURL)
+	return s.Classify(rawURL).Predictions()
 }
 
 // Languages returns the languages whose classifiers answered "yes".
+//
+// Deprecated: use Classify(rawURL).Languages().
 func (s *Snapshot) Languages(rawURL string) []Language {
-	return s.snap.Languages(rawURL)
+	return s.Classify(rawURL).Languages()
 }
 
 // Is answers the single binary question "is this URL in language l?".
+// Invalid languages are never claimed.
+//
+// Deprecated: use Classify(rawURL).Is(l).
 func (s *Snapshot) Is(rawURL string, l Language) bool {
-	if !l.Valid() {
-		return false
-	}
-	return s.snap.Scores(rawURL)[l] >= 0
+	return s.Classify(rawURL).Is(l)
 }
 
 // Best returns the highest-scoring language for the URL, as
 // Classifier.Best does.
+//
+// Deprecated: use Classify(rawURL).Best().
 func (s *Snapshot) Best(rawURL string) (Language, float64, bool) {
-	return s.snap.Best(rawURL)
+	return s.Classify(rawURL).Best()
 }
 
-// snapshotBatchCache bounds the result cache behind
-// Snapshot.PredictionsBatch: 64k entries of five float64 scores plus the
-// normalized key, a few MB at most.
-const snapshotBatchCache = 1 << 16
-
-// PredictionsBatch classifies many URLs in parallel, in input order,
-// through the serving engine's worker pool, with repeated URLs (after
-// normalization) served from a bounded result cache.
+// PredictionsBatch classifies many URLs in parallel, in input order.
+// Earlier releases embedded a hidden persistent 64k result cache here,
+// so repeated calls over overlapping frontiers were mostly cache hits;
+// this wrapper scores every batch afresh.
+//
+// Deprecated: use ClassifyBatch, or — to keep the cross-call caching —
+// a Batcher: NewBatcher(snap, WithCache(1<<16)).
 func (s *Snapshot) PredictionsBatch(urls []string) [][]Prediction {
-	return predictionsBatch(&s.batchOnce, &s.batch, s.snap,
-		serve.Options{CacheCapacity: snapshotBatchCache}, urls)
+	return expandBatch(s.ClassifyBatch(urls))
+}
+
+// classifyBatchOnce runs one ordered, deduplicated batch through a
+// transient serving engine: worker-pool parallelism sized to the batch
+// (tiny batches skip the pool entirely), no cache, no stats, nothing
+// left running afterwards.
+func classifyBatchOnce(p serve.Predictor, urls []string) []Result {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(urls) {
+		workers = len(urls)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := serve.New(p, serve.Options{Workers: workers, NoStats: true})
+	defer e.Close()
+	return collapseBatch(e.ClassifyBatch(urls))
+}
+
+// collapseBatch strips the serving envelope, keeping the Result values.
+func collapseBatch(res []serve.Result) []Result {
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = r.Result
+	}
+	return out
+}
+
+// expandBatch converts Results into the deprecated prediction-slice
+// shape.
+func expandBatch(res []Result) [][]Prediction {
+	out := make([][]Prediction, len(res))
+	for i, r := range res {
+		out[i] = r.Predictions()
+	}
+	return out
 }
