@@ -9,7 +9,9 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Fuzz targets guarding the urlx normalization contract; go test only
-# accepts one -fuzz pattern per invocation, so the smoke loops.
+# accepts one -fuzz pattern per invocation, so the smoke loops. The root
+# package adds the snapshot-equivalence differential (classifier vs
+# compiled snapshot, every compiled family, bit-identical).
 URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 
 # The committed public API surface: declaration lines distilled from
@@ -39,14 +41,15 @@ test:
 	$(GO) test ./...
 
 # The packages with lock/atomic concurrency (cache, stats, worker pool,
-# snapshot scratch pool) under the race detector.
+# snapshot and extraction scratch pools) under the race detector.
 race:
-	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/
+	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/ ./internal/features/
 
 fuzz-smoke:
 	@for target in $(URLX_FUZZ); do \
 		$(GO) test ./internal/urlx/ -run NONE -fuzz $$target -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	$(GO) test . -run NONE -fuzz FuzzSnapshotEquivalence -fuzztime $(FUZZTIME)
 
 api:
 	@mkdir -p api

@@ -573,6 +573,96 @@ func BenchmarkClassifyResultClassifier(b *testing.B) {
 	}
 }
 
+// The non-linear compiled paths. Each mode has a Fallback companion
+// bench that replays the retired PR-3 modeFallback per-URL work —
+// urlx.Parse into a Parts struct, map-backed builder extraction, then
+// per-model scoring — so the speedup of universal compilation over what
+// these configurations used to cost is one `benchstat` away. Systems
+// come from the shared experiment env, so both rows score the exact
+// same trained model.
+
+func benchModeSnapshot(b *testing.B, cfg core.Config, wantMode string) (*core.System, *compiled.Snapshot) {
+	b.Helper()
+	e := env(b)
+	sys, err := e.System(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := compiled.FromSystem(sys)
+	if snap.Mode() != wantMode {
+		b.Fatalf("%s compiled to mode %q, want %q", cfg.Describe(), snap.Mode(), wantMode)
+	}
+	return sys, snap
+}
+
+func benchSnapshotClassify(b *testing.B, snap *compiled.Snapshot) {
+	urls := servingURLs(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Classify(urls[i%len(urls)])
+	}
+}
+
+// benchFallbackClassify replays the retired fallback path on the same
+// system: the full training-time structures per URL.
+func benchFallbackClassify(b *testing.B, sys *core.System) {
+	urls := servingURLs(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := urlx.Parse(urls[i%len(urls)])
+		x := sys.Extractor.ExtractURL(p)
+		var scores [langid.NumLanguages]float64
+		for li := range scores {
+			scores[li] = sys.Models[li].Score(x)
+		}
+		_ = langid.NewResult(scores)
+	}
+}
+
+// BenchmarkClassifyResultCustom pins the dense custom-feature compiled
+// path at 0 allocs/op.
+func BenchmarkClassifyResultCustom(b *testing.B) {
+	_, snap := benchModeSnapshot(b, core.Config{Algo: core.NaiveBayes, Features: features.CustomSelected}, "custom")
+	benchSnapshotClassify(b, snap)
+}
+
+func BenchmarkClassifyResultCustomFallback(b *testing.B) {
+	sys, _ := benchModeSnapshot(b, core.Config{Algo: core.NaiveBayes, Features: features.CustomSelected}, "custom")
+	benchFallbackClassify(b, sys)
+}
+
+// BenchmarkClassifyResultDTree drives the flattened decision-tree walk
+// over dense custom features — the paper's Tables 8–10 configuration.
+func BenchmarkClassifyResultDTree(b *testing.B) {
+	_, snap := benchModeSnapshot(b, core.Config{Algo: core.DecisionTree, Features: features.CustomSelected}, "dtree")
+	benchSnapshotClassify(b, snap)
+}
+
+func BenchmarkClassifyResultDTreeFallback(b *testing.B) {
+	sys, _ := benchModeSnapshot(b, core.Config{Algo: core.DecisionTree, Features: features.CustomSelected}, "dtree")
+	benchFallbackClassify(b, sys)
+}
+
+// BenchmarkClassifyResultDTreeWord walks word-feature trees, whose
+// feature counts resolve by binary search over the token runs.
+func BenchmarkClassifyResultDTreeWord(b *testing.B) {
+	_, snap := benchModeSnapshot(b, core.Config{Algo: core.DecisionTree, Features: features.Words}, "dtree")
+	benchSnapshotClassify(b, snap)
+}
+
+func BenchmarkClassifyResultDTreeWordFallback(b *testing.B) {
+	sys, _ := benchModeSnapshot(b, core.Config{Algo: core.DecisionTree, Features: features.Words}, "dtree")
+	benchFallbackClassify(b, sys)
+}
+
+// BenchmarkClassifyResultTLD measures the compiled ccTLD baseline.
+func BenchmarkClassifyResultTLD(b *testing.B) {
+	_, snap := benchModeSnapshot(b, core.Config{Algo: core.CcTLDPlus}, "tld")
+	benchSnapshotClassify(b, snap)
+}
+
 // BenchmarkBatcherClassifyBatch drives the public cached batch path the
 // way a crawler embeds it.
 func BenchmarkBatcherClassifyBatch(b *testing.B) {

@@ -79,15 +79,12 @@ func run(args []string) error {
 	defer engine.Close()
 	handler := serve.NewHandler(engine, serve.HandlerOptions{
 		Model:    snap.Describe(),
+		Mode:     snap.Mode(),
 		MaxBatch: *maxBatch,
 	})
 
-	form := "compiled"
-	if !snap.Compiled() {
-		form = "wrapped"
-	}
 	fmt.Printf("serving %s (%s snapshot) on %s — cache %d entries, %d shards\n",
-		snap.Describe(), form, *addr, *cacheCap, *cacheShards)
+		snap.Describe(), snap.Mode(), *addr, *cacheCap, *cacheShards)
 
 	server := &http.Server{
 		Addr:              *addr,

@@ -266,12 +266,15 @@ func cmdCompile(args []string) error {
 	if err != nil {
 		return err
 	}
-	form := "compiled"
-	if !snap.Compiled() {
-		form = "wrapped (configuration outside the linear family)"
-	}
-	fmt.Printf("%s %s snapshot (%d bytes) -> %s\n", form, snap.Describe(), info.Size(), *out)
+	fmt.Printf("%s (%d bytes) -> %s\n", compileReport(snap), info.Size(), *out)
 	return nil
+}
+
+// compileReport names the snapshot and the compiled mode it took —
+// every configuration compiles natively (linear, custom, dtree, knn or
+// tld), so the report says which scorer a server will actually run.
+func compileReport(snap *urllangid.Snapshot) string {
+	return fmt.Sprintf("compiled %s snapshot [%s mode]", snap.Describe(), snap.Mode())
 }
 
 // loadModel opens a model file of either kind — trained classifier or

@@ -111,6 +111,45 @@ func TestCmdCompileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCompileReportModes pins the compile subcommand's report: every
+// configuration compiles natively and the report names the mode the
+// snapshot took.
+func TestCompileReportModes(t *testing.T) {
+	samples := make([]langid.Sample, 0, 500)
+	for i := 0; i < 100; i++ {
+		samples = append(samples,
+			langid.Sample{URL: fmt.Sprintf("http://www.wetter-seite%d.de/bericht%d", i, i), Lang: langid.German},
+			langid.Sample{URL: fmt.Sprintf("http://www.recherche%d.fr/produit%d", i, i), Lang: langid.French},
+			langid.Sample{URL: fmt.Sprintf("http://www.weather%d.com/report%d", i, i), Lang: langid.English},
+			langid.Sample{URL: fmt.Sprintf("http://www.tienda%d.es/oferta%d", i, i), Lang: langid.Spanish},
+			langid.Sample{URL: fmt.Sprintf("http://www.notizie%d.it/calcio%d", i, i), Lang: langid.Italian},
+		)
+	}
+	cases := []struct {
+		opts urllangid.Options
+		want string
+	}{
+		{urllangid.Options{Seed: 1}, "compiled NB/word snapshot [linear mode]"},
+		{urllangid.Options{Seed: 1, Features: urllangid.CustomFeatures}, "compiled NB/custom snapshot [custom mode]"},
+		{urllangid.Options{Seed: 1, Algorithm: urllangid.DecisionTree, Features: urllangid.CustomFeatures}, "compiled DT/custom snapshot [dtree mode]"},
+		{urllangid.Options{Seed: 1, Algorithm: urllangid.KNN}, "compiled kNN/word snapshot [knn mode]"},
+		{urllangid.Options{Algorithm: urllangid.CcTLDPlus}, "compiled ccTLD+ snapshot [tld mode]"},
+	}
+	for _, tc := range cases {
+		train := samples
+		if tc.opts.Algorithm == urllangid.CcTLD || tc.opts.Algorithm == urllangid.CcTLDPlus {
+			train = nil
+		}
+		clf, err := urllangid.Train(tc.opts, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := compileReport(clf.Compile()); got != tc.want {
+			t.Errorf("compileReport = %q, want %q", got, tc.want)
+		}
+	}
+}
+
 func TestParseOptions(t *testing.T) {
 	opts, err := parseOptions("trigram", "re", 7)
 	if err != nil {

@@ -121,6 +121,22 @@ func TestGoldenEquivalenceMatrix(t *testing.T) {
 		"DT":  urllangid.DecisionTree,
 		"kNN": urllangid.KNN,
 	}
+	// Every trainable configuration compiles natively into one of these
+	// modes; nothing falls back to wrapping the original models.
+	wantMode := func(algo urllangid.Algorithm, feat urllangid.FeatureSet) string {
+		custom := feat == urllangid.CustomFeatures || feat == urllangid.CustomFeaturesAll
+		switch algo {
+		case urllangid.DecisionTree:
+			return "dtree"
+		case urllangid.KNN:
+			return "knn"
+		default:
+			if custom {
+				return "custom"
+			}
+			return "linear"
+		}
+	}
 	for an, algo := range algos {
 		for fn, feat := range feats {
 			name := an + "/" + fn
@@ -134,9 +150,16 @@ func TestGoldenEquivalenceMatrix(t *testing.T) {
 					t.Fatalf("%s failed to train from the fixture corpus: %v", name, err)
 				}
 				snap := clf.Compile()
+				if !snap.Compiled() {
+					t.Fatalf("%s did not compile natively", name)
+				}
+				if want := wantMode(algo, feat); snap.Mode() != want {
+					t.Fatalf("%s compiled to mode %q, want %q", name, snap.Mode(), want)
+				}
 				assertOldNewEquivalent(t, name+"/classifier", clf)
 				assertOldNewEquivalent(t, name+"/snapshot", snap)
 				assertModelsIdentical(t, name+"/classifier-vs-snapshot", clf, snap)
+				assertSurvivesSaveOpen(t, name, clf, snap)
 			})
 		}
 	}
@@ -148,19 +171,56 @@ func TestGoldenEquivalenceMatrix(t *testing.T) {
 		label := clf.Describe()
 		assertOldNewEquivalent(t, label+"/classifier", clf)
 		snap := clf.Compile()
+		if !snap.Compiled() || snap.Mode() != "tld" {
+			t.Fatalf("%s compiled = %v mode %q, want the tld mode", label, snap.Compiled(), snap.Mode())
+		}
 		assertOldNewEquivalent(t, label+"/snapshot", snap)
 		assertModelsIdentical(t, label+"/classifier-vs-snapshot", clf, snap)
+		assertSurvivesSaveOpen(t, label, clf, snap)
 	}
 }
 
-// TestGoldenEquivalenceSurvivesSaveOpen extends the matrix across the
-// wire: a Save/Open round trip (both kinds) must preserve bit-identical
-// classification for a compiled config and a fallback config.
+// assertSurvivesSaveOpen pins both model kinds across the wire: the
+// reloaded classifier and snapshot must classify bit-identically to the
+// in-memory originals, and the snapshot must come back compiled into
+// the same mode.
+func assertSurvivesSaveOpen(t *testing.T, label string, clf *urllangid.Classifier, snap *urllangid.Snapshot) {
+	t.Helper()
+	var cbuf bytes.Buffer
+	if err := clf.Save(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := urllangid.Open(&cbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertModelsIdentical(t, label+"/classifier-vs-opened", clf, reloaded)
+
+	var sbuf bytes.Buffer
+	if err := snap.Save(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	reSnap, err := urllangid.LoadSnapshot(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reSnap.Compiled() || reSnap.Mode() != snap.Mode() {
+		t.Fatalf("%s: snapshot mode %q became %q across Save/Open", label, snap.Mode(), reSnap.Mode())
+	}
+	assertModelsIdentical(t, label+"/snapshot-vs-opened", snap, reSnap)
+}
+
+// TestGoldenEquivalenceSurvivesSaveOpen spot-checks Open's kind
+// dispatch on a larger corpus than the matrix fixture: a packed linear
+// snapshot and a flattened decision-tree snapshot both come back
+// bit-identical through the generic Open entry point. (The full
+// per-configuration round-trip coverage lives inside
+// TestGoldenEquivalenceMatrix.)
 func TestGoldenEquivalenceSurvivesSaveOpen(t *testing.T) {
 	samples := trainSamples(t, 300)
 	for _, opts := range []urllangid.Options{
-		{Seed: 9}, // NB/word — packed snapshot
-		{Seed: 9, Algorithm: urllangid.DecisionTree, // DT/custom — fallback snapshot
+		{Seed: 9}, // NB/word — packed linear snapshot
+		{Seed: 9, Algorithm: urllangid.DecisionTree, // DT/custom — flattened-tree snapshot
 			Features: urllangid.CustomFeatures},
 	} {
 		clf, err := urllangid.Train(opts, samples)

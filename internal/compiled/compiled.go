@@ -1,52 +1,58 @@
 // Package compiled flattens a trained core.System into a read-only
-// Snapshot optimised for serving: the five per-language weight vectors
-// are packed into one contiguous, language-interleaved slice keyed by
-// token ID, and tokens resolve through an open-addressing string table
-// backed by a single byte blob instead of the training-time Go maps.
+// Snapshot optimised for serving. Every trainable Algorithm×FeatureSet
+// compiles natively — there is no fallback path:
+//
+//   - the linear family (Naive Bayes, Relative Entropy, Maximum Entropy)
+//     packs its five per-language weight vectors into one contiguous,
+//     language-interleaved slice keyed by token ID, resolved through an
+//     open-addressing string table (word, trigram and raw-trigram
+//     features) or fed by the dense custom-feature extractor;
+//   - decision trees flatten into per-language node arrays (feature,
+//     threshold, child indices, precomputed leaf scores) walked without
+//     pointer chasing;
+//   - kNN packs its reference vectors into per-language CSR arrays with
+//     precomputed norms;
+//   - the ccTLD baselines compile to a TLD lookup over the normal form.
 //
 // Classifying a URL with a Snapshot performs no training-time work: no
-// Parts struct, no sparse-vector builder map, and one cache-friendly
-// pass that accumulates all five language scores at once. Scores are
-// bit-identical to the source System's Predictions — the snapshot
-// replays exactly the same float64 operations in exactly the same order,
-// it only reorganises where the operands live (see snapshot_test.go for
-// the round-trip proof).
-//
-// The linear compilation covers the Naive Bayes, Relative Entropy and
-// Maximum Entropy models over word and trigram features — every
-// serving-relevant configuration, including the paper's headline
-// NB/word system. Other configurations (decision trees, kNN, custom
-// feature vectors, the TLD baselines and the raw-trigram ablation
-// variant) fall back to embedding the original System behind the same
-// Snapshot API, so callers never need to care which path they got.
+// Parts struct, no sparse-vector builder map. Scores are bit-identical
+// to the source System's — each mode replays exactly the same float64
+// operations in exactly the same order, only reorganising where the
+// operands live (see snapshot_test.go for the proof over every
+// configuration). The linear and custom paths run at zero heap
+// allocations per call; feature extraction streams through pooled
+// scratch shared with internal/features.
 package compiled
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"io"
-	"slices"
 	"sync"
 
 	"urllangid/internal/core"
+	"urllangid/internal/dtree"
 	"urllangid/internal/features"
+	"urllangid/internal/knn"
 	"urllangid/internal/langid"
 	"urllangid/internal/maxent"
 	"urllangid/internal/nb"
 	"urllangid/internal/ngram"
 	"urllangid/internal/relent"
+	"urllangid/internal/strtab"
+	"urllangid/internal/tldbase"
 	"urllangid/internal/urlx"
 )
 
-// mode selects the score finalisation of the compiled linear path. Each
-// mode reproduces one model family's exact accumulation order, which is
-// what keeps snapshot scores bit-identical to the source models.
+// mode selects the compiled scoring strategy. The numbering is part of
+// the wire format: values 0–3 match version-1 snapshot files (0 was the
+// retired fallback, kept as a wire sentinel so legacy files recompile
+// on load).
 type mode uint8
 
 const (
-	// modeFallback delegates to the embedded core.System.
-	modeFallback mode = iota
+	// modeLegacy marks a version-1 fallback file embedding the original
+	// core.System; Load recompiles such systems natively. Never held by
+	// a live Snapshot.
+	modeLegacy mode = iota
 	// modeCount starts from a per-language prior and adds count-weighted
 	// feature weights (Naive Bayes: s = prior + Σ c·w).
 	modeCount
@@ -57,6 +63,12 @@ const (
 	// and adds the (negated) margin last (Relative Entropy:
 	// s = Σ (c/Σc)·w − margin; an empty vector scores −margin).
 	modeNormalized
+	// modeDTree walks per-language flattened decision trees.
+	modeDTree
+	// modeKNN scores against packed per-language reference sets.
+	modeKNN
+	// modeTLD answers from the country-code TLD tables.
+	modeTLD
 )
 
 // Snapshot is a read-only compiled classifier. It is safe for concurrent
@@ -66,140 +78,173 @@ type Snapshot struct {
 	cfg  core.Config
 	mode mode
 	kind features.Kind
-	dim  uint32
+	// raw marks the raw-trigram feature variant: grams come from the raw
+	// URL string (crossing token boundaries), not the normal form.
+	raw bool
+	dim uint32
 	// weights is language-interleaved: weights[id*NumLanguages+li] is the
 	// weight of token id for language li, so one token lookup touches one
 	// contiguous 40-byte strip instead of five scattered slices.
 	weights []float64
 	pre     [langid.NumLanguages]float64
 	post    [langid.NumLanguages]float64
-	table   tokenTable
-	sys     *core.System // fallback only
-	pool    sync.Pool
+	// table resolves tokens (or trigrams) to IDs for the word/trigram
+	// feature families.
+	table strtab.Table
+	// custom is the streaming custom-feature extractor for the custom
+	// families (shared with the source system when compiled in-process,
+	// rebuilt from the trained dictionary when loaded from disk).
+	custom *features.CustomExtractor
+	// trees and refs back the decision-tree and kNN modes.
+	trees [langid.NumLanguages]flatTree
+	refs  [langid.NumLanguages]packedRefs
+	// baseline backs modeTLD.
+	baseline tldbase.Classifier
+	pool     sync.Pool
 }
 
+// scratch holds the per-call buffers of the scoring hot path. All
+// feature state — the rewritten normal form, token IDs, run-length
+// encoded counts, the dense custom vector, kNN candidate hits — lives
+// here, so a warmed pool serves any URL without touching the heap.
 type scratch struct {
 	// norm backs urlx.NormalizeInto: URLs that need byte rewriting
-	// (escapes, uppercase) normalize into this reused buffer instead of
-	// a fresh string, keeping the hot path allocation-free. tokens and
-	// grams alias it (or the raw URL) and are only valid until the next
-	// use of the same scratch.
-	norm   []byte
-	tokens []string
-	grams  []string
-	ids    []uint32
+	// (escapes, uppercase) normalize into this reused buffer. Tokens and
+	// everything derived from them alias it (or the raw URL) and are
+	// only valid until the next use of the same scratch.
+	norm []byte
+	pad  []byte   // ngram.VisitTrigrams padding buffer
+	ids  []uint32 // raw token IDs before run-length encoding
+	// feat holds the custom-extraction buffers and the run-length
+	// encoder output (features.Scratch.Runs) the modes score from.
+	feat features.Scratch
+	hits []knnHit
 }
 
-// FromSystem compiles sys into a Snapshot. Configurations outside the
-// linear family are wrapped rather than compiled; Compiled reports which
-// path was taken.
+// FromSystem compiles sys into a Snapshot. Every trainable
+// configuration compiles; FromSystem panics on a System whose shape no
+// trainer can produce (mixed model families, an unknown extractor).
 func FromSystem(sys *core.System) *Snapshot {
-	s := &Snapshot{cfg: sys.Config, mode: modeFallback, sys: sys}
-	s.pool.New = func() any { return new(scratch) }
-
-	var names []string
-	switch ext := sys.Extractor.(type) {
-	case *features.WordExtractor:
-		s.kind = features.Words
-		names = ext.Vocab().Names()
-	case *features.TrigramExtractor:
-		s.kind = features.Trigrams
-		names = ext.Vocab().Names()
-	default:
-		return s
+	s, err := compile(sys)
+	if err != nil {
+		panic("compiled: " + err.Error())
 	}
-	dim := len(names)
-
-	m, ok := compileModels(sys, dim)
-	if !ok {
-		return s
-	}
-	s.mode, s.weights, s.pre, s.post = m.mode, m.weights, m.pre, m.post
-	s.dim = uint32(dim)
-	s.table = newTokenTable(names)
-	s.sys = nil
 	return s
 }
 
-type compiledModels struct {
-	mode      mode
-	weights   []float64
-	pre, post [langid.NumLanguages]float64
-}
-
-// compileModels packs the five binary models into the interleaved layout.
-// All five must share one linear model family and the extractor's
-// dimensionality; anything else reports !ok and the caller falls back.
-func compileModels(sys *core.System, dim int) (compiledModels, bool) {
-	var m compiledModels
-	m.weights = make([]float64, dim*langid.NumLanguages)
-	pack := func(li int, w []float64) bool {
-		if len(w) != dim {
-			return false
-		}
-		for i, v := range w {
-			m.weights[i*langid.NumLanguages+li] = v
-		}
-		return true
+// compile is the error-returning form of FromSystem, shared with the
+// legacy-file loading path where a malformed System must surface as an
+// error, not a panic.
+func compile(sys *core.System) (*Snapshot, error) {
+	s := &Snapshot{cfg: sys.Config}
+	s.pool.New = func() any { return new(scratch) }
+	if !sys.Config.Algo.NeedsTraining() {
+		s.mode = modeTLD
+		s.baseline = baselineFor(sys.Config.Algo)
+		return s, nil
 	}
+
+	switch ext := sys.Extractor.(type) {
+	case *features.WordExtractor:
+		s.kind = features.Words
+		s.table = strtab.New(ext.Vocab().Names())
+	case *features.TrigramExtractor:
+		s.kind = features.Trigrams
+		s.table = strtab.New(ext.Vocab().Names())
+	case *features.RawTrigramExtractor:
+		s.kind = features.Trigrams
+		s.raw = true
+		s.table = strtab.New(ext.Vocab().Names())
+	case *features.CustomExtractor:
+		s.kind = ext.Kind()
+		s.custom = ext
+	default:
+		return nil, fmt.Errorf("unknown extractor %T", sys.Extractor)
+	}
+	s.dim = uint32(sys.Extractor.Dim())
+
 	switch sys.Models[0].(type) {
-	case *nb.Model:
-		m.mode = modeCount
-		for li := 0; li < langid.NumLanguages; li++ {
-			nm, ok := sys.Models[li].(*nb.Model)
-			if !ok || !pack(li, nm.LogLik) {
-				return m, false
-			}
-			m.pre[li] = nm.LogPrior
+	case *nb.Model, *maxent.Model, *relent.Model:
+		m, err := compileLinear(sys, int(s.dim))
+		if err != nil {
+			return nil, err
 		}
-	case *maxent.Model:
-		m.mode = modeCountPost
-		for li := 0; li < langid.NumLanguages; li++ {
-			mm, ok := sys.Models[li].(*maxent.Model)
-			if !ok || !pack(li, mm.Weights) {
-				return m, false
-			}
-			m.post[li] = mm.Bias
+		s.mode, s.weights, s.pre, s.post = m.mode, m.weights, m.pre, m.post
+	case *dtree.Model:
+		s.mode = modeDTree
+		if err := s.compileTrees(sys); err != nil {
+			return nil, err
 		}
-	case *relent.Model:
-		m.mode = modeNormalized
-		for li := 0; li < langid.NumLanguages; li++ {
-			rm, ok := sys.Models[li].(*relent.Model)
-			if !ok || len(rm.LogPos) != dim || len(rm.LogNeg) != dim {
-				return m, false
-			}
-			// Precompute the log-ratio; the subtraction is the same
-			// float64 operation relent.Model.Score performs per feature,
-			// so hoisting it to compile time changes nothing bit-wise.
-			for i := range rm.LogPos {
-				m.weights[i*langid.NumLanguages+li] = rm.LogPos[i] - rm.LogNeg[i]
-			}
-			m.post[li] = -rm.Margin
+	case *knn.Model:
+		s.mode = modeKNN
+		if err := s.compileRefs(sys); err != nil {
+			return nil, err
 		}
 	default:
-		return m, false
+		return nil, fmt.Errorf("unknown model family %T", sys.Models[0])
 	}
-	return m, true
+	return s, nil
 }
 
-// Compiled reports whether the snapshot runs the packed linear path
-// (true) or wraps the original System (false).
-func (s *Snapshot) Compiled() bool { return s.mode != modeFallback }
+// baselineFor maps a baseline algorithm to its classifier.
+func baselineFor(a core.Algo) tldbase.Classifier {
+	if a == core.CcTLDPlus {
+		return tldbase.CcTLDPlus()
+	}
+	return tldbase.CcTLD()
+}
+
+// Compiled reports whether the snapshot runs a packed native path. It
+// is always true — every trainable configuration compiles — and is kept
+// for callers written against the era when non-linear configurations
+// fell back to wrapping the original System.
+func (s *Snapshot) Compiled() bool { return true }
 
 // Describe returns the source configuration label, e.g. "NB/word".
 func (s *Snapshot) Describe() string { return s.cfg.Describe() }
 
+// Mode names the compiled scoring strategy the snapshot took: "linear"
+// (packed token-linear models), "custom" (dense custom-feature linear
+// models), "dtree" (flattened decision trees), "knn" (packed reference
+// sets) or "tld" (country-code baseline).
+func (s *Snapshot) Mode() string {
+	switch s.mode {
+	case modeDTree:
+		return "dtree"
+	case modeKNN:
+		return "knn"
+	case modeTLD:
+		return "tld"
+	default:
+		if s.isCustom() {
+			return "custom"
+		}
+		return "linear"
+	}
+}
+
 // Dim returns the feature-space dimensionality of the compiled path
-// (0 for fallback snapshots).
+// (0 for the TLD baselines, which have no feature space).
 func (s *Snapshot) Dim() int { return int(s.dim) }
 
+// isCustom reports whether features come from the dense custom
+// extractor.
+func (s *Snapshot) isCustom() bool {
+	return s.kind == features.Custom || s.kind == features.CustomSelected
+}
+
+// keyedByRaw reports whether scoring consumes the raw URL string rather
+// than the normal form: custom features score the raw URL's length, and
+// raw trigrams cross the normal form's token boundaries by design.
+func (s *Snapshot) keyedByRaw() bool { return s.isCustom() || s.raw }
+
 // CacheKey returns the cache key under which rawURL's result may be
-// shared. The compiled path depends only on the normalized URL, so
-// scheme variants and percent-encodings collapse onto one entry; the
-// fallback path may consult the raw string (custom features score the
-// raw URL length), so there the key is the URL itself.
+// shared. Modes that consume only the normal form key by it, so scheme
+// variants and percent-encodings collapse onto one entry; the custom
+// and raw-trigram modes consult the raw string and key by the URL
+// itself.
 func (s *Snapshot) CacheKey(rawURL string) string {
-	if s.mode == modeFallback {
+	if s.keyedByRaw() {
 		return rawURL
 	}
 	return urlx.Normalize(rawURL)
@@ -208,17 +253,17 @@ func (s *Snapshot) CacheKey(rawURL string) string {
 // ScoresInto computes the five per-language decision scores for rawURL,
 // in canonical language order, into *out. The sign of each score is the
 // binary decision, exactly as in core.System.Predictions. This is the
-// primitive backing the serving layers' zero-allocation contract: on the
-// compiled path the whole call is allocation-free — normalization
-// rewrites into pooled scratch and tokens alias the normal form.
+// primitive backing the serving layers' allocation contract: the linear,
+// custom, dtree and TLD paths are allocation-free — normalization and
+// extraction stream through pooled scratch.
 func (s *Snapshot) ScoresInto(out *[langid.NumLanguages]float64, rawURL string) {
-	if s.mode == modeFallback {
-		*out = s.fallbackScores(rawURL)
-		return
-	}
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
-	*out = s.scoreNormalized(urlx.NormalizeInto(&sc.norm, rawURL), sc)
+	if s.keyedByRaw() {
+		*out = s.scoreInput(rawURL, sc)
+		return
+	}
+	*out = s.scoreInput(urlx.NormalizeInto(&sc.norm, rawURL), sc)
 }
 
 // Scores returns the five per-language decision scores for rawURL; see
@@ -230,7 +275,7 @@ func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
 }
 
 // ClassifyInto fills *r with rawURL's classification — scores plus the
-// packed decision bits. Allocation-free on the compiled path, like
+// packed decision bits — with the same allocation behaviour as
 // ScoresInto.
 func (s *Snapshot) ClassifyInto(r *langid.Result, rawURL string) {
 	var scores [langid.NumLanguages]float64
@@ -249,106 +294,102 @@ func (s *Snapshot) Classify(rawURL string) langid.Result {
 // ScoresForKey scores a URL already reduced to its CacheKey form,
 // skipping the second normalization the Classify miss path would
 // otherwise pay. The key contract matches CacheKey exactly: normal form
-// on the compiled path, raw URL on the fallback path.
+// for the normal-form-keyed modes, raw URL for the custom and
+// raw-trigram modes.
 func (s *Snapshot) ScoresForKey(key string) [langid.NumLanguages]float64 {
-	if s.mode == modeFallback {
-		return s.fallbackScores(key)
-	}
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
-	return s.scoreNormalized(key, sc)
+	return s.scoreInput(key, sc)
 }
 
-func (s *Snapshot) fallbackScores(rawURL string) [langid.NumLanguages]float64 {
-	return langid.ScoresFromPredictions(s.sys.Predictions(rawURL))
-}
-
-// scoreNormalized runs the packed linear path over a URL in
-// urlx.Normalize form. norm may alias sc.norm (NormalizeInto), so sc
-// must not be reused until the scores are computed.
-func (s *Snapshot) scoreNormalized(norm string, sc *scratch) [langid.NumLanguages]float64 {
-	var out [langid.NumLanguages]float64
-
-	host, path := urlx.SplitNormalized(norm)
-	sc.tokens = urlx.AppendTokens(sc.tokens[:0], host)
-	sc.tokens = urlx.AppendTokens(sc.tokens, path)
-	terms := sc.tokens
-	if s.kind == features.Trigrams {
-		sc.grams = ngram.AppendTrigrams(sc.grams[:0], sc.tokens)
-		terms = sc.grams
+// scoreInput runs the compiled path over input — the raw URL for
+// raw-keyed snapshots, the normal form otherwise. input may alias
+// sc.norm, so sc's normalization buffer must not be reused until the
+// scores are computed.
+func (s *Snapshot) scoreInput(input string, sc *scratch) [langid.NumLanguages]float64 {
+	if s.mode == modeTLD {
+		return s.tldScores(input)
 	}
+
+	// Feature extraction through the streaming layer: the custom
+	// families extract densely (the tree walk reads the dense form
+	// directly; the other modes score its sparse compression), the
+	// token families stream IDs through the string table into the
+	// shared run-length encoder.
+	if s.isCustom() {
+		if s.mode == modeDTree {
+			return s.dtreeScores(s.custom.ExtractDense(&sc.feat, input), nil, nil)
+		}
+		sp := s.custom.ExtractInto(&sc.feat, input)
+		if s.mode == modeKNN {
+			return s.knnScores(sp.Idx, sp.Val, sc)
+		}
+		return s.linearScores(sp.Idx, sp.Val)
+	}
+
 	sc.ids = sc.ids[:0]
-	for _, t := range terms {
-		if id, ok := s.table.lookup(t); ok {
+	if s.raw {
+		features.VisitRawTrigrams(input, func(g string) {
+			if id, ok := s.table.Lookup(g); ok {
+				sc.ids = append(sc.ids, id)
+			}
+		})
+	} else {
+		s.collectTokens(input, sc)
+	}
+	sp := sc.feat.Runs(sc.ids)
+
+	switch s.mode {
+	case modeDTree:
+		return s.dtreeScores(nil, sp.Idx, sp.Val)
+	case modeKNN:
+		return s.knnScores(sp.Idx, sp.Val, sc)
+	default:
+		return s.linearScores(sp.Idx, sp.Val)
+	}
+}
+
+// collectTokens streams the tokens (or their padded trigrams) of a URL
+// in normal form into sc.ids via the table.
+func (s *Snapshot) collectTokens(norm string, sc *scratch) {
+	host, path := urlx.SplitNormalized(norm)
+	emit := func(tok string) {
+		if s.kind == features.Trigrams {
+			ngram.VisitTrigrams(&sc.pad, tok, func(g string) {
+				if id, ok := s.table.Lookup(g); ok {
+					sc.ids = append(sc.ids, id)
+				}
+			})
+			return
+		}
+		if id, ok := s.table.Lookup(tok); ok {
 			sc.ids = append(sc.ids, id)
 		}
 	}
-	// The sparse-vector path scores features in ascending index order;
-	// replaying that order (with identical float32 counts) is what makes
-	// the sums bit-identical.
-	slices.Sort(sc.ids)
+	urlx.VisitTokens(host, emit)
+	urlx.VisitTokens(path, emit)
+}
 
-	switch s.mode {
-	case modeCount:
-		out = s.pre
-		s.accumulate(sc.ids, 1, &out)
-	case modeCountPost:
-		s.accumulate(sc.ids, 1, &out)
-		for li := range out {
-			out[li] += s.post[li]
-		}
-	case modeNormalized:
-		var sum float64
-		forEachRun(sc.ids, func(_ uint32, c float32) {
-			sum += float64(c)
-		})
-		if sum <= 0 {
-			return s.post
-		}
-		s.accumulate(sc.ids, sum, &out)
-		for li := range out {
-			out[li] += s.post[li]
+// tldScores answers the baseline from the normal form's TLD: +1 for the
+// assigned language, −1 everywhere else, exactly as core.System.Scores
+// expands the baseline decision.
+func (s *Snapshot) tldScores(norm string) [langid.NumLanguages]float64 {
+	host, _ := urlx.SplitNormalized(norm)
+	got, ok := s.baseline.ClassifyTLD(urlx.LastLabel(host))
+	var out [langid.NumLanguages]float64
+	for li := range out {
+		out[li] = -1
+		if ok && got == langid.Language(li) {
+			out[li] = 1
 		}
 	}
 	return out
-}
-
-// accumulate adds each unique token's weight strip, scaled by its count
-// divided by div, into all five language accumulators.
-func (s *Snapshot) accumulate(ids []uint32, div float64, out *[langid.NumLanguages]float64) {
-	forEachRun(ids, func(id uint32, count float32) {
-		v := float64(count)
-		if div != 1 {
-			v /= div
-		}
-		w := s.weights[int(id)*langid.NumLanguages : (int(id)+1)*langid.NumLanguages]
-		for li := range out {
-			out[li] += v * w[li]
-		}
-	})
-}
-
-// forEachRun walks sorted ids, yielding each unique id with its
-// occurrence count as a float32 — the same value the training-time
-// sparse builder accumulates one increment at a time.
-func forEachRun(ids []uint32, fn func(id uint32, count float32)) {
-	for i := 0; i < len(ids); {
-		j := i + 1
-		for j < len(ids) && ids[j] == ids[i] {
-			j++
-		}
-		fn(ids[i], float32(j-i))
-		i = j
-	}
 }
 
 // Predictions classifies rawURL, returning one scored prediction per
 // language in canonical order — the drop-in replacement for
 // core.System.Predictions.
 func (s *Snapshot) Predictions(rawURL string) []langid.Prediction {
-	if s.mode == modeFallback {
-		return s.sys.Predictions(rawURL)
-	}
 	return langid.PredictionsFromScores(s.Scores(rawURL))
 }
 
@@ -361,91 +402,4 @@ func (s *Snapshot) Languages(rawURL string) []langid.Language {
 // classifier answered yes, mirroring core.System.Best.
 func (s *Snapshot) Best(rawURL string) (langid.Language, float64, bool) {
 	return langid.BestFromScores(s.Scores(rawURL))
-}
-
-// wireSnapshot is the gob wire format. Version guards future layout
-// changes; fallback snapshots carry the core.System gob instead of the
-// packed fields.
-type wireSnapshot struct {
-	Version uint8
-	Mode    uint8
-	Config  core.Config
-	Kind    features.Kind
-	Dim     uint32
-	Blob    []byte
-	Offs    []uint32
-	Weights []float64
-	Pre     [langid.NumLanguages]float64
-	Post    [langid.NumLanguages]float64
-	System  []byte
-}
-
-const wireVersion = 1
-
-// Save serialises the snapshot with encoding/gob.
-func (s *Snapshot) Save(w io.Writer) error {
-	wire := wireSnapshot{
-		Version: wireVersion,
-		Mode:    uint8(s.mode),
-		Config:  s.cfg,
-		Kind:    s.kind,
-		Dim:     s.dim,
-		Blob:    s.table.blob,
-		Offs:    s.table.offs,
-		Weights: s.weights,
-		Pre:     s.pre,
-		Post:    s.post,
-	}
-	if s.mode == modeFallback {
-		var buf bytes.Buffer
-		if err := s.sys.Save(&buf); err != nil {
-			return fmt.Errorf("compiled: saving fallback system: %w", err)
-		}
-		wire.System = buf.Bytes()
-		wire.Blob, wire.Offs, wire.Weights = nil, nil, nil
-	}
-	if err := gob.NewEncoder(w).Encode(wire); err != nil {
-		return fmt.Errorf("compiled: saving snapshot: %w", err)
-	}
-	return nil
-}
-
-// Load restores a snapshot saved with Save, validating the packed layout
-// before accepting it.
-func Load(r io.Reader) (*Snapshot, error) {
-	var wire wireSnapshot
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("compiled: loading snapshot: %w", err)
-	}
-	if wire.Version != wireVersion {
-		return nil, fmt.Errorf("compiled: unsupported snapshot version %d", wire.Version)
-	}
-	s := &Snapshot{cfg: wire.Config, mode: mode(wire.Mode), kind: wire.Kind, dim: wire.Dim}
-	s.pool.New = func() any { return new(scratch) }
-	if s.mode == modeFallback {
-		sys, err := core.Load(bytes.NewReader(wire.System))
-		if err != nil {
-			return nil, fmt.Errorf("compiled: loading fallback system: %w", err)
-		}
-		s.sys = sys
-		return s, nil
-	}
-	if s.mode > modeNormalized {
-		return nil, fmt.Errorf("compiled: unknown snapshot mode %d", wire.Mode)
-	}
-	if s.kind != features.Words && s.kind != features.Trigrams {
-		return nil, fmt.Errorf("compiled: feature kind %d is not compilable", uint8(wire.Kind))
-	}
-	if len(wire.Weights) != int(wire.Dim)*langid.NumLanguages {
-		return nil, fmt.Errorf("compiled: weight slice has %d entries, want %d",
-			len(wire.Weights), int(wire.Dim)*langid.NumLanguages)
-	}
-	table, err := tableFromWire(wire.Blob, wire.Offs, int(wire.Dim))
-	if err != nil {
-		return nil, err
-	}
-	s.weights = wire.Weights
-	s.pre, s.post = wire.Pre, wire.Post
-	s.table = table
-	return s, nil
 }

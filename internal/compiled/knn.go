@@ -1,0 +1,179 @@
+package compiled
+
+// kNN compilation: each per-language reference sample packs into CSR
+// arrays — row offsets over one contiguous index/value pair — with the
+// reference squared norms precomputed (they are derived state, rebuilt
+// on load). Scoring replays knn.Model.Score exactly: the same cosine
+// merge in the same reference order, the same sort over the
+// positive-similarity hits, the same top-k similarity-weighted vote —
+// only the operands live in flat arrays and pooled scratch instead of
+// per-call slices of sparse vectors.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"urllangid/internal/core"
+	"urllangid/internal/knn"
+	"urllangid/internal/langid"
+)
+
+// packedRefs is one language's reference sample in CSR form. Reference
+// r's vector is idx[rows[r]:rows[r+1]] / val[rows[r]:rows[r+1]].
+type packedRefs struct {
+	rows []uint32
+	idx  []uint32
+	val  []float32
+	pos  []bool
+	// norm[r] is reference r's squared L2 norm, accumulated over its
+	// values in storage order — the identical float64 sum
+	// vecspace.Cosine computes per call.
+	norm []float64
+	k    int32
+}
+
+// compileRefs packs all five per-language reference sets.
+func (s *Snapshot) compileRefs(sys *core.System) error {
+	for li := 0; li < langid.NumLanguages; li++ {
+		m, ok := sys.Models[li].(*knn.Model)
+		if !ok || len(m.X) == 0 || len(m.X) != len(m.Y) || m.K < 1 {
+			return fmt.Errorf("model %d is not a memorised kNN reference set", li)
+		}
+		r := packedRefs{k: int32(m.K), rows: make([]uint32, 1, len(m.X)+1)}
+		for _, x := range m.X {
+			r.idx = append(r.idx, x.Idx...)
+			r.val = append(r.val, x.Val...)
+			r.rows = append(r.rows, uint32(len(r.idx)))
+		}
+		r.pos = append([]bool(nil), m.Y...)
+		r.computeNorms()
+		s.refs[li] = r
+	}
+	return nil
+}
+
+// computeNorms fills norm from the packed values.
+func (r *packedRefs) computeNorms() {
+	r.norm = make([]float64, len(r.rows)-1)
+	for i := range r.norm {
+		var nb float64
+		for _, v := range r.val[r.rows[i]:r.rows[i+1]] {
+			nb += float64(v) * float64(v)
+		}
+		r.norm[i] = nb
+	}
+}
+
+// score replays knn.Model.Score over the packed layout for one query
+// vector (ascending unique indices). Hits accumulate in sc.hits.
+func (r *packedRefs) score(qIdx []uint32, qVal []float32, sc *scratch) float64 {
+	// The query's squared norm, accumulated in value order exactly as
+	// vecspace.Cosine does per reference (the value is identical every
+	// time, so hoisting it out of the loop changes nothing bit-wise).
+	var na float64
+	for _, v := range qVal {
+		na += float64(v) * float64(v)
+	}
+	hits := sc.hits[:0]
+	n := len(r.rows) - 1
+	for ref := 0; ref < n; ref++ {
+		lo, hi := int(r.rows[ref]), int(r.rows[ref+1])
+		var dot float64
+		for i, j := 0, lo; i < len(qIdx) && j < hi; {
+			switch {
+			case qIdx[i] == r.idx[j]:
+				dot += float64(qVal[i]) * float64(r.val[j])
+				i++
+				j++
+			case qIdx[i] < r.idx[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		var sim float64
+		if nb := r.norm[ref]; na != 0 && nb != 0 {
+			sim = dot / math.Sqrt(na*nb)
+		}
+		if sim > 0 {
+			hits = append(hits, knnHit{sim: sim, pos: r.pos[ref]})
+		}
+	}
+	sc.hits = hits
+	if len(hits) == 0 {
+		return -1
+	}
+	// sort.Slice, same comparator, same input order as the source model:
+	// the (unstable) permutation — and with it any tie-breaking at the
+	// k-th boundary — comes out identical.
+	sort.Slice(hits, func(a, b int) bool { return hits[a].sim > hits[b].sim })
+	k := int(r.k)
+	if k > len(hits) {
+		k = len(hits)
+	}
+	var pos, total float64
+	for _, h := range hits[:k] {
+		total += h.sim
+		if h.pos {
+			pos += h.sim
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	return pos/total - 0.5
+}
+
+// knnHit is one positive-similarity reference during kNN scoring.
+type knnHit struct {
+	sim float64
+	pos bool
+}
+
+// knnScores scores the query vector (ascending unique indices) against
+// all five packed reference sets.
+func (s *Snapshot) knnScores(qIdx []uint32, qVal []float32, sc *scratch) [langid.NumLanguages]float64 {
+	var out [langid.NumLanguages]float64
+	for li := range out {
+		out[li] = s.refs[li].score(qIdx, qVal, sc)
+	}
+	return out
+}
+
+// refsFromWire validates a deserialised reference set and rebuilds the
+// derived norms.
+func refsFromWire(w wireRefs) (packedRefs, error) {
+	n := len(w.Rows) - 1
+	if n < 1 || w.Rows[0] != 0 {
+		return packedRefs{}, fmt.Errorf("compiled: kNN reference set has no rows")
+	}
+	if len(w.Pos) != n {
+		return packedRefs{}, fmt.Errorf("compiled: kNN labels cover %d of %d references", len(w.Pos), n)
+	}
+	if len(w.Idx) != len(w.Val) {
+		return packedRefs{}, fmt.Errorf("compiled: kNN index/value length mismatch %d != %d", len(w.Idx), len(w.Val))
+	}
+	if w.K < 1 {
+		return packedRefs{}, fmt.Errorf("compiled: kNN k = %d", w.K)
+	}
+	for i := 1; i < len(w.Rows); i++ {
+		if w.Rows[i] < w.Rows[i-1] {
+			return packedRefs{}, fmt.Errorf("compiled: kNN row offsets not monotonic at %d", i)
+		}
+	}
+	if int(w.Rows[n]) != len(w.Idx) {
+		return packedRefs{}, fmt.Errorf("compiled: kNN rows claim %d entries, have %d", w.Rows[n], len(w.Idx))
+	}
+	// Per-row strictly increasing indices: the cosine merge relies on it.
+	for r := 0; r < n; r++ {
+		for j := int(w.Rows[r]) + 1; j < int(w.Rows[r+1]); j++ {
+			if w.Idx[j] <= w.Idx[j-1] {
+				return packedRefs{}, fmt.Errorf("compiled: kNN reference %d indices not increasing", r)
+			}
+		}
+	}
+	refs := packedRefs{rows: w.Rows, idx: w.Idx, val: w.Val, pos: w.Pos, k: w.K}
+	refs.computeNorms()
+	return refs, nil
+}

@@ -3,7 +3,6 @@ package compiled
 import (
 	"bytes"
 	"encoding/gob"
-	"fmt"
 	"io"
 	"runtime/debug"
 	"sync"
@@ -55,24 +54,32 @@ var adversarialURLs = []string{
 	"%68%74%74%70://%77ww.decoded.de/%70fad",
 }
 
-// systemConfigs enumerates the compilable model/feature grid.
-var systemConfigs = []core.Config{
-	{Algo: core.NaiveBayes, Features: features.Words, Seed: 1},
-	{Algo: core.NaiveBayes, Features: features.Trigrams, Seed: 1},
-	{Algo: core.RelEntropy, Features: features.Words, Seed: 1},
-	{Algo: core.RelEntropy, Features: features.Trigrams, Seed: 1},
-	{Algo: core.MaxEntropy, Features: features.Words, Seed: 1, MEIterations: 4},
-	{Algo: core.MaxEntropy, Features: features.Trigrams, Seed: 1, MEIterations: 4},
-}
-
-// fallbackConfigs must still answer identically through the wrapped path.
-var fallbackConfigs = []core.Config{
-	{Algo: core.DecisionTree, Features: features.CustomSelected, Seed: 1},
-	{Algo: core.NaiveBayes, Features: features.Custom, Seed: 1},
-	{Algo: core.KNN, Features: features.Words, Seed: 1, KNNMaxReference: 500},
-	{Algo: core.CcTLD},
-	{Algo: core.CcTLDPlus},
-	{Algo: core.NaiveBayes, Features: features.Trigrams, RawTrigrams: true, Seed: 1},
+// systemConfigs enumerates the full compilable grid with the mode each
+// configuration must take — every trainable Algorithm×FeatureSet plus
+// the baselines and the raw-trigram ablation variant. Nothing falls
+// back.
+var systemConfigs = []struct {
+	cfg  core.Config
+	mode string
+}{
+	{core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 1}, "linear"},
+	{core.Config{Algo: core.NaiveBayes, Features: features.Trigrams, Seed: 1}, "linear"},
+	{core.Config{Algo: core.NaiveBayes, Features: features.Custom, Seed: 1}, "custom"},
+	{core.Config{Algo: core.NaiveBayes, Features: features.CustomSelected, Seed: 1}, "custom"},
+	{core.Config{Algo: core.RelEntropy, Features: features.Words, Seed: 1}, "linear"},
+	{core.Config{Algo: core.RelEntropy, Features: features.Trigrams, Seed: 1}, "linear"},
+	{core.Config{Algo: core.RelEntropy, Features: features.CustomSelected, Seed: 1}, "custom"},
+	{core.Config{Algo: core.MaxEntropy, Features: features.Words, Seed: 1, MEIterations: 4}, "linear"},
+	{core.Config{Algo: core.MaxEntropy, Features: features.Trigrams, Seed: 1, MEIterations: 4}, "linear"},
+	{core.Config{Algo: core.MaxEntropy, Features: features.Custom, Seed: 1, MEIterations: 4}, "custom"},
+	{core.Config{Algo: core.DecisionTree, Features: features.CustomSelected, Seed: 1}, "dtree"},
+	{core.Config{Algo: core.DecisionTree, Features: features.Custom, Seed: 1}, "dtree"},
+	{core.Config{Algo: core.DecisionTree, Features: features.Words, Seed: 1}, "dtree"},
+	{core.Config{Algo: core.KNN, Features: features.Words, Seed: 1, KNNMaxReference: 500}, "knn"},
+	{core.Config{Algo: core.KNN, Features: features.CustomSelected, Seed: 1, KNNMaxReference: 500}, "knn"},
+	{core.Config{Algo: core.NaiveBayes, Features: features.Trigrams, RawTrigrams: true, Seed: 1}, "linear"},
+	{core.Config{Algo: core.CcTLD}, "tld"},
+	{core.Config{Algo: core.CcTLDPlus}, "tld"},
 }
 
 func trainSystem(t testing.TB, cfg core.Config, train []langid.Sample) *core.System {
@@ -103,31 +110,25 @@ func assertIdentical(t *testing.T, sys *core.System, snap *Snapshot, probes []st
 	}
 }
 
+// TestSnapshotBitIdentical is the universal-compilation proof: every
+// trainable Algorithm×FeatureSet (and both baselines) compiles natively
+// into the expected mode and answers bit-identically to its source
+// system on every probe.
 func TestSnapshotBitIdentical(t *testing.T) {
 	train, probes := corpusEnv(t)
-	for _, cfg := range systemConfigs {
-		t.Run(cfg.Describe(), func(t *testing.T) {
-			sys := trainSystem(t, cfg, train)
+	for _, tc := range systemConfigs {
+		t.Run(tc.cfg.Describe()+"/"+tc.mode, func(t *testing.T) {
+			t.Parallel()
+			sys := trainSystem(t, tc.cfg, train)
 			snap := FromSystem(sys)
 			if !snap.Compiled() {
-				t.Fatalf("%s did not compile", cfg.Describe())
+				t.Fatalf("%s did not compile", tc.cfg.Describe())
 			}
-			if snap.Dim() == 0 {
+			if snap.Mode() != tc.mode {
+				t.Fatalf("%s compiled to mode %q, want %q", tc.cfg.Describe(), snap.Mode(), tc.mode)
+			}
+			if tc.mode != "tld" && snap.Dim() == 0 {
 				t.Fatal("compiled snapshot has zero dimensionality")
-			}
-			assertIdentical(t, sys, snap, probes)
-		})
-	}
-}
-
-func TestSnapshotFallbackIdentical(t *testing.T) {
-	train, probes := corpusEnv(t)
-	for _, cfg := range fallbackConfigs {
-		t.Run(cfg.Describe(), func(t *testing.T) {
-			sys := trainSystem(t, cfg, train)
-			snap := FromSystem(sys)
-			if snap.Compiled() {
-				t.Fatalf("%s unexpectedly compiled", cfg.Describe())
 			}
 			assertIdentical(t, sys, snap, probes)
 		})
@@ -136,10 +137,10 @@ func TestSnapshotFallbackIdentical(t *testing.T) {
 
 func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
 	train, probes := corpusEnv(t)
-	configs := append(append([]core.Config{}, systemConfigs...), fallbackConfigs...)
-	for _, cfg := range configs {
-		t.Run(cfg.Describe(), func(t *testing.T) {
-			sys := trainSystem(t, cfg, train)
+	for _, tc := range systemConfigs {
+		t.Run(tc.cfg.Describe()+"/"+tc.mode, func(t *testing.T) {
+			t.Parallel()
+			sys := trainSystem(t, tc.cfg, train)
 			snap := FromSystem(sys)
 			var buf bytes.Buffer
 			if err := snap.Save(&buf); err != nil {
@@ -149,12 +150,47 @@ func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if loaded.Compiled() != snap.Compiled() || loaded.Describe() != snap.Describe() {
-				t.Fatalf("metadata drift: compiled %v/%v describe %q/%q",
-					snap.Compiled(), loaded.Compiled(), snap.Describe(), loaded.Describe())
+			if loaded.Mode() != snap.Mode() || loaded.Describe() != snap.Describe() {
+				t.Fatalf("metadata drift: mode %q/%q describe %q/%q",
+					snap.Mode(), loaded.Mode(), snap.Describe(), loaded.Describe())
 			}
 			assertIdentical(t, sys, loaded, probes)
 		})
+	}
+}
+
+// TestLoadLegacyFallbackRecompiles pins the upgrade path for version-1
+// snapshot files: a fallback payload (embedded core.System gob) loads
+// into a natively compiled snapshot with identical answers.
+func TestLoadLegacyFallbackRecompiles(t *testing.T) {
+	train, probes := corpusEnv(t)
+	for _, cfg := range []core.Config{
+		{Algo: core.DecisionTree, Features: features.CustomSelected, Seed: 1},
+		{Algo: core.CcTLD},
+	} {
+		sys := trainSystem(t, cfg, train)
+		var sysBuf bytes.Buffer
+		if err := sys.Save(&sysBuf); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err := saveWire(&buf, wireSnapshot{
+			Version: wireVersionLegacy,
+			Mode:    uint8(modeLegacy),
+			Config:  cfg,
+			System:  sysBuf.Bytes(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: loading legacy fallback file: %v", cfg.Describe(), err)
+		}
+		if !snap.Compiled() {
+			t.Fatalf("%s: legacy fallback did not recompile", cfg.Describe())
+		}
+		assertIdentical(t, sys, snap, probes)
 	}
 }
 
@@ -193,7 +229,9 @@ func TestScoresForKeyContract(t *testing.T) {
 	)
 	for _, cfg := range []core.Config{
 		{Algo: core.NaiveBayes, Features: features.Words, Seed: 9},
-		{Algo: core.CcTLD}, // fallback path: key is the raw URL
+		{Algo: core.NaiveBayes, Features: features.CustomSelected, Seed: 9}, // raw-keyed: custom features score the raw length
+		{Algo: core.NaiveBayes, Features: features.Trigrams, RawTrigrams: true, Seed: 9},
+		{Algo: core.CcTLD}, // normal-form keyed: the TLD derives from the normal form
 	} {
 		sys := trainSystem(t, cfg, train)
 		snap := FromSystem(sys)
@@ -209,82 +247,105 @@ func TestScoresForKeyContract(t *testing.T) {
 }
 
 // TestScoresZeroAlloc pins the hot-path guarantee the serving engine is
-// built on: on the compiled path, Scores and ScoresForKey allocate
-// nothing per call — including for URLs that need byte rewriting
-// (uppercase, percent-escapes), which normalize into pooled scratch.
-// GC is paused so a collection can't empty the sync.Pool mid-measure.
+// built on: on the linear, custom, dtree and TLD paths, Scores and
+// ScoresForKey allocate nothing per call — including for URLs that need
+// byte rewriting (uppercase, percent-escapes), which normalize into
+// pooled scratch. GC is paused so a collection can't empty the
+// sync.Pool mid-measure.
 func TestScoresZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates inside sync.Pool")
 	}
 	train, _ := corpusEnv(t)
-	sys := trainSystem(t, core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 13}, train)
-	snap := FromSystem(sys)
-
+	configs := []core.Config{
+		{Algo: core.NaiveBayes, Features: features.Words, Seed: 13},
+		{Algo: core.NaiveBayes, Features: features.Trigrams, Seed: 13},
+		{Algo: core.NaiveBayes, Features: features.CustomSelected, Seed: 13},
+		{Algo: core.DecisionTree, Features: features.CustomSelected, Seed: 13},
+		{Algo: core.DecisionTree, Features: features.Words, Seed: 13},
+		{Algo: core.CcTLD},
+	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	urls := []string{
 		"http://www.wetter-bericht.de/nachrichten/artikel.html",    // fast path
 		"HTTP://WWW.Wetter-Bericht.DE/Nachrichten/Artikel%31.html", // rewrite path
 	}
-	for _, u := range urls {
-		u := u
-		snap.Scores(u) // warm the scratch pool
-		if avg := testing.AllocsPerRun(200, func() { snap.Scores(u) }); avg > 0 {
-			t.Errorf("Scores(%q) allocates %v per op", u, avg)
-		}
-		key := snap.CacheKey(u)
-		snap.ScoresForKey(key)
-		if avg := testing.AllocsPerRun(200, func() { snap.ScoresForKey(key) }); avg > 0 {
-			t.Errorf("ScoresForKey(%q) allocates %v per op", key, avg)
+	for _, cfg := range configs {
+		sys := trainSystem(t, cfg, train)
+		snap := FromSystem(sys)
+		for _, u := range urls {
+			u := u
+			snap.Scores(u) // warm the scratch pool
+			if avg := testing.AllocsPerRun(200, func() { snap.Scores(u) }); avg > 0 {
+				t.Errorf("%s [%s]: Scores(%q) allocates %v per op", cfg.Describe(), snap.Mode(), u, avg)
+			}
+			key := snap.CacheKey(u)
+			snap.ScoresForKey(key)
+			if avg := testing.AllocsPerRun(200, func() { snap.ScoresForKey(key) }); avg > 0 {
+				t.Errorf("%s [%s]: ScoresForKey(%q) allocates %v per op", cfg.Describe(), snap.Mode(), key, avg)
+			}
 		}
 	}
 }
 
 // TestScratchReuseIsolation guards the aliasing contract of the pooled
 // normalization buffer: scoring URL A, then B (which rewrites into the
-// same scratch), then A again must reproduce A's scores exactly.
+// same scratch), then A again must reproduce A's scores exactly, for
+// every scratch-dependent mode.
 func TestScratchReuseIsolation(t *testing.T) {
 	train, _ := corpusEnv(t)
-	sys := trainSystem(t, core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 17}, train)
-	snap := FromSystem(sys)
 	a := "HTTP://WWW.Beispiel.DE/Lange/Nachrichten/Seite%20Eins"
 	b := "HTTPS://Kurz.FR/%41"
-	wantA, wantB := snap.Scores(a), snap.Scores(b)
-	for i := 0; i < 50; i++ {
-		if got := snap.Scores(a); got != wantA {
-			t.Fatalf("iteration %d: Scores(a) drifted", i)
-		}
-		if got := snap.Scores(b); got != wantB {
-			t.Fatalf("iteration %d: Scores(b) drifted", i)
+	for _, cfg := range []core.Config{
+		{Algo: core.NaiveBayes, Features: features.Words, Seed: 17},
+		{Algo: core.NaiveBayes, Features: features.CustomSelected, Seed: 17},
+		{Algo: core.DecisionTree, Features: features.Custom, Seed: 17},
+		{Algo: core.KNN, Features: features.Words, Seed: 17, KNNMaxReference: 200},
+	} {
+		sys := trainSystem(t, cfg, train)
+		snap := FromSystem(sys)
+		wantA, wantB := snap.Scores(a), snap.Scores(b)
+		for i := 0; i < 50; i++ {
+			if got := snap.Scores(a); got != wantA {
+				t.Fatalf("%s: iteration %d: Scores(a) drifted", cfg.Describe(), i)
+			}
+			if got := snap.Scores(b); got != wantB {
+				t.Fatalf("%s: iteration %d: Scores(b) drifted", cfg.Describe(), i)
+			}
 		}
 	}
 }
 
 func TestSnapshotConcurrentUse(t *testing.T) {
 	train, probes := corpusEnv(t)
-	sys := trainSystem(t, core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 5}, train)
-	snap := FromSystem(sys)
-	want := make([][]langid.Prediction, len(probes))
-	for i, u := range probes {
-		want[i] = snap.Predictions(u)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i, u := range probes {
-				got := snap.Predictions(u)
-				for li := range got {
-					if got[li] != want[i][li] {
-						t.Errorf("concurrent prediction drift on %q", u)
-						return
+	for _, cfg := range []core.Config{
+		{Algo: core.NaiveBayes, Features: features.Words, Seed: 5},
+		{Algo: core.DecisionTree, Features: features.CustomSelected, Seed: 5},
+	} {
+		sys := trainSystem(t, cfg, train)
+		snap := FromSystem(sys)
+		want := make([][]langid.Prediction, len(probes))
+		for i, u := range probes {
+			want[i] = snap.Predictions(u)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, u := range probes {
+					got := snap.Predictions(u)
+					for li := range got {
+						if got[li] != want[i][li] {
+							t.Errorf("%s: concurrent prediction drift on %q", cfg.Describe(), u)
+							return
+						}
 					}
 				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 }
 
 func TestLoadRejectsCorruptSnapshots(t *testing.T) {
@@ -293,39 +354,72 @@ func TestLoadRejectsCorruptSnapshots(t *testing.T) {
 	}
 
 	train, _ := corpusEnv(t)
-	sys := trainSystem(t, core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 7}, train)
-	snap := FromSystem(sys)
-
-	corrupt := func(name string, mutate func(*wireSnapshot)) {
+	corrupt := func(name string, cfg core.Config, mutate func(*wireSnapshot)) {
 		t.Helper()
-		wire := wireSnapshot{
-			Version: wireVersion, Mode: uint8(snap.mode), Config: snap.cfg,
-			Kind: snap.kind, Dim: snap.dim, Blob: snap.table.blob,
-			Offs: snap.table.offs, Weights: snap.weights, Pre: snap.pre, Post: snap.post,
-		}
-		mutate(&wire)
+		sys := trainSystem(t, cfg, train)
+		snap := FromSystem(sys)
 		var buf bytes.Buffer
-		if err := saveWire(&buf, wire); err != nil {
+		if err := snap.Save(&buf); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Load(&buf); err == nil {
+		var wire wireSnapshot
+		if err := gob.NewDecoder(&buf).Decode(&wire); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&wire)
+		var out bytes.Buffer
+		if err := saveWire(&out, wire); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&out); err == nil {
 			t.Errorf("Load accepted %s", name)
 		}
 	}
-	corrupt("bad version", func(w *wireSnapshot) { w.Version = 99 })
-	corrupt("bad mode", func(w *wireSnapshot) { w.Mode = 42 })
-	corrupt("bad feature kind", func(w *wireSnapshot) { w.Kind = features.Custom })
-	corrupt("out-of-range feature kind", func(w *wireSnapshot) { w.Kind = features.Kind(250) })
-	corrupt("truncated weights", func(w *wireSnapshot) { w.Weights = w.Weights[:1] })
-	corrupt("offset count", func(w *wireSnapshot) { w.Offs = w.Offs[:len(w.Offs)-2] })
-	corrupt("non-monotonic offsets", func(w *wireSnapshot) {
+	linear := core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: 7}
+	corrupt("bad version", linear, func(w *wireSnapshot) { w.Version = 99 })
+	corrupt("bad mode", linear, func(w *wireSnapshot) { w.Mode = 42 })
+	corrupt("v2 legacy mode", linear, func(w *wireSnapshot) { w.Mode = uint8(modeLegacy) })
+	corrupt("out-of-range feature kind", linear, func(w *wireSnapshot) { w.Kind = features.Kind(250) })
+	corrupt("truncated weights", linear, func(w *wireSnapshot) { w.Weights = w.Weights[:1] })
+	corrupt("offset count", linear, func(w *wireSnapshot) { w.Offs = w.Offs[:len(w.Offs)-2] })
+	corrupt("non-monotonic offsets", linear, func(w *wireSnapshot) {
 		offs := append([]uint32(nil), w.Offs...)
 		if len(offs) > 2 {
 			offs[1], offs[2] = offs[2]+1, offs[1]
 		}
 		w.Offs = offs
 	})
-	corrupt("blob length", func(w *wireSnapshot) { w.Blob = w.Blob[:len(w.Blob)/2] })
+	corrupt("blob length", linear, func(w *wireSnapshot) { w.Blob = w.Blob[:len(w.Blob)/2] })
+
+	dt := core.Config{Algo: core.DecisionTree, Features: features.CustomSelected, Seed: 7}
+	corrupt("custom dim mismatch", dt, func(w *wireSnapshot) { w.Dim = 99 })
+	corrupt("tree child cycle", dt, func(w *wireSnapshot) {
+		for li := range w.Trees {
+			if len(w.Trees[li].Feat) > 0 && w.Trees[li].Feat[0] >= 0 {
+				w.Trees[li].Kids[0] = 0 // left child points back at the root
+			}
+		}
+	})
+	corrupt("tree feature bound", dt, func(w *wireSnapshot) {
+		for li := range w.Trees {
+			if len(w.Trees[li].Feat) > 0 && w.Trees[li].Feat[0] >= 0 {
+				w.Trees[li].Feat[0] = int32(w.Dim) + 7
+			}
+		}
+	})
+
+	kn := core.Config{Algo: core.KNN, Features: features.Words, Seed: 7, KNNMaxReference: 100}
+	corrupt("knn row offsets", kn, func(w *wireSnapshot) {
+		w.Refs[0].Rows = append([]uint32(nil), w.Refs[0].Rows...)
+		w.Refs[0].Rows[len(w.Refs[0].Rows)-1] += 9
+	})
+	corrupt("knn label count", kn, func(w *wireSnapshot) { w.Refs[0].Pos = w.Refs[0].Pos[:1] })
+	corrupt("knn zero k", kn, func(w *wireSnapshot) { w.Refs[0].K = 0 })
+
+	tld := core.Config{Algo: core.CcTLD}
+	corrupt("tld with trainable algo", tld, func(w *wireSnapshot) {
+		w.Config.Algo = core.NaiveBayes
+	})
 }
 
 // saveWire writes a raw wire struct, bypassing Save's consistency
@@ -334,35 +428,12 @@ func saveWire(w io.Writer, wire wireSnapshot) error {
 	return gob.NewEncoder(w).Encode(wire)
 }
 
-func TestTokenTable(t *testing.T) {
-	names := []string{"wetter", "bericht", "de", "produits", "recherche", "xy"}
-	tab := newTokenTable(names)
-	for i, n := range names {
-		id, ok := tab.lookup(n)
-		if !ok || id != uint32(i) {
-			t.Errorf("lookup(%q) = %d, %v; want %d", n, id, ok, i)
-		}
-	}
-	for _, miss := range []string{"", "wette", "wetterx", "zzz", "bericht "} {
-		if _, ok := tab.lookup(miss); ok {
-			t.Errorf("lookup(%q) unexpectedly found", miss)
-		}
-	}
-	empty := newTokenTable(nil)
-	if _, ok := empty.lookup("anything"); ok {
-		t.Error("empty table found a token")
-	}
-}
-
-func TestTokenTableDense(t *testing.T) {
-	var names []string
-	for i := 0; i < 5000; i++ {
-		names = append(names, fmt.Sprintf("tok%dx", i))
-	}
-	tab := newTokenTable(names)
-	for i, n := range names {
-		if id, ok := tab.lookup(n); !ok || id != uint32(i) {
-			t.Fatalf("lookup(%q) = %d, %v", n, id, ok)
+// TestModeNames pins the operator-facing mode vocabulary.
+func TestModeNames(t *testing.T) {
+	want := map[string]bool{"linear": true, "custom": true, "dtree": true, "knn": true, "tld": true}
+	for _, tc := range systemConfigs {
+		if !want[tc.mode] {
+			t.Fatalf("config table uses unknown mode %q", tc.mode)
 		}
 	}
 }

@@ -1,0 +1,202 @@
+package compiled
+
+// The gob wire format. Version 2 persists every compiled mode natively:
+// the token table blob (word/trigram families), the trained-dictionary
+// token lists (custom families), the interleaved weight block (linear
+// modes), flattened trees, packed kNN references. Version-1 files still
+// load — their linear layout is a field subset of version 2, and their
+// fallback payloads (an embedded core.System gob) are recompiled into
+// the native form on the way in, so a file written by the fallback era
+// comes back faster than it went out.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"urllangid/internal/core"
+	"urllangid/internal/features"
+	"urllangid/internal/langid"
+	"urllangid/internal/strtab"
+	"urllangid/internal/textstat"
+)
+
+// wireTree mirrors flatTree.
+type wireTree struct {
+	Feat []int32
+	Thr  []float64
+	Kids []int32
+}
+
+// wireRefs mirrors packedRefs; norms are derived state and never
+// persisted.
+type wireRefs struct {
+	Rows []uint32
+	Idx  []uint32
+	Val  []float32
+	Pos  []bool
+	K    int32
+}
+
+// wireSnapshot is the on-disk shape. Unused fields gob-encode to
+// nothing, so a linear snapshot pays no tree/kNN overhead and vice
+// versa.
+type wireSnapshot struct {
+	Version uint8
+	Mode    uint8
+	Config  core.Config
+	Kind    features.Kind
+	Raw     bool
+	Dim     uint32
+	Blob    []byte
+	Offs    []uint32
+	Weights []float64
+	Pre     [langid.NumLanguages]float64
+	Post    [langid.NumLanguages]float64
+	// System carries the embedded core.System gob of version-1 fallback
+	// files; current snapshots never write it.
+	System  []byte
+	HasDict bool
+	Dict    [langid.NumLanguages][]string
+	Trees   [langid.NumLanguages]wireTree
+	Refs    [langid.NumLanguages]wireRefs
+}
+
+const (
+	wireVersionLegacy = 1
+	wireVersion       = 2
+)
+
+// Save serialises the snapshot with encoding/gob.
+func (s *Snapshot) Save(w io.Writer) error {
+	wire := wireSnapshot{
+		Version: wireVersion,
+		Mode:    uint8(s.mode),
+		Config:  s.cfg,
+		Kind:    s.kind,
+		Raw:     s.raw,
+		Dim:     s.dim,
+	}
+	if s.mode != modeTLD && !s.isCustom() {
+		wire.Blob, wire.Offs = s.table.Blob(), s.table.Offsets()
+	}
+	if s.isCustom() {
+		if td := s.custom.TrainedDict(); td != nil {
+			wire.HasDict = true
+			for li := 0; li < langid.NumLanguages; li++ {
+				wire.Dict[li] = td.Tokens(langid.Language(li))
+			}
+		}
+	}
+	switch s.mode {
+	case modeCount, modeCountPost, modeNormalized:
+		wire.Weights, wire.Pre, wire.Post = s.weights, s.pre, s.post
+	case modeDTree:
+		for li, t := range s.trees {
+			wire.Trees[li] = wireTree{Feat: t.feat, Thr: t.thr, Kids: t.kids}
+		}
+	case modeKNN:
+		for li := range s.refs {
+			r := &s.refs[li]
+			wire.Refs[li] = wireRefs{Rows: r.rows, Idx: r.idx, Val: r.val, Pos: r.pos, K: r.k}
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("compiled: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load restores a snapshot saved with Save, validating the packed
+// layout before accepting it. Version-1 files load too; their fallback
+// payloads are recompiled natively.
+func Load(r io.Reader) (*Snapshot, error) {
+	var wire wireSnapshot
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("compiled: loading snapshot: %w", err)
+	}
+	if wire.Version != wireVersion && wire.Version != wireVersionLegacy {
+		return nil, fmt.Errorf("compiled: unsupported snapshot version %d", wire.Version)
+	}
+	if mode(wire.Mode) == modeLegacy {
+		// A version-1 fallback file: the only payload is the original
+		// system, which this build compiles natively.
+		if wire.Version != wireVersionLegacy {
+			return nil, fmt.Errorf("compiled: version-%d snapshot with no compiled payload", wire.Version)
+		}
+		sys, err := core.Load(bytes.NewReader(wire.System))
+		if err != nil {
+			return nil, fmt.Errorf("compiled: loading legacy fallback system: %w", err)
+		}
+		snap, err := compile(sys)
+		if err != nil {
+			return nil, fmt.Errorf("compiled: recompiling legacy fallback system: %w", err)
+		}
+		return snap, nil
+	}
+
+	s := &Snapshot{cfg: wire.Config, mode: mode(wire.Mode), kind: wire.Kind, raw: wire.Raw, dim: wire.Dim}
+	s.pool.New = func() any { return new(scratch) }
+	if s.mode > modeTLD {
+		return nil, fmt.Errorf("compiled: unknown snapshot mode %d", wire.Mode)
+	}
+
+	if s.mode == modeTLD {
+		if s.cfg.Algo.NeedsTraining() {
+			return nil, fmt.Errorf("compiled: TLD snapshot claims trainable algorithm %s", s.cfg.Algo)
+		}
+		s.baseline = baselineFor(s.cfg.Algo)
+		return s, nil
+	}
+
+	// Feature source.
+	switch s.kind {
+	case features.Words, features.Trigrams:
+		table, err := strtab.FromWire(wire.Blob, wire.Offs, int(wire.Dim))
+		if err != nil {
+			return nil, fmt.Errorf("compiled: %w", err)
+		}
+		s.table = table
+	case features.Custom, features.CustomSelected:
+		var trained *textstat.TrainedDict
+		if wire.HasDict {
+			trained = textstat.FromTokens(wire.Dict)
+		}
+		s.custom = features.RestoreCustom(s.kind == features.CustomSelected, trained)
+		if s.custom.Dim() != int(wire.Dim) {
+			return nil, fmt.Errorf("compiled: custom snapshot claims %d features, layout has %d",
+				wire.Dim, s.custom.Dim())
+		}
+	default:
+		return nil, fmt.Errorf("compiled: unknown feature kind %d", uint8(wire.Kind))
+	}
+
+	// Model payload.
+	switch s.mode {
+	case modeCount, modeCountPost, modeNormalized:
+		if len(wire.Weights) != int(wire.Dim)*langid.NumLanguages {
+			return nil, fmt.Errorf("compiled: weight slice has %d entries, want %d",
+				len(wire.Weights), int(wire.Dim)*langid.NumLanguages)
+		}
+		s.weights = wire.Weights
+		s.pre, s.post = wire.Pre, wire.Post
+	case modeDTree:
+		for li, wt := range wire.Trees {
+			t, err := treeFromWire(wt, int(wire.Dim))
+			if err != nil {
+				return nil, err
+			}
+			s.trees[li] = t
+		}
+	case modeKNN:
+		for li, wr := range wire.Refs {
+			refs, err := refsFromWire(wr)
+			if err != nil {
+				return nil, err
+			}
+			s.refs[li] = refs
+		}
+	}
+	return s, nil
+}

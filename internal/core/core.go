@@ -271,17 +271,28 @@ func (s *System) Positive(p urlx.Parts, l langid.Language) bool {
 	return s.Models[l].Predict(x)
 }
 
+// scratchPool shares streaming-extraction buffers across all systems;
+// a Scratch is mode-agnostic, so one pool serves every configuration.
+var scratchPool = sync.Pool{New: func() any { return features.NewScratch() }}
+
 // Scores classifies a raw URL, returning the five decision scores in
 // canonical language order. The sign of a score is the binary decision.
 // Baselines answer ±1 (they have no margin); learners return their
 // real-valued margins, exactly the float64 operations the per-model
 // Score methods perform — Predictions, Classify, Languages and Best are
 // all thin expansions of this one vector.
+//
+// Scores runs on the streaming extraction layer: features stream out of
+// the URL through pooled scratch (features.Extractor.ExtractInto)
+// instead of building a urlx.Parts and a map-backed sparse vector, so
+// even the uncompiled path touches the heap only for vocabulary misses.
+// The vectors are bit-identical to the ExtractURL path by the streaming
+// layer's contract.
 func (s *System) Scores(rawURL string) [langid.NumLanguages]float64 {
-	p := urlx.Parse(rawURL)
 	var out [langid.NumLanguages]float64
 	if !s.Config.Algo.NeedsTraining() {
-		got, ok := s.baseline.Classify(p)
+		host, _ := urlx.SplitHostPath(rawURL)
+		got, ok := s.baseline.ClassifyTLD(urlx.LastLabel(host))
 		for li := range out {
 			out[li] = -1
 			if ok && got == langid.Language(li) {
@@ -290,10 +301,12 @@ func (s *System) Scores(rawURL string) [langid.NumLanguages]float64 {
 		}
 		return out
 	}
-	x := s.Extractor.ExtractURL(p)
+	sc := scratchPool.Get().(*features.Scratch)
+	x := s.Extractor.ExtractInto(sc, rawURL)
 	for li := range out {
 		out[li] = s.Models[li].Score(x)
 	}
+	scratchPool.Put(sc)
 	return out
 }
 

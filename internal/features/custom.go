@@ -135,7 +135,11 @@ type CustomExtractor struct {
 	remap    []int // full index -> dense index, or -1
 	dim      int
 	trained  *textstat.TrainedDict
-	names    []string
+	// trainedTab is the string-table form of the trained dictionary used
+	// by the streaming extraction path; derived state, rebuilt whenever
+	// trained changes (see rebuildStreamDict).
+	trainedTab *dictTable
+	names      []string
 }
 
 // NewCustomExtractor returns an unfitted custom-feature extractor.
@@ -192,6 +196,7 @@ func (e *CustomExtractor) TrainedDict() *textstat.TrainedDict { return e.trained
 // token occurrences to the trained dictionary, diluting URL-only signals
 // exactly as the paper describes.
 func (e *CustomExtractor) Fit(samples []langid.Sample, withContent bool) {
+	defer e.rebuildStreamDict()
 	if !withContent {
 		e.trained = textstat.Build(samples, textstat.Options{})
 		return

@@ -1,0 +1,261 @@
+package features
+
+// Streaming custom-feature extraction: the 74-dim (or 15-dim selected)
+// vector fills caller scratch in one pass over the normal form, with
+// every dictionary — lexicons, city lists, country codes, the trained
+// dictionary — resolved through a single open-addressing string table
+// lookup per token (the same technique the compiled snapshots use for
+// their vocabulary), instead of up to twenty Go map probes.
+//
+// Each dictionary word carries a bitmask: which languages' lexicons,
+// city lists and country-code sets contain it. The merged-dictionary
+// features need no bits of their own, since merged(l) = lexicon(l) ∪
+// cities(l) is exactly the OR of two masks. The trained dictionary is
+// per-extractor state and lives in its own table, rebuilt whenever the
+// extractor is fitted or restored.
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"urllangid/internal/dict"
+	"urllangid/internal/langid"
+	"urllangid/internal/strtab"
+	"urllangid/internal/textstat"
+	"urllangid/internal/urlx"
+	"urllangid/internal/vecspace"
+)
+
+// Bit layout of the static dictionary masks: five lexicon bits, five
+// city bits, five country-code bits.
+const (
+	lexShift  = 0
+	cityShift = langid.NumLanguages
+	ccShift   = 2 * langid.NumLanguages
+	langBits  = 1<<langid.NumLanguages - 1
+)
+
+// dictTable pairs a string table with per-entry language bitmasks.
+type dictTable struct {
+	tab  strtab.Table
+	mask []uint32
+}
+
+// lookup returns tok's membership mask, or 0 for unknown tokens and a
+// nil table.
+func (d *dictTable) lookup(tok string) uint32 {
+	if d == nil {
+		return 0
+	}
+	if id, ok := d.tab.Lookup(tok); ok {
+		return d.mask[id]
+	}
+	return 0
+}
+
+// buildDictTable compresses a word→mask map into a dictTable.
+func buildDictTable(masks map[string]uint32) *dictTable {
+	names := make([]string, 0, len(masks))
+	for w := range masks {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	d := &dictTable{tab: strtab.New(names), mask: make([]uint32, len(names))}
+	for i, w := range names {
+		d.mask[i] = masks[w]
+	}
+	return d
+}
+
+// staticDict lazily builds the process-wide table over the embedded
+// dictionaries (they never change after package init).
+var staticDict = sync.OnceValue(func() *dictTable {
+	masks := make(map[string]uint32)
+	for l := 0; l < langid.NumLanguages; l++ {
+		lang := langid.Language(l)
+		for _, w := range dict.Lexicon(lang) {
+			masks[w] |= 1 << (lexShift + l)
+		}
+		for _, w := range dict.Cities(lang) {
+			masks[w] |= 1 << (cityShift + l)
+		}
+		for _, w := range dict.CcTLDs(lang) {
+			masks[w] |= 1 << (ccShift + l)
+		}
+	}
+	return buildDictTable(masks)
+})
+
+// rebuildStreamDict derives the trained-dictionary string table from
+// e.trained. It must be called whenever e.trained changes (Fit, gob
+// decode, RestoreCustom) so the streaming path answers exactly like
+// TrainedDict.Contains.
+func (e *CustomExtractor) rebuildStreamDict() {
+	if e.trained == nil {
+		e.trainedTab = nil
+		return
+	}
+	masks := make(map[string]uint32)
+	for l := 0; l < langid.NumLanguages; l++ {
+		for _, t := range e.trained.Tokens(langid.Language(l)) {
+			masks[t] |= 1 << l
+		}
+	}
+	e.trainedTab = buildDictTable(masks)
+}
+
+// RestoreCustom rebuilds a fitted custom extractor from persisted
+// state: the selected-subset flag and the trained dictionary (nil for
+// an extractor fitted without one). It is the loading-side counterpart
+// of TrainedDict.Tokens, used by the compiled snapshot wire format.
+func RestoreCustom(selected bool, trained *textstat.TrainedDict) *CustomExtractor {
+	e := NewCustomExtractor(selected)
+	e.trained = trained
+	e.rebuildStreamDict()
+	return e
+}
+
+// ExtractDense computes rawURL's custom feature vector densely into
+// scratch and returns it (length Dim, aliasing sc, valid until the next
+// use of sc). Values are bit-identical to the sparse ExtractURL path:
+// the same counters accumulate over the same token stream, only without
+// the Parts decomposition and builder map. The steady state allocates
+// nothing.
+func (e *CustomExtractor) ExtractDense(sc *Scratch, rawURL string) []float32 {
+	if cap(sc.dense) < e.dim {
+		sc.dense = make([]float32, e.dim)
+	}
+	dst := sc.dense[:e.dim]
+	for i := range dst {
+		dst[i] = 0
+	}
+	set := func(full int, v float32) {
+		if dense := e.remap[full]; dense >= 0 {
+			dst[dense] = v
+		}
+	}
+
+	norm := urlx.NormalizeInto(&sc.norm, rawURL)
+	host, path := urlx.SplitNormalized(norm)
+	sd := staticDict()
+
+	// Host-level country-code features: any label before the first '/'
+	// (generalised TLD), and the actual TLD (strict variant).
+	var ccLabel uint32
+	urlx.VisitHostLabels(host, func(lab string) {
+		ccLabel |= (sd.lookup(lab) >> ccShift) & langBits
+	})
+	tld := urlx.LastLabel(host)
+	ccTLD := (sd.lookup(tld) >> ccShift) & langBits
+
+	// One pass over the token stream: each token resolves through two
+	// table lookups (static dictionaries + trained dictionary) and feeds
+	// every counter.
+	var (
+		oo, ooPre, ooPost                [langid.NumLanguages]int32
+		city, cityPre, cityPost          [langid.NumLanguages]int32
+		merged                           [langid.NumLanguages]int32
+		trained, trainedPre, trainedPost [langid.NumLanguages]int32
+		nPre, nPost                      int32
+		ccAny                            uint32
+	)
+	count := func(tok string, pre bool) {
+		m := sd.lookup(tok)
+		tm := e.trainedTab.lookup(tok)
+		ccAny |= (m >> ccShift) & langBits
+		for l := 0; l < langid.NumLanguages; l++ {
+			lex := m&(1<<(lexShift+l)) != 0
+			cty := m&(1<<(cityShift+l)) != 0
+			if lex {
+				oo[l]++
+				if pre {
+					ooPre[l]++
+				} else {
+					ooPost[l]++
+				}
+			}
+			if cty {
+				city[l]++
+				if pre {
+					cityPre[l]++
+				} else {
+					cityPost[l]++
+				}
+			}
+			if lex || cty {
+				merged[l]++
+			}
+			if tm&(1<<l) != 0 {
+				trained[l]++
+				if pre {
+					trainedPre[l]++
+				} else {
+					trainedPost[l]++
+				}
+			}
+		}
+	}
+	urlx.VisitTokens(host, func(tok string) {
+		nPre++
+		count(tok, true)
+	})
+	urlx.VisitTokens(path, func(tok string) {
+		nPost++
+		count(tok, false)
+	})
+
+	for l := 0; l < langid.NumLanguages; l++ {
+		bit := uint32(1) << l
+		if ccLabel&bit != 0 {
+			set(fCcBeforeSlash+l, 1)
+		}
+		if ccTLD&bit != 0 {
+			set(fCcStrictTLD+l, 1)
+		}
+		if ccAny&bit != 0 {
+			set(fCcAnywhere+l, 1)
+		}
+		set(fOODict+l, float32(oo[l]))
+		set(fOODictPre+l, float32(ooPre[l]))
+		set(fOODictPost+l, float32(ooPost[l]))
+		set(fCity+l, float32(city[l]))
+		set(fCityPre+l, float32(cityPre[l]))
+		set(fCityPost+l, float32(cityPost[l]))
+		set(fMerged+l, float32(merged[l]))
+		set(fTrained+l, float32(trained[l]))
+		set(fTrainedPre+l, float32(trainedPre[l]))
+		set(fTrainedPost+l, float32(trainedPost[l]))
+	}
+	switch tld {
+	case "com":
+		set(fIsCom, 1)
+	case "org":
+		set(fIsOrg, 1)
+	case "net":
+		set(fIsNet, 1)
+	}
+	set(fHyphens, float32(strings.Count(norm, "-")))
+	set(fTokenCount, float32(nPre+nPost))
+	set(fPreTokenCount, float32(nPre))
+	set(fPostTokens, float32(nPost))
+	set(fDigitRuns, float32(urlx.DigitRuns(norm)))
+	set(fURLLength, float32(len(rawURL))/10)
+	return dst
+}
+
+// ExtractInto implements the streaming path for custom features: the
+// dense vector fills scratch, then compresses to the sparse form the
+// models score (zeros dropped, indices ascending — exactly what the
+// builder would freeze). The result aliases sc.
+func (e *CustomExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse {
+	dense := e.ExtractDense(sc, rawURL)
+	sc.idx, sc.val = sc.idx[:0], sc.val[:0]
+	for i, v := range dense {
+		if v != 0 {
+			sc.idx = append(sc.idx, uint32(i))
+			sc.val = append(sc.val, v)
+		}
+	}
+	return vecspace.Sparse{Idx: sc.idx, Val: sc.val}
+}

@@ -71,6 +71,12 @@ type Extractor interface {
 	// including content tokens when the extractor was fitted with
 	// content.
 	ExtractSample(s langid.Sample) vecspace.Sparse
+	// ExtractInto is the streaming form of ExtractURL: it maps a raw URL
+	// to a feature vector through caller-owned scratch, bit-identical to
+	// ExtractURL(urlx.Parse(rawURL)) but with no Parts decomposition and
+	// no per-call garbage. The returned vector aliases sc and is only
+	// valid until sc's next use.
+	ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse
 	// Dim returns the current feature-space dimensionality.
 	Dim() int
 }

@@ -104,6 +104,7 @@ func (e *CustomExtractor) GobDecode(data []byte) error {
 	*e = *NewCustomExtractor(g.Selected)
 	if g.HasDict {
 		e.trained = textstat.FromTokens(g.Tokens)
+		e.rebuildStreamDict()
 	}
 	return nil
 }

@@ -30,6 +30,9 @@ func (e *RawTrigramExtractor) Dim() int {
 	return e.vocab.Len()
 }
 
+// Vocab exposes the interned raw-trigram vocabulary (nil before Fit).
+func (e *RawTrigramExtractor) Vocab() *vecspace.Vocab { return e.vocab }
+
 // Fit implements Extractor.
 func (e *RawTrigramExtractor) Fit(samples []langid.Sample, withContent bool) {
 	e.vocab = vecspace.NewVocab()

@@ -1,0 +1,138 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+
+	"urllangid/internal/datagen"
+	"urllangid/internal/urlx"
+)
+
+// streamProbeURLs mixes generator output with the normalizer's edge
+// cases; the streaming extractors must match the Parts-based ones on
+// all of them, bit for bit.
+func streamProbeURLs(t *testing.T) []string {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{Kind: datagen.ODP, Seed: 5, TrainPerLang: 50, TestPerLang: 30})
+	urls := []string{
+		"",
+		"http://",
+		"not a url",
+		"HTTP://WWW.Wetter-Bericht.DE/Seite%20Eins?q=z%C3%BCrich#Frag",
+		"http://user:pw@host.es:9/x%20y",
+		"http://[2001:db8::1]:8080/chemin",
+		"//scheme-less.fr/page",
+		"example.fr/go?u=http://example.de/seite",
+		"http://de.wikipedia.org/wiki/Wetter",
+		"www.a.b.c.d.e.f.co.uk/one/two/three-vier-5",
+		"  http://www.padded.it/pagina  ",
+		"http://tienda.com.es/ofertas/madrid/1999",
+	}
+	for _, s := range ds.Test {
+		urls = append(urls, s.URL)
+	}
+	return urls
+}
+
+// TestExtractIntoMatchesExtractURL is the streaming layer's central
+// contract: for every extractor family, ExtractInto must produce the
+// exact vector ExtractURL(urlx.Parse(url)) does.
+func TestExtractIntoMatchesExtractURL(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Kind: datagen.ODP, Seed: 6, TrainPerLang: 120, TestPerLang: 1})
+	urls := streamProbeURLs(t)
+
+	extractors := map[string]Extractor{
+		"words":    New(Words),
+		"trigrams": New(Trigrams),
+		"custom74": New(Custom),
+		"custom15": New(CustomSelected),
+		"rawtri":   &RawTrigramExtractor{},
+	}
+	for name, e := range extractors {
+		t.Run(name, func(t *testing.T) {
+			e.Fit(ds.Train, false)
+			sc := NewScratch()
+			for _, u := range urls {
+				want := e.ExtractURL(urlx.Parse(u))
+				got := e.ExtractInto(sc, u)
+				if len(want.Idx) != len(got.Idx) {
+					t.Fatalf("%q: %d entries streamed, want %d", u, len(got.Idx), len(want.Idx))
+				}
+				for k := range want.Idx {
+					if want.Idx[k] != got.Idx[k] || want.Val[k] != got.Val[k] {
+						t.Fatalf("%q: entry %d = (%d, %v), want (%d, %v)",
+							u, k, got.Idx[k], got.Val[k], want.Idx[k], want.Val[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExtractDenseMatchesSparse pins the dense custom vector against
+// the sparse form entry by entry, including explicit zeros.
+func TestExtractDenseMatchesSparse(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Kind: datagen.SER, Seed: 7, TrainPerLang: 120, TestPerLang: 1})
+	for _, selected := range []bool{false, true} {
+		e := NewCustomExtractor(selected)
+		e.Fit(ds.Train, false)
+		sc := NewScratch()
+		for _, u := range streamProbeURLs(t) {
+			want := e.ExtractURL(urlx.Parse(u))
+			dense := e.ExtractDense(sc, u)
+			if len(dense) != e.Dim() {
+				t.Fatalf("dense length %d, want %d", len(dense), e.Dim())
+			}
+			for i, v := range dense {
+				if got, wantV := float64(v), want.Get(uint32(i)); got != wantV {
+					t.Fatalf("selected=%v %q: feature %d (%s) = %v, want %v",
+						selected, u, i, e.FeatureName(i), got, wantV)
+				}
+			}
+		}
+	}
+}
+
+// TestExtractIntoScratchReuse guards the aliasing contract: re-running
+// an extraction after the scratch was reused for other URLs must
+// reproduce the original vector.
+func TestExtractIntoScratchReuse(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Kind: datagen.ODP, Seed: 8, TrainPerLang: 80, TestPerLang: 1})
+	e := New(Words)
+	e.Fit(ds.Train, false)
+	sc := NewScratch()
+	a := "HTTP://WWW.Beispiel.DE/Lange/Nachrichten/Seite%20Eins"
+	b := "HTTPS://Kurz.FR/%41"
+	first := e.ExtractInto(sc, a)
+	wantIdx := append([]uint32(nil), first.Idx...)
+	wantVal := append([]float32(nil), first.Val...)
+	for i := 0; i < 20; i++ {
+		e.ExtractInto(sc, b)
+		again := e.ExtractInto(sc, a)
+		if !reflect.DeepEqual(again.Idx, wantIdx) || !reflect.DeepEqual(again.Val, wantVal) {
+			t.Fatalf("iteration %d: scratch reuse corrupted the vector", i)
+		}
+	}
+}
+
+// TestExtractIntoZeroAlloc pins the steady-state allocation contract of
+// the streaming layer for the families the compiled hot paths rely on.
+func TestExtractIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	ds := datagen.Generate(datagen.Config{Kind: datagen.ODP, Seed: 9, TrainPerLang: 80, TestPerLang: 1})
+	url := "http://www.wetter-bericht.de/nachrichten/artikel7.html"
+	for name, e := range map[string]Extractor{
+		"words":    New(Words),
+		"trigrams": New(Trigrams),
+		"custom15": New(CustomSelected),
+	} {
+		e.Fit(ds.Train, false)
+		sc := NewScratch()
+		e.ExtractInto(sc, url) // warm the buffers
+		if avg := testing.AllocsPerRun(100, func() { e.ExtractInto(sc, url) }); avg > 0 {
+			t.Errorf("%s: ExtractInto allocates %v per op, want 0", name, avg)
+		}
+	}
+}

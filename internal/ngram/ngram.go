@@ -15,6 +15,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"strings"
+	"unsafe"
 )
 
 // Trigrams returns the padded trigrams of a single token. A token of
@@ -56,6 +57,25 @@ func AppendTrigrams(dst []string, tokens []string) []string {
 		}
 	}
 	return dst
+}
+
+// VisitTrigrams is the streaming form of Trigrams: it calls fn once per
+// padded trigram of token, building the padded form in *pad (grown as
+// needed, contents overwritten) so the walk allocates nothing in the
+// steady state. The emitted grams alias *pad and are only valid inside
+// fn — callers that need to keep one must copy it.
+func VisitTrigrams(pad *[]byte, token string, fn func(gram string)) {
+	if len(token) < 2 {
+		return
+	}
+	b := append((*pad)[:0], ' ')
+	b = append(b, token...)
+	b = append(b, ' ')
+	*pad = b
+	s := unsafe.String(unsafe.SliceData(b), len(b))
+	for i := 0; i+3 <= len(s); i++ {
+		fn(s[i : i+3])
+	}
 }
 
 // Markov is an order-k character Markov chain over the lower-case ASCII

@@ -28,8 +28,14 @@ const streamFlushInterval = 50 * time.Millisecond
 
 // HandlerOptions tunes the HTTP front end.
 type HandlerOptions struct {
-	// Model is the description reported by /healthz (e.g. "NB/word").
+	// Model is the description reported by /healthz and /stats
+	// (e.g. "NB/word").
 	Model string
+	// Mode is the compiled-mode string reported by /healthz and /stats
+	// (e.g. "linear", "custom", "dtree", "knn", "tld"), so operators can
+	// tell which scorer a server is actually running. Empty when the
+	// predictor is not a compiled snapshot.
+	Mode string
 	// MaxBatch overrides DefaultMaxBatch.
 	MaxBatch int
 }
@@ -42,7 +48,7 @@ type HandlerOptions struct {
 //	GET  /healthz      liveness + model description
 //	GET  /stats        cache hit-rate, QPS, latency percentiles
 func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
-	h := &handler{engine: e, model: opts.Model, maxBatch: opts.MaxBatch, start: time.Now()}
+	h := &handler{engine: e, model: opts.Model, mode: opts.Mode, maxBatch: opts.MaxBatch, start: time.Now()}
 	if h.maxBatch <= 0 {
 		h.maxBatch = DefaultMaxBatch
 	}
@@ -57,6 +63,7 @@ func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
 type handler struct {
 	engine   *Engine
 	model    string
+	mode     string
 	maxBatch int
 	start    time.Time
 }
@@ -271,15 +278,35 @@ func parseStreamLine(line string) (string, error) {
 }
 
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"model":          h.model,
 		"uptime_seconds": time.Since(h.start).Seconds(),
-	})
+	}
+	// Matches /stats' omitempty: the key appears only when the server
+	// actually runs a compiled snapshot.
+	if h.mode != "" {
+		resp["compiled_mode"] = h.mode
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse wraps the metric snapshot with the identity of what the
+// server is running — the model label and the compiled mode — so an
+// operator reading /stats never has to guess which scorer is behind the
+// numbers.
+type statsResponse struct {
+	Model string `json:"model"`
+	Mode  string `json:"compiled_mode,omitempty"`
+	Snapshot
 }
 
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.engine.StatsSnapshot())
+	writeJSON(w, http.StatusOK, statsResponse{
+		Model:    h.model,
+		Mode:     h.mode,
+		Snapshot: h.engine.StatsSnapshot(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

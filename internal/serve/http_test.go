@@ -17,7 +17,7 @@ func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Engine) {
 	t.Helper()
 	snap, _ := snapshot(t)
 	e := New(snap, opts)
-	srv := httptest.NewServer(NewHandler(e, HandlerOptions{Model: snap.Describe()}))
+	srv := httptest.NewServer(NewHandler(e, HandlerOptions{Model: snap.Describe(), Mode: snap.Mode()}))
 	t.Cleanup(srv.Close)
 	return srv, e
 }
@@ -351,6 +351,9 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	if health["status"] != "ok" || health["model"] != "NB/word" {
 		t.Errorf("healthz = %v", health)
 	}
+	if health["compiled_mode"] != "linear" {
+		t.Errorf("healthz compiled_mode = %v, want linear", health["compiled_mode"])
+	}
 
 	// Generate some traffic: one miss, one hit.
 	u := "http://www.einzigartig-seite.de/pfad"
@@ -361,7 +364,10 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := decodeBody[Snapshot](t, resp)
+	stats := decodeBody[statsResponse](t, resp)
+	if stats.Model != "NB/word" || stats.Mode != "linear" {
+		t.Errorf("stats identity = %q/%q, want NB/word running the linear mode", stats.Model, stats.Mode)
+	}
 	if stats.CacheHits < 1 || stats.CacheMisses < 1 {
 		t.Errorf("stats did not count traffic: %+v", stats)
 	}

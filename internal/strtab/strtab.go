@@ -1,0 +1,141 @@
+// Package strtab provides the allocation-free string table the serving
+// layers key everything on: a set of unique names mapped to dense IDs
+// through open addressing with linear probing at ≤50% load. All names
+// live in one contiguous byte blob addressed by an offset slice — no
+// per-entry string headers, no pointer chasing — and lookups compare
+// candidate slots against the blob directly, so resolving a token (or a
+// dictionary word) costs a hash, a probe and a byte comparison, never a
+// heap allocation.
+//
+// The table started life as the compiled snapshot's private token table;
+// it is shared here so the feature extractors' dictionaries (lexicons,
+// city lists, trained dictionaries) resolve through the same technique
+// on the streaming extraction path.
+package strtab
+
+import "fmt"
+
+// Table maps unique strings to their position in the construction list.
+// The zero value is an empty table. Tables are immutable after
+// construction and safe for concurrent use.
+type Table struct {
+	mask  uint32
+	slots []uint32 // name ID + 1; 0 marks an empty slot
+	blob  []byte
+	offs  []uint32 // len(offs) == n+1; name i is blob[offs[i]:offs[i+1]]
+}
+
+// New builds a table over names, whose positions become the IDs. Names
+// must be unique; a duplicate would shadow its later occurrences.
+func New(names []string) Table {
+	size := 0
+	for _, s := range names {
+		size += len(s)
+	}
+	t := Table{
+		blob: make([]byte, 0, size),
+		offs: make([]uint32, len(names)+1),
+	}
+	for i, s := range names {
+		t.offs[i] = uint32(len(t.blob))
+		t.blob = append(t.blob, s...)
+	}
+	t.offs[len(names)] = uint32(len(t.blob))
+	t.rebuild()
+	return t
+}
+
+// FromWire revalidates a deserialised blob/offset pair and rebuilds the
+// probe slots (which are derived state and never persisted). n is the
+// expected entry count.
+func FromWire(blob []byte, offs []uint32, n int) (Table, error) {
+	if len(offs) != n+1 {
+		return Table{}, fmt.Errorf("strtab: table has %d offsets, want %d", len(offs), n+1)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return Table{}, fmt.Errorf("strtab: table offsets not monotonic at %d", i)
+		}
+	}
+	if n > 0 && int(offs[n]) != len(blob) {
+		return Table{}, fmt.Errorf("strtab: table blob has %d bytes, offsets claim %d", len(blob), offs[n])
+	}
+	t := Table{blob: blob, offs: offs}
+	t.rebuild()
+	return t, nil
+}
+
+// rebuild populates the probe slots from blob/offs.
+func (t *Table) rebuild() {
+	n := len(t.offs) - 1
+	if n <= 0 {
+		t.mask, t.slots = 0, nil
+		return
+	}
+	sz := 1
+	for sz < 2*n {
+		sz <<= 1
+	}
+	t.mask = uint32(sz - 1)
+	t.slots = make([]uint32, sz)
+	for id := 0; id < n; id++ {
+		name := t.Name(uint32(id))
+		for i := fnv1a(name) & t.mask; ; i = (i + 1) & t.mask {
+			if t.slots[i] == 0 {
+				t.slots[i] = uint32(id) + 1
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int {
+	if len(t.offs) == 0 {
+		return 0
+	}
+	return len(t.offs) - 1
+}
+
+// Name returns entry id's string. It allocates (the table stores bytes,
+// not string headers) and is meant for construction and diagnostics;
+// lookups compare against the blob directly.
+func (t *Table) Name(id uint32) string {
+	return string(t.blob[t.offs[id]:t.offs[id+1]])
+}
+
+// Blob exposes the backing byte blob for persistence. The returned
+// slice must not be modified.
+func (t *Table) Blob() []byte { return t.blob }
+
+// Offsets exposes the offset slice for persistence. The returned slice
+// must not be modified.
+func (t *Table) Offsets() []uint32 { return t.offs }
+
+// Lookup resolves s to its ID without allocating.
+func (t *Table) Lookup(s string) (uint32, bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	for i := fnv1a(s) & t.mask; ; i = (i + 1) & t.mask {
+		sl := t.slots[i]
+		if sl == 0 {
+			return 0, false
+		}
+		id := sl - 1
+		a, b := t.offs[id], t.offs[id+1]
+		if int(b-a) == len(s) && string(t.blob[a:b]) == s {
+			return id, true
+		}
+	}
+}
+
+// fnv1a is the 32-bit FNV-1a hash.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -43,10 +43,18 @@ func (c Classifier) Name() string {
 // (e.g. .net, or .com under plain ccTLD) — such URLs are assigned to none
 // of the languages, which is what drives the baseline's low recall.
 func (c Classifier) Classify(p urlx.Parts) (langid.Language, bool) {
-	if l, ok := dict.LanguageOfTLD(p.TLD); ok {
+	return c.ClassifyTLD(p.TLD)
+}
+
+// ClassifyTLD maps a bare top-level domain to a language. It is the
+// streaming-path form of Classify: serving layers that already hold the
+// normal form derive the TLD positionally (urlx.LastLabel) and skip the
+// full Parts decomposition.
+func (c Classifier) ClassifyTLD(tld string) (langid.Language, bool) {
+	if l, ok := dict.LanguageOfTLD(tld); ok {
 		return l, true
 	}
-	if c.Plus && (p.TLD == "com" || p.TLD == "org") {
+	if c.Plus && (tld == "com" || tld == "org") {
 		return langid.English, true
 	}
 	return 0, false

@@ -121,7 +121,7 @@ func Parse(rawURL string) Parts {
 	p.Tokens = append(p.Tokens, p.PostTokens...)
 
 	p.HyphenCount = strings.Count(s, "-")
-	p.DigitRunCount = countDigitRuns(s)
+	p.DigitRunCount = DigitRuns(s)
 	return p
 }
 
@@ -298,6 +298,19 @@ func Tokenize(s string) []string {
 // only allocation is the occasional growth of dst, which is what the
 // compiled serving path relies on for its zero-garbage hot loop.
 func AppendTokens(dst []string, s string) []string {
+	VisitTokens(s, func(tok string) {
+		dst = append(dst, tok)
+	})
+	return dst
+}
+
+// VisitTokens is the streaming form of Tokenize: it calls fn once per
+// token of s, in order, with no intermediate slice. When s is already
+// lower-case the emitted tokens alias s and the walk performs zero
+// allocations — this is the token-emission primitive the streaming
+// feature extractors and the compiled snapshots are built on. fn must
+// not retain the token past the call if s's backing memory is reused.
+func VisitTokens(s string, fn func(tok string)) {
 	start := -1
 	flush := func(end int) {
 		if start < 0 {
@@ -306,14 +319,13 @@ func AppendTokens(dst []string, s string) []string {
 		if end-start >= 2 {
 			tok := strings.ToLower(s[start:end])
 			if _, special := specialTokens[tok]; !special {
-				dst = append(dst, tok)
+				fn(tok)
 			}
 		}
 		start = -1
 	}
 	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if isLetter(c) {
+		if isLetter(s[i]) {
 			if start < 0 {
 				start = i
 			}
@@ -322,7 +334,38 @@ func AppendTokens(dst []string, s string) []string {
 		}
 	}
 	flush(len(s))
-	return dst
+}
+
+// VisitHostLabels calls fn once per dot-separated label of host, in
+// order, exactly matching strings.Split(host, ".") — empty labels
+// included — without allocating. Bracketed IP-literal hosts and the
+// empty host have no labels and yield no calls, mirroring the
+// Parts.HostLabels contract.
+func VisitHostLabels(host string, fn func(label string)) {
+	if host == "" || host[0] == '[' {
+		return
+	}
+	start := 0
+	for i := 0; i < len(host); i++ {
+		if host[i] == '.' {
+			fn(host[start:i])
+			start = i + 1
+		}
+	}
+	fn(host[start:])
+}
+
+// LastLabel returns the final dot-separated label of host — the TLD in
+// Parts terms. Bracketed IP-literal hosts and the empty host have no
+// TLD and return "".
+func LastLabel(host string) string {
+	if host == "" || host[0] == '[' {
+		return ""
+	}
+	if i := strings.LastIndexByte(host, '.'); i >= 0 {
+		return host[i+1:]
+	}
+	return host
 }
 
 func isLetter(c byte) bool {
@@ -343,7 +386,9 @@ func unhex(c byte) (byte, bool) {
 	return 0, false
 }
 
-func countDigitRuns(s string) int {
+// DigitRuns returns the number of maximal digit runs in s (the
+// DigitRunCount custom feature, exposed for the streaming extractors).
+func DigitRuns(s string) int {
 	runs := 0
 	in := false
 	for i := 0; i < len(s); i++ {

@@ -357,17 +357,18 @@ func Load(r io.Reader) (*Classifier, error) {
 }
 
 // Snapshot is a compiled, read-only form of a Classifier built for
-// serving: feature weights packed into contiguous language-interleaved
-// slices keyed by token ID, resolved through an allocation-free string
-// table. Results are bit-identical to the source classifier's while
-// single-URL latency drops severalfold, and Classify performs zero heap
-// allocations (see BenchmarkClassifyResult). Snapshots are immutable
-// and safe for concurrent use; they implement Model.
-//
-// Naive Bayes, Relative Entropy and Maximum Entropy models over word or
-// trigram features compile to the packed form; other configurations are
-// transparently wrapped, keeping the same API and serialisation at the
-// original speed. Compiled reports which form a snapshot took.
+// serving. Every trainable configuration compiles natively — linear
+// models pack their weights into contiguous language-interleaved slices
+// keyed through an allocation-free string table (or fed by the dense
+// custom-feature extractor), decision trees flatten into pointer-free
+// node arrays, kNN packs its reference vectors into contiguous arrays,
+// and the ccTLD baselines compile to a TLD lookup. Results are
+// bit-identical to the source classifier's while single-URL latency
+// drops severalfold, and Classify performs zero heap allocations on the
+// linear, custom-feature, decision-tree and baseline paths (see
+// BenchmarkClassifyResult*). Snapshots are immutable and safe for
+// concurrent use; they implement Model. Mode reports which compiled
+// form a snapshot took.
 type Snapshot struct {
 	snap *compiled.Snapshot
 }
@@ -431,9 +432,17 @@ func (s *Snapshot) Save(w io.Writer) error {
 	return nil
 }
 
-// Compiled reports whether the snapshot runs the packed fast path; false
-// means the configuration fell back to wrapping the original models.
+// Compiled reports whether the snapshot runs a packed native path. It
+// is always true — every trainable configuration compiles — and remains
+// for callers written against releases where non-linear configurations
+// fell back to wrapping the original models.
 func (s *Snapshot) Compiled() bool { return s.snap.Compiled() }
+
+// Mode names the compiled form the snapshot took: "linear" (packed
+// token-linear models), "custom" (dense custom-feature linear models),
+// "dtree" (flattened decision trees), "knn" (packed reference sets) or
+// "tld" (country-code baseline).
+func (s *Snapshot) Mode() string { return s.snap.Mode() }
 
 // Predictions returns all five scored binary decisions for a URL, in
 // canonical language order, bit-identical to the source classifier's.
