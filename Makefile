@@ -21,9 +21,9 @@ URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 API_SURFACE := api/urllangid.txt
 API_DISTILL := $(GO) doc -all . | awk '/^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$$/{on=1} on && NF && substr($$0,1,4) != "    "'
 
-.PHONY: verify build fmt vet test race fuzz-smoke bench fuzz api api-check
+.PHONY: verify build fmt vet staticcheck test race fuzz-smoke bench fuzz api api-check
 
-verify: fmt vet build api-check test race fuzz-smoke
+verify: fmt vet staticcheck build api-check test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -37,13 +37,26 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is a should-have, not a can't-build-without: environments
+# that lack the binary (and cannot install tools) skip it with a notice
+# instead of failing verify. CI installs it, so drift is still caught
+# before merge.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # The packages with lock/atomic concurrency (cache, stats, worker pool,
-# snapshot and extraction scratch pools) under the race detector.
+# registry slot swapping, snapshot and extraction scratch pools) under
+# the race detector. The registry's swap-stress test (100+ hot swaps
+# against concurrent Classify traffic) lives there.
 race:
-	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/ ./internal/features/
+	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/ ./internal/features/ ./internal/registry/
 
 fuzz-smoke:
 	@for target in $(URLX_FUZZ); do \

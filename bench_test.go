@@ -545,6 +545,34 @@ func BenchmarkClassifyResult(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryClassify measures the acceptance criterion that the
+// registry lookup adds no allocations to the single-model hot path:
+// the same Snapshot-backed scoring as BenchmarkClassifyResult, reached
+// through Registry.Classify's acquire/release refcounting.
+func BenchmarkRegistryClassify(b *testing.B) {
+	_, snap := benchPublicModels(b)
+	reg := urllangid.NewRegistry(urllangid.RegistryOptions{})
+	defer reg.Close()
+	if _, err := reg.Install("m", snap); err != nil {
+		b.Fatal(err)
+	}
+	urls := servingURLs(256)
+	for i := range urls {
+		urls[i] = urlx.Normalize(urls[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := reg.Classify("m", urls[i%len(urls)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Is(urllangid.English) && r.Score(urllangid.English) < 0 {
+			b.Fatal("decision bit disagrees with score")
+		}
+	}
+}
+
 // BenchmarkClassifyResultRewrite feeds Classify URLs that need byte
 // rewriting during normalization (uppercase, percent-escapes); pooled
 // scratch keeps even this path at 0 allocs/op.

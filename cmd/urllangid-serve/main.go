@@ -1,24 +1,42 @@
 // Command urllangid-serve is the production serving front end: it loads
-// a compiled model snapshot (or compiles a saved model on the fly) and
-// serves classification over HTTP with worker-pool batching and a
-// sharded result cache.
+// one or more models (compiled snapshots or saved classifiers, which
+// are compiled on the fly) into a versioned registry and serves
+// classification over HTTP with worker-pool batching, a sharded result
+// cache, multi-model routing and zero-downtime hot-reload.
 //
 // Endpoints:
 //
-//	POST /v1/classify  JSON {"url": "..."} or {"urls": ["...", ...]}
-//	POST /v1/stream    NDJSON in, NDJSON out — bulk crawl frontiers
-//	GET  /healthz      liveness and model description
-//	GET  /stats        cache hit-rate, QPS, latency percentiles
+//	POST /v1/classify              JSON {"url": "..."} or {"urls": [...]};
+//	                               ?model=name routes off the default
+//	POST /v1/stream                NDJSON in, NDJSON out — bulk crawl
+//	                               frontiers; ?model=name routes
+//	GET  /v1/models                live model versions and the default
+//	GET  /v1/models/{name}/stats   one model's serving metrics
+//	POST /v1/models/{name}/reload  re-open the model's file, swap if
+//	                               changed
+//	GET  /healthz                  liveness + default model identity
+//	GET  /stats                    default model's serving metrics
 //
 // Example:
 //
 //	urllangid train -in corpus-train.tsv -model nb.model
 //	urllangid compile -model nb.model -out nb.snapshot
-//	urllangid-serve -snapshot nb.snapshot -addr :8080 -cache 1048576
+//	urllangid-serve -model nb=nb.snapshot -model exp=tri.snapshot -addr :8080 -cache 1048576
 //
 //	curl -s localhost:8080/v1/classify -d '{"urls": ["http://www.wetter.de/bericht"]}'
+//	curl -s localhost:8080/v1/classify?model=exp -d '{"url": "http://www.wetter.de/bericht"}'
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/models/nb/reload    # after redeploying nb.snapshot
 //	seq 1 1000 | sed 's|.*|http://www.seite-&.de/artikel|' | \
 //	    curl -s --data-binary @- localhost:8080/v1/stream
+//
+// -model is repeatable and takes name=path (a bare path uses the file's
+// base name, so "-model nb.snapshot" serves as "nb"); the first -model
+// is the default route. Redeploying a model is atomic and drops no
+// traffic: overwrite its file, then either POST its reload endpoint or
+// send the process SIGHUP to reload every model whose file changed —
+// in-flight requests finish on the old model while new ones route to
+// the new version.
 //
 // Compiled snapshots cache results under the structural URL normal form
 // (urlx package doc): scheme, case and percent-encoding variants of one
@@ -26,8 +44,8 @@
 // are scored once. /stats reports nearest-rank latency percentiles and
 // a recent-QPS figure over the last ten *complete* seconds.
 //
-// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// The process shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests before exiting.
 package main
 
 import (
@@ -35,56 +53,129 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
-	"urllangid/internal/compiled"
-	"urllangid/internal/modelfile"
+	"urllangid/internal/registry"
 	"urllangid/internal/serve"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "urllangid-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// modelArg is one parsed -model flag.
+type modelArg struct {
+	name, path string
+}
+
+// parseModelArg splits a -model value: "name=path", or a bare path
+// whose base name (extension stripped) becomes the serving name.
+// Either way the name must be URL-routable.
+func parseModelArg(v string) (modelArg, error) {
+	var m modelArg
+	if name, path, ok := strings.Cut(v, "="); ok {
+		name, path = strings.TrimSpace(name), strings.TrimSpace(path)
+		if name == "" || path == "" {
+			return modelArg{}, fmt.Errorf("-model %q: want name=path", v)
+		}
+		m = modelArg{name: name, path: path}
+	} else {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return modelArg{}, errors.New("-model: empty value")
+		}
+		base := filepath.Base(v)
+		name := strings.TrimSuffix(base, filepath.Ext(base))
+		if name == "" || name == "." || name == string(filepath.Separator) {
+			return modelArg{}, fmt.Errorf("-model %q: cannot derive a model name; use name=path", v)
+		}
+		m = modelArg{name: name, path: v}
+	}
+	// Names route as ?model= values and /v1/models/{name}/... path
+	// segments; these bytes would be cut or mis-matched there.
+	if strings.ContainsAny(m.name, "/?#%") {
+		return modelArg{}, fmt.Errorf("-model name %q: names route in URLs and cannot contain '/', '?', '#' or '%%'; use name=path to pick a clean name", m.name)
+	}
+	return m, nil
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("urllangid-serve", flag.ExitOnError)
-	snapPath := fs.String("snapshot", "", "compiled snapshot file (from 'urllangid compile')")
-	modelPath := fs.String("model", "", "saved model file; compiled in-process when -snapshot is not given")
+	var models []modelArg
+	fs.Func("model", "model to serve, as name=path or a bare path (repeatable; first is the default route)", func(v string) error {
+		m, err := parseModelArg(v)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+		return nil
+	})
+	snapPath := fs.String("snapshot", "", "single model file to serve as \"default\" (kept for pre-registry scripts; prefer -model)")
 	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
-	cacheCap := fs.Int("cache", 1<<20, "result cache capacity in entries (0 disables)")
+	workers := fs.Int("workers", 0, "batch worker count per model (0 = GOMAXPROCS)")
+	cacheCap := fs.Int("cache", 1<<20, "result cache capacity in entries per model (0 disables)")
 	cacheShards := fs.Int("cache-shards", 16, "result cache shard count")
 	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch, "largest /v1/classify batch accepted")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	snap, err := loadSnapshot(*snapPath, *modelPath)
-	if err != nil {
-		return err
+	if *snapPath != "" {
+		models = append([]modelArg{{name: "default", path: *snapPath}}, models...)
 	}
-	engine := serve.New(snap, serve.Options{
+	if len(models) == 0 {
+		return errors.New("provide at least one -model name=path")
+	}
+	// A duplicate name would silently replace the earlier load while the
+	// startup log claims both are serving.
+	seen := make(map[string]string, len(models))
+	for _, m := range models {
+		if prev, dup := seen[m.name]; dup {
+			return fmt.Errorf("model name %q given twice (%s and %s); name one of them explicitly with -model name=path", m.name, prev, m.path)
+		}
+		seen[m.name] = m.path
+	}
+
+	reg := registry.New(registry.Options{Engine: serve.Options{
 		Workers:       *workers,
 		CacheCapacity: *cacheCap,
 		CacheShards:   *cacheShards,
-	})
-	defer engine.Close()
-	handler := serve.NewHandler(engine, serve.HandlerOptions{
-		Model:    snap.Describe(),
-		Mode:     snap.Mode(),
-		MaxBatch: *maxBatch,
-	})
+	}})
+	defer reg.Close()
+	for _, m := range models {
+		info, err := reg.LoadFile(m.name, m.path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %s: %s (%s snapshot, version %d, digest %.12s) from %s\n",
+			info.Name, info.Model, info.Mode, info.Version, info.Digest, info.Path)
+	}
+	handler := serve.NewHandler(reg, serve.HandlerOptions{MaxBatch: *maxBatch})
 
-	fmt.Printf("serving %s (%s snapshot) on %s — cache %d entries, %d shards\n",
-		snap.Describe(), snap.Mode(), *addr, *cacheCap, *cacheShards)
+	fmt.Fprintf(out, "serving %d model(s) on %s (default %s) — cache %d entries, %d shards; SIGHUP reloads changed model files\n",
+		len(models), *addr, models[0].name, *cacheCap, *cacheShards)
+
+	// SIGHUP → reload every file-backed model whose content changed.
+	// Unchanged files are digest-compared no-ops, so an operator can
+	// HUP after any partial redeploy without churning the other slots.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			reloadAll(reg, out)
+		}
+	}()
 
 	server := &http.Server{
 		Addr:              *addr,
@@ -101,7 +192,7 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("shutting down, draining in-flight requests")
+	fmt.Fprintln(out, "shutting down, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
@@ -113,29 +204,20 @@ func run(args []string) error {
 	return nil
 }
 
-// loadSnapshot resolves the model source. Model files are
-// self-describing (modelfile header, with legacy headerless gobs
-// sniffed), so either flag accepts either kind: a pre-compiled snapshot
-// serves as-is, a training-format model is compiled at startup.
-func loadSnapshot(snapPath, modelPath string) (*compiled.Snapshot, error) {
-	path := snapPath
-	if path == "" {
-		path = modelPath
+// reloadAll re-opens every slot's backing file, logging per slot. A
+// failed reload (file vanished, corrupt redeploy) keeps the running
+// version serving — reload never downgrades availability.
+func reloadAll(reg *registry.Registry, out io.Writer) {
+	for _, name := range reg.Names() {
+		info, changed, err := reg.Reload(name)
+		switch {
+		case err != nil:
+			fmt.Fprintf(out, "SIGHUP reload %s: %v (still serving the loaded version)\n", name, err)
+		case changed:
+			fmt.Fprintf(out, "SIGHUP reload %s: now %s version %d (digest %.12s)\n",
+				name, info.Model, info.Version, info.Digest)
+		default:
+			fmt.Fprintf(out, "SIGHUP reload %s: unchanged (version %d)\n", name, info.Version)
+		}
 	}
-	if path == "" {
-		return nil, errors.New("provide -snapshot (preferred) or -model")
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sys, snap, err := modelfile.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if snap == nil {
-		snap = compiled.FromSystem(sys)
-	}
-	return snap, nil
 }

@@ -13,17 +13,18 @@ import (
 
 	"urllangid"
 	"urllangid/internal/datagen"
+	"urllangid/internal/registry"
 	"urllangid/internal/serve"
 )
 
-// writeSnapshotFile trains a small classifier and persists both a model
+// writeModelFiles trains a small classifier and persists both a model
 // file and a compiled snapshot file, as the documented CLI flow does.
-func writeSnapshotFile(t *testing.T) (snapPath, modelPath string) {
+func writeModelFiles(t *testing.T, seed uint64) (snapPath, modelPath string) {
 	t.Helper()
 	ds := datagen.Generate(datagen.Config{
-		Kind: datagen.ODP, Seed: 17, TrainPerLang: 500, TestPerLang: 1,
+		Kind: datagen.ODP, Seed: seed, TrainPerLang: 500, TestPerLang: 1,
 	})
-	clf, err := urllangid.Train(urllangid.Options{Seed: 17}, ds.Train)
+	clf, err := urllangid.Train(urllangid.Options{Seed: seed}, ds.Train)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,21 +51,28 @@ func writeSnapshotFile(t *testing.T) (snapPath, modelPath string) {
 	return snapPath, modelPath
 }
 
+// newRegistryServer stands up the same registry + handler stack run()
+// builds, without binding a real port or installing signal handlers.
+func newRegistryServer(t *testing.T, models ...modelArg) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg := registry.New(registry.Options{Engine: serve.Options{CacheCapacity: 1024}})
+	t.Cleanup(func() { reg.Close() })
+	for _, m := range models {
+		if _, err := reg.LoadFile(m.name, m.path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
 // TestServeFromSnapshotFile is the end-to-end acceptance path: snapshot
-// file on disk -> engine -> HTTP API, exercising single, batch, stream
-// and stats.
+// file on disk -> registry -> HTTP API, exercising single, batch,
+// stream and stats.
 func TestServeFromSnapshotFile(t *testing.T) {
-	snapPath, _ := writeSnapshotFile(t)
-	snap, err := loadSnapshot(snapPath, "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !snap.Compiled() {
-		t.Fatal("NB/word snapshot did not compile")
-	}
-	engine := serve.New(snap, serve.Options{CacheCapacity: 1024})
-	srv := httptest.NewServer(serve.NewHandler(engine, serve.HandlerOptions{Model: snap.Describe()}))
-	defer srv.Close()
+	snapPath, _ := writeModelFiles(t, 17)
+	srv, _ := newRegistryServer(t, modelArg{name: "nb", path: snapPath})
 
 	// Single classification.
 	resp, err := http.Post(srv.URL+"/v1/classify", "application/json",
@@ -74,6 +82,7 @@ func TestServeFromSnapshotFile(t *testing.T) {
 	}
 	var single struct {
 		Model   string `json:"model"`
+		Name    string `json:"name"`
 		Results []struct {
 			URL       string             `json:"url"`
 			Languages []string           `json:"languages"`
@@ -85,7 +94,7 @@ func TestServeFromSnapshotFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if single.Model != "NB/word" || len(single.Results) != 1 || len(single.Results[0].Scores) != 5 {
+	if single.Model != "NB/word" || single.Name != "nb" || len(single.Results) != 1 || len(single.Results[0].Scores) != 5 {
 		t.Fatalf("single classify response: %+v", single)
 	}
 
@@ -139,27 +148,31 @@ func TestServeFromSnapshotFile(t *testing.T) {
 		t.Fatalf("streamed %d of %d", streamed, len(urls))
 	}
 
-	// Stats must report the cache hit.
+	// Stats must report the cache hit and the live identity.
 	resp, err = http.Get(srv.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats serve.Snapshot
+	var stats struct {
+		Name string `json:"name"`
+		Mode string `json:"compiled_mode"`
+		serve.Snapshot
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if stats.CacheHits < 1 {
-		t.Errorf("stats cache hits = %d, want >= 1", stats.CacheHits)
+	if stats.Name != "nb" || stats.Mode != "linear" {
+		t.Errorf("stats identity = %q/%q", stats.Name, stats.Mode)
 	}
-	if stats.CacheHitRate <= 0 {
-		t.Errorf("stats hit rate = %v", stats.CacheHitRate)
+	if stats.CacheHits < 1 || stats.CacheHitRate <= 0 || stats.CacheHitRatio <= 0 {
+		t.Errorf("stats cache figures: %+v", stats.Snapshot)
 	}
 	if stats.URLs != 6 {
 		t.Errorf("stats URLs = %d, want 6", stats.URLs)
 	}
 
-	// Health.
+	// Health carries the live model identity.
 	resp, err = http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -169,35 +182,217 @@ func TestServeFromSnapshotFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health["status"] != "ok" {
+	if health["status"] != "ok" || health["name"] != "nb" || health["version"] != float64(1) {
 		t.Errorf("healthz = %v", health)
 	}
 }
 
-func TestLoadSnapshotFromModelFile(t *testing.T) {
-	_, modelPath := writeSnapshotFile(t)
-	snap, err := loadSnapshot("", modelPath)
+// TestMultiModelRoutingAndHotReload is the registry walkthrough over
+// HTTP: two models under one server, ?model= routing, /v1/models
+// listing, and a zero-downtime reload after redeploying a file.
+func TestMultiModelRoutingAndHotReload(t *testing.T) {
+	snapA, _ := writeModelFiles(t, 17)
+	snapB, _ := writeModelFiles(t, 23)
+	srv, _ := newRegistryServer(t,
+		modelArg{name: "prod", path: snapA},
+		modelArg{name: "canary", path: snapB},
+	)
+
+	classify := func(query string) (name string, scores map[string]float64) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/classify"+query, "application/json",
+			strings.NewReader(`{"url": "http://www.nachrichten-wetter.de/zeitung"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify%s: status %d", query, resp.StatusCode)
+		}
+		var body struct {
+			Name    string `json:"name"`
+			Results []struct {
+				Scores map[string]float64 `json:"scores"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Name, body.Results[0].Scores
+	}
+	defName, defScores := classify("")
+	canaryName, canaryScores := classify("?model=canary")
+	if defName != "prod" || canaryName != "canary" {
+		t.Errorf("routing answered %s/%s, want prod/canary", defName, canaryName)
+	}
+	same := true
+	for code, s := range defScores {
+		same = same && canaryScores[code] == s
+	}
+	if same {
+		t.Error("prod and canary answered identically; routing unproven")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/models")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !snap.Compiled() || snap.Describe() != "NB/word" {
-		t.Errorf("model-file compile: compiled=%v describe=%q", snap.Compiled(), snap.Describe())
+	var list struct {
+		Models  []serve.ModelInfo `json:"models"`
+		Default string            `json:"default"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Default != "prod" || len(list.Models) != 2 || list.Models[0].Name != "prod" {
+		t.Fatalf("models list = %+v", list)
+	}
+
+	// Redeploy canary's file with prod's model, reload over HTTP: the
+	// canary route must answer with the new model immediately.
+	data, err := os.ReadFile(snapA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapB, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/v1/models/canary/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reload struct {
+		Changed bool            `json:"changed"`
+		Model   serve.ModelInfo `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reload); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reload.Changed || reload.Model.Version != 2 {
+		t.Fatalf("reload = %+v", reload)
+	}
+	_, reloaded := classify("?model=canary")
+	for code, s := range defScores {
+		if reloaded[code] != s {
+			t.Errorf("post-reload canary %s = %v, want prod's %v", code, reloaded[code], s)
+		}
 	}
 }
 
-func TestLoadSnapshotErrors(t *testing.T) {
-	if _, err := loadSnapshot("", ""); err == nil {
-		t.Error("no source accepted")
+func TestParseModelArg(t *testing.T) {
+	cases := []struct {
+		in         string
+		name, path string
+		wantErr    bool
+	}{
+		{in: "nb=models/nb.snapshot", name: "nb", path: "models/nb.snapshot"},
+		{in: "canary = /tmp/b.model", name: "canary", path: "/tmp/b.model"},
+		{in: "models/nb.snapshot", name: "nb", path: "models/nb.snapshot"},
+		{in: "nb.model", name: "nb", path: "nb.model"},
+		{in: "=path", wantErr: true},
+		{in: "name=", wantErr: true},
+		{in: "", wantErr: true},
+		{in: "a/b=x.model", wantErr: true},            // '/' cannot route in a URL path
+		{in: "models/we?ird.snapshot", wantErr: true}, // derived names validate too
+		{in: "a#b=x.model", wantErr: true},
 	}
-	if _, err := loadSnapshot(filepath.Join(t.TempDir(), "missing"), ""); err == nil {
-		t.Error("missing snapshot accepted")
+	for _, tc := range cases {
+		got, err := parseModelArg(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseModelArg(%q) accepted, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseModelArg(%q): %v", tc.in, err)
+			continue
+		}
+		if got.name != tc.name || got.path != tc.path {
+			t.Errorf("parseModelArg(%q) = %+v, want %s=%s", tc.in, got, tc.name, tc.path)
+		}
+	}
+}
+
+// TestReloadAll covers the SIGHUP handler's work loop: unchanged files
+// are no-ops, changed files swap, and missing files keep serving.
+func TestReloadAll(t *testing.T) {
+	snapA, _ := writeModelFiles(t, 17)
+	snapB, _ := writeModelFiles(t, 23)
+	reg := registry.New(registry.Options{})
+	defer reg.Close()
+	if _, err := reg.LoadFile("a", snapA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadFile("b", snapB); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	reloadAll(reg, &log)
+	if got := log.String(); strings.Count(got, "unchanged") != 2 {
+		t.Errorf("no-op reloadAll log:\n%s", got)
+	}
+
+	// Redeploy b, delete a: one swap, one error, nothing stops serving.
+	data, err := os.ReadFile(snapA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapB, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(snapA)
+	log.Reset()
+	reloadAll(reg, &log)
+	got := log.String()
+	if !strings.Contains(got, "reload b: now NB/word version 2") {
+		t.Errorf("changed-file log:\n%s", got)
+	}
+	if !strings.Contains(got, "reload a:") || !strings.Contains(got, "still serving") {
+		t.Errorf("missing-file log:\n%s", got)
+	}
+	if len(reg.Models()) != 2 {
+		t.Error("a slot vanished on reload failure")
+	}
+	if _, err := reg.Acquire("a"); err != nil {
+		t.Errorf("slot a stopped serving after failed reload: %v", err)
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no models accepted")
+	}
+	if err := run([]string{"-model", "m=" + filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+		t.Error("missing model file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad")
 	os.WriteFile(bad, []byte("junk"), 0o644)
-	if _, err := loadSnapshot(bad, ""); err == nil {
-		t.Error("junk snapshot accepted")
+	if err := run([]string{"-model", "m=" + bad}, &out); err == nil || !strings.Contains(err.Error(), "not a model file") {
+		t.Errorf("junk model error = %v", err)
 	}
-	if _, err := loadSnapshot("", bad); err == nil {
-		t.Error("junk model accepted")
+	// Two flags resolving to one serving name must fail loudly, not
+	// silently serve only the second: explicit duplicates, colliding
+	// bare-path basenames, and -snapshot vs an explicit "default".
+	snapPath, _ := writeModelFiles(t, 17)
+	dir2 := t.TempDir()
+	other := filepath.Join(dir2, filepath.Base(snapPath))
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(other, data, 0o644)
+	for _, args := range [][]string{
+		{"-model", "m=" + snapPath, "-model", "m=" + other},
+		{"-model", snapPath, "-model", other},
+		{"-snapshot", snapPath, "-model", "default=" + other},
+	} {
+		if err := run(args, &out); err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Errorf("run(%v) duplicate-name error = %v", args, err)
+		}
 	}
 }

@@ -1,23 +1,31 @@
 // Serving a crawl frontier over HTTP: the paper's crawler scenario (§1)
-// taken to production shape.
+// taken to production shape, including the retrain-and-redeploy loop.
 //
 // A language-targeted crawler holds millions of uncrawled URLs and asks,
 // before every download, "is this page in my language?". This example
 // builds the full serving stack the answering service needs:
 //
-//  1. train the paper's best classifier (NB/word) on a synthetic corpus;
-//  2. compile it into a read-only snapshot — same answers bit-for-bit,
-//     severalfold faster per URL — and round-trip it through the
-//     self-describing model file format (urllangid.Open detects the
-//     kind from the header, exactly as cmd/urllangid-serve does);
-//  3. serve the snapshot over HTTP with worker-pool batching and a
-//     sharded result cache;
-//  4. drive the batch and streaming endpoints like a crawler would, and
-//     read the cache hit-rate off /stats;
-//  5. run the same workload in-process through the public Batcher —
-//     the no-HTTP embedding of the identical engine.
+//  1. train the paper's best classifier (NB/word) on a synthetic corpus,
+//     compile it into a read-only snapshot — same answers bit-for-bit,
+//     severalfold faster per URL — and write it to a model file exactly
+//     as "urllangid compile" does;
+//  2. load it into a versioned model registry next to a second model
+//     (the training-free ccTLD+ baseline), and serve both over one HTTP
+//     API with worker-pool batching and a sharded result cache;
+//  3. drive the batch and streaming endpoints like a crawler would,
+//     routing between the models with ?model=, and read the live model
+//     list off /v1/models;
+//  4. retrain, redeploy the model file, and hot-reload it with zero
+//     downtime: POST /v1/models/nb/reload swaps the new version in
+//     while in-flight requests drain on the old engine — no restart,
+//     no dropped traffic (cmd/urllangid-serve triggers the same reload
+//     on SIGHUP);
+//  5. run the same workload in-process through the public
+//     urllangid.Registry and Batcher — the no-HTTP embeddings of the
+//     identical machinery.
 //
-// Everything runs in-process on a loopback listener; no flags, no files.
+// Everything runs in-process on a loopback listener; the model files
+// live in a temp directory, stood in for a real deploy pipeline.
 //
 //	go run ./examples/server
 package main
@@ -31,16 +39,19 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"urllangid"
 	"urllangid/internal/datagen"
-	"urllangid/internal/modelfile"
+	"urllangid/internal/registry"
 	"urllangid/internal/serve"
 )
 
 func main() {
-	// 1. Train on directory-style URLs, exactly like examples/crawler.
+	// 1. Train on directory-style URLs, exactly like examples/crawler,
+	// compile, and deploy the snapshot to a model file.
 	train := datagen.Generate(datagen.Config{
 		Kind: datagen.ODP, Seed: 7, TrainPerLang: 4000, TestPerLang: 1,
 	})
@@ -48,74 +59,66 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 2. Compile. Round-trip through the wire format to prove the served
-	// model is exactly what "urllangid compile" writes to disk: the
-	// public Open reads the self-describing header and reports the kind,
-	// and modelfile.Read is the same loader cmd/urllangid-serve uses.
-	var wire bytes.Buffer
-	if err := clf.Compile().Save(&wire); err != nil {
-		log.Fatal(err)
-	}
-	wireBytes := wire.Bytes()
-	model, err := urllangid.Open(bytes.NewReader(wireBytes))
+	dir, err := os.MkdirTemp("", "urllangid-server")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, isSnap := model.(*urllangid.Snapshot); !isSnap {
-		log.Fatal("Open mis-detected the snapshot file")
-	}
-	_, snap, err := modelfile.Read(bytes.NewReader(wireBytes))
+	defer os.RemoveAll(dir)
+	nbPath := filepath.Join(dir, "nb.snapshot")
+	deploy(nbPath, clf.Compile())
+
+	tldPath := filepath.Join(dir, "tld.model")
+	baseline, err := urllangid.Train(urllangid.Options{Algorithm: urllangid.CcTLDPlus}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compiled %s snapshot: %d features packed\n\n", snap.Describe(), snap.Dim())
+	deploy(tldPath, baseline)
 
-	// 3. Serve on a loopback port.
-	engine := serve.New(snap, serve.Options{CacheCapacity: 1 << 16})
-	defer engine.Close()
+	// 2. A registry holds both models under serving names; the first
+	// loaded is the default route. Every slot gets its own engine from
+	// the template (worker pool + result cache), and cmd/urllangid-serve
+	// wires up exactly this stack from its -model flags.
+	reg := registry.New(registry.Options{Engine: serve.Options{CacheCapacity: 1 << 16}})
+	defer reg.Close()
+	if _, err := reg.LoadFile("nb", nbPath); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.LoadFile("tld", tldPath); err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewHandler(engine, serve.HandlerOptions{Model: snap.Describe()})}
+	srv := &http.Server{Handler: serve.NewHandler(reg, serve.HandlerOptions{})}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
 
-	// 4a. A crawler checking a handful of frontier URLs in one batch.
-	batch := map[string][]string{"urls": {
+	fmt.Println("GET /v1/models:")
+	for _, m := range reg.Models() {
+		fmt.Printf("  %-4s -> %s (%s, version %d, digest %.12s)\n", m.Name, m.Model, m.Mode, m.Version, m.Digest)
+	}
+
+	// 3a. A crawler checking a handful of frontier URLs in one batch —
+	// once against the default model, once routed to the baseline.
+	frontierBatch := []string{
 		"http://www.wasserbett-heizung.de/kaufen",
 		"http://www.annonces-immobilier.fr/paris",
 		"http://www.ofertas-vuelos.es/madrid",
 		"http://www.notizie-calcio.it/serie-a",
 		"http://www.weather-report.com/forecast",
-	}}
-	body, _ := json.Marshal(batch)
-	resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
 	}
-	var classified struct {
-		Results []struct {
-			URL       string   `json:"url"`
-			Languages []string `json:"languages"`
-		} `json:"results"`
+	fmt.Println("\nPOST /v1/classify (batch, default model nb):")
+	for _, r := range classifyBatch(base, "", frontierBatch) {
+		fmt.Printf("  %-45s -> %s\n", r.URL, orDash(r.Languages))
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&classified); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	fmt.Println("POST /v1/classify (batch):")
-	for _, r := range classified.Results {
-		langs := strings.Join(r.Languages, ",")
-		if langs == "" {
-			langs = "-"
-		}
-		fmt.Printf("  %-45s -> %s\n", r.URL, langs)
+	fmt.Println("POST /v1/classify?model=tld (same batch, ccTLD+ baseline):")
+	for _, r := range classifyBatch(base, "?model=tld", frontierBatch) {
+		fmt.Printf("  %-45s -> %s\n", r.URL, orDash(r.Languages))
 	}
 
-	// 4b. A bulk frontier through the NDJSON stream — with repeats, the
+	// 3b. A bulk frontier through the NDJSON stream — with repeats, the
 	// way real frontiers repeat hosts. The frontier uploads while results
 	// stream back (the endpoint is full duplex), so the client writes
 	// through a pipe and reads concurrently.
@@ -132,7 +135,7 @@ func main() {
 			}
 		}
 	}()
-	resp, err = http.Post(base+"/v1/stream", "application/x-ndjson", pr)
+	resp, err := http.Post(base+"/v1/stream", "application/x-ndjson", pr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,25 +164,87 @@ func main() {
 	}
 	fmt.Println()
 
-	// 4c. The cache did the heavy lifting on the repeated rounds.
+	// 3c. The cache did the heavy lifting on the repeated rounds.
 	resp, err = http.Get(base + "/stats")
 	if err != nil {
 		log.Fatal(err)
 	}
-	var stats serve.Snapshot
+	var stats struct {
+		Name    string `json:"name"`
+		Version int64  `json:"version"`
+		serve.Snapshot
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("\nGET /stats: %d URLs served, cache hit-rate %.0f%% (%d hits / %d misses), p50 %.0fµs\n",
-		stats.URLs, 100*stats.CacheHitRate, stats.CacheHits, stats.CacheMisses, stats.LatencyP50Usec)
-	fmt.Println("\nrepeated frontier rounds land in the cache — exactly why a crawler")
-	fmt.Println("front end holds its own result cache before touching the model.")
+	fmt.Printf("\nGET /stats: model %s v%d, %d URLs served, cache hit-rate %.0f%% (%d hits / %d misses), p50 %.0fµs\n",
+		stats.Name, stats.Version, stats.URLs, 100*stats.CacheHitRate, stats.CacheHits, stats.CacheMisses, stats.LatencyP50Usec)
 
-	// 5. The same engine without HTTP: a crawler embedding the library
-	// wraps the model (the one Open returned) in a Batcher — persistent
-	// worker pool, result cache, serving stats — and must Close it so
-	// the pool is released.
+	// 4. The paper's deployment loop: retrain (here: a different seed
+	// stands in for fresh crawl data), redeploy the file, hot-reload.
+	// The swap is atomic — requests in flight keep their engine until
+	// they finish, new requests get version 2 immediately.
+	retrained, err := urllangid.Train(urllangid.Options{Seed: 8}, datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: 8, TrainPerLang: 4000, TestPerLang: 1,
+	}).Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deploy(nbPath, retrained.Compile())
+	resp, err = http.Post(base+"/v1/models/nb/reload", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reload struct {
+		Changed bool            `json:"changed"`
+		Model   serve.ModelInfo `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reload); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nPOST /v1/models/nb/reload after redeploy: changed=%v, now version %d (digest %.12s)\n",
+		reload.Changed, reload.Model.Version, reload.Model.Digest)
+	resp, err = http.Post(base+"/v1/models/nb/reload", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reload.Changed = true
+	if err := json.NewDecoder(resp.Body).Decode(&reload); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reload.Changed {
+		fmt.Println("POST /v1/models/nb/reload again: no-op — unchanged file digests are skipped")
+	}
+
+	// 5. The same machinery without HTTP. A crawler embedding the
+	// library uses the public Registry for named, hot-swappable models…
+	pubReg := urllangid.NewRegistry(urllangid.RegistryOptions{CacheCapacity: 1 << 16})
+	defer pubReg.Close()
+	if _, err := pubReg.Load("nb", nbPath); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pubReg.Install("baseline", baseline); err != nil {
+		log.Fatal(err)
+	}
+	r, err := pubReg.Classify("nb", "http://www.wasserbett-heizung.de/kaufen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nin-process Registry: nb claims %v; models:", r.Languages())
+	for _, m := range pubReg.Models() {
+		fmt.Printf(" %s(v%d)", m.Name, m.Version)
+	}
+	fmt.Println()
+
+	// …or a Batcher when one fixed model is enough — persistent worker
+	// pool, result cache, serving stats; Close releases the pool.
+	model, err := openModel(nbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
 	batcher := urllangid.NewBatcher(model,
 		urllangid.WithCache(1<<16), urllangid.WithStats())
 	defer batcher.Close()
@@ -190,13 +255,68 @@ func main() {
 		}
 	}
 	german := 0
-	for _, r := range batcher.ClassifyBatch(frontier) {
-		if r.Is(urllangid.German) {
+	for _, res := range batcher.ClassifyBatch(frontier) {
+		if res.Is(urllangid.German) {
 			german++
 		}
 	}
 	if bs, ok := batcher.Stats(); ok {
-		fmt.Printf("\nin-process Batcher: %d frontier URLs, %d claimed German, cache hit-rate %.0f%%\n",
+		fmt.Printf("in-process Batcher: %d frontier URLs, %d claimed German, cache hit-rate %.0f%%\n",
 			len(frontier), german, 100*bs.CacheHitRate)
 	}
+}
+
+// deploy writes a model to its serving path, as a deploy pipeline would.
+func deploy(path string, m urllangid.Model) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// openModel reads a model file through the public self-describing
+// loader, as library embedders do.
+func openModel(path string) (urllangid.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return urllangid.Open(f)
+}
+
+type wireResult struct {
+	URL       string   `json:"url"`
+	Languages []string `json:"languages"`
+}
+
+// classifyBatch posts one batch to /v1/classify with an optional
+// ?model= query and returns the per-URL results.
+func classifyBatch(base, query string, urls []string) []wireResult {
+	body, _ := json.Marshal(map[string][]string{"urls": urls})
+	resp, err := http.Post(base+"/v1/classify"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results []wireResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out.Results
+}
+
+func orDash(langs []string) string {
+	if len(langs) == 0 {
+		return "-"
+	}
+	return strings.Join(langs, ",")
 }

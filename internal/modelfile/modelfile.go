@@ -1,18 +1,33 @@
 // Package modelfile defines the on-disk container for urllangid models:
-// a fixed magic header, a format version and a kind byte, followed by
-// the kind's gob payload. The header makes model files self-describing —
-// one loader opens both trained classifiers and compiled snapshots and
-// reports *which* it found, instead of two incompatible entry points
-// failing with raw gob errors when handed the other's file.
+// a fixed magic header, a format version and a kind byte, a metadata
+// block, followed by the kind's gob payload. The header makes model
+// files self-describing — one loader opens both trained classifiers and
+// compiled snapshots and reports *which* it found, instead of two
+// incompatible entry points failing with raw gob errors when handed the
+// other's file.
+//
+// Since container version 2 the header is followed by a small JSON
+// metadata block carrying the payload's SHA-256 digest, its byte
+// length, and the model's configuration label. The digest gives every
+// model file a stable content identity — the model registry compares it
+// to skip no-op reloads and reports it per served version — and doubles
+// as an integrity check: a truncated or bit-flipped payload fails with
+// a message naming the damage instead of a gob decode error deep in the
+// payload.
 //
 // Files written before the header existed (plain core.System or
-// compiled.Snapshot gobs) still load: Read falls back to sniffing the
-// gob payload when the magic is absent.
+// compiled.Snapshot gobs) still load, as do version-1 files without the
+// metadata block: Read falls back to sniffing the gob payload when the
+// magic is absent.
 package modelfile
 
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -28,11 +43,16 @@ import (
 // 0xff..0xf8 — never 0x89).
 var magic = [8]byte{0x89, 'U', 'R', 'L', 'I', 'D', '\r', '\n'}
 
-// version is the container format version. It versions the header
-// framing only; the payloads carry their own compatibility story (gob
-// field matching for classifiers, an explicit version field for
-// snapshots).
-const version byte = 1
+// Container format versions. Version 1 is header + payload; version 2
+// inserts the metadata block between them. Write always emits the
+// current version; Read accepts both. The payloads carry their own
+// compatibility story (gob field matching for classifiers, an explicit
+// version field for snapshots).
+const (
+	versionMeta    byte = 2 // current: header + meta block + payload
+	versionPlain   byte = 1 // legacy: header + payload, no metadata
+	writtenVersion      = versionMeta
+)
 
 // Model kinds, stored in the header's kind byte.
 const (
@@ -42,6 +62,35 @@ const (
 
 // headerLen is magic + version byte + kind byte.
 const headerLen = len(magic) + 2
+
+// maxMetaBytes bounds the metadata block a reader will accept; real
+// blocks are ~200 bytes, so anything larger marks a corrupt length
+// prefix, not a model.
+const maxMetaBytes = 1 << 20
+
+// minModelBytes is the smallest plausible serialized model: even an
+// untrained baseline's gob stream spends more than this on type
+// descriptors alone. Shorter headerless inputs are rejected as "not a
+// model file" without attempting a decode.
+const minModelBytes = 64
+
+// Meta is the container's metadata block: the payload's content
+// identity and enough description to report a model without decoding
+// it. It is stored as JSON so foreign tooling can read it.
+type Meta struct {
+	// Digest is the lowercase hex SHA-256 of the payload bytes. It
+	// identifies the model content independent of the file path, and is
+	// verified on Read.
+	Digest string `json:"digest"`
+	// PayloadBytes is the exact payload length, letting Read distinguish
+	// truncation from corruption.
+	PayloadBytes int64 `json:"payload_bytes"`
+	// Label is the model's configuration label, e.g. "NB/word".
+	Label string `json:"label,omitempty"`
+	// Mode is the compiled mode ("linear", "custom", "dtree", "knn",
+	// "tld") for snapshot payloads; empty for classifiers.
+	Mode string `json:"mode,omitempty"`
+}
 
 // KindName names a kind byte for error messages.
 func KindName(kind byte) string {
@@ -55,88 +104,244 @@ func KindName(kind byte) string {
 	}
 }
 
-func writeHeader(w io.Writer, kind byte) error {
+// DigestBytes returns the lowercase hex SHA-256 of data — the same
+// digest Write stores in the metadata block when data is a payload.
+// The registry uses it to derive a content identity for legacy files
+// that carry no metadata (hashing the whole file instead).
+func DigestBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// writeModel frames a serialized payload: header, metadata block,
+// payload bytes.
+func writeModel(w io.Writer, kind byte, label, mode string, payload []byte) error {
 	var h [headerLen]byte
 	copy(h[:], magic[:])
-	h[len(magic)] = version
+	h[len(magic)] = writtenVersion
 	h[len(magic)+1] = kind
 	if _, err := w.Write(h[:]); err != nil {
 		return fmt.Errorf("writing model header: %w", err)
+	}
+	meta := Meta{
+		Digest:       DigestBytes(payload),
+		PayloadBytes: int64(len(payload)),
+		Label:        label,
+		Mode:         mode,
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("encoding model metadata: %w", err)
+	}
+	var mlen [4]byte
+	binary.BigEndian.PutUint32(mlen[:], uint32(len(mb)))
+	if _, err := w.Write(mlen[:]); err != nil {
+		return fmt.Errorf("writing model metadata: %w", err)
+	}
+	if _, err := w.Write(mb); err != nil {
+		return fmt.Errorf("writing model metadata: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("writing model payload: %w", err)
 	}
 	return nil
 }
 
 // WriteClassifier serialises a trained system with the classifier
-// header.
+// header and metadata block.
 func WriteClassifier(w io.Writer, sys *core.System) error {
-	if err := writeHeader(w, KindClassifier); err != nil {
+	var payload bytes.Buffer
+	if err := sys.Save(&payload); err != nil {
 		return err
 	}
-	return sys.Save(w)
+	return writeModel(w, KindClassifier, sys.Config.Describe(), "", payload.Bytes())
 }
 
-// WriteSnapshot serialises a compiled snapshot with the snapshot
-// header.
+// WriteSnapshot serialises a compiled snapshot with the snapshot header
+// and metadata block.
 func WriteSnapshot(w io.Writer, snap *compiled.Snapshot) error {
-	if err := writeHeader(w, KindSnapshot); err != nil {
+	var payload bytes.Buffer
+	if err := snap.Save(&payload); err != nil {
 		return err
 	}
-	return snap.Save(w)
+	return writeModel(w, KindSnapshot, snap.Describe(), snap.Mode(), payload.Bytes())
+}
+
+// ErrNoHeader reports input without the model file magic: either a
+// legacy headerless gob or not a model file at all. Inspect returns it;
+// Read instead falls back to sniffing the payload.
+var ErrNoHeader = errors.New("no model file header")
+
+// readMeta decodes the version-2 metadata block from br.
+func readMeta(br *bufio.Reader) (*Meta, error) {
+	var mlen [4]byte
+	if _, err := io.ReadFull(br, mlen[:]); err != nil {
+		return nil, fmt.Errorf("model file truncated in metadata length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(mlen[:])
+	if n > maxMetaBytes {
+		return nil, fmt.Errorf("model metadata block claims %d bytes (limit %d): corrupt file", n, maxMetaBytes)
+	}
+	mb := make([]byte, n)
+	if _, err := io.ReadFull(br, mb); err != nil {
+		return nil, fmt.Errorf("model file truncated in metadata block: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return nil, fmt.Errorf("decoding model metadata: %w", err)
+	}
+	return &meta, nil
+}
+
+// checkVerKind validates the header's version and kind bytes.
+func checkVerKind(ver, kind byte) error {
+	if ver != versionPlain && ver != versionMeta {
+		return fmt.Errorf("model file has container version %d; this build reads versions %d and %d (rebuild or re-save the model)",
+			ver, versionPlain, versionMeta)
+	}
+	if kind != KindClassifier && kind != KindSnapshot {
+		return fmt.Errorf("model file declares %s; this build knows classifiers (%q) and snapshots (%q)",
+			KindName(kind), KindClassifier, KindSnapshot)
+	}
+	return nil
+}
+
+// readHeader peeks the container header. ok is false when the magic is
+// absent (legacy or foreign input).
+func readHeader(br *bufio.Reader) (ver, kind byte, ok bool, err error) {
+	head, peekErr := br.Peek(headerLen)
+	if peekErr != nil || !bytes.Equal(head[:len(magic)], magic[:]) {
+		return 0, 0, false, nil
+	}
+	ver, kind = head[len(magic)], head[len(magic)+1]
+	if _, err := br.Discard(headerLen); err != nil {
+		return 0, 0, false, fmt.Errorf("reading model header: %w", err)
+	}
+	if err := checkVerKind(ver, kind); err != nil {
+		return 0, 0, false, err
+	}
+	return ver, kind, true, nil
+}
+
+// Inspect reads a model file's header and metadata block without
+// decoding the payload — the cheap path for asking "what is this file,
+// and has its content changed?". meta is nil for version-1 files, which
+// carry none. Headerless input returns ErrNoHeader; callers that need a
+// content identity for such files hash them with DigestBytes.
+func Inspect(r io.Reader) (kind byte, meta *Meta, err error) {
+	br := bufio.NewReader(r)
+	ver, kind, ok, err := readHeader(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		return 0, nil, ErrNoHeader
+	}
+	if ver == versionPlain {
+		return kind, nil, nil
+	}
+	meta, err = readMeta(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	return kind, meta, nil
 }
 
 // Read loads a model of either kind from r, returning exactly one of
-// (sys, snap) non-nil. Headered files dispatch on their kind byte;
-// headerless files from pre-header releases are sniffed: the snapshot
-// decoder is tried first because it validates an internal version field,
-// whereas force-decoding a snapshot gob as a classifier would "succeed"
-// with an empty system.
+// (sys, snap) non-nil. It is ReadWithMeta without the metadata.
 func Read(r io.Reader) (sys *core.System, snap *compiled.Snapshot, err error) {
-	br := bufio.NewReader(r)
-	head, peekErr := br.Peek(headerLen)
-	if peekErr == nil && bytes.Equal(head[:len(magic)], magic[:]) {
-		ver, kind := head[len(magic)], head[len(magic)+1]
-		if _, err := br.Discard(headerLen); err != nil {
-			return nil, nil, fmt.Errorf("reading model header: %w", err)
+	sys, snap, _, err = ReadWithMeta(r)
+	return sys, snap, err
+}
+
+// ReadWithMeta loads a model of either kind from r. It buffers the
+// stream and delegates to ReadBytes.
+func ReadWithMeta(r io.Reader) (sys *core.System, snap *compiled.Snapshot, meta *Meta, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reading model data: %w", err)
+	}
+	return ReadBytes(data)
+}
+
+// ReadBytes loads a model of either kind from an in-memory file image,
+// returning exactly one of (sys, snap) non-nil plus the file's metadata
+// block (nil for version-1 and legacy headerless files). The payload is
+// sliced out of data, not copied — callers that already hold the file
+// bytes (the registry reads files once per load/reload) pay no second
+// buffer. Headered files dispatch on their kind byte, and version-2
+// payloads are verified against their recorded length and digest before
+// decoding; headerless files from pre-header releases are sniffed: the
+// snapshot decoder is tried first because it validates an internal
+// version field, whereas force-decoding a snapshot gob as a classifier
+// would "succeed" with an empty system.
+func ReadBytes(data []byte) (sys *core.System, snap *compiled.Snapshot, meta *Meta, err error) {
+	if len(data) >= headerLen && bytes.Equal(data[:len(magic)], magic[:]) {
+		ver, kind := data[len(magic)], data[len(magic)+1]
+		if err := checkVerKind(ver, kind); err != nil {
+			return nil, nil, nil, err
 		}
-		if ver != version {
-			return nil, nil, fmt.Errorf("model file has container version %d; this build reads version %d (rebuild or re-save the model)", ver, version)
-		}
-		switch kind {
-		case KindClassifier:
-			sys, err := core.Load(br)
-			if err != nil {
-				return nil, nil, fmt.Errorf("loading %s payload: %w", KindName(kind), err)
+		payload := data[headerLen:]
+		if ver == versionMeta {
+			if len(payload) < 4 {
+				return nil, nil, nil, fmt.Errorf("model file truncated in metadata length: %d bytes after the header", len(payload))
 			}
-			return sys, nil, nil
-		case KindSnapshot:
-			snap, err := compiled.Load(br)
-			if err != nil {
-				return nil, nil, fmt.Errorf("loading %s payload: %w", KindName(kind), err)
+			n := binary.BigEndian.Uint32(payload[:4])
+			if n > maxMetaBytes {
+				return nil, nil, nil, fmt.Errorf("model metadata block claims %d bytes (limit %d): corrupt file", n, maxMetaBytes)
 			}
-			return nil, snap, nil
-		default:
-			return nil, nil, fmt.Errorf("model file declares %s; this build knows classifiers (%q) and snapshots (%q)",
-				KindName(kind), KindClassifier, KindSnapshot)
+			if uint64(len(payload)-4) < uint64(n) {
+				return nil, nil, nil, fmt.Errorf("model file truncated in metadata block: %d of %d bytes", len(payload)-4, n)
+			}
+			meta = new(Meta)
+			if err := json.Unmarshal(payload[4:4+n], meta); err != nil {
+				return nil, nil, nil, fmt.Errorf("decoding model metadata: %w", err)
+			}
+			payload = payload[4+n:]
+			switch {
+			case int64(len(payload)) < meta.PayloadBytes:
+				return nil, nil, nil, fmt.Errorf("model payload truncated: %d of %d bytes (re-copy the file)", len(payload), meta.PayloadBytes)
+			case int64(len(payload)) > meta.PayloadBytes:
+				return nil, nil, nil, fmt.Errorf("model file carries %d bytes beyond its declared %d-byte payload (corrupted or concatenated)", int64(len(payload))-meta.PayloadBytes, meta.PayloadBytes)
+			}
+			if got := DigestBytes(payload); got != meta.Digest {
+				return nil, nil, nil, fmt.Errorf("model payload corrupted: SHA-256 digest mismatch (file claims %.12s…, content is %.12s…)", meta.Digest, got)
+			}
 		}
+		// checkVerKind admits only the two known kinds.
+		if kind == KindClassifier {
+			sys, err := core.Load(bytes.NewReader(payload))
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("loading %s payload: %w", KindName(kind), err)
+			}
+			return sys, nil, meta, nil
+		}
+		snap, err := compiled.Load(bytes.NewReader(payload))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("loading %s payload: %w", KindName(kind), err)
+		}
+		return nil, snap, meta, nil
 	}
 
 	// Headerless: a legacy gob payload (or not a model file at all).
-	data, err := io.ReadAll(br)
-	if err != nil {
-		return nil, nil, fmt.Errorf("reading model data: %w", err)
+	// Empty and tiny inputs get a size-stating rejection up front — the
+	// common "served an empty file" operational mistake must not surface
+	// as a raw gob/EOF decode error.
+	if len(data) < minModelBytes {
+		return nil, nil, nil, fmt.Errorf("not a model file (%d bytes: shorter than any saved model)", len(data))
 	}
 	if snap, err := compiled.Load(bytes.NewReader(data)); err == nil {
-		return nil, snap, nil
+		return nil, snap, nil, nil
 	}
 	sys, sysErr := core.Load(bytes.NewReader(data))
 	if sysErr == nil {
 		if !completeSystem(sys) {
 			sysErr = errors.New("decoded classifier is missing its extractor or models (truncated or foreign gob data)")
 		} else {
-			return sys, nil, nil
+			return sys, nil, nil, nil
 		}
 	}
-	return nil, nil, fmt.Errorf("unrecognized model data: no urllangid header and the payload is neither a saved classifier nor a compiled snapshot (%v)", sysErr)
+	return nil, nil, nil, fmt.Errorf("unrecognized model data: no urllangid header and the payload is neither a saved classifier nor a compiled snapshot (%v)", sysErr)
 }
 
 // completeSystem guards the legacy sniff path: gob happily decodes

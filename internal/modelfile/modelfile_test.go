@@ -41,12 +41,21 @@ func TestHeaderedClassifierRoundTrip(t *testing.T) {
 	if got := buf.Bytes()[0]; got != 0x89 {
 		t.Fatalf("header starts with 0x%02x, want 0x89", got)
 	}
-	loadedSys, loadedSnap, err := Read(&buf)
+	loadedSys, loadedSnap, meta, err := ReadWithMeta(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loadedSnap != nil || loadedSys == nil {
 		t.Fatalf("classifier file read as (sys=%v snap=%v)", loadedSys != nil, loadedSnap != nil)
+	}
+	if meta == nil {
+		t.Fatal("current-format classifier file carries no metadata")
+	}
+	if meta.Label != "NB/word" || meta.Mode != "" {
+		t.Errorf("classifier meta = %+v, want label NB/word and no mode", meta)
+	}
+	if len(meta.Digest) != 64 || meta.PayloadBytes <= 0 {
+		t.Errorf("classifier meta digest/size = %q/%d", meta.Digest, meta.PayloadBytes)
 	}
 	u := "http://www.wetter-bericht.de/heute"
 	if loadedSys.Scores(u) != sys.Scores(u) {
@@ -60,16 +69,103 @@ func TestHeaderedSnapshotRoundTrip(t *testing.T) {
 	if err := WriteSnapshot(&buf, snap); err != nil {
 		t.Fatal(err)
 	}
-	loadedSys, loadedSnap, err := Read(&buf)
+	loadedSys, loadedSnap, meta, err := ReadWithMeta(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loadedSys != nil || loadedSnap == nil {
 		t.Fatalf("snapshot file read as (sys=%v snap=%v)", loadedSys != nil, loadedSnap != nil)
 	}
+	if meta == nil || meta.Label != "NB/word" || meta.Mode != "linear" {
+		t.Fatalf("snapshot meta = %+v, want NB/word in linear mode", meta)
+	}
 	u := "http://www.wetter-bericht.de/heute"
 	if loadedSnap.Scores(u) != snap.Scores(u) {
 		t.Error("round-tripped snapshot scores differ")
+	}
+}
+
+// TestInspect pins the cheap no-decode path: header + metadata only,
+// with the same digest Read verifies, and ErrNoHeader for legacy gobs.
+func TestInspect(t *testing.T) {
+	snap := compiled.FromSystem(system(t))
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	kind, meta, err := Inspect(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindSnapshot || meta == nil || meta.Mode != "linear" {
+		t.Errorf("Inspect = kind %q meta %+v", kind, meta)
+	}
+	// The stored digest is the digest of exactly the payload bytes.
+	payload := buf.Bytes()[len(buf.Bytes())-int(meta.PayloadBytes):]
+	if DigestBytes(payload) != meta.Digest {
+		t.Error("stored digest does not cover the payload bytes")
+	}
+
+	var legacy bytes.Buffer
+	if err := snap.Save(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Inspect(bytes.NewReader(legacy.Bytes())); err != ErrNoHeader {
+		t.Errorf("Inspect(legacy gob) = %v, want ErrNoHeader", err)
+	}
+}
+
+// TestDeterministicDigest: saving the same model twice must produce the
+// same digest, or the registry's skip-unchanged reload check would
+// always see a change.
+func TestDeterministicDigest(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteClassifier(&a, system(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteClassifier(&b, system(t)); err != nil {
+		t.Fatal(err)
+	}
+	_, ma, err := Inspect(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mb, err := Inspect(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Digest != mb.Digest {
+		t.Errorf("digests differ across identical saves: %s vs %s", ma.Digest, mb.Digest)
+	}
+}
+
+// TestVersion1FilesStillLoad pins compatibility with the previous
+// container version: header + payload, no metadata block.
+func TestVersion1FilesStillLoad(t *testing.T) {
+	sys := system(t)
+	var payload bytes.Buffer
+	if err := sys.Save(&payload); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	v1.Write(magic[:])
+	v1.WriteByte(versionPlain)
+	v1.WriteByte(KindClassifier)
+	v1.Write(payload.Bytes())
+
+	gotSys, gotSnap, meta, err := ReadWithMeta(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+	if gotSnap != nil || gotSys == nil || meta != nil {
+		t.Fatalf("version-1 file read as (sys=%v snap=%v meta=%v)", gotSys != nil, gotSnap != nil, meta)
+	}
+	u := "http://www.nachrichten-seite.de/artikel"
+	if gotSys.Scores(u) != sys.Scores(u) {
+		t.Error("version-1 classifier scores differ")
+	}
+	if kind, meta, err := Inspect(bytes.NewReader(v1.Bytes())); err != nil || kind != KindClassifier || meta != nil {
+		t.Errorf("Inspect(v1) = kind %q meta %v err %v", kind, meta, err)
 	}
 }
 
@@ -112,50 +208,88 @@ func TestLegacyHeaderlessFiles(t *testing.T) {
 	}
 }
 
-func TestReadRejectsGarbage(t *testing.T) {
-	for _, data := range [][]byte{
-		nil,
-		{},
-		{1, 2, 3},
-		[]byte("not a model file at all, just some text"),
-		bytes.Repeat([]byte{0xff}, 64),
-	} {
-		if _, _, err := Read(bytes.NewReader(data)); err == nil {
-			t.Errorf("Read accepted %d garbage bytes", len(data))
-		} else if !strings.Contains(err.Error(), "unrecognized model data") {
-			t.Errorf("garbage error %q does not name the problem", err)
-		}
+// TestReadRejectsEmptyAndTruncated is the satellite's table: inputs an
+// operator actually produces by accident — empty files, half-copied
+// files, text mistaken for a model — must fail with an error that says
+// what the input is (and how many bytes it was), never a raw gob/EOF
+// decode error.
+func TestReadRejectsEmptyAndTruncated(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteClassifier(&full, system(t)); err != nil {
+		t.Fatal(err)
+	}
+	fb := full.Bytes()
+	corrupt := bytes.Clone(fb)
+	corrupt[len(corrupt)-1] ^= 0xff
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring the error must contain
+		not  string // substring it must not contain
+	}{
+		{"empty", nil, "not a model file (0 bytes", "EOF"},
+		{"one byte", []byte{7}, "not a model file (1 bytes", "gob"},
+		{"three bytes", []byte{1, 2, 3}, "not a model file (3 bytes", "gob"},
+		{"truncated magic", fb[:5], "not a model file (5 bytes", "EOF"},
+		{"header only", fb[:headerLen], "truncated in metadata", ""},
+		{"cut in metadata block", fb[:headerLen+9], "truncated in metadata", ""},
+		{"cut in payload", fb[:len(fb)*3/4], "payload truncated", "gob"},
+		{"trailing garbage", append(bytes.Clone(fb), "oops"...), "beyond its declared", "truncated"},
+		{"flipped payload byte", corrupt, "digest mismatch", "gob"},
+		{"small text", []byte("hello"), "not a model file (5 bytes", "gob"},
+		{"large text", bytes.Repeat([]byte("not a model file at all, just text. "), 4), "unrecognized model data", ""},
+		{"large noise", bytes.Repeat([]byte{0xff, 0x00, 0x55}, 50), "unrecognized model data", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Read(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("Read accepted %d bytes of %s", len(tc.data), tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+			if tc.not != "" && strings.Contains(err.Error(), tc.not) {
+				t.Errorf("error %q leaks %q", err, tc.not)
+			}
+		})
 	}
 }
 
 func TestReadRejectsUnknownKindAndVersion(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write(magic[:])
-	buf.WriteByte(version)
+	buf.WriteByte(versionMeta)
 	buf.WriteByte('Z')
+	buf.Write(make([]byte, 64)) // a plausible metadata-length frame
 	if _, _, err := Read(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "unknown kind") {
 		t.Errorf("unknown kind error = %v", err)
 	}
 
 	buf.Reset()
 	buf.Write(magic[:])
-	buf.WriteByte(version + 1)
+	buf.WriteByte(versionMeta + 1)
 	buf.WriteByte(KindClassifier)
 	if _, _, err := Read(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("future version error = %v", err)
 	}
 }
 
-// TestReadRejectsTruncatedHeaderedFile: a valid header followed by a
+// TestReadRejectsTruncatedV1Payload: a version-1 header followed by a
 // cut-off payload must error, naming the declared kind.
-func TestReadRejectsTruncatedHeaderedFile(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteClassifier(&buf, system(t)); err != nil {
+func TestReadRejectsTruncatedV1Payload(t *testing.T) {
+	var payload bytes.Buffer
+	if err := system(t).Save(&payload); err != nil {
 		t.Fatal(err)
 	}
-	cut := buf.Bytes()[:headerLen+16]
-	if _, _, err := Read(bytes.NewReader(cut)); err == nil || !strings.Contains(err.Error(), "trained classifier") {
-		t.Errorf("truncated payload error = %v", err)
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(versionPlain)
+	buf.WriteByte(KindClassifier)
+	buf.Write(payload.Bytes()[:16])
+	if _, _, err := Read(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "trained classifier") {
+		t.Errorf("truncated v1 payload error = %v", err)
 	}
 }
 

@@ -1,0 +1,364 @@
+// Package registry is the versioned model registry behind multi-model
+// serving and zero-downtime hot-reload: named slots, each holding an
+// atomically swappable (predictor, engine, stats, metadata) bundle.
+//
+// The paper's deployment loop — retrain per Algorithm×FeatureSet,
+// redeploy, repeat — collides with a serving plane whose engine is
+// welded in at construction: shipping a retrained model would mean
+// restarting the process and dropping in-flight traffic. The registry
+// turns models into versioned, swappable resources instead. Each slot's
+// current version is an atomic pointer; Swap installs a new version in
+// one pointer write, and the old version's engine is closed only when
+// its last in-flight holder releases it (refcounted epoch release), so
+// a swap never fails a request, cuts a stream, or leaks a worker pool.
+//
+// Lifecycle of one slot version:
+//
+//	LoadFile/Install ─→ current ──(Swap/Reload)──→ draining ──(last Release)──→ Closed
+//	                       │
+//	                 Acquire/Release pins it for one request
+//
+// The refcount starts at 1 — the registry's own reference — and Swap
+// drops that reference after replacing the pointer. Acquire increments
+// and then re-checks the pointer: if a swap won the race, the loser
+// releases its stale reference and retries on the new version, so no
+// request ever runs on a version that was already retired before it
+// arrived, and the engine underneath an acquired lease is never closed.
+//
+// Reload re-opens a slot's backing file, compares content digests (the
+// modelfile metadata digest, or a whole-file hash for legacy files) and
+// swaps only when the content actually changed, making SIGHUP-style
+// "reload everything" handlers free when nothing was redeployed.
+//
+// The registry implements serve.Resolver, which is how the HTTP layer
+// resolves an engine per request instead of capturing one at handler
+// construction.
+package registry
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urllangid/internal/compiled"
+	"urllangid/internal/modelfile"
+	"urllangid/internal/serve"
+)
+
+// Options configures a Registry.
+type Options struct {
+	// Engine is the template every slot's serving engine is built from
+	// (workers, cache capacity and shards, stats). Each installed
+	// version gets its own engine — and so its own cache and stats —
+	// from this template.
+	Engine serve.Options
+}
+
+// Registry holds named model slots. It is safe for concurrent use:
+// Acquire/Classify run lock-free against slot swaps, and installs,
+// reloads and Close serialise per slot.
+type Registry struct {
+	opts   Options
+	closed atomic.Bool
+
+	mu    sync.RWMutex
+	slots map[string]*slot
+	names []string // insertion order; names[0] is the default
+}
+
+// slot is one serving name. cur flips atomically between versions;
+// admin operations (install, reload, close) serialise on mu.
+type slot struct {
+	name string
+	mu   sync.Mutex
+	ver  int64 // last installed version number, under mu
+	cur  atomic.Pointer[version]
+}
+
+// version is one installed model epoch: the engine serving it, its
+// identity, and the refcount that keeps the engine alive while anyone
+// still holds it. refs starts at 1 for the registry's own reference.
+type version struct {
+	engine *serve.Engine
+	info   serve.ModelInfo
+	refs   atomic.Int64
+}
+
+// release drops one reference; the last one out closes the engine.
+// Engine.Close is idempotent, which makes the acquire/swap race benign:
+// an acquirer that bumped a just-retired version detects the pointer
+// change, releases, and retries — it never uses the closed engine.
+func (v *version) release() {
+	if v.refs.Add(-1) == 0 {
+		v.engine.Close()
+	}
+}
+
+// The registry is the serving plane's model source: the HTTP layer
+// resolves engines through it per request.
+var _ serve.Resolver = (*Registry)(nil)
+
+// New builds an empty registry. Load models into it with LoadFile or
+// Install; the first name becomes the default.
+func New(opts Options) *Registry {
+	return &Registry{opts: opts, slots: make(map[string]*slot)}
+}
+
+// Lease is a pinned model version: the engine it exposes stays open —
+// across any number of swaps — until Release. The zero Lease is
+// invalid; leases come from Acquire. Acquire and Release are
+// allocation-free, which keeps the registry off the classify hot
+// path's allocation budget.
+type Lease struct {
+	v *version
+}
+
+// Engine returns the pinned version's serving engine.
+func (l Lease) Engine() *serve.Engine { return l.v.engine }
+
+// Info returns the pinned version's identity.
+func (l Lease) Info() serve.ModelInfo { return l.v.info }
+
+// Release lets go of the version. The last holder of a swapped-out
+// version closes its engine. Release must be called exactly once.
+func (l Lease) Release() { l.v.release() }
+
+// Acquire pins the current version of the named slot ("" selects the
+// default). The returned lease keeps the version's engine open until
+// Release, even if the slot is swapped or the registry closed in
+// between.
+func (r *Registry) Acquire(name string) (Lease, error) {
+	r.mu.RLock()
+	if name == "" && len(r.names) > 0 {
+		name = r.names[0]
+	}
+	s := r.slots[name]
+	r.mu.RUnlock()
+	if s == nil {
+		if name == "" {
+			return Lease{}, serve.ErrNoModels
+		}
+		return Lease{}, fmt.Errorf("%w: %q", serve.ErrUnknownModel, name)
+	}
+	for {
+		v := s.cur.Load()
+		if v == nil {
+			return Lease{}, fmt.Errorf("model %q: %w", name, serve.ErrNoModels)
+		}
+		v.refs.Add(1)
+		if s.cur.Load() == v {
+			return Lease{v: v}, nil
+		}
+		// A swap won the race between Load and Add: our reference may be
+		// on a retired version. Put it back and retry on the new one.
+		v.release()
+	}
+}
+
+// Resolve implements serve.Resolver over Acquire.
+func (r *Registry) Resolve(name string) (*serve.Engine, serve.ModelInfo, func(), error) {
+	l, err := r.Acquire(name)
+	if err != nil {
+		return nil, serve.ModelInfo{}, nil, err
+	}
+	return l.v.engine, l.v.info, l.Release, nil
+}
+
+// Models lists the current version of every slot, default first, then
+// the remaining slots in the order they were first installed. It
+// implements serve.Resolver.
+func (r *Registry) Models() []serve.ModelInfo {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	slots := make([]*slot, 0, len(names))
+	for _, n := range names {
+		slots = append(slots, r.slots[n])
+	}
+	r.mu.RUnlock()
+	out := make([]serve.ModelInfo, 0, len(slots))
+	for _, s := range slots {
+		if v := s.cur.Load(); v != nil {
+			out = append(out, v.info)
+		}
+	}
+	return out
+}
+
+// Names returns the slot names, default first.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	return names
+}
+
+// LoadFile opens the model file at path — either kind, trained
+// classifiers are compiled on the way in — and installs it under name,
+// atomically replacing any version already serving that name. The
+// slot remembers the path, so Reload can re-open it later.
+func (r *Registry) LoadFile(name, path string) (serve.ModelInfo, error) {
+	snap, digest, err := readModelFile(path)
+	if err != nil {
+		return serve.ModelInfo{}, err
+	}
+	return r.install(name, snap, serve.ModelInfo{
+		Name:   name,
+		Model:  snap.Describe(),
+		Mode:   snap.Mode(),
+		Digest: digest,
+		Path:   path,
+	})
+}
+
+// Install installs a predictor programmatically (no backing file, so
+// the slot is not reloadable) under name, atomically replacing any
+// version already serving that name. label and mode describe the model
+// the way a file's metadata block would.
+func (r *Registry) Install(name string, p serve.Predictor, label, mode string) (serve.ModelInfo, error) {
+	return r.install(name, p, serve.ModelInfo{
+		Name:  name,
+		Model: label,
+		Mode:  mode,
+	})
+}
+
+// install builds an engine for p and swaps it in as the slot's next
+// version. The old version starts draining: in-flight leases keep its
+// engine open, and the last Release closes it.
+func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo) (serve.ModelInfo, error) {
+	if name == "" {
+		return serve.ModelInfo{}, fmt.Errorf("registry: empty model name")
+	}
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		return serve.ModelInfo{}, fmt.Errorf("registry: closed")
+	}
+	s := r.slots[name]
+	if s == nil {
+		s = &slot{name: name}
+		r.slots[name] = s
+		r.names = append(r.names, name)
+	}
+	r.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Close may have drained this slot between the registry check and
+	// here; installing into a closed registry would leak an engine.
+	if r.closed.Load() {
+		return serve.ModelInfo{}, fmt.Errorf("registry: closed")
+	}
+	s.ver++
+	info.Version = s.ver
+	info.LoadedAt = time.Now()
+	v := &version{engine: serve.New(p, r.opts.Engine), info: info}
+	v.refs.Store(1)
+	if old := s.cur.Swap(v); old != nil {
+		old.release()
+	}
+	return info, nil
+}
+
+// Reload re-opens the named slot's backing file. If the file's content
+// digest matches the running version's, nothing happens and changed is
+// false; otherwise the new model is swapped in and the old engine
+// drains. Slots installed programmatically (no path) are not
+// reloadable.
+func (r *Registry) Reload(name string) (serve.ModelInfo, bool, error) {
+	r.mu.RLock()
+	if name == "" && len(r.names) > 0 {
+		name = r.names[0]
+	}
+	s := r.slots[name]
+	r.mu.RUnlock()
+	if s == nil {
+		return serve.ModelInfo{}, false, fmt.Errorf("%w: %q", serve.ErrUnknownModel, name)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil || r.closed.Load() {
+		return serve.ModelInfo{}, false, fmt.Errorf("model %q: %w", name, serve.ErrNoModels)
+	}
+	if cur.info.Path == "" {
+		return cur.info, false, fmt.Errorf("%q: %w", name, serve.ErrNotReloadable)
+	}
+	snap, digest, err := readModelFile(cur.info.Path)
+	if err != nil {
+		return cur.info, false, fmt.Errorf("reloading %q: %w", name, err)
+	}
+	if digest == cur.info.Digest {
+		return cur.info, false, nil
+	}
+	s.ver++
+	info := serve.ModelInfo{
+		Name:     name,
+		Model:    snap.Describe(),
+		Mode:     snap.Mode(),
+		Digest:   digest,
+		Path:     cur.info.Path,
+		Version:  s.ver,
+		LoadedAt: time.Now(),
+	}
+	v := &version{engine: serve.New(snap, r.opts.Engine), info: info}
+	v.refs.Store(1)
+	if old := s.cur.Swap(v); old != nil {
+		old.release()
+	}
+	return info, true, nil
+}
+
+// Close retires every slot: each current version loses the registry's
+// reference, so its engine closes as soon as in-flight leases drain
+// (immediately, when there are none). Acquire fails afterwards; Close
+// is idempotent.
+func (r *Registry) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	r.mu.RLock()
+	slots := make([]*slot, 0, len(r.slots))
+	for _, s := range r.slots {
+		slots = append(slots, s)
+	}
+	r.mu.RUnlock()
+	for _, s := range slots {
+		s.mu.Lock()
+		if old := s.cur.Swap(nil); old != nil {
+			old.release()
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// readModelFile loads a model file of either kind as a compiled
+// snapshot plus its content digest: the metadata digest for current
+// files, a whole-file hash for headerless/v1 files (equivalent for
+// change detection — same bytes, same digest).
+func readModelFile(path string) (*compiled.Snapshot, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	sys, snap, meta, err := modelfile.ReadBytes(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if snap == nil {
+		snap = compiled.FromSystem(sys)
+	}
+	digest := ""
+	if meta != nil {
+		digest = meta.Digest
+	} else {
+		digest = modelfile.DigestBytes(data)
+	}
+	return snap, digest, nil
+}

@@ -28,44 +28,75 @@ const streamFlushInterval = 50 * time.Millisecond
 
 // HandlerOptions tunes the HTTP front end.
 type HandlerOptions struct {
-	// Model is the description reported by /healthz and /stats
-	// (e.g. "NB/word").
-	Model string
-	// Mode is the compiled-mode string reported by /healthz and /stats
-	// (e.g. "linear", "custom", "dtree", "knn", "tld"), so operators can
-	// tell which scorer a server is actually running. Empty when the
-	// predictor is not a compiled snapshot.
-	Mode string
 	// MaxBatch overrides DefaultMaxBatch.
 	MaxBatch int
 }
 
-// NewHandler builds the HTTP API over an engine:
+// NewHandler builds the HTTP API over a Resolver. Every request
+// resolves its engine live — nothing about the serving model is frozen
+// at construction, so a registry swap or reload is visible to the very
+// next request:
 //
-//	POST /v1/classify  {"url": "..."} or {"urls": ["...", ...]}
-//	POST /v1/stream    NDJSON in ({"url": "..."} or bare-string lines),
-//	                   NDJSON out, one result per input line, in order
-//	GET  /healthz      liveness + model description
-//	GET  /stats        cache hit-rate, QPS, latency percentiles
-func NewHandler(e *Engine, opts HandlerOptions) http.Handler {
-	h := &handler{engine: e, model: opts.Model, mode: opts.Mode, maxBatch: opts.MaxBatch, start: time.Now()}
+//	POST /v1/classify              {"url": "..."} or {"urls": [...]};
+//	                               ?model=name routes off the default
+//	POST /v1/stream                NDJSON in (objects, strings or bare
+//	                               lines), NDJSON out, input order;
+//	                               ?model=name routes off the default
+//	GET  /v1/models                live model list: name, label, mode,
+//	                               version, digest, loaded_at
+//	GET  /v1/models/{name}/stats   one model's serving metrics
+//	POST /v1/models/{name}/reload  re-open the model's backing file and
+//	                               swap it in (no-op if unchanged)
+//	GET  /healthz                  liveness + default model identity
+//	GET  /stats                    default model's serving metrics
+func NewHandler(models Resolver, opts HandlerOptions) http.Handler {
+	h := &handler{models: models, maxBatch: opts.MaxBatch, start: time.Now()}
 	if h.maxBatch <= 0 {
 		h.maxBatch = DefaultMaxBatch
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", h.classify)
 	mux.HandleFunc("POST /v1/stream", h.stream)
+	mux.HandleFunc("GET /v1/models", h.listModels)
+	mux.HandleFunc("GET /v1/models/{name}/stats", h.modelStats)
+	mux.HandleFunc("POST /v1/models/{name}/reload", h.reload)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /stats", h.stats)
 	return mux
 }
 
 type handler struct {
-	engine   *Engine
-	model    string
-	mode     string
+	models   Resolver
 	maxBatch int
 	start    time.Time
+}
+
+// resolve pins the engine for one request, mapping resolver failures to
+// HTTP statuses. The caller must call release exactly once when ok.
+func (h *handler) resolve(w http.ResponseWriter, r *http.Request) (e *Engine, info ModelInfo, release func(), ok bool) {
+	e, info, release, err := h.models.Resolve(r.URL.Query().Get("model"))
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return nil, ModelInfo{}, nil, false
+	}
+	return e, info, release, true
+}
+
+// errStatus maps resolver errors onto HTTP statuses: unknown names are
+// the client's mistake, an empty registry is the server's unreadiness,
+// a reload against a file-less model is a conflict with how it was
+// installed.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoModels):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotReloadable):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // classifyRequest accepts both the single and the batch shape.
@@ -84,6 +115,8 @@ type resultJSON struct {
 
 type classifyResponse struct {
 	Model   string       `json:"model"`
+	Name    string       `json:"name"`
+	Version int64        `json:"version"`
 	Results []resultJSON `json:"results"`
 }
 
@@ -109,7 +142,12 @@ func toJSON(r Result) resultJSON {
 const maxURLBytes = 8192
 
 func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
-	h.engine.Stats().RecordRequest()
+	engine, info, release, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	engine.Stats().RecordRequest()
 	// Cap the body before decoding: the batch limit would otherwise only
 	// be enforced after an arbitrarily large []string had already been
 	// materialised. /v1/stream is the unbounded-input endpoint, and it
@@ -139,8 +177,13 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 			"batch of %d exceeds limit %d; use /v1/stream for bulk frontiers", len(urls), h.maxBatch)
 		return
 	}
-	resp := classifyResponse{Model: h.model, Results: make([]resultJSON, 0, len(urls))}
-	for _, res := range h.engine.ClassifyBatch(urls) {
+	resp := classifyResponse{
+		Model:   info.Model,
+		Name:    info.Name,
+		Version: info.Version,
+		Results: make([]resultJSON, 0, len(urls)),
+	}
+	for _, res := range engine.ClassifyBatch(urls) {
 		resp.Results = append(resp.Results, toJSON(res))
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -149,9 +192,18 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 // stream consumes NDJSON: each non-empty line is either a JSON object
 // with a "url" field, a JSON string, or a bare URL. Responses stream
 // back in input order, one JSON object per line, flushed per chunk so a
-// crawler can pipe its frontier through without buffering it.
+// crawler can pipe its frontier through without buffering it. The
+// stream pins its engine for its whole duration: a model swapped out
+// mid-stream keeps answering this stream's lines and is closed when the
+// stream (and any other holder) lets go — in-flight work drains, it is
+// never cut off.
 func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
-	h.engine.Stats().RecordRequest()
+	engine, _, release, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	engine.Stats().RecordRequest()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Results stream back while the frontier is still uploading. Without
 	// full duplex the HTTP/1.x server aborts the request body at the
@@ -166,7 +218,7 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 		if len(chunk) == 0 {
 			return true
 		}
-		for _, res := range h.engine.ClassifyBatch(chunk) {
+		for _, res := range engine.ClassifyBatch(chunk) {
 			if err := enc.Encode(toJSON(res)); err != nil {
 				return false // client went away
 			}
@@ -277,36 +329,112 @@ func parseStreamLine(line string) (string, error) {
 	}
 }
 
+// listModels reports every live model version plus which name is the
+// default route — the Resolver contract orders the default first.
+func (h *handler) listModels(w http.ResponseWriter, _ *http.Request) {
+	list := h.models.Models()
+	def := ""
+	if len(list) > 0 {
+		def = list[0].Name
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":  list,
+		"default": def,
+	})
+}
+
+// reload re-opens the named model's backing file and swaps the result
+// in. An unchanged file (same content digest) reports changed=false and
+// touches nothing.
+func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
+	info, changed, err := h.models.Reload(r.PathValue("name"))
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"changed": changed,
+		"model":   info,
+	})
+}
+
+// healthz reports liveness plus the default model's identity — read
+// from the resolver per request, so the label, mode and version are
+// correct immediately after a swap.
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	_, info, release, err := h.models.Resolve("")
+	if err != nil {
+		writeJSON(w, errStatus(err), map[string]any{
+			"status": "unavailable",
+			"error":  err.Error(),
+		})
+		return
+	}
+	release()
 	resp := map[string]any{
 		"status":         "ok",
-		"model":          h.model,
+		"name":           info.Name,
+		"model":          info.Model,
+		"version":        info.Version,
 		"uptime_seconds": time.Since(h.start).Seconds(),
 	}
 	// Matches /stats' omitempty: the key appears only when the server
 	// actually runs a compiled snapshot.
-	if h.mode != "" {
-		resp["compiled_mode"] = h.mode
+	if info.Mode != "" {
+		resp["compiled_mode"] = info.Mode
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statsResponse wraps the metric snapshot with the identity of what the
-// server is running — the model label and the compiled mode — so an
-// operator reading /stats never has to guess which scorer is behind the
-// numbers.
+// statsResponse wraps the metric snapshot with the live identity of
+// what is being served — name, label, mode, version, digest — so an
+// operator reading /stats never has to guess which scorer (or which
+// *version* of it) is behind the numbers.
+//
+// UptimeSeconds here is the HTTP server's uptime and deliberately
+// shadows the embedded engine snapshot's same-named field: the engine
+// is replaced on every swap, so its anchor would reset with each
+// reload, while "how long has this server been up" must not.
 type statsResponse struct {
-	Model string `json:"model"`
-	Mode  string `json:"compiled_mode,omitempty"`
+	Name    string `json:"name"`
+	Model   string `json:"model"`
+	Mode    string `json:"compiled_mode,omitempty"`
+	Version int64  `json:"version"`
+	Digest  string `json:"digest,omitempty"`
+	// UptimeSeconds is time since the handler started serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	Snapshot
 }
 
-func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		Model:    h.model,
-		Mode:     h.mode,
-		Snapshot: h.engine.StatsSnapshot(),
-	})
+func (h *handler) statsFor(e *Engine, info ModelInfo) statsResponse {
+	return statsResponse{
+		Name:          info.Name,
+		Model:         info.Model,
+		Mode:          info.Mode,
+		Version:       info.Version,
+		Digest:        info.Digest,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Snapshot:      e.StatsSnapshot(),
+	}
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	engine, info, release, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	writeJSON(w, http.StatusOK, h.statsFor(engine, info))
+}
+
+func (h *handler) modelStats(w http.ResponseWriter, r *http.Request) {
+	engine, info, release, err := h.models.Resolve(r.PathValue("name"))
+	if err != nil {
+		httpError(w, errStatus(err), "%v", err)
+		return
+	}
+	defer release()
+	writeJSON(w, http.StatusOK, h.statsFor(engine, info))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

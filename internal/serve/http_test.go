@@ -17,7 +17,8 @@ func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Engine) {
 	t.Helper()
 	snap, _ := snapshot(t)
 	e := New(snap, opts)
-	srv := httptest.NewServer(NewHandler(e, HandlerOptions{Model: snap.Describe(), Mode: snap.Mode()}))
+	res := Static(e, ModelInfo{Model: snap.Describe(), Mode: snap.Mode()})
+	srv := httptest.NewServer(NewHandler(res, HandlerOptions{}))
 	t.Cleanup(srv.Close)
 	return srv, e
 }
@@ -126,7 +127,7 @@ func TestHTTPClassifyErrors(t *testing.T) {
 func TestHTTPClassifyBatchLimit(t *testing.T) {
 	snap, _ := snapshot(t)
 	e := New(snap, Options{})
-	srv := httptest.NewServer(NewHandler(e, HandlerOptions{Model: "NB/word", MaxBatch: 2}))
+	srv := httptest.NewServer(NewHandler(Static(e, ModelInfo{Model: "NB/word"}), HandlerOptions{MaxBatch: 2}))
 	defer srv.Close()
 	resp := postJSON(t, srv.URL+"/v1/classify", map[string][]string{
 		"urls": {"http://a.de", "http://b.de", "http://c.de"},
@@ -354,6 +355,9 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	if health["compiled_mode"] != "linear" {
 		t.Errorf("healthz compiled_mode = %v, want linear", health["compiled_mode"])
 	}
+	if health["name"] != "default" || health["version"] != float64(1) {
+		t.Errorf("healthz identity = %v/%v, want default v1", health["name"], health["version"])
+	}
 
 	// Generate some traffic: one miss, one hit.
 	u := "http://www.einzigartig-seite.de/pfad"
@@ -386,6 +390,188 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	// as a full one.
 	if stats.QPSRecent < 0 || stats.QPSRecent > 2/recentWindow.Seconds() {
 		t.Errorf("recent QPS = %v", stats.QPSRecent)
+	}
+}
+
+// TestHTTPStatsJSONShape pins the wire shape of GET /stats: the
+// satellite fields uptime_seconds and cache_hit_ratio must be present
+// (as numbers, at the top level) alongside the identity and counter
+// fields, and the server-level uptime must win over the swapped
+// engine's own anchor.
+func TestHTTPStatsJSONShape(t *testing.T) {
+	srv, _ := newTestServer(t, Options{CacheCapacity: 64})
+	u := "http://www.einzigartig-seite.de/pfad"
+	postJSON(t, srv.URL+"/v1/classify", map[string]string{"url": u}).Body.Close()
+	postJSON(t, srv.URL+"/v1/classify", map[string]string{"url": u}).Body.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := decodeBody[map[string]any](t, resp)
+	for _, key := range []string{
+		"name", "model", "version", "uptime_seconds", "cache_hit_ratio",
+		"cache_hit_rate", "cache_hits", "cache_misses", "urls", "requests",
+	} {
+		if _, present := raw[key]; !present {
+			t.Errorf("/stats lacks %q: %v", key, raw)
+		}
+	}
+	up, ok := raw["uptime_seconds"].(float64)
+	if !ok || up < 0 {
+		t.Errorf("uptime_seconds = %v", raw["uptime_seconds"])
+	}
+	ratio, ok := raw["cache_hit_ratio"].(float64)
+	if !ok || ratio <= 0 || ratio >= 1 {
+		t.Errorf("cache_hit_ratio = %v, want in (0,1) after one hit of two URLs", raw["cache_hit_ratio"])
+	}
+}
+
+// multiResolver is a test double with two slots and a scripted Reload,
+// so the routing surface can be exercised without dragging the real
+// registry into serve's tests (the registry depends on serve, not the
+// other way around).
+type multiResolver struct {
+	engines map[string]*Engine
+	infos   map[string]ModelInfo
+	def     string
+	reloads int
+}
+
+func (m *multiResolver) Resolve(name string) (*Engine, ModelInfo, func(), error) {
+	if name == "" {
+		name = m.def
+	}
+	e, ok := m.engines[name]
+	if !ok {
+		return nil, ModelInfo{}, nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return e, m.infos[name], func() {}, nil
+}
+
+func (m *multiResolver) Models() []ModelInfo {
+	out := []ModelInfo{m.infos[m.def]}
+	for name, info := range m.infos {
+		if name != m.def {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+func (m *multiResolver) Reload(name string) (ModelInfo, bool, error) {
+	info, ok := m.infos[name]
+	if !ok {
+		return ModelInfo{}, false, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if info.Path == "" {
+		return info, false, fmt.Errorf("%q: %w", name, ErrNotReloadable)
+	}
+	m.reloads++
+	info.Version++
+	m.infos[name] = info
+	return info, true, nil
+}
+
+func newMultiServer(t *testing.T) (*httptest.Server, *multiResolver) {
+	t.Helper()
+	snap, _ := snapshot(t)
+	fast := New(snap, Options{CacheCapacity: 64})
+	slow := New(snap, Options{})
+	t.Cleanup(func() { fast.Close(); slow.Close() })
+	m := &multiResolver{
+		engines: map[string]*Engine{"fast": fast, "slow": slow},
+		infos: map[string]ModelInfo{
+			"fast": {Name: "fast", Model: "NB/word", Mode: "linear", Version: 3, Digest: "abc", Path: "/tmp/fast.model"},
+			"slow": {Name: "slow", Model: "RE/word", Mode: "linear", Version: 1},
+		},
+		def: "fast",
+	}
+	srv := httptest.NewServer(NewHandler(m, HandlerOptions{}))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+// TestHTTPModelRouting: ?model= selects the slot on /v1/classify and
+// /stats, the default applies when absent, and unknown names 404.
+func TestHTTPModelRouting(t *testing.T) {
+	srv, _ := newMultiServer(t)
+	u := map[string]string{"url": "http://www.wetter.de/bericht"}
+
+	body := decodeBody[classifyResponse](t, postJSON(t, srv.URL+"/v1/classify", u))
+	if body.Name != "fast" || body.Version != 3 {
+		t.Errorf("default route answered by %s v%d, want fast v3", body.Name, body.Version)
+	}
+	body = decodeBody[classifyResponse](t, postJSON(t, srv.URL+"/v1/classify?model=slow", u))
+	if body.Name != "slow" || body.Model != "RE/word" {
+		t.Errorf("?model=slow answered by %s (%s)", body.Name, body.Model)
+	}
+	resp := postJSON(t, srv.URL+"/v1/classify?model=nope", u)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown model: status %d, want 404", resp.StatusCode)
+	}
+
+	statsResp, err := http.Get(srv.URL + "/v1/models/slow/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[statsResponse](t, statsResp)
+	if st.Name != "slow" || st.URLs != 1 {
+		t.Errorf("per-model stats = %s with %d URLs, want slow with 1", st.Name, st.URLs)
+	}
+	missResp, err := http.Get(srv.URL + "/v1/models/nope/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missResp.Body.Close()
+	if missResp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown model stats: status %d, want 404", missResp.StatusCode)
+	}
+}
+
+// TestHTTPModelsListAndReload covers GET /v1/models and the reload
+// endpoint's status mapping: 200 with changed, 404 for unknown names,
+// 409 for models with no backing file.
+func TestHTTPModelsListAndReload(t *testing.T) {
+	srv, m := newMultiServer(t)
+	resp, err := http.Get(srv.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeBody[struct {
+		Models  []ModelInfo `json:"models"`
+		Default string      `json:"default"`
+	}](t, resp)
+	if list.Default != "fast" || len(list.Models) != 2 {
+		t.Fatalf("models list = %+v", list)
+	}
+	if list.Models[0].Name != "fast" || list.Models[0].Digest != "abc" {
+		t.Errorf("default-first ordering violated: %+v", list.Models)
+	}
+
+	reload := func(name string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/models/"+name+"/reload", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		return resp, body
+	}
+	resp2, body := reload("fast")
+	if resp2.StatusCode != http.StatusOK || body["changed"] != true || m.reloads != 1 {
+		t.Errorf("reload fast: status %d body %v (reloads %d)", resp2.StatusCode, body, m.reloads)
+	}
+	resp2, _ = reload("nope")
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("reload unknown: status %d, want 404", resp2.StatusCode)
+	}
+	resp2, _ = reload("slow")
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("reload file-less model: status %d, want 409", resp2.StatusCode)
 	}
 }
 

@@ -109,12 +109,19 @@ func (s *Stats) recordLatency(d time.Duration) {
 
 // Snapshot is a point-in-time view of the metrics, shaped for JSON.
 type Snapshot struct {
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	Requests       int64   `json:"requests"`
-	URLs           int64   `json:"urls"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheHitRate   float64 `json:"cache_hit_rate"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	URLs          int64   `json:"urls"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// CacheHitRatio is the fraction of *all* classified URLs the cache
+	// answered — hits over URLs, where CacheHitRate is hits over cache
+	// lookups only. On a cache-less engine it stays 0 while CacheHitRate
+	// reads "no lookups"; with in-batch dedup the two also diverge
+	// (deduped copies count as URLs but only as hits when a cache would
+	// have served them).
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 	CacheEntries   int     `json:"cache_entries"`
 	QPSLifetime    float64 `json:"qps_lifetime"`
 	QPSRecent      float64 `json:"qps_recent"`
@@ -137,6 +144,9 @@ func (s *Stats) TakeSnapshot(cacheEntries int) Snapshot {
 	}
 	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
 		snap.CacheHitRate = float64(snap.CacheHits) / float64(total)
+	}
+	if snap.URLs > 0 {
+		snap.CacheHitRatio = float64(snap.CacheHits) / float64(snap.URLs)
 	}
 	if snap.UptimeSeconds > 0 {
 		snap.QPSLifetime = float64(snap.URLs) / snap.UptimeSeconds

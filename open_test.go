@@ -2,6 +2,7 @@ package urllangid_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -149,11 +150,26 @@ func TestWrongKindErrorsNameTheFormat(t *testing.T) {
 }
 
 func TestOpenRejectsGarbageNamingFormats(t *testing.T) {
-	_, err := urllangid.Open(bytes.NewReader([]byte("definitely not a model")))
+	// Garbage large enough to be a plausible model gets an error naming
+	// both accepted formats.
+	big := bytes.Repeat([]byte("definitely not a model, just prose. "), 8)
+	_, err := urllangid.Open(bytes.NewReader(big))
 	if err == nil {
 		t.Fatal("Open accepted garbage")
 	}
 	if !strings.Contains(err.Error(), "classifier") || !strings.Contains(err.Error(), "snapshot") {
 		t.Errorf("garbage error %q does not name the accepted formats", err)
+	}
+
+	// Empty and too-short input — the classic "served an empty file"
+	// mistake — states the byte count instead of a gob/EOF error.
+	for _, data := range [][]byte{nil, []byte("definitely not a model")} {
+		_, err := urllangid.Open(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("Open accepted %d bytes", len(data))
+		}
+		if want := fmt.Sprintf("not a model file (%d bytes", len(data)); !strings.Contains(err.Error(), want) {
+			t.Errorf("short-input error %q does not contain %q", err, want)
+		}
 	}
 }

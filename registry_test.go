@@ -1,0 +1,221 @@
+package urllangid_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"urllangid"
+)
+
+// saveModel writes m to a fresh file under dir and returns the path.
+func saveModel(t *testing.T, dir, name string, m urllangid.Model) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRegistryServesMultipleModels drives the public surface end to
+// end: file-loaded and programmatic models under one registry, default
+// routing, per-name classification identical to the standalone model,
+// live listing, and hot reload after a redeploy.
+func TestRegistryServesMultipleModels(t *testing.T) {
+	nb, err := urllangid.Train(urllangid.Options{Seed: 61}, trainSamples(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tld, err := urllangid.Train(urllangid.Options{Algorithm: urllangid.CcTLDPlus}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	nbPath := saveModel(t, dir, "nb.model", nb)
+
+	reg := urllangid.NewRegistry(urllangid.RegistryOptions{CacheCapacity: 128})
+	defer reg.Close()
+	info, err := reg.Load("nb", nbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "nb" || info.Version != 1 || info.Model != "NB/word" || info.Digest == "" {
+		t.Errorf("loaded info = %+v", info)
+	}
+	if _, err := reg.Install("tld", tld); err != nil {
+		t.Fatal(err)
+	}
+
+	u := "http://www.nachrichten-wetter.de/zeitung"
+	got, err := reg.Classify("nb", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scores() != nb.Classify(u).Scores() {
+		t.Error("registry classification differs from the standalone model")
+	}
+	def, err := reg.Classify("", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Scores() != got.Scores() {
+		t.Error(`"" does not route to the first-installed model`)
+	}
+	viaTLD, err := reg.Classify("tld", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaTLD.Scores() != tld.Classify(u).Scores() {
+		t.Error("tld slot does not serve the installed baseline")
+	}
+	if _, err := reg.Classify("nope", u); err == nil {
+		t.Error("unknown model name accepted")
+	}
+
+	batch, err := reg.ClassifyBatch("nb", []string{u, u, "http://www.produits.fr/annonces"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 || batch[0].Scores() != batch[1].Scores() {
+		t.Errorf("batch = %d results", len(batch))
+	}
+	stats, err := reg.Stats("nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.URLs < 4 {
+		t.Errorf("nb stats counted %d URLs", stats.URLs)
+	}
+
+	models := reg.Models()
+	if len(models) != 2 || models[0].Name != "nb" || models[1].Name != "tld" {
+		t.Fatalf("Models() = %+v", models)
+	}
+	if models[1].Mode != "tld" {
+		t.Errorf("baseline mode = %q, want tld", models[1].Mode)
+	}
+
+	// Redeploy: overwrite the file with a differently-seeded model; an
+	// unchanged reload is a no-op, the changed one swaps and bumps.
+	if _, changed, err := reg.Reload("nb"); err != nil || changed {
+		t.Errorf("no-op reload = (%v, %v)", changed, err)
+	}
+	nb2, err := urllangid.Train(urllangid.Options{Seed: 62}, trainSamples(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveModel(t, dir, "nb.model", nb2.Compile())
+	info2, changed, err := reg.Reload("nb")
+	if err != nil || !changed {
+		t.Fatalf("reload after redeploy = (%v, %v)", changed, err)
+	}
+	if info2.Version != 2 || info2.Digest == info.Digest {
+		t.Errorf("post-reload info = %+v", info2)
+	}
+	got2, err := reg.Classify("nb", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Scores() != nb2.Classify(u).Scores() {
+		t.Error("slot serves the old model after reload")
+	}
+
+	// Programmatic slots don't reload; Install is their swap.
+	if _, _, err := reg.Reload("tld"); err == nil {
+		t.Error("reload of an Installed model succeeded")
+	}
+	if _, err := reg.Install("tld", nb); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := reg.Classify("tld", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Scores() != nb.Classify(u).Scores() {
+		t.Error("Install did not swap the slot")
+	}
+
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Classify("nb", u); err == nil {
+		t.Error("Classify succeeded on a closed registry")
+	}
+}
+
+// TestRegistryOpenRejectsEmptyFile: the satellite's operator-facing
+// error for a zero-byte model file, through the public entry point.
+func TestRegistryOpenRejectsEmptyFile(t *testing.T) {
+	reg := urllangid.NewRegistry(urllangid.RegistryOptions{})
+	defer reg.Close()
+	empty := filepath.Join(t.TempDir(), "empty.model")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := reg.Load("m", empty)
+	if err == nil {
+		t.Fatal("empty file accepted")
+	}
+	want := "not a model file (0 bytes"
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Errorf("error %q does not contain %q", got, want)
+	}
+}
+
+// TestRegistryClassifyZeroAlloc pins the acceptance criterion that the
+// registry lookup does not reintroduce allocations on the single-model
+// hot path: Acquire/Release are atomic refcounts, the engine scores
+// through the compiled zero-alloc path, and with a warm cache the hit
+// path is allocation-free too.
+func TestRegistryClassifyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	clf, err := urllangid.Train(urllangid.Options{Seed: 63}, trainSamples(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := "http://www.nachrichten-wetter.de/zeitung/artikel7.html"
+
+	// Cache-less: every call runs the full compiled scoring path.
+	uncached := urllangid.NewRegistry(urllangid.RegistryOptions{})
+	defer uncached.Close()
+	if _, err := uncached.Install("m", clf); err != nil {
+		t.Fatal(err)
+	}
+	var sink urllangid.Result
+	if _, err := uncached.Classify("m", u); err != nil {
+		t.Fatal(err) // warm the scratch pools before counting
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		sink, _ = uncached.Classify("m", u)
+	}); avg > 0 {
+		t.Errorf("uncached Registry.Classify allocates %.1f/op, want 0", avg)
+	}
+
+	// Cached: after the first miss populates the entry, hits allocate
+	// nothing either.
+	cached := urllangid.NewRegistry(urllangid.RegistryOptions{CacheCapacity: 64})
+	defer cached.Close()
+	if _, err := cached.Install("m", clf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Classify("m", u); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		sink, _ = cached.Classify("m", u)
+	}); avg > 0 {
+		t.Errorf("cache-hit Registry.Classify allocates %.1f/op, want 0", avg)
+	}
+	_ = sink
+}

@@ -39,8 +39,12 @@
 // results are bit-identical but markedly faster — and allocation-free,
 // which is what lets a crawler filter millions of frontier URLs without
 // GC pressure. For sustained throughput, wrap any Model in a Batcher
-// (worker pool, result cache, serving stats); cmd/urllangid-serve
-// exposes the same engine over a batch/streaming HTTP API.
+// (worker pool, result cache, serving stats), or hold several under
+// names in a Registry — a versioned model collection whose slots can be
+// atomically hot-swapped or reloaded from redeployed files with zero
+// downtime. cmd/urllangid-serve exposes the registry over a
+// batch/streaming HTTP API with per-model routing and reload
+// endpoints.
 //
 // Models serialise with Save into a self-describing file format that
 // Open reads back regardless of kind. Synthetic corpora matching the
