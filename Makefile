@@ -21,7 +21,7 @@ URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 API_SURFACE := api/urllangid.txt
 API_DISTILL := $(GO) doc -all . | awk '/^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$$/{on=1} on && NF && substr($$0,1,4) != "    "'
 
-.PHONY: verify build fmt vet staticcheck test race fuzz-smoke bench fuzz api api-check
+.PHONY: verify build fmt vet staticcheck test race fuzz-smoke bench bench-json fuzz api api-check
 
 verify: fmt vet staticcheck build api-check test race fuzz-smoke
 
@@ -52,11 +52,12 @@ test:
 	$(GO) test ./...
 
 # The packages with lock/atomic concurrency (cache, stats, worker pool,
-# registry slot swapping, snapshot and extraction scratch pools) under
-# the race detector. The registry's swap-stress test (100+ hot swaps
-# against concurrent Classify traffic) lives there.
+# registry slot swapping, snapshot and extraction scratch pools, metric
+# registry get-or-create under scrape) under the race detector. The
+# registry's swap-stress test (100+ hot swaps against concurrent
+# Classify traffic) lives there.
 race:
-	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/ ./internal/features/ ./internal/registry/
+	$(GO) test -race ./internal/urlx/ ./internal/compiled/ ./internal/serve/ ./internal/features/ ./internal/registry/ ./internal/obs/
 
 fuzz-smoke:
 	@for target in $(URLX_FUZZ); do \
@@ -83,6 +84,13 @@ api-check:
 
 bench:
 	$(GO) test -run NONE -bench 'Predict|Classify|Batcher|Extract|ParseURL|Normalize' -benchmem .
+
+# The committed serving-trajectory benchmark: a self-hosted loadgen run
+# writing BENCH_1.json at the repo root (throughput, request latency
+# percentiles, cache hit ratio, allocs/URL). Re-run and commit after
+# serving-path changes to extend the trajectory.
+bench-json:
+	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_1.json
 
 fuzz:
 	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"urllangid/internal/langid"
+	"urllangid/internal/obs"
 	"urllangid/internal/serve"
 )
 
@@ -136,6 +137,38 @@ func (b *Batcher) Stats() (BatcherStats, bool) {
 		return BatcherStats{}, false
 	}
 	return b.engine.StatsSnapshot(), true
+}
+
+// WriteMetrics writes the batcher's serving metrics to w in Prometheus
+// text exposition format (version 0.0.4): URL throughput, cache
+// hits/misses, in-batch dedup, live cache occupancy and the scoring
+// latency histogram. Embedders scrape it from their own /metrics
+// handler. Without WithStats the counter families still appear,
+// reading zero; the latency histogram needs WithStats and is omitted.
+func (b *Batcher) WriteMetrics(w io.Writer) error {
+	x := obs.NewExpoWriter(w)
+	st := b.engine.Stats()
+	intFamily := func(name, help string, kind obs.Kind, v int64) {
+		x.Family(name, help, kind)
+		x.IntSample(name, nil, v)
+	}
+	intFamily("urllangid_batcher_urls_total",
+		"URLs classified, cached or not.", obs.KindCounter, st.URLs())
+	intFamily("urllangid_batcher_cache_hits_total",
+		"Result-cache hits.", obs.KindCounter, st.CacheHits())
+	intFamily("urllangid_batcher_cache_misses_total",
+		"Result-cache misses.", obs.KindCounter, st.CacheMisses())
+	intFamily("urllangid_batcher_deduped_total",
+		"URLs answered by in-batch duplicate fan-out.", obs.KindCounter, st.Deduped())
+	intFamily("urllangid_batcher_cache_entries",
+		"Live result-cache entries.", obs.KindGauge, int64(b.engine.CacheEntries()))
+	if h := st.Latency(); h != nil {
+		x.Family("urllangid_batcher_latency_seconds",
+			"Scoring latency of cache misses and uncached classifications.",
+			obs.KindHistogram)
+		x.HistogramSample("urllangid_batcher_latency_seconds", nil, h)
+	}
+	return x.Flush()
 }
 
 // Close stops the worker pool and waits for its goroutines to exit. It

@@ -1,0 +1,429 @@
+// Command urllangid-loadgen replays crawl-frontier-shaped traffic at a
+// urllangid-serve instance and writes a JSON benchmark report — the
+// committed BENCH_*.json trajectory files at the repo root come from
+// this tool.
+//
+// The workload models the paper's motivating deployment (§1): a crawler
+// classifying the URLs of its uncrawled frontier. Frontier traffic is
+// not uniform — a few hosts dominate (zipfian host popularity) and the
+// same link is rediscovered repeatedly (duplicates) — and both skews
+// are what make the serving cache and in-batch dedup earn their keep,
+// so the generator reproduces them: hosts are drawn from a Zipf
+// distribution over -hosts domains, and each URL is, with probability
+// -dup, an exact repeat of a recently generated one.
+//
+// With no -target, the tool self-hosts: it trains a small NB/word model
+// (seeded, deterministic), stands up the same registry + handler stack
+// urllangid-serve runs, and drives it over loopback HTTP — one command,
+// no fixtures, suitable for CI. Point -target at a running server to
+// bench a real deployment instead.
+//
+// The report records client-side request latency percentiles (measured
+// by the same log-linear histogram the server uses), overall URL
+// throughput, the server's cache hit ratio and scoring latency over the
+// run (scraped from /metrics and /stats before and after), and — when
+// self-hosting — heap allocations per URL across client and server.
+//
+// Example:
+//
+//	urllangid-loadgen -duration 10s -out BENCH_1.json
+//	urllangid-loadgen -target http://localhost:8080 -concurrency 32 -dup 0.3
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urllangid/internal/compiled"
+	"urllangid/internal/core"
+	"urllangid/internal/datagen"
+	"urllangid/internal/features"
+	"urllangid/internal/obs"
+	"urllangid/internal/registry"
+	"urllangid/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "urllangid-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// tlds gives generated hosts language-plausible endings so the traffic
+// exercises real scoring paths, not one degenerate token mix.
+var tlds = [...]string{"de", "fr", "es", "it", "com", "net", "co.uk", "nl"}
+
+// pathWords pads URL paths with common crawl-path vocabulary.
+var pathWords = [...]string{"artikel", "nachrichten", "article", "page", "noticias", "wetter", "sport", "index"}
+
+// urlGen produces one worker's frontier slice: zipfian hosts, unique
+// paths, and exact duplicates at the configured ratio drawn from a ring
+// of recent URLs (a crawler re-discovers *recent* links, not ancient
+// ones).
+type urlGen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	dup  float64
+	ring []string
+	pos  int
+	n    int
+}
+
+func newURLGen(seed int64, hosts int, zipfS, dup float64) *urlGen {
+	rng := rand.New(rand.NewSource(seed))
+	return &urlGen{
+		rng: rng,
+		// s > 1 required by rand.NewZipf; v=1 starts the support at host 0.
+		zipf: rand.NewZipf(rng, zipfS, 1, uint64(hosts-1)),
+		dup:  dup,
+		ring: make([]string, 0, 4096),
+	}
+}
+
+func (g *urlGen) next() string {
+	if len(g.ring) > 0 && g.rng.Float64() < g.dup {
+		return g.ring[g.rng.Intn(len(g.ring))]
+	}
+	host := g.zipf.Uint64()
+	g.n++
+	u := fmt.Sprintf("http://www.seite-%d.%s/%s/%d.html",
+		host, tlds[host%uint64(len(tlds))], pathWords[g.n%len(pathWords)], g.n)
+	if len(g.ring) < cap(g.ring) {
+		g.ring = append(g.ring, u)
+	} else {
+		g.ring[g.pos] = u
+		g.pos = (g.pos + 1) % len(g.ring)
+	}
+	return u
+}
+
+func (g *urlGen) batch(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.next()
+	}
+	return out
+}
+
+// serverView is the slice of /stats and /metrics the report keeps.
+type serverView struct {
+	URLs          int64   `json:"urls"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	Deduped       int64   `json:"deduped"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	LatencyP50Us  float64 `json:"latency_p50_us"`
+	LatencyP99Us  float64 `json:"latency_p99_us"`
+}
+
+type report struct {
+	Bench       string `json:"bench"`
+	GeneratedAt string `json:"generated_at"`
+	Config      struct {
+		Target      string  `json:"target"`
+		DurationSec float64 `json:"duration_seconds"`
+		Concurrency int     `json:"concurrency"`
+		Batch       int     `json:"batch"`
+		Hosts       int     `json:"hosts"`
+		ZipfS       float64 `json:"zipf_s"`
+		DupRatio    float64 `json:"dup_ratio"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	ElapsedSeconds       float64 `json:"elapsed_seconds"`
+	Requests             int64   `json:"requests"`
+	Errors               int64   `json:"errors"`
+	URLs                 int64   `json:"urls"`
+	ThroughputURLsPerSec float64 `json:"throughput_urls_per_sec"`
+	RequestLatencyMs     struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+	} `json:"request_latency_ms"`
+	Server       serverView `json:"server"`
+	AllocsPerURL float64    `json:"allocs_per_url,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, outPath, inProcess, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	target := cfg.Config.Target
+	var cleanup func()
+	if inProcess {
+		srv, stop, err := startInProcess(cfg.Config.Seed)
+		if err != nil {
+			return err
+		}
+		cleanup = stop
+		target = srv.URL
+		fmt.Fprintf(out, "self-hosting NB/word on %s\n", target)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Config.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Config.Concurrency * 2,
+	}}
+
+	before, err := scrape(client, target)
+	if err != nil {
+		return fmt.Errorf("pre-run scrape of %s: %w", target, err)
+	}
+
+	// Client-side latency goes through the same histogram type the
+	// server uses, so both ends of the report share error bounds.
+	lat := obs.NewHistogram(1e-9)
+	var requests, failures, urls atomic.Int64
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	start := time.Now()
+	deadline := start.Add(time.Duration(cfg.Config.DurationSec * float64(time.Second)))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Config.Concurrency; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gen := newURLGen(cfg.Config.Seed+int64(id)*7919, cfg.Config.Hosts, cfg.Config.ZipfS, cfg.Config.DupRatio)
+			for time.Now().Before(deadline) {
+				batch := gen.batch(cfg.Config.Batch)
+				body, _ := json.Marshal(map[string][]string{"urls": batch})
+				t0 := time.Now()
+				resp, err := client.Post(target+"/v1/classify", "application/json", bytes.NewReader(body))
+				lat.Observe(int64(time.Since(t0)))
+				requests.Add(1)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				urls.Add(int64(len(batch)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	after, err := scrape(client, target)
+	if err != nil {
+		return fmt.Errorf("post-run scrape of %s: %w", target, err)
+	}
+
+	rep := cfg
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Config.Target = target
+	rep.ElapsedSeconds = elapsed.Seconds()
+	rep.Requests = requests.Load()
+	rep.Errors = failures.Load()
+	rep.URLs = urls.Load()
+	if elapsed > 0 {
+		rep.ThroughputURLsPerSec = float64(rep.URLs) / elapsed.Seconds()
+	}
+	rep.RequestLatencyMs.P50 = lat.Quantile(0.50) / 1e6
+	rep.RequestLatencyMs.P90 = lat.Quantile(0.90) / 1e6
+	rep.RequestLatencyMs.P99 = lat.Quantile(0.99) / 1e6
+	rep.Server = delta(before, after)
+	if inProcess && rep.URLs > 0 {
+		rep.AllocsPerURL = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.URLs)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: %d URLs in %.1fs (%.0f urls/s, p50 %.2fms, p99 %.2fms, hit ratio %.2f)\n",
+			outPath, rep.URLs, rep.ElapsedSeconds, rep.ThroughputURLsPerSec,
+			rep.RequestLatencyMs.P50, rep.RequestLatencyMs.P99, rep.Server.CacheHitRatio)
+		return nil
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+func parseFlags(args []string) (report, string, bool, error) {
+	var rep report
+	fs := flag.NewFlagSet("urllangid-loadgen", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of a running urllangid-serve (empty: self-host an in-process server)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
+	batch := fs.Int("batch", 64, "URLs per /v1/classify request")
+	hosts := fs.Int("hosts", 1000, "distinct hosts in the synthetic frontier")
+	zipfS := fs.Float64("zipf", 1.3, "zipf skew of host popularity (must be > 1)")
+	dup := fs.Float64("dup", 0.2, "probability a URL exactly repeats a recent one")
+	seed := fs.Int64("seed", 41, "workload RNG seed")
+	outPath := fs.String("out", "", "write the JSON report here (empty: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return rep, "", false, err
+	}
+	if *zipfS <= 1 {
+		return rep, "", false, errors.New("-zipf must be > 1")
+	}
+	if *dup < 0 || *dup > 1 {
+		return rep, "", false, errors.New("-dup must be in [0, 1]")
+	}
+	if *concurrency < 1 || *batch < 1 || *hosts < 2 {
+		return rep, "", false, errors.New("-concurrency and -batch must be >= 1, -hosts >= 2")
+	}
+	rep.Bench = "urllangid-loadgen"
+	rep.Config.Target = strings.TrimSuffix(*target, "/")
+	rep.Config.DurationSec = duration.Seconds()
+	rep.Config.Concurrency = *concurrency
+	rep.Config.Batch = *batch
+	rep.Config.Hosts = *hosts
+	rep.Config.ZipfS = *zipfS
+	rep.Config.DupRatio = *dup
+	rep.Config.Seed = *seed
+	return rep, *outPath, *target == "", nil
+}
+
+// startInProcess trains the headline NB/word model and stands up the
+// registry + handler stack urllangid-serve runs, on a loopback
+// listener.
+func startInProcess(seed int64) (*httptest.Server, func(), error) {
+	ds := datagen.Generate(datagen.Config{
+		Kind: datagen.ODP, Seed: uint64(seed), TrainPerLang: 800, TestPerLang: 1,
+	})
+	sys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: uint64(seed)}, ds.Train)
+	if err != nil {
+		return nil, nil, fmt.Errorf("training in-process model: %w", err)
+	}
+	snap := compiled.FromSystem(sys)
+	reg := registry.New(registry.Options{Engine: serve.Options{CacheCapacity: 1 << 20}})
+	if _, err := reg.Install("default", snap, snap.Describe(), snap.Mode()); err != nil {
+		reg.Close()
+		return nil, nil, err
+	}
+	srv := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	return srv, func() { srv.Close(); reg.Close() }, nil
+}
+
+// scrape reads the server's per-model counters from /metrics (proving
+// the exposition is machine-consumable end to end) and the latency
+// percentiles from /stats.
+func scrape(client *http.Client, base string) (serverView, error) {
+	var v serverView
+	families, err := fetchMetrics(client, base+"/metrics")
+	if err != nil {
+		return v, err
+	}
+	v.URLs = int64(sumFamily(families, "urllangid_model_urls_total"))
+	v.CacheHits = int64(sumFamily(families, "urllangid_model_cache_hits_total"))
+	v.CacheMisses = int64(sumFamily(families, "urllangid_model_cache_misses_total"))
+	v.Deduped = int64(sumFamily(families, "urllangid_model_deduped_total"))
+
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		LatencyP50Us float64 `json:"latency_p50_us"`
+		LatencyP99Us float64 `json:"latency_p99_us"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return v, fmt.Errorf("decoding /stats: %w", err)
+	}
+	v.LatencyP50Us = stats.LatencyP50Us
+	v.LatencyP99Us = stats.LatencyP99Us
+	return v, nil
+}
+
+// fetchMetrics parses Prometheus text exposition into sample name (with
+// labels) → value.
+func fetchMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseMetricsText(string(body)), nil
+}
+
+// parseMetricsText turns exposition text into sample name (with
+// labels) → value, skipping comments and anything unparsable.
+func parseMetricsText(body string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = val
+	}
+	return out
+}
+
+// sumFamily totals a family's samples across its label sets (one per
+// model).
+func sumFamily(samples map[string]float64, name string) float64 {
+	var total float64
+	for k, v := range samples {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// delta reports the run's own server-side work: counter differences
+// plus the post-run latency view (the percentiles are lifetime, which
+// against a fresh or dedicated server is the run itself).
+func delta(before, after serverView) serverView {
+	d := serverView{
+		URLs:         after.URLs - before.URLs,
+		CacheHits:    after.CacheHits - before.CacheHits,
+		CacheMisses:  after.CacheMisses - before.CacheMisses,
+		Deduped:      after.Deduped - before.Deduped,
+		LatencyP50Us: after.LatencyP50Us,
+		LatencyP99Us: after.LatencyP99Us,
+	}
+	if d.URLs > 0 {
+		d.CacheHitRatio = float64(d.CacheHits) / float64(d.URLs)
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenSelfHosted runs a sub-second self-hosted bench end to end
+// and checks the report carries real numbers: the acceptance shape for
+// the committed BENCH_*.json files.
+func TestLoadgenSelfHosted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a trained model and real load")
+	}
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-duration", "300ms", "-concurrency", "2", "-batch", "16",
+		"-hosts", "50", "-dup", "0.5", "-out", outPath,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "urllangid-loadgen" || rep.GeneratedAt == "" {
+		t.Errorf("report identity = %q/%q", rep.Bench, rep.GeneratedAt)
+	}
+	if rep.URLs <= 0 || rep.Requests <= 0 {
+		t.Errorf("no traffic recorded: urls=%d requests=%d", rep.URLs, rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.ThroughputURLsPerSec <= 0 {
+		t.Errorf("throughput = %v, want > 0", rep.ThroughputURLsPerSec)
+	}
+	if rep.RequestLatencyMs.P50 <= 0 || rep.RequestLatencyMs.P99 < rep.RequestLatencyMs.P50 {
+		t.Errorf("latency percentiles p50=%v p99=%v", rep.RequestLatencyMs.P50, rep.RequestLatencyMs.P99)
+	}
+	// Server-side counters came from /metrics: the run's URL delta must
+	// match what the client sent, and the 50% dup ratio plus zipfian
+	// hosts must produce cache hits.
+	if rep.Server.URLs != rep.URLs {
+		t.Errorf("server urls = %d, client sent %d", rep.Server.URLs, rep.URLs)
+	}
+	if rep.Server.CacheHitRatio <= 0 {
+		t.Errorf("cache hit ratio = %v, want > 0 under 0.5 dup", rep.Server.CacheHitRatio)
+	}
+	if rep.AllocsPerURL <= 0 {
+		t.Errorf("allocs_per_url = %v, want > 0 for a self-hosted run", rep.AllocsPerURL)
+	}
+}
+
+// TestLoadgenFlagValidation pins the rejection of nonsense knobs.
+func TestLoadgenFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-zipf", "0.9"},
+		{"-dup", "1.5"},
+		{"-concurrency", "0"},
+		{"-hosts", "1"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+// TestURLGenDupRatio checks the generated stream has roughly the asked
+// duplicate share and zipf-skewed hosts.
+func TestURLGenDupRatio(t *testing.T) {
+	g := newURLGen(1, 100, 1.3, 0.5)
+	const n = 20000
+	seen := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		seen[g.next()]++
+	}
+	dups := n - len(seen)
+	if ratio := float64(dups) / n; ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("duplicate ratio = %.2f, want ≈0.5", ratio)
+	}
+	hosts := make(map[string]int)
+	for u := range seen {
+		host := strings.SplitN(strings.TrimPrefix(u, "http://"), "/", 2)[0]
+		hosts[host]++
+	}
+	max := 0
+	for _, c := range hosts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf: the most popular host dominates a uniform share (distinct
+	// URLs per host still skew because popular hosts get more draws).
+	if max < 3*len(seen)/100 {
+		t.Errorf("top host has %d of %d distinct URLs; expected zipfian skew", max, len(seen))
+	}
+}
+
+// TestMetricsTextParser pins the tiny exposition parser against the
+// shapes the server emits.
+func TestMetricsTextParser(t *testing.T) {
+	text := "# HELP urllangid_model_urls_total URLs.\n" +
+		"# TYPE urllangid_model_urls_total counter\n" +
+		"urllangid_model_urls_total{model=\"a\"} 10\n" +
+		"urllangid_model_urls_total{model=\"b\"} 5\n" +
+		"urllangid_http_in_flight 2\n" +
+		"urllangid_model_latency_seconds_sum{model=\"a\"} 0.002\n" +
+		"garbage line without value x\n"
+	got := parseMetricsText(text)
+	if total := sumFamily(got, "urllangid_model_urls_total"); total != 15 {
+		t.Errorf("sumFamily = %v, want 15", total)
+	}
+	if got["urllangid_http_in_flight"] != 2 {
+		t.Errorf("in_flight = %v, want 2", got["urllangid_http_in_flight"])
+	}
+	if got[`urllangid_model_latency_seconds_sum{model="a"}`] != 0.002 {
+		t.Errorf("sum sample = %v, want 0.002", got[`urllangid_model_latency_seconds_sum{model="a"}`])
+	}
+}

@@ -15,7 +15,11 @@
 //	POST /v1/models/{name}/reload  re-open the model's file, swap if
 //	                               changed
 //	GET  /healthz                  liveness + default model identity
+//	GET  /readyz                   readiness: 503 until every model slot
+//	                               can serve
 //	GET  /stats                    default model's serving metrics
+//	GET  /metrics                  Prometheus text exposition (HTTP tier
+//	                               and per-model families)
 //
 // Example:
 //
@@ -44,6 +48,13 @@
 // are scored once. /stats reports nearest-rank latency percentiles and
 // a recent-QPS figure over the last ten *complete* seconds.
 //
+// -slow-log DURATION enables per-stage request tracing: requests slower
+// than the threshold are counted in /metrics and logged (sampled to
+// about one line per second) with their normalize → cache-lookup →
+// score → respond breakdown. -debug-addr serves net/http/pprof and
+// expvar on a second listener, kept off the public address so profiling
+// endpoints are never exposed to traffic-facing networks.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
 package main
@@ -51,10 +62,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -127,6 +140,8 @@ func run(args []string, out io.Writer) error {
 	cacheShards := fs.Int("cache-shards", 16, "result cache shard count")
 	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch, "largest /v1/classify batch accepted")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	slowLog := fs.Duration("slow-log", 0, "trace requests and log those slower than this, with per-stage timings (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and expvar on this extra address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,10 +175,32 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "loaded %s: %s (%s snapshot, version %d, digest %.12s) from %s\n",
 			info.Name, info.Model, info.Mode, info.Version, info.Digest, info.Path)
 	}
-	handler := serve.NewHandler(reg, serve.HandlerOptions{MaxBatch: *maxBatch})
+	handler := serve.NewHandler(reg, serve.HandlerOptions{
+		MaxBatch: *maxBatch,
+		SlowLog:  *slowLog,
+	})
 
 	fmt.Fprintf(out, "serving %d model(s) on %s (default %s) — cache %d entries, %d shards; SIGHUP reloads changed model files\n",
 		len(models), *addr, models[0].name, *cacheCap, *cacheShards)
+
+	// The debug listener is separate from the serving address on
+	// purpose: pprof and expvar expose internals (and CPU profiling can
+	// be made expensive), so they bind where the operator says — a
+	// loopback or admin network — never the traffic port.
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		defer dbg.Close()
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(out, "debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(out, "debug endpoints (pprof, expvar) on %s\n", *debugAddr)
+	}
 
 	// SIGHUP → reload every file-backed model whose content changed.
 	// Unchanged files are digest-compared no-ops, so an operator can
@@ -202,6 +239,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// debugHandler builds the -debug-addr mux: the standard pprof profile
+// set plus expvar. An explicit mux rather than http.DefaultServeMux so
+// nothing else a dependency may have registered globally leaks onto
+// the debug port.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // reloadAll re-opens every slot's backing file, logging per slot. A

@@ -396,3 +396,90 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryMetricsAndReadyz drives the real registry stack through
+// the observability endpoints: /readyz must go green once models are
+// loaded, and /metrics must carry per-model families for every slot
+// plus the registry's swap counters.
+func TestRegistryMetricsAndReadyz(t *testing.T) {
+	snapA, _ := writeModelFiles(t, 17)
+	snapB, _ := writeModelFiles(t, 23)
+	srv, _ := newRegistryServer(t,
+		modelArg{name: "nb", path: snapA},
+		modelArg{name: "exp", path: snapB},
+	)
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /readyz = %d, want 200", resp.StatusCode)
+	}
+
+	// Route one classify at each model so the per-model counters split.
+	for _, q := range []string{"", "?model=exp"} {
+		r, err := http.Post(srv.URL+"/v1/classify"+q, "application/json",
+			strings.NewReader(`{"url": "http://www.wetter-bericht.de/heute"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if got, want := resp.Header.Get("Content-Type"), "text/plain; version=0.0.4; charset=utf-8"; got != want {
+		t.Errorf("Content-Type = %q, want %q", got, want)
+	}
+	text := body.String()
+	for _, want := range []string{
+		`urllangid_model_requests_total{model="nb"} 1`,
+		`urllangid_model_requests_total{model="exp"} 1`,
+		`urllangid_model_ready{model="nb"} 1`,
+		`urllangid_model_ready{model="exp"} 1`,
+		`urllangid_model_swaps_total{model="nb"} 1`,
+		`urllangid_http_requests_total{path="/v1/classify",code="200"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// An empty registry is live but not ready.
+	empty := registry.New(registry.Options{})
+	t.Cleanup(func() { empty.Close() })
+	esrv := httptest.NewServer(serve.NewHandler(empty, serve.HandlerOptions{}))
+	t.Cleanup(esrv.Close)
+	resp, err = http.Get(esrv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty registry GET /readyz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDebugHandler pins the -debug-addr surface: the pprof index and
+// expvar answer on their documented paths.
+func TestDebugHandler(t *testing.T) {
+	srv := httptest.NewServer(debugHandler())
+	t.Cleanup(srv.Close)
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

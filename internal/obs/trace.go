@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one step of the request pipeline a Trace times.
+type Stage uint8
+
+const (
+	// StageNormalize is URL normal-form derivation (the cache key).
+	StageNormalize Stage = iota
+	// StageCacheLookup is the result-cache probe.
+	StageCacheLookup
+	// StageScore is model scoring (cache misses only).
+	StageScore
+	// StageRespond is response serialization and writing.
+	StageRespond
+	// NumStages bounds the stage set.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"normalize", "cache_lookup", "score", "respond"}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Trace accumulates wall time per pipeline stage for one request. A
+// batch request shares one Trace across its worker goroutines — Add is
+// an atomic accumulate, so the per-stage figures are the summed time
+// across the batch's URLs. The zero Trace is ready to use; a nil *Trace
+// disables collection, so the engine threads it unconditionally and
+// pays nothing when tracing is off.
+type Trace struct {
+	ns [NumStages]atomic.Int64
+}
+
+// Add accumulates d into stage s. Nil-safe.
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t != nil {
+		t.ns[s].Add(int64(d))
+	}
+}
+
+// Stage returns the accumulated time in s.
+func (t *Trace) Stage(s Stage) time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns[s].Load())
+}
+
+// String renders the per-stage breakdown for a slow-request log line,
+// e.g. "normalize=12µs cache_lookup=3µs score=480µs respond=22µs".
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for s := Stage(0); s < NumStages; s++ {
+		if s > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", s, time.Duration(t.ns[s].Load()))
+	}
+	return b.String()
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches t to ctx so HTTP handlers can hand the
+// request's trace to the engine without changing every signature in
+// between.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil (collection off).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceAccumulates(t *testing.T) {
+	var tr Trace
+	tr.Add(StageScore, 10*time.Microsecond)
+	tr.Add(StageScore, 5*time.Microsecond)
+	tr.Add(StageNormalize, time.Microsecond)
+	if got := tr.Stage(StageScore); got != 15*time.Microsecond {
+		t.Errorf("score stage = %v, want 15µs", got)
+	}
+	if got := tr.Stage(StageRespond); got != 0 {
+		t.Errorf("untouched stage = %v, want 0", got)
+	}
+	s := tr.String()
+	for _, want := range []string{"normalize=1µs", "score=15µs", "cache_lookup=0s", "respond=0s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// Batch workers share one trace; concurrent Adds must accumulate
+// without loss (and without races, under -race).
+func TestTraceConcurrent(t *testing.T) {
+	var tr Trace
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Add(StageCacheLookup, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Stage(StageCacheLookup); got != 8000*time.Nanosecond {
+		t.Errorf("concurrent accumulate = %v, want 8µs", got)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(StageScore, time.Second) // must not panic
+	if tr.Stage(StageScore) != 0 || tr.String() != "" {
+		t.Error("nil trace must read empty")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Error("background context must carry no trace")
+	}
+	tr := new(Trace)
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("trace lost in context round-trip")
+	}
+}

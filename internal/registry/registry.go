@@ -73,8 +73,11 @@ type Registry struct {
 type slot struct {
 	name string
 	mu   sync.Mutex
-	ver  int64 // last installed version number, under mu
-	cur  atomic.Pointer[version]
+	// ver is the last installed version number — the slot's lifetime swap
+	// count. Writes happen under mu; the atomic load lets SlotStates
+	// observe it without taking install locks mid-scrape.
+	ver atomic.Int64
+	cur atomic.Pointer[version]
 }
 
 // version is one installed model epoch: the engine serving it, its
@@ -196,6 +199,41 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// SlotStates implements serve.StateReporter: every slot's readiness,
+// lifetime swap count and live request pins, default first. A slot
+// whose current pointer is nil — mid-first-install, or retired by
+// Close — reports not ready, which is what turns the readiness probe
+// red while a deploy is in flight.
+func (r *Registry) SlotStates() []serve.SlotState {
+	r.mu.RLock()
+	slots := make([]*slot, 0, len(r.names))
+	for _, n := range r.names {
+		slots = append(slots, r.slots[n])
+	}
+	r.mu.RUnlock()
+	out := make([]serve.SlotState, 0, len(slots))
+	for _, s := range slots {
+		st := serve.SlotState{Swaps: s.ver.Load()}
+		if v := s.cur.Load(); v != nil {
+			st.Model = v.info
+			st.Ready = true
+			// refs includes the registry's own reference; anything above
+			// that is a request-held lease.
+			if pins := v.refs.Load() - 1; pins > 0 {
+				st.Pins = pins
+			}
+		} else {
+			st.Model = serve.ModelInfo{Name: s.name}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// The registry reports slot lifecycle state to the readiness probe and
+// the metrics scrape.
+var _ serve.StateReporter = (*Registry)(nil)
+
 // LoadFile opens the model file at path — either kind, trained
 // classifiers are compiled on the way in — and installs it under name,
 // atomically replacing any version already serving that name. The
@@ -253,8 +291,7 @@ func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo)
 	if r.closed.Load() {
 		return serve.ModelInfo{}, fmt.Errorf("registry: closed")
 	}
-	s.ver++
-	info.Version = s.ver
+	info.Version = s.ver.Add(1)
 	info.LoadedAt = time.Now()
 	v := &version{engine: serve.New(p, r.opts.Engine), info: info}
 	v.refs.Store(1)
@@ -296,14 +333,13 @@ func (r *Registry) Reload(name string) (serve.ModelInfo, bool, error) {
 	if digest == cur.info.Digest {
 		return cur.info, false, nil
 	}
-	s.ver++
 	info := serve.ModelInfo{
 		Name:     name,
 		Model:    snap.Describe(),
 		Mode:     snap.Mode(),
 		Digest:   digest,
 		Path:     cur.info.Path,
-		Version:  s.ver,
+		Version:  s.ver.Add(1),
 		LoadedAt: time.Now(),
 	}
 	v := &version{engine: serve.New(snap, r.opts.Engine), info: info}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"urllangid/internal/langid"
+	"urllangid/internal/obs"
 )
 
 // Predictor is the minimal classifier contract the engine needs;
@@ -192,24 +193,60 @@ func (e *Engine) StatsSnapshot() Snapshot {
 	if e.stats == nil {
 		return Snapshot{}
 	}
-	entries := 0
-	if e.cache != nil {
-		entries = e.cache.len()
+	return e.stats.TakeSnapshot(e.CacheEntries())
+}
+
+// CacheEntries returns the live cached-result count (0 when caching is
+// disabled). Exposed for the metrics scrape, which samples it as a
+// per-model gauge.
+func (e *Engine) CacheEntries() int {
+	if e.cache == nil {
+		return 0
 	}
-	return e.stats.TakeSnapshot(entries)
+	return e.cache.len()
+}
+
+// QueueDepth returns the number of batch-assist closures waiting in the
+// worker pool's task buffer right now. A persistently full buffer
+// (depth ≈ workers-1) means batches arrive faster than the pool can
+// assist — the engine is the bottleneck, not the HTTP tier.
+func (e *Engine) QueueDepth() int {
+	if e.tasks == nil {
+		return 0
+	}
+	return len(e.tasks)
 }
 
 // Classify classifies one URL, consulting and populating the cache.
 // It never fails: malformed URLs tokenize to nothing and score like any
 // other token-free input.
 func (e *Engine) Classify(rawURL string) Result {
+	return e.classify(rawURL, nil)
+}
+
+// ClassifyTrace is Classify with per-stage span collection: normalize,
+// cache-lookup and score wall time accumulate into tr. A nil tr
+// disables collection and skips every extra clock read, so the untraced
+// hot path is unchanged.
+func (e *Engine) ClassifyTrace(rawURL string, tr *obs.Trace) Result {
+	return e.classify(rawURL, tr)
+}
+
+func (e *Engine) classify(rawURL string, tr *obs.Trace) Result {
 	var start time.Time
 	if e.stats != nil {
 		start = time.Now()
 	}
+	var t0 time.Time
 	r := Result{URL: rawURL}
 	if e.cache == nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		r.Result = langid.NewResult(e.score(rawURL))
+		if tr != nil {
+			tr.Add(obs.StageScore, time.Since(t0))
+		}
 		if e.stats != nil {
 			e.stats.RecordUncached(time.Since(start))
 		}
@@ -217,22 +254,40 @@ func (e *Engine) Classify(rawURL string) Result {
 	}
 	key := rawURL
 	if e.keyer != nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		key = e.keyer.CacheKey(rawURL)
+		if tr != nil {
+			tr.Add(obs.StageNormalize, time.Since(t0))
+		}
 	}
-	if scores, ok := e.cache.get(key); ok {
+	if tr != nil {
+		t0 = time.Now()
+	}
+	scores, ok := e.cache.get(key)
+	if tr != nil {
+		tr.Add(obs.StageCacheLookup, time.Since(t0))
+	}
+	if ok {
 		r.Result, r.Cached = langid.NewResult(scores), true
 		if e.stats != nil {
 			e.stats.RecordURL(time.Since(start), true)
 		}
 		return r
 	}
-	var scores [langid.NumLanguages]float64
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if e.keyScorer != nil {
 		// The key already carries the predictor's normal form; score
 		// from it directly rather than re-normalizing the raw URL.
 		scores = e.keyScorer.ScoresForKey(key)
 	} else {
 		scores = e.score(rawURL)
+	}
+	if tr != nil {
+		tr.Add(obs.StageScore, time.Since(t0))
 	}
 	r.Result = langid.NewResult(scores)
 	e.cache.put(key, scores)
@@ -258,6 +313,14 @@ func (e *Engine) score(rawURL string) [langid.NumLanguages]float64 {
 // path) never stalls a whole pre-assigned chunk, and a busy pool only
 // reduces parallelism — the batch always completes.
 func (e *Engine) ClassifyBatch(urls []string) []Result {
+	return e.ClassifyBatchTrace(urls, nil)
+}
+
+// ClassifyBatchTrace is ClassifyBatch with per-stage span collection:
+// every URL's normalize, cache-lookup and score time accumulates into
+// tr (concurrently — Trace adds are atomic), so a slow batch reports
+// where its wall time actually went. A nil tr adds no clock reads.
+func (e *Engine) ClassifyBatchTrace(urls []string, tr *obs.Trace) []Result {
 	out := make([]Result, len(urls))
 	n := len(urls)
 	if n == 0 {
@@ -287,7 +350,7 @@ func (e *Engine) ClassifyBatch(urls []string) []Result {
 	}
 	if workers <= 1 || e.tasks == nil {
 		for _, i := range work {
-			out[i] = e.Classify(urls[i])
+			out[i] = e.classify(urls[i], tr)
 		}
 	} else {
 		var pending sync.WaitGroup
@@ -300,7 +363,7 @@ func (e *Engine) ClassifyBatch(urls []string) []Result {
 					return
 				}
 				i := work[k]
-				out[i] = e.Classify(urls[i])
+				out[i] = e.classify(urls[i], tr)
 				pending.Done()
 			}
 		}

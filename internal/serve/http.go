@@ -5,11 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"urllangid/internal/langid"
+	"urllangid/internal/obs"
 )
 
 // DefaultMaxBatch bounds the URLs accepted in one /v1/classify request.
@@ -30,6 +36,21 @@ const streamFlushInterval = 50 * time.Millisecond
 type HandlerOptions struct {
 	// MaxBatch overrides DefaultMaxBatch.
 	MaxBatch int
+	// Metrics receives the HTTP tier's metric families (per-route
+	// request counters, duration histograms, in-flight). Optional: the
+	// handler creates a private registry when nil. Passing one in lets
+	// an embedding process publish its own families on the same
+	// /metrics page.
+	Metrics *obs.Registry
+	// SlowLog enables per-stage request tracing and sampled
+	// slow-request logging: requests slower than this threshold are
+	// counted per route and logged — at most about once per second —
+	// with their normalize/cache-lookup/score/respond breakdown. 0
+	// disables tracing entirely (no extra clock reads per request).
+	SlowLog time.Duration
+	// SlowLogOutput receives slow-request log lines (default
+	// os.Stderr).
+	SlowLogOutput io.Writer
 }
 
 // NewHandler builds the HTTP API over a Resolver. Every request
@@ -48,20 +69,45 @@ type HandlerOptions struct {
 //	POST /v1/models/{name}/reload  re-open the model's backing file and
 //	                               swap it in (no-op if unchanged)
 //	GET  /healthz                  liveness + default model identity
+//	GET  /readyz                   readiness: 200 when every model slot
+//	                               can serve, 503 mid-install or empty
 //	GET  /stats                    default model's serving metrics
+//	GET  /metrics                  Prometheus text exposition: HTTP tier
+//	                               plus per-model families
 func NewHandler(models Resolver, opts HandlerOptions) http.Handler {
-	h := &handler{models: models, maxBatch: opts.MaxBatch, start: time.Now()}
+	h := &handler{
+		models:   models,
+		maxBatch: opts.MaxBatch,
+		start:    time.Now(),
+		metrics:  opts.Metrics,
+		slowLog:  opts.SlowLog,
+	}
 	if h.maxBatch <= 0 {
 		h.maxBatch = DefaultMaxBatch
 	}
+	if h.metrics == nil {
+		h.metrics = obs.NewRegistry()
+	}
+	out := opts.SlowLogOutput
+	if out == nil {
+		out = os.Stderr
+	}
+	h.slowLogger = log.New(out, "", log.LstdFlags|log.Lmicroseconds)
+	h.metrics.GaugeFunc("urllangid_uptime_seconds",
+		"Seconds since the HTTP handler started serving.",
+		func() float64 { return time.Since(h.start).Seconds() })
+	h.httpInFlight = h.metrics.Gauge("urllangid_http_in_flight",
+		"HTTP requests currently in the handler, across all routes.")
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/classify", h.classify)
-	mux.HandleFunc("POST /v1/stream", h.stream)
-	mux.HandleFunc("GET /v1/models", h.listModels)
-	mux.HandleFunc("GET /v1/models/{name}/stats", h.modelStats)
-	mux.HandleFunc("POST /v1/models/{name}/reload", h.reload)
-	mux.HandleFunc("GET /healthz", h.healthz)
-	mux.HandleFunc("GET /stats", h.stats)
+	h.route(mux, "POST /v1/classify", h.classify)
+	h.route(mux, "POST /v1/stream", h.stream)
+	h.route(mux, "GET /v1/models", h.listModels)
+	h.route(mux, "GET /v1/models/{name}/stats", h.modelStats)
+	h.route(mux, "POST /v1/models/{name}/reload", h.reload)
+	h.route(mux, "GET /healthz", h.healthz)
+	h.route(mux, "GET /readyz", h.readyz)
+	h.route(mux, "GET /stats", h.stats)
+	h.route(mux, "GET /metrics", h.metricsPage)
 	return mux
 }
 
@@ -69,6 +115,98 @@ type handler struct {
 	models   Resolver
 	maxBatch int
 	start    time.Time
+
+	metrics      *obs.Registry
+	httpInFlight *obs.Gauge
+	slowLog      time.Duration
+	slowLogger   *log.Logger
+	lastSlow     atomic.Int64 // unix nanos of the last slow-log line
+}
+
+// route registers one endpoint through the instrumentation wrapper.
+// Every endpoint — present and future — gets its per-route request
+// counter, duration histogram, in-flight tracking and slow-log coverage
+// by construction here, not by per-handler discipline; a handler added
+// without route would not be reachable at all.
+func (h *handler) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	path := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		path = pattern[i+1:]
+	}
+	// The path label is the registered route pattern, never the request
+	// URL: cardinality stays bounded by the route table no matter what
+	// clients send.
+	pathLabel := obs.Label{Key: "path", Value: path}
+	durations := h.metrics.Histogram("urllangid_http_request_seconds",
+		"HTTP request wall time by route.", 1e-9, pathLabel)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.httpInFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		var tr *obs.Trace
+		if h.slowLog > 0 {
+			tr = new(obs.Trace)
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
+		fn(sw, r)
+		elapsed := time.Since(start)
+		h.httpInFlight.Add(-1)
+		durations.Observe(int64(elapsed))
+		h.metrics.Counter("urllangid_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			pathLabel, obs.Label{Key: "code", Value: strconv.Itoa(sw.status())}).Inc()
+		if h.slowLog > 0 && elapsed >= h.slowLog {
+			h.slowRequest(r, path, sw.status(), elapsed, tr)
+		}
+	})
+}
+
+// slowRequest counts and (sampled) logs one request over the slow-log
+// threshold, with its per-stage breakdown.
+func (h *handler) slowRequest(r *http.Request, path string, code int, elapsed time.Duration, tr *obs.Trace) {
+	h.metrics.Counter("urllangid_http_slow_requests_total",
+		"Requests slower than the slow-log threshold, by route.",
+		obs.Label{Key: "path", Value: path}).Inc()
+	// Sampled to about one line per second: a latency storm reports
+	// itself without the logging becoming its own source of load.
+	now := time.Now().UnixNano()
+	last := h.lastSlow.Load()
+	if now-last < int64(time.Second) || !h.lastSlow.CompareAndSwap(last, now) {
+		return
+	}
+	h.slowLogger.Printf("slow request: %s %s code=%d total=%s stages[%s]",
+		r.Method, path, code, elapsed, tr)
+}
+
+// statusWriter captures the response status code for the per-route
+// counter. Unwrap keeps http.ResponseController features — the stream
+// endpoint's full-duplex and flush — working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
 }
 
 // resolve pins the engine for one request, mapping resolver failures to
@@ -147,7 +285,11 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	engine.Stats().RecordRequest()
+	st := engine.Stats()
+	st.RecordRequest()
+	st.IncInFlight()
+	defer st.DecInFlight()
+	tr := obs.TraceFrom(r.Context())
 	// Cap the body before decoding: the batch limit would otherwise only
 	// be enforced after an arbitrarily large []string had already been
 	// materialised. /v1/stream is the unbounded-input endpoint, and it
@@ -183,10 +325,18 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 		Version: info.Version,
 		Results: make([]resultJSON, 0, len(urls)),
 	}
-	for _, res := range engine.ClassifyBatch(urls) {
+	results := engine.ClassifyBatchTrace(urls, tr)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	for _, res := range results {
 		resp.Results = append(resp.Results, toJSON(res))
 	}
 	writeJSON(w, http.StatusOK, resp)
+	if tr != nil {
+		tr.Add(obs.StageRespond, time.Since(t0))
+	}
 }
 
 // stream consumes NDJSON: each non-empty line is either a JSON object
@@ -203,7 +353,11 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	engine.Stats().RecordRequest()
+	st := engine.Stats()
+	st.RecordRequest()
+	st.IncInFlight()
+	defer st.DecInFlight()
+	tr := obs.TraceFrom(r.Context())
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Results stream back while the frontier is still uploading. Without
 	// full duplex the HTTP/1.x server aborts the request body at the
@@ -218,12 +372,20 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 		if len(chunk) == 0 {
 			return true
 		}
-		for _, res := range engine.ClassifyBatch(chunk) {
+		results := engine.ClassifyBatchTrace(chunk, tr)
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
+		for _, res := range results {
 			if err := enc.Encode(toJSON(res)); err != nil {
 				return false // client went away
 			}
 		}
 		rc.Flush()
+		if tr != nil {
+			tr.Add(obs.StageRespond, time.Since(t0))
+		}
 		chunk = chunk[:0]
 		return true
 	}
@@ -435,6 +597,158 @@ func (h *handler) modelStats(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	writeJSON(w, http.StatusOK, h.statsFor(engine, info))
+}
+
+// readyz is the readiness probe, distinct from /healthz liveness: a
+// live process may still be unable to serve (no models loaded, a slot
+// mid-install). It reports 503 until every slot can answer, which is
+// what a load balancer should gate traffic on; /healthz answering 200
+// through a deploy is what keeps the orchestrator from killing the
+// process while it warms.
+func (h *handler) readyz(w http.ResponseWriter, _ *http.Request) {
+	if sr, ok := h.models.(StateReporter); ok {
+		states := sr.SlotStates()
+		ready := len(states) > 0
+		for _, st := range states {
+			if !st.Ready {
+				ready = false
+			}
+		}
+		status, code := "ready", http.StatusOK
+		if !ready {
+			status, code = "unavailable", http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{"status": status, "slots": states})
+		return
+	}
+	// Resolver without slot state: readiness is "can the default model
+	// be resolved".
+	_, _, release, err := h.models.Resolve("")
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unavailable",
+			"error":  err.Error(),
+		})
+		return
+	}
+	release()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// metricsPage serves Prometheus text exposition: the process-lifetime
+// HTTP families first, then the per-model families read live from
+// whatever engines the resolver serves right now. Per-model values live
+// inside swappable engines, so the scrape pins each model for the read
+// instead of registering handles a swap would strand.
+func (h *handler) metricsPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	x := obs.NewExpoWriter(w)
+	h.metrics.Expose(x)
+	h.exposeModels(x)
+	x.Flush()
+}
+
+func (h *handler) exposeModels(x *obs.ExpoWriter) {
+	type modelScrape struct {
+		labels []obs.Label
+		engine *Engine
+		stats  *Stats
+		info   ModelInfo
+	}
+	infos := h.models.Models()
+	scr := make([]modelScrape, 0, len(infos))
+	for _, mi := range infos {
+		e, info, release, err := h.models.Resolve(mi.Name)
+		if err != nil {
+			continue // slot retired between list and pin: skip it
+		}
+		defer release()
+		scr = append(scr, modelScrape{
+			labels: []obs.Label{{Key: "model", Value: info.Name}},
+			engine: e,
+			stats:  e.Stats(),
+			info:   info,
+		})
+	}
+
+	x.Family("urllangid_model_info",
+		"Identity of each live model version; the value is the version number.",
+		obs.KindGauge)
+	for _, m := range scr {
+		x.IntSample("urllangid_model_info", []obs.Label{
+			{Key: "model", Value: m.info.Name},
+			{Key: "label", Value: m.info.Model},
+			{Key: "mode", Value: m.info.Mode},
+		}, m.info.Version)
+	}
+
+	counter := func(name, help string, v func(*Stats) int64) {
+		x.Family(name, help, obs.KindCounter)
+		for _, m := range scr {
+			x.IntSample(name, m.labels, v(m.stats))
+		}
+	}
+	counter("urllangid_model_requests_total",
+		"Serving requests (classify and stream) routed to the model.", (*Stats).Requests)
+	counter("urllangid_model_urls_total",
+		"URLs classified, cached or not.", (*Stats).URLs)
+	counter("urllangid_model_cache_hits_total",
+		"Result-cache hits.", (*Stats).CacheHits)
+	counter("urllangid_model_cache_misses_total",
+		"Result-cache misses.", (*Stats).CacheMisses)
+	counter("urllangid_model_deduped_total",
+		"URLs answered by in-batch duplicate fan-out.", (*Stats).Deduped)
+
+	x.Family("urllangid_model_in_flight",
+		"Serving requests currently holding the model.", obs.KindGauge)
+	for _, m := range scr {
+		x.IntSample("urllangid_model_in_flight", m.labels, m.stats.InFlight())
+	}
+	x.Family("urllangid_model_queue_depth",
+		"Batch-assist closures waiting in the engine's worker pool.", obs.KindGauge)
+	for _, m := range scr {
+		x.IntSample("urllangid_model_queue_depth", m.labels, int64(m.engine.QueueDepth()))
+	}
+	x.Family("urllangid_model_cache_entries",
+		"Live result-cache entries.", obs.KindGauge)
+	for _, m := range scr {
+		x.IntSample("urllangid_model_cache_entries", m.labels, int64(m.engine.CacheEntries()))
+	}
+	x.Family("urllangid_model_latency_seconds",
+		"Scoring latency of cache misses and uncached classifications.", obs.KindHistogram)
+	for _, m := range scr {
+		if hist := m.stats.Latency(); hist != nil {
+			x.HistogramSample("urllangid_model_latency_seconds", m.labels, hist)
+		}
+	}
+
+	sr, ok := h.models.(StateReporter)
+	if !ok {
+		return
+	}
+	states := sr.SlotStates()
+	x.Family("urllangid_model_ready",
+		"1 when the slot can serve, 0 mid-install or retired.", obs.KindGauge)
+	for _, st := range states {
+		v := int64(0)
+		if st.Ready {
+			v = 1
+		}
+		x.IntSample("urllangid_model_ready",
+			[]obs.Label{{Key: "model", Value: st.Model.Name}}, v)
+	}
+	x.Family("urllangid_model_swaps_total",
+		"Model versions ever installed into the slot.", obs.KindCounter)
+	for _, st := range states {
+		x.IntSample("urllangid_model_swaps_total",
+			[]obs.Label{{Key: "model", Value: st.Model.Name}}, st.Swaps)
+	}
+	x.Family("urllangid_model_pins",
+		"Requests currently pinning the slot's live version.", obs.KindGauge)
+	for _, st := range states {
+		x.IntSample("urllangid_model_pins",
+			[]obs.Label{{Key: "model", Value: st.Model.Name}}, st.Pins)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

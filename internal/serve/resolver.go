@@ -66,6 +66,34 @@ type Resolver interface {
 	Reload(name string) (ModelInfo, bool, error)
 }
 
+// SlotState is one serving slot's readiness and lifecycle view, shaped
+// for the readiness probe and the metrics scrape rather than for
+// request routing (which uses Resolve).
+type SlotState struct {
+	// Model identifies the version currently serving the slot. When
+	// Ready is false it carries at least the slot Name.
+	Model ModelInfo `json:"model"`
+	// Ready reports whether the slot can answer requests right now. A
+	// registry slot is briefly not ready mid-install, before its first
+	// version lands or after Close retires it.
+	Ready bool `json:"ready"`
+	// Swaps counts versions ever installed into the slot — the
+	// hot-reload churn figure.
+	Swaps int64 `json:"swaps"`
+	// Pins counts requests currently pinning the live version (leases
+	// held beyond the owner's own reference).
+	Pins int64 `json:"pins"`
+}
+
+// StateReporter is the optional Resolver extension behind GET /readyz
+// and the per-slot metric families. Resolvers that cannot be mid-swap
+// (Static) report trivially-ready slots; the registry reports real
+// lifecycle state.
+type StateReporter interface {
+	// SlotStates lists every slot, default first.
+	SlotStates() []SlotState
+}
+
 // releaseNothing is the shared no-op release for resolvers whose
 // engines are never swapped, so Resolve stays allocation-free.
 func releaseNothing() {}
@@ -100,6 +128,12 @@ func (s *staticResolver) Resolve(name string) (*Engine, ModelInfo, func(), error
 }
 
 func (s *staticResolver) Models() []ModelInfo { return []ModelInfo{s.info} }
+
+// SlotStates reports the single fixed slot as always ready: a static
+// engine cannot be mid-swap, and its one install is its only "swap".
+func (s *staticResolver) SlotStates() []SlotState {
+	return []SlotState{{Model: s.info, Ready: true, Swaps: s.info.Version}}
+}
 
 func (s *staticResolver) Reload(name string) (ModelInfo, bool, error) {
 	if name != "" && name != s.info.Name {

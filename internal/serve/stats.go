@@ -1,15 +1,11 @@
 package serve
 
 import (
-	"math"
-	"sort"
 	"sync/atomic"
 	"time"
-)
 
-// latencyRingSize bounds the per-URL latency samples kept for percentile
-// estimation; power of two so the write index wraps with a mask.
-const latencyRingSize = 4096
+	"urllangid/internal/obs"
+)
 
 // recentWindow is the lookback used for the "recent" QPS figure.
 const recentWindow = 10 * time.Second
@@ -18,18 +14,22 @@ const recentWindow = 10 * time.Second
 // recent window so in-window buckets are never being overwritten.
 const secBuckets = 16
 
-// Stats aggregates serving metrics with atomics only — recording on the
-// hot path never takes a lock. Latency samples land in a fixed ring;
-// tearing between the timestamp and duration slots of one sample is
-// possible under contention and harmless for percentile estimates.
+// Stats aggregates one engine's serving metrics on obs primitives —
+// atomic counters plus a log-linear latency histogram. Recording on the
+// hot path never takes a lock and never allocates; percentile reads are
+// cumulative walks over fixed histogram buckets, so a scrape no longer
+// copies and sorts a sample ring (the old design's 4096-float sort per
+// /stats hit — measurable at production scrape rates — is gone, pinned
+// by BenchmarkTakeSnapshot's 0 allocs/op).
 type Stats struct {
-	start     time.Time
-	requests  atomic.Int64 // HTTP requests (classify + stream)
-	urls      atomic.Int64 // URLs classified, cached or not
-	hits      atomic.Int64
-	misses    atomic.Int64
-	ringPos   atomic.Uint64
-	ringNanos [latencyRingSize]atomic.Int64 // classification latency
+	start    time.Time
+	requests obs.Counter // serving requests (classify + stream) routed to this model
+	urls     obs.Counter // URLs classified, cached or not
+	hits     obs.Counter
+	misses   obs.Counter
+	deduped  obs.Counter // URLs answered by in-batch dedup fan-out
+	inFlight obs.Gauge   // serving requests currently holding this model
+	latency  obs.Histogram
 	// One-second QPS buckets, indexed by unix-second modulo secBuckets.
 	// The tag-reset on second rollover is racy by design: a lost count
 	// or two under contention does not matter for a rate estimate.
@@ -39,30 +39,47 @@ type Stats struct {
 
 // NewStats returns a zeroed stats collector anchored at now.
 func NewStats() *Stats {
-	return &Stats{start: time.Now()}
+	s := &Stats{start: time.Now()}
+	s.latency.Scale = 1e-9 // recorded in nanoseconds, exposed as seconds
+	return s
 }
 
-// RecordRequest counts one HTTP request.
+// RecordRequest counts one serving request routed to this model.
 func (s *Stats) RecordRequest() {
 	if s != nil {
-		s.requests.Add(1)
+		s.requests.Inc()
+	}
+}
+
+// IncInFlight counts a serving request entering this model; pair with
+// DecInFlight.
+func (s *Stats) IncInFlight() {
+	if s != nil {
+		s.inFlight.Add(1)
+	}
+}
+
+// DecInFlight counts a serving request leaving this model.
+func (s *Stats) DecInFlight() {
+	if s != nil {
+		s.inFlight.Add(-1)
 	}
 }
 
 // RecordURL counts one classified URL on a cache-enabled engine. Cache
-// hits contribute to the hit-rate but not to the latency ring — a hit's
-// latency says nothing about scoring cost.
+// hits contribute to the hit-rate but not to the latency histogram — a
+// hit's latency says nothing about scoring cost.
 func (s *Stats) RecordURL(d time.Duration, cached bool) {
 	if s == nil {
 		return
 	}
 	s.countURL()
 	if cached {
-		s.hits.Add(1)
+		s.hits.Inc()
 		return
 	}
-	s.misses.Add(1)
-	s.recordLatency(d)
+	s.misses.Inc()
+	s.latency.Observe(int64(d))
 }
 
 // RecordUncached counts one classified URL on a cache-less engine:
@@ -73,7 +90,7 @@ func (s *Stats) RecordUncached(d time.Duration) {
 		return
 	}
 	s.countURL()
-	s.recordLatency(d)
+	s.latency.Observe(int64(d))
 }
 
 // RecordDeduped counts one URL whose result was copied from an earlier
@@ -86,13 +103,14 @@ func (s *Stats) RecordDeduped(cached bool) {
 		return
 	}
 	s.countURL()
+	s.deduped.Inc()
 	if cached {
-		s.hits.Add(1)
+		s.hits.Inc()
 	}
 }
 
 func (s *Stats) countURL() {
-	s.urls.Add(1)
+	s.urls.Inc()
 	sec := time.Now().Unix()
 	b := int(sec % secBuckets)
 	if s.bucketSec[b].Load() != sec {
@@ -102,9 +120,66 @@ func (s *Stats) countURL() {
 	s.bucketCount[b].Add(1)
 }
 
-func (s *Stats) recordLatency(d time.Duration) {
-	i := (s.ringPos.Add(1) - 1) & (latencyRingSize - 1)
-	s.ringNanos[i].Store(int64(d))
+// Raw metric accessors for the Prometheus exposition layer, which
+// groups samples per family across models and so reads values itself
+// rather than going through a Snapshot. All are nil-safe: an engine
+// built with NoStats hands the scrape a nil *Stats and reads zeroes.
+
+// Requests returns the serving-request count.
+func (s *Stats) Requests() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.requests.Value()
+}
+
+// URLs returns the classified-URL count.
+func (s *Stats) URLs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.urls.Value()
+}
+
+// CacheHits returns the cache-hit count.
+func (s *Stats) CacheHits() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.hits.Value()
+}
+
+// CacheMisses returns the cache-miss count.
+func (s *Stats) CacheMisses() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.misses.Value()
+}
+
+// Deduped returns the in-batch dedup fan-out count.
+func (s *Stats) Deduped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.deduped.Value()
+}
+
+// InFlight returns the serving requests currently holding this model.
+func (s *Stats) InFlight() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.inFlight.Value()
+}
+
+// Latency returns the live scoring-latency histogram (nanosecond
+// samples, exposed scale seconds). Nil on a nil Stats.
+func (s *Stats) Latency() *obs.Histogram {
+	if s == nil {
+		return nil
+	}
+	return &s.latency
 }
 
 // Snapshot is a point-in-time view of the metrics, shaped for JSON.
@@ -112,9 +187,13 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Requests      int64   `json:"requests"`
 	URLs          int64   `json:"urls"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
+	InFlight      int64   `json:"in_flight"`
+	// Deduped counts URLs answered by copying an earlier identical URL's
+	// result within one batch — work the dedup pass saved the scorer.
+	Deduped      int64   `json:"deduped"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 	// CacheHitRatio is the fraction of *all* classified URLs the cache
 	// answered — hits over URLs, where CacheHitRate is hits over cache
 	// lookups only. On a cache-less engine it stays 0 while CacheHitRate
@@ -131,15 +210,18 @@ type Snapshot struct {
 }
 
 // TakeSnapshot computes the derived figures. cacheEntries is supplied by
-// the engine, which owns the cache.
+// the engine, which owns the cache. The percentiles are histogram-bucket
+// reads (~1% relative error); the whole call allocates nothing.
 func (s *Stats) TakeSnapshot(cacheEntries int) Snapshot {
 	now := time.Now()
 	snap := Snapshot{
 		UptimeSeconds: now.Sub(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		URLs:          s.urls.Load(),
-		CacheHits:     s.hits.Load(),
-		CacheMisses:   s.misses.Load(),
+		Requests:      s.requests.Value(),
+		URLs:          s.urls.Value(),
+		InFlight:      s.inFlight.Value(),
+		Deduped:       s.deduped.Value(),
+		CacheHits:     s.hits.Value(),
+		CacheMisses:   s.misses.Value(),
 		CacheEntries:  cacheEntries,
 	}
 	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
@@ -165,38 +247,10 @@ func (s *Stats) TakeSnapshot(cacheEntries int) Snapshot {
 	}
 	snap.QPSRecent = float64(recent) / recentWindow.Seconds()
 
-	n := int(s.ringPos.Load())
-	if n > latencyRingSize {
-		n = latencyRingSize
-	}
-	lat := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		lat = append(lat, float64(s.ringNanos[i].Load())/1e3)
-	}
-	if len(lat) > 0 {
-		sort.Float64s(lat)
-		snap.LatencyP50Usec = percentile(lat, 0.50)
-		snap.LatencyP90Usec = percentile(lat, 0.90)
-		snap.LatencyP99Usec = percentile(lat, 0.99)
+	if s.latency.Count() > 0 {
+		snap.LatencyP50Usec = s.latency.Quantile(0.50) / 1e3
+		snap.LatencyP90Usec = s.latency.Quantile(0.90) / 1e3
+		snap.LatencyP99Usec = s.latency.Quantile(0.99) / 1e3
 	}
 	return snap
-}
-
-// percentile reads the p-quantile from an ascending sample slice using
-// the nearest-rank definition: the smallest element with at least p·n
-// samples at or below it, i.e. index ceil(p·n)-1. (The naive int(p·n)
-// over-reads by one rank whenever p·n is integral: p50 over four
-// samples must be the 2nd element, not the 3rd.)
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

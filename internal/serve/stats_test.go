@@ -5,28 +5,85 @@ import (
 	"time"
 )
 
-func TestPercentileNearestRank(t *testing.T) {
-	cases := []struct {
-		sorted []float64
-		p      float64
-		want   float64
-	}{
-		// Nearest rank: ceil(p·n)-1. With n=4, p50 is the 2nd element —
-		// the old int(p·n) indexing read the 3rd.
-		{[]float64{1, 2, 3, 4}, 0.50, 2},
-		{[]float64{1, 2, 3, 4}, 0.90, 4},
-		{[]float64{1, 2, 3, 4}, 0.99, 4},
-		{[]float64{1, 2, 3, 4}, 0.25, 1},
-		{[]float64{1, 2, 3, 4}, 1.00, 4},
-		{[]float64{1, 2, 3, 4, 5}, 0.50, 3},
-		{[]float64{7}, 0.50, 7},
-		{[]float64{7}, 0.99, 7},
-		{nil, 0.50, 0},
+// TestLatencyPercentiles drives known durations through the histogram
+// path: percentiles must come back monotone and within the log-linear
+// bucketing's ~1% relative error.
+func TestLatencyPercentiles(t *testing.T) {
+	s := NewStats()
+	// 90 fast (10µs) and 10 slow (5ms) samples, the cascade shape that
+	// makes p50 vs p99 worth separating.
+	for i := 0; i < 90; i++ {
+		s.RecordUncached(10 * time.Microsecond)
 	}
-	for _, tc := range cases {
-		if got := percentile(tc.sorted, tc.p); got != tc.want {
-			t.Errorf("percentile(%v, %v) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+	for i := 0; i < 10; i++ {
+		s.RecordUncached(5 * time.Millisecond)
+	}
+	snap := s.TakeSnapshot(0)
+	within := func(got, want float64) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
 		}
+		return diff <= want*0.01
+	}
+	if !within(snap.LatencyP50Usec, 10) {
+		t.Errorf("p50 = %vµs, want ≈10µs", snap.LatencyP50Usec)
+	}
+	if !within(snap.LatencyP90Usec, 10) {
+		t.Errorf("p90 = %vµs, want ≈10µs", snap.LatencyP90Usec)
+	}
+	if !within(snap.LatencyP99Usec, 5000) {
+		t.Errorf("p99 = %vµs, want ≈5000µs", snap.LatencyP99Usec)
+	}
+	if snap.URLs != 100 {
+		t.Errorf("URLs = %d, want 100", snap.URLs)
+	}
+}
+
+// TestTakeSnapshotZeroAlloc pins the scrape cost: deriving a full
+// snapshot — counters, ratios, recent QPS, three percentiles — must not
+// touch the heap. The old implementation allocated a 4096-float slice
+// and sorted it on every scrape.
+func TestTakeSnapshotZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	s := NewStats()
+	for i := 0; i < 5000; i++ {
+		s.RecordURL(time.Duration(i)*time.Microsecond, i%3 == 0)
+	}
+	var sink Snapshot
+	if avg := testing.AllocsPerRun(100, func() {
+		sink = s.TakeSnapshot(42)
+	}); avg > 0 {
+		t.Errorf("TakeSnapshot allocates %.2f/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// BenchmarkTakeSnapshot is the allocs-per-scrape pin in benchmark form:
+// run with -benchmem to see 0 allocs/op.
+func BenchmarkTakeSnapshot(b *testing.B) {
+	s := NewStats()
+	for i := 0; i < 100000; i++ {
+		s.RecordURL(time.Duration(i%10000)*time.Microsecond, i%2 == 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Snapshot
+	for i := 0; i < b.N; i++ {
+		sink = s.TakeSnapshot(42)
+	}
+	_ = sink
+}
+
+// BenchmarkRecordURL measures the hot-path recording cost: a clock
+// read, a histogram observe and a few atomic adds — 0 allocs/op.
+func BenchmarkRecordURL(b *testing.B) {
+	s := NewStats()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.RecordURL(17*time.Microsecond, i%2 == 0)
 	}
 }
 
@@ -82,6 +139,9 @@ func TestRecordDeduped(t *testing.T) {
 	if snap.CacheHits != 2 || snap.CacheMisses != 1 {
 		t.Errorf("hits/misses = %d/%d, want 2/1", snap.CacheHits, snap.CacheMisses)
 	}
+	if snap.Deduped != 2 {
+		t.Errorf("deduped = %d, want 2", snap.Deduped)
+	}
 
 	// Cache-less engines keep hit/miss untouched for deduped URLs too.
 	s2 := NewStats()
@@ -92,8 +152,31 @@ func TestRecordDeduped(t *testing.T) {
 		t.Errorf("cache-less dedup: URLs=%d hits=%d misses=%d, want 2/0/0",
 			snap2.URLs, snap2.CacheHits, snap2.CacheMisses)
 	}
+	if snap2.Deduped != 1 {
+		t.Errorf("cache-less deduped = %d, want 1", snap2.Deduped)
+	}
 
 	// A nil Stats must no-op rather than panic (engines without stats).
 	var nilStats *Stats
 	nilStats.RecordDeduped(true)
+	nilStats.RecordRequest()
+	nilStats.IncInFlight()
+	nilStats.DecInFlight()
+	if nilStats.Latency() != nil {
+		t.Error("nil Stats must expose a nil histogram")
+	}
+}
+
+// TestInFlightGauge pins the pairing contract.
+func TestInFlightGauge(t *testing.T) {
+	s := NewStats()
+	s.IncInFlight()
+	s.IncInFlight()
+	s.DecInFlight()
+	if got := s.InFlight(); got != 1 {
+		t.Errorf("in-flight = %d, want 1", got)
+	}
+	if snap := s.TakeSnapshot(0); snap.InFlight != 1 {
+		t.Errorf("snapshot in-flight = %d, want 1", snap.InFlight)
+	}
 }
