@@ -111,6 +111,8 @@ func (p modelPredictor) Scores(rawURL string) [langid.NumLanguages]float64 {
 
 // Classify classifies one URL through the engine, consulting and
 // populating the cache.
+//
+//urllangid:hotpath
 func (b *Batcher) Classify(rawURL string) Result {
 	return b.engine.Classify(rawURL).Result
 }

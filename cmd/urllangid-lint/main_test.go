@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+// TestRunList pins the CLI contract the Makefile and CI lean on:
+// -list names every registered analyzer and exits 0.
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+}
+
+// TestRunUnknownAnalyzer pins the exit-status convention: a selection
+// error is a usage error (2), not a clean run or a violation.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-only", "nosuchanalyzer"}); code != 2 {
+		t.Fatalf("run(-only nosuchanalyzer) = %d, want 2", code)
+	}
+}
+
+// TestRunBadFlag pins flag-parse failures to exit status 2.
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+// TestRunSelection exercises -only parsing with spaces and multiple
+// names against the golden pinpair corpus, which must report at least
+// one violation (exit 1) — proving selection reaches Run end to end.
+func TestRunSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a testdata package")
+	}
+	code := run([]string{
+		"-C", "../..",
+		"-only", " pinpair ",
+		"./internal/analysis/testdata/src/pinpair",
+	})
+	if code != 1 {
+		t.Fatalf("run(pinpair corpus) = %d, want 1 (corpus contains deliberate violations)", code)
+	}
+}

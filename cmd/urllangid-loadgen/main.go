@@ -215,9 +215,9 @@ func run(args []string, out io.Writer) error {
 					failures.Add(1)
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
+				_, drainErr := io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if drainErr != nil || resp.StatusCode != http.StatusOK {
 					failures.Add(1)
 					continue
 				}

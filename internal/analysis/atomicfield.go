@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField checks the atomic-field discipline the stats and
+// registry layers rely on: once any access to a struct field goes
+// through sync/atomic, every access must.
+//
+// Two field populations are tracked per package:
+//
+//   - fields whose address is passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1) style): any other plain read or write
+//     of the same field is a data race waiting for the race detector
+//     to miss it, and is flagged;
+//   - fields declared with the typed atomics (atomic.Int64,
+//     atomic.Pointer[T], ...): the methods are the only sound access,
+//     so assigning or copying the field value is flagged (taking its
+//     address, as method calls implicitly do, passes).
+//
+// Initialisation before the value is shared (a constructor that fills
+// fields under no concurrency) is the one legitimate plain access;
+// such lines carry //urllangid:ignore atomicfield with the reason.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields touched via sync/atomic (or declared as typed atomics) must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.Info
+
+	// Pass 1: collect fields whose address feeds a sync/atomic call.
+	atomicFields := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fv := addressedField(info, arg); fv != nil {
+					atomicFields[fv] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldObj(info, sel)
+			if fv == nil {
+				return true
+			}
+			if atomicFields[fv] {
+				if !inAtomicCall(info, stack) {
+					pass.Reportf(sel.Pos(), "field %s is accessed via sync/atomic elsewhere; plain access races with it", fv.Name())
+				}
+				return true
+			}
+			if isTypedAtomic(fv.Type()) && copiesTypedAtomic(info, stack, sel) {
+				pass.Reportf(sel.Pos(), "field %s is a typed atomic (%s); copying or reassigning it bypasses its atomicity", fv.Name(), fv.Type())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedField resolves &x.f to f's field object, or nil.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldObj(info, sel)
+}
+
+// fieldObj returns the struct field a selector resolves to, or nil for
+// methods, package selectors and non-field vars.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// inAtomicCall reports whether the innermost enclosing call around the
+// node at the top of the stack is a sync/atomic function taking the
+// node's address — the one sanctioned access shape.
+func inAtomicCall(info *types.Info, stack []ast.Node) bool {
+	// stack ends with the SelectorExpr; look for &sel directly inside a
+	// sync/atomic call.
+	if len(stack) < 3 {
+		return false
+	}
+	for i := len(stack) - 2; i >= 1; i-- {
+		switch x := stack[i].(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() != "&" {
+				return false
+			}
+		case *ast.ParenExpr:
+		case *ast.CallExpr:
+			fn := calleeFunc(info, x)
+			return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's value types
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], atomic.Value, ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && !strings.HasSuffix(obj.Name(), "error")
+}
+
+// copiesTypedAtomic reports whether the selector's immediate context
+// copies the field value: used as an assignment source or target, a
+// call argument, or a composite-literal element. Method calls on the
+// field and taking its address pass.
+func copiesTypedAtomic(info *types.Info, stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.f.Load() — the field is the receiver of a method: sound.
+		return false
+	case *ast.UnaryExpr:
+		// &s.f — address for a *atomic.X alias: sound.
+		return p.Op.String() != "&"
+	case *ast.AssignStmt:
+		for _, e := range p.Lhs {
+			if e == sel {
+				return true // s.f = x overwrites the atomic
+			}
+		}
+		for _, e := range p.Rhs {
+			if e == sel {
+				return true // x := s.f copies it
+			}
+		}
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if a == sel {
+				return true // f(s.f) copies it
+			}
+		}
+	case *ast.KeyValueExpr, *ast.CompositeLit, *ast.ReturnStmt:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+func TestIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//urllangid:ignore hotpathalloc cold error path", "hotpathalloc", true},
+		{"//urllangid:ignore pinpair pinned for process lifetime", "pinpair", true},
+		{"//urllangid:ignore hotpathalloc", "hotpathalloc", false}, // reason missing
+		{"//urllangid:ignore", "", false},
+		{"// plain comment", "", false},
+		{"//urllangid:hotpath", "", false},
+	}
+	for _, c := range cases {
+		name, ok := ignoreDirective(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("ignoreDirective(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestFuncKey(t *testing.T) {
+	if got := funcKey("urllangid/internal/compiled", "Snapshot", "Scores"); got != "urllangid/internal/compiled.Snapshot.Scores" {
+		t.Errorf("method key = %q", got)
+	}
+	if got := funcKey("urllangid/internal/urlx", "", "NormalizeInto"); got != "urllangid/internal/urlx.NormalizeInto" {
+		t.Errorf("function key = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module holds the loader's module-wide state: one FileSet spanning
+// every parsed file, and the facts gathered by pre-scanning every
+// in-module package in the targets' dependency closure.
+type Module struct {
+	// Path is the module path ("urllangid"); a package belongs to the
+	// module when its import path is Path or starts with Path+"/".
+	Path string
+	Fset *token.FileSet
+	// Hotpath is the set of funcKey()s whose declarations carry the
+	// //urllangid:hotpath directive, across the whole module. It is the
+	// cross-package edge of the hotpathalloc contract: a hot path may
+	// only call module functions present in this set.
+	Hotpath map[string]bool
+}
+
+// InModule reports whether an import path belongs to the module.
+func (m *Module) InModule(pkgPath string) bool {
+	return pkgPath == m.Path || strings.HasPrefix(pkgPath, m.Path+"/")
+}
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -json` with the given arguments in dir and
+// decodes the concatenated package objects. CGO is disabled so the
+// reported file sets are pure Go and type-checkable from source.
+func goList(dir string, args ...string) ([]listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (as `go list` understands them, relative to
+// dir; dir "" means the current directory), type-checks each matched
+// package from source, and pre-scans every in-module dependency for
+// //urllangid:hotpath annotations. Explicit testdata directories are
+// loadable — wildcard patterns skip them, which is how the analyzers'
+// golden packages stay out of the ordinary build while remaining
+// reachable by the analysistest harness.
+func Load(dir string, patterns ...string) (*Module, []*Package, error) {
+	targets, err := goList(dir, append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	deps, err := goList(dir, append([]string{"-deps", "--"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	mod := &Module{Fset: token.NewFileSet(), Hotpath: make(map[string]bool)}
+	for _, p := range targets {
+		if p.Module != nil {
+			mod.Path = p.Module.Path
+			break
+		}
+	}
+
+	// Fact pass: parse every in-module package in the dependency
+	// closure (the targets are part of -deps output) and record which
+	// declarations are annotated as hot paths. Parse-only — no type
+	// checking — so the sweep stays cheap.
+	factFset := token.NewFileSet()
+	for _, p := range deps {
+		if p.Standard {
+			continue
+		}
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(factFset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scanning %s: %w", filepath.Join(p.Dir, name), err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd.Doc, "//urllangid:hotpath") {
+					continue
+				}
+				mod.Hotpath[funcKey(p.ImportPath, recvTypeName(fd), fd.Name.Name)] = true
+			}
+		}
+	}
+
+	// Type-check the targets. The source importer shells out to the go
+	// tool for path resolution, so the process must run from inside the
+	// module for in-module imports to resolve; Load chdirs around the
+	// check when dir is elsewhere.
+	if dir != "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := os.Chdir(dir); err != nil {
+			return nil, nil, err
+		}
+		defer os.Chdir(cwd)
+	}
+	imp := importer.ForCompiler(mod.Fset, "source", nil)
+	var out []*Package
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(mod.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parsing %s: %w", filepath.Join(p.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, mod.Fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  p.ImportPath,
+			Dir:   p.Dir,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return mod, out, nil
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricLabel checks the label-cardinality rules DESIGN.md states in
+// prose: metric families registered through obs.Registry live for the
+// process, so their names and label keys must be compile-time
+// constants, and their label values must come from bounded sets —
+// never from request data, or the exposition grows without bound and
+// the scrape allocates per request.
+//
+// Concretely, for every call to (*obs.Registry).Counter / Gauge /
+// GaugeFunc / Histogram:
+//
+//   - the metric name must be an untyped string constant;
+//   - each obs.Label literal's Key must be a constant;
+//   - each Label's Value must not be derived — directly or through
+//     local assignments — from an *http.Request, http.Header,
+//     *url.URL or url.Values.
+//
+// Values that are non-constant but deployment-bounded (route patterns
+// passed down as parameters, model names, formatted status codes) are
+// allowed: boundedness is the caller's property the analyzer cannot
+// see, while request-derivation is visible and always wrong.
+//
+// The per-model families deliberately bypass this rule by writing
+// through obs.ExpoWriter at scrape time — that is the documented
+// ownership split, not a loophole, so ExpoWriter calls are not
+// checked.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc:  "obs.Registry metric names and label keys must be constants; label values must not derive from request data",
+	Run:  runMetricLabel,
+}
+
+// registryMetricMethods are the get-or-create family entry points on
+// obs.Registry.
+var registryMetricMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+func runMetricLabel(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tainted := requestTainted(pass, fd)
+			labelDefs := localLabelLiterals(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || !registryMetricMethods[fn.Name()] || !isObsRegistryMethod(pass, fn) {
+					return true
+				}
+				checkMetricCall(pass, fd, call, tainted, labelDefs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isObsRegistryMethod reports whether fn is a method on the module's
+// obs.Registry type.
+func isObsRegistryMethod(pass *Pass, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		pass.Module.InModule(obj.Pkg().Path()) && obj.Pkg().Name() == "obs"
+}
+
+func checkMetricCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, tainted map[types.Object]bool, labelDefs map[types.Object]*ast.CompositeLit) {
+	if len(call.Args) == 0 {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if !isConst(pass.Info, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(), "metric name passed to obs.Registry.%s must be a compile-time constant", fn.Name())
+	}
+	for _, arg := range call.Args[1:] {
+		lit := labelLiteral(pass, arg, labelDefs)
+		if lit == nil {
+			continue
+		}
+		key, value := labelFields(lit)
+		if key != nil && !isConst(pass.Info, key) {
+			pass.Reportf(key.Pos(), "metric label key must be a compile-time constant")
+		}
+		if value != nil && !isConst(pass.Info, value) {
+			if expr := requestDerived(pass, value, tainted); expr != nil {
+				pass.Reportf(value.Pos(), "metric label value derives from request data (%s); label values must come from bounded sets", exprString(pass, expr))
+			}
+		}
+	}
+}
+
+// labelLiteral resolves an argument to the obs.Label composite literal
+// it denotes: the literal itself, or a local variable whose sole
+// initialiser in this function is one.
+func labelLiteral(pass *Pass, arg ast.Expr, labelDefs map[types.Object]*ast.CompositeLit) *ast.CompositeLit {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		if isObsLabelType(pass, pass.Info.Types[x].Type) {
+			return x
+		}
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			return labelDefs[obj]
+		}
+	}
+	return nil
+}
+
+func isObsLabelType(pass *Pass, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Label" && obj.Pkg() != nil &&
+		pass.Module.InModule(obj.Pkg().Path()) && obj.Pkg().Name() == "obs"
+}
+
+// labelFields extracts the Key and Value expressions from an obs.Label
+// literal, in either keyed or positional form.
+func labelFields(lit *ast.CompositeLit) (key, value ast.Expr) {
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				switch id.Name {
+				case "Key":
+					key = kv.Value
+				case "Value":
+					value = kv.Value
+				}
+			}
+			continue
+		}
+		switch i {
+		case 0:
+			key = el
+		case 1:
+			value = el
+		}
+	}
+	return key, value
+}
+
+// localLabelLiterals maps local variables to the obs.Label composite
+// literal they are initialised from, for resolving `pathLabel :=
+// obs.Label{...}` passed by name.
+func localLabelLiterals(pass *Pass, fd *ast.FuncDecl) map[types.Object]*ast.CompositeLit {
+	defs := make(map[types.Object]*ast.CompositeLit)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit)
+			if !ok || !isObsLabelType(pass, pass.Info.Types[lit].Type) {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				defs[obj] = lit
+			}
+		}
+		return true
+	})
+	return defs
+}
+
+// requestTypes are the roots of the request-data taint.
+func isRequestType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "net/http.Request", "net/http.Header", "net/url.URL", "net/url.Values", "net/url.Userinfo":
+		return true
+	}
+	return false
+}
+
+// requestTainted computes, per function, the set of local objects
+// whose value flows from request data: seeded by every expression of a
+// request type, propagated through plain assignments to a fixpoint.
+func requestTainted(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// n-to-1 assignments (v, ok := m[k]) taint every LHS when the
+			// RHS is tainted; n-to-n assignments pair off.
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				} else {
+					rhs = as.Rhs[0]
+				}
+				if requestDerived(pass, rhs, tainted) == nil {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// requestDerived returns the sub-expression that makes e
+// request-derived (a value of a request type, or a use of a tainted
+// variable), or nil when e is clean.
+func requestDerived(pass *Pass, e ast.Expr, tainted map[types.Object]bool) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := pass.Info.Types[expr].Type; isRequestType(t) {
+			found = expr
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && tainted[obj] {
+				found = id
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(pass *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(pass, x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(pass, x.X) + "[...]"
+	default:
+		return "request-typed expression"
+	}
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ModelFileIO checks the model-file reading discipline: every read of
+// a modelfile section must check the returned error, and raw
+// io.Reader-style reads must also check the returned length. A
+// truncated or corrupt model file must fail loudly at load time — a
+// short read silently accepted becomes a model that classifies
+// garbage.
+//
+// Three call families are checked:
+//
+//   - io.ReadFull / io.ReadAll and friends: the error result must be
+//     bound (not blank) and the binding must be used. Discarding the
+//     byte count of ReadFull is fine — ReadFull's contract folds short
+//     reads into the error.
+//   - direct Read([]byte) (int, error) method calls: BOTH results must
+//     be bound and used; Read may return n < len(p) with err == nil,
+//     so dropping either half accepts short reads.
+//   - the modelfile package's own section readers (Read*, Inspect*):
+//     the error result must be bound and used.
+//
+// Using a result means mentioning it anywhere after the call; the
+// analyzer does not trace path-sensitivity — `_ = err` defeats it, and
+// is as greppable as the directive escape.
+var ModelFileIO = &Analyzer{
+	Name: "modelfileio",
+	Doc:  "modelfile section reads must check returned errors, and raw Reads must also check the returned length",
+	Run:  runModelFileIO,
+}
+
+// ioErrFuncs are io helpers whose error result is mandatory reading;
+// their count/content results may be dropped.
+var ioErrFuncs = map[string]bool{
+	"io.ReadFull":    true,
+	"io.ReadAll":     true,
+	"io.ReadAtLeast": true,
+	"io.Copy":        true,
+	"io.CopyN":       true,
+}
+
+func runModelFileIO(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkReads(pass, fd)
+		}
+	}
+	return nil
+}
+
+// readKind classifies a call: which results are mandatory.
+type readKind int
+
+const (
+	notRead   readKind = iota
+	errOnly            // error result must be checked
+	lenAndErr          // both byte count and error must be checked
+)
+
+func classifyRead(pass *Pass, call *ast.CallExpr) (readKind, string) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return notRead, ""
+	}
+	full := fn.Pkg().Path() + "." + fn.Name()
+	if strings.HasPrefix(full, "io.") && ioErrFuncs[full] {
+		return errOnly, full
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return notRead, ""
+	}
+	if pass.Module.InModule(fn.Pkg().Path()) && strings.HasSuffix(fn.Pkg().Path(), "modelfile") &&
+		(strings.HasPrefix(fn.Name(), "Read") || strings.HasPrefix(fn.Name(), "Inspect") || strings.HasPrefix(fn.Name(), "read")) {
+		if lastResultIsError(sig) {
+			return errOnly, "modelfile." + fn.Name()
+		}
+		return notRead, ""
+	}
+	// A Read method with the io.Reader shape: func ([]byte) (int, error).
+	if sig.Recv() != nil && fn.Name() == "Read" && isReaderShape(sig) {
+		return lenAndErr, recvString(sig) + ".Read"
+	}
+	return notRead, ""
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	n := sig.Results().Len()
+	if n == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(n - 1).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isReaderShape(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	if s, ok := sig.Params().At(0).Type().(*types.Slice); !ok || !types.Identical(s.Elem(), types.Typ[types.Byte]) {
+		return false
+	}
+	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	return isErrorType(sig.Results().At(1).Type())
+}
+
+func recvString(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkReads flags read calls whose mandatory results are dropped:
+// used as a bare statement, or bound to blank/unused variables.
+func checkReads(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, name := classifyRead(pass, call)
+			if kind != notRead {
+				pass.Reportf(call.Pos(), "%s result is dropped; a truncated model file would go unnoticed", name)
+			}
+			return true
+		case *ast.GoStmt:
+			return true
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, name := classifyRead(pass, call)
+			if kind == notRead {
+				return true
+			}
+			checkBindings(pass, fd, x, call, kind, name)
+			return true
+		}
+		return true
+	})
+}
+
+// checkBindings verifies the mandatory results of a read call are
+// bound to non-blank identifiers that are subsequently used.
+func checkBindings(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt, call *ast.CallExpr, kind readKind, name string) {
+	info := pass.Info
+	nres := 1
+	if tv, ok := info.Types[call]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		}
+	}
+	if len(as.Lhs) != nres {
+		return // mismatched assign won't type-check anyway
+	}
+	// The error is always the last result; the length (when mandatory)
+	// is the first.
+	mandatory := []int{nres - 1}
+	what := []string{"error"}
+	if kind == lenAndErr && nres == 2 {
+		mandatory = []int{0, nres - 1}
+		what = []string{"byte count", "error"}
+	}
+	for i, idx := range mandatory {
+		lhs := ast.Unparen(as.Lhs[idx])
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue // stored into a field/index: visible to the caller
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "%s from %s is discarded; check it — a short read must fail the load", what[i], name)
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if !usedAfter(pass, fd, as, obj) {
+			pass.Reportf(as.Pos(), "%s from %s is bound to %s but never used", what[i], name, id.Name)
+		}
+	}
+}
+
+// usedAfter reports whether obj is read anywhere in the function other
+// than the binding statement itself. A bare return also counts when
+// obj is a named result — the return implicitly reads it.
+func usedAfter(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 && isNamedResult(pass, fd, obj) {
+			used = true
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		// Exclude the identifiers of the binding itself.
+		for _, l := range as.Lhs {
+			if l == n {
+				return true
+			}
+		}
+		used = true
+		return false
+	})
+	return used
+}
+
+// isNamedResult reports whether obj is one of fd's named results.
+func isNamedResult(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if pass.Info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

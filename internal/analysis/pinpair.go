@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinPair checks the registry's lease contract: every Acquire must be
+// paired with a Release on all paths, or the lease must be handed to
+// someone who will (returned, stored, or passed along — the
+// engine-drain contract transfers ownership explicitly, never drops
+// it).
+//
+// The check is shape-based, in the spirit of x/tools' lostcancel: a
+// call to a module function named Acquire whose first result has a
+// Release method binds a lease variable; within the enclosing function
+// that variable must either be used through .Release (a call or a
+// deferred call, or the method value itself — the HTTP layer passes
+// l.Release as the per-request release func), appear in a return
+// statement, be stored into a struct/slice/map, or be passed to
+// another call. Discarding the lease with the blank identifier is
+// always a leak: the pinned engine would never drain.
+var PinPair = &Analyzer{
+	Name: "pinpair",
+	Doc:  "every registry Acquire needs a Release on all paths (defer, explicit call, or explicit ownership transfer)",
+	Run:  runPinPair,
+}
+
+func runPinPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLeases(pass, fd)
+		}
+	}
+	return nil
+}
+
+// acquireCall reports whether call is a lease-producing Acquire: a
+// module function named Acquire whose first result type carries a
+// Release method.
+func acquireCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "Acquire" || fn.Pkg() == nil {
+		return false
+	}
+	if !pass.Module.InModule(fn.Pkg().Path()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return hasReleaseMethod(sig.Results().At(0).Type())
+}
+
+func hasReleaseMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Release" {
+			return true
+		}
+	}
+	// Pointer receivers extend the method set of the pointer type.
+	ms = types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Release" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLeases walks one function, finds Acquire results, and verifies
+// each is released or handed off within the function body.
+func checkLeases(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// The lease-binding shape is `l, err := x.Acquire(name)` (or a
+		// single-result variant); Acquire in any other position is
+		// handled by the expression checks below.
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !acquireCall(pass, call) {
+			return true
+		}
+		leaseIdent, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if leaseIdent.Name == "_" {
+			pass.Reportf(as.Pos(), "lease from %s is discarded; the pinned model version can never be released", calleeFunc(info, call).Name())
+			return true
+		}
+		obj := info.Defs[leaseIdent]
+		if obj == nil {
+			obj = info.Uses[leaseIdent] // plain = assignment to an existing var
+		}
+		if obj == nil {
+			return true
+		}
+		if !leaseHandled(pass, fd, as, obj) {
+			pass.Reportf(as.Pos(), "lease %s is never released in %s: call %s.Release (usually deferred) or hand the lease off explicitly", leaseIdent.Name, fd.Name.Name, leaseIdent.Name)
+		}
+		return true
+	})
+}
+
+// leaseHandled reports whether the lease object is released or handed
+// off anywhere in the function after its binding: a .Release selection
+// (call, defer, or method value), the lease itself returned, stored,
+// or passed to a call. Using the lease's *contents* — *l.Engine() —
+// is deliberately not a hand-off: the engine value does not carry the
+// release obligation with it.
+func leaseHandled(pass *Pass, fd *ast.FuncDecl, binding *ast.AssignStmt, lease types.Object) bool {
+	info := pass.Info
+	handled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if isLeaseExpr(info, x.X, lease) && x.Sel.Name == "Release" {
+				handled = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if isLeaseExpr(info, r, lease) {
+					handled = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				if isLeaseExpr(info, a, lease) {
+					handled = true
+				}
+			}
+		case *ast.AssignStmt:
+			if x == binding {
+				return true
+			}
+			// Storing the lease (into a field, slice, map or another
+			// variable) transfers ownership to the holder.
+			for i, r := range x.Rhs {
+				if isLeaseExpr(info, r, lease) && (len(x.Lhs) != len(x.Rhs) || !isBlank(x.Lhs[i])) {
+					handled = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if isLeaseExpr(info, x.Value, lease) {
+				handled = true
+			}
+		}
+		return !handled
+	})
+	return handled
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isLeaseExpr reports whether e denotes the lease value itself: the
+// identifier, or its address.
+func isLeaseExpr(info *types.Info, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+}

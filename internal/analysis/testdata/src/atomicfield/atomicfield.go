@@ -1,0 +1,42 @@
+// Package atomicfield is the golden corpus for the atomicfield
+// analyzer: mixed atomic/plain access to legacy counters, and value
+// copies of the typed atomics.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	t    atomic.Int64
+	name string
+}
+
+func legacy(c *counter) int64 {
+	atomic.AddInt64(&c.n, 1)    // the sanctioned access shape
+	v := atomic.LoadInt64(&c.n) // also sanctioned
+	c.n = 0                     // want "plain access races"
+	w := c.n                    // want "plain access races"
+	c.name = "ok"               // untracked field: allowed
+	return v + w
+}
+
+func typed(c *counter) {
+	c.t.Add(1) // method call on the typed atomic: the only sound access
+	p := &c.t  // taking the address: allowed (method sets need it)
+	p.Store(2)
+	v := c.t // want "copying or reassigning"
+	_ = v
+	observe(c.t) // want "copying or reassigning"
+}
+
+func observe(v atomic.Int64) { _ = v.Load() }
+
+// newCounter fills fields before the value is shared: the one
+// legitimate plain write, documented in place.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 //urllangid:ignore atomicfield constructor runs before the counter escapes to other goroutines
+	return c
+}
+
+var _ = newCounter

@@ -1,0 +1,130 @@
+// Package hotpathalloc is the golden corpus for the hotpathalloc
+// analyzer: every construct the zero-allocation contract forbids, next
+// to the idioms it deliberately allows.
+package hotpathalloc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"urllangid/internal/analysis/testdata/src/hotpathalloc/sub"
+)
+
+// Result mirrors the serving layer's fixed-size classification result;
+// the analyzer recognises any module struct named Result.
+type Result struct {
+	Lang  uint8
+	Score float64
+}
+
+//urllangid:hotpath
+func Hot(s string, out []byte) int {
+	n := copy(out, s) // plain copy into caller scratch: allowed
+	if n == 0 {
+		_ = fmt.Sprintf("empty %q", s) // want "calls fmt.Sprintf"
+	}
+	b := []byte(s) // want "copies the bytes"
+	_ = b
+	joined := s + "!" // want "concatenates strings"
+	_ = joined
+	const suffix = "/x" + "!" // constant folding: allowed
+	_ = suffix
+	buf := make([]byte, 4) // want "calls make"
+	_ = buf
+	lit := []int{1, 2} // want "allocates a slice literal"
+	_ = lit
+	v := Result{Lang: 1} // struct literal by value: stack state, allowed
+	_ = v
+	p := &Result{} // want "heap-allocates a composite literal"
+	_ = p
+	go background() // want "spawns a goroutine"
+	return n
+}
+
+func background() {}
+
+// Caller reaches helper without annotating it: the same-package
+// closure is checked transitively.
+//
+//urllangid:hotpath
+func Caller(s string) string { return helper(s) }
+
+func helper(s string) string {
+	return strings.ToLower(s) // want "allocates a lowered copy"
+}
+
+//urllangid:hotpath
+func Cross(s string) int {
+	sub.Unmarked(s)      // want "not marked"
+	return sub.Marked(s) // annotated callee: the contract edge holds
+}
+
+//urllangid:hotpath
+func Visit(s string) int {
+	n := 0
+	sub.Walk(s, func(i int) { n += i })               // closure to annotated visitor: allowed
+	each(s, func(i int) { n += i })                   // same-package callee: allowed
+	sort.Search(n, func(i int) bool { return i > 0 }) // want "passes a closure outside the annotated hot path"
+	return n
+}
+
+func each(s string, f func(int)) {
+	for i := range s {
+		f(i)
+	}
+}
+
+//urllangid:hotpath
+func Box(r Result, sink *any) {
+	*sink = r // want "boxes a"
+	var local any
+	local = r // want "boxes a"
+	_ = local
+	record(r) // want "through an interface parameter"
+}
+
+func record(v any) { _ = v }
+
+//urllangid:hotpath
+func MapWrite(m map[string]int, k string) {
+	m[k] = 1 // want "writes to a map"
+}
+
+// Compare is the allocation-free comparison idiom: the compiler elides
+// the string copy when the conversion is a direct comparison operand.
+//
+//urllangid:hotpath
+func Compare(b []byte, s string) bool {
+	if string(b) == s { // conversion as equality operand: allowed
+		return true
+	}
+	c := []byte(s)       // want "copies the bytes"
+	return string(c) < s // want "copies the bytes"
+}
+
+// ticker exercises the method-value check: reading a method as a value
+// binds its receiver in a heap-allocated closure.
+type ticker struct{ n int }
+
+func (t *ticker) tick() { t.n++ }
+
+//urllangid:hotpath
+func Bind(t *ticker) func() {
+	t.tick()                    // direct call: no binding, allowed
+	f := t.tick                 // want "creates the method value"
+	release := (&ticker{}).tick // want "creates the method value" "heap-allocates a composite literal"
+	_ = release
+	return f
+}
+
+// Cold demonstrates the documented escape: the error branch allocates,
+// the suppression names the analyzer and carries a reason.
+//
+//urllangid:hotpath
+func Cold(s string) error {
+	if len(s) == 0 {
+		return fmt.Errorf("empty input") //urllangid:ignore hotpathalloc cold validation branch, never taken on the serving fast path
+	}
+	return nil
+}

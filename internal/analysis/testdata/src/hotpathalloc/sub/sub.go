@@ -1,0 +1,19 @@
+// Package sub provides the cross-package callees for the hotpathalloc
+// golden corpus: one function inside the annotated contract, one
+// outside it, and one annotated visitor that accepts a callback.
+package sub
+
+//urllangid:hotpath
+func Marked(s string) int { return len(s) }
+
+func Unmarked(s string) int { return len(s) }
+
+// Walk is the streaming-visitor shape: annotated, so hot callers may
+// hand it a closure.
+//
+//urllangid:hotpath
+func Walk(s string, f func(int)) {
+	for i := range s {
+		f(i)
+	}
+}

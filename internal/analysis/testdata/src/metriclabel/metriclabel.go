@@ -1,0 +1,53 @@
+// Package metriclabel is the golden corpus for the metriclabel
+// analyzer: constant names and keys, bounded dynamic values, and the
+// request-derived values the cardinality contract forbids.
+package metriclabel
+
+import (
+	"net/http"
+	"strconv"
+
+	"urllangid/internal/obs"
+)
+
+const requestsName = "lint_requests_total"
+
+func constants(reg *obs.Registry, route string, code int) {
+	// Named constant, literal key, bounded dynamic values (a route
+	// pattern handed down by the mux, a formatted status code).
+	reg.Counter(requestsName, "requests", obs.Label{Key: "path", Value: route}).Inc()
+	reg.Counter("lint_responses_total", "responses", obs.Label{Key: "code", Value: strconv.Itoa(code)}).Inc()
+	reg.Gauge("lint_inflight", "in flight").Set(0)
+	reg.Histogram("lint_latency_seconds", "latency", 1e-9, obs.Label{Key: "path", Value: route}).Observe(1)
+}
+
+func dynamicName(reg *obs.Registry, which string) {
+	reg.Counter("lint_"+which, "dynamic family").Inc() // want "must be a compile-time constant"
+}
+
+func dynamicKey(reg *obs.Registry, k string) {
+	reg.Gauge("lint_dyn_key", "gauge", obs.Label{Key: k, Value: "x"}).Set(1) // want "label key must be a compile-time constant"
+}
+
+func requestValue(reg *obs.Registry, r *http.Request) {
+	reg.Counter("lint_by_host", "per host", obs.Label{Key: "host", Value: r.Host}).Inc() // want "derives from request data"
+}
+
+func taintFlow(reg *obs.Registry, r *http.Request) {
+	host := r.Host
+	h := host
+	lbl := obs.Label{Key: "host", Value: h} // want "derives from request data"
+	reg.Counter("lint_by_host_flow", "per host", lbl).Inc()
+}
+
+func localLabel(reg *obs.Registry, route string) {
+	// A label built into a local first is resolved to its literal; a
+	// parameter-derived value stays allowed.
+	pathLabel := obs.Label{Key: "path", Value: route}
+	reg.Histogram("lint_local_label", "lat", 1, pathLabel).Observe(1)
+}
+
+func sanctioned(reg *obs.Registry, r *http.Request) {
+	lbl := obs.Label{Key: "proto", Value: r.Proto} //urllangid:ignore metriclabel protocol strings are a three-value closed set
+	reg.Counter("lint_by_proto", "per proto", lbl).Inc()
+}

@@ -1,0 +1,22 @@
+// Package modelfile mirrors the real modelfile section readers for the
+// modelfileio golden corpus: the import path suffix is what marks its
+// exported Read*/Inspect* functions as mandatory-check calls.
+package modelfile
+
+import "io"
+
+func ReadMeta(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func InspectHeader(r io.Reader) (int, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	return int(hdr[0]), nil
+}

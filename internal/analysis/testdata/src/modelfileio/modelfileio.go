@@ -1,0 +1,92 @@
+// Package modelfileio is the golden corpus for the modelfileio
+// analyzer: reads whose error (and, for raw Reads, length) results are
+// checked, dropped, or discarded.
+package modelfileio
+
+import (
+	"io"
+
+	"urllangid/internal/analysis/testdata/src/modelfileio/modelfile"
+)
+
+func readAllChecked(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// readFullBlankCount is the allowed ReadFull shape: the contract folds
+// short reads into the error, so the count may be blank.
+func readFullBlankCount(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+func dropStmt(r io.Reader, buf []byte) {
+	io.ReadFull(r, buf) // want "io.ReadFull result is dropped"
+}
+
+func blankErr(r io.Reader, buf []byte) {
+	_, _ = io.ReadFull(r, buf) // want "error from io.ReadFull is discarded"
+}
+
+func dropCopy(w io.Writer, r io.Reader) {
+	io.Copy(w, r) // want "io.Copy result is dropped"
+}
+
+// assignedNeverRead compiles (named results need no use) but accepts a
+// truncated file: err is written, then overwritten by the return.
+func assignedNeverRead(r io.Reader, buf []byte) (n int, err error) {
+	n, err = io.ReadFull(r, buf) // want "bound to err but never used"
+	return n, nil
+}
+
+// bareReturn hands the error to the caller implicitly: a bare return
+// of named results counts as the check.
+func bareReturn(r io.Reader, buf []byte) (n int, err error) {
+	n, err = io.ReadFull(r, buf)
+	return
+}
+
+type section struct{ r io.Reader }
+
+func (s *section) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+// shortRead drops the byte count of a raw Read: unlike ReadFull, Read
+// may return n < len(p) with a nil error.
+func shortRead(s *section, buf []byte) error {
+	_, err := s.Read(buf) // want "byte count from section.Read is discarded"
+	return err
+}
+
+func fullRead(s *section, buf []byte) (int, error) {
+	n, err := s.Read(buf)
+	if err != nil {
+		return 0, err
+	}
+	if n < len(buf) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func dropSection(r io.Reader) {
+	modelfile.ReadMeta(r) // want "modelfile.ReadMeta result is dropped"
+}
+
+func blankSection(r io.Reader) []byte {
+	b, _ := modelfile.ReadMeta(r) // want "error from modelfile.ReadMeta is discarded"
+	return b
+}
+
+func checkedSection(r io.Reader) (int, error) {
+	return modelfile.InspectHeader(r)
+}
+
+func prefetch(r io.Reader, buf []byte) {
+	_, _ = io.ReadFull(r, buf) //urllangid:ignore modelfileio best-effort prefetch, the checked read follows at load time
+}

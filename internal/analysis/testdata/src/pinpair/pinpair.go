@@ -1,0 +1,82 @@
+// Package pinpair is the golden corpus for the pinpair analyzer: the
+// Acquire/Release shapes the registry contract allows, and the leaks
+// it must catch.
+package pinpair
+
+import "errors"
+
+type engine struct{ n int }
+
+// Lease mirrors the registry lease: Acquire's first result, released
+// exactly once.
+type Lease struct{ e *engine }
+
+func (l Lease) Release()        {}
+func (l Lease) Engine() *engine { return l.e }
+
+type Reg struct{}
+
+func (r *Reg) Acquire(name string) (Lease, error) {
+	if name == "" {
+		return Lease{}, errors.New("unknown model")
+	}
+	return Lease{e: &engine{}}, nil
+}
+
+func deferred(r *Reg) (int, error) {
+	l, err := r.Acquire("m")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Release()
+	return l.Engine().n, nil
+}
+
+func leak(r *Reg) int {
+	l, err := r.Acquire("m") // want "never released"
+	if err != nil {
+		return 0
+	}
+	return l.Engine().n
+}
+
+func discard(r *Reg) {
+	_, _ = r.Acquire("m") // want "discarded"
+}
+
+type holder struct{ l Lease }
+
+// stash transfers ownership: the holder releases later.
+func stash(r *Reg, h *holder) error {
+	l, err := r.Acquire("m")
+	if err != nil {
+		return err
+	}
+	h.l = l
+	return nil
+}
+
+// handoff transfers ownership through a call argument.
+func handoff(r *Reg) {
+	l, _ := r.Acquire("m")
+	releaseLater(l)
+}
+
+func releaseLater(l Lease) { l.Release() }
+
+// methodValue hands the release obligation to the caller, the way the
+// registry's Resolve returns l.Release as the per-request close func.
+func methodValue(r *Reg) func() {
+	l, _ := r.Acquire("m")
+	return l.Release
+}
+
+// returned transfers the lease itself.
+func returned(r *Reg) (Lease, error) {
+	return r.Acquire("m")
+}
+
+func pinned(r *Reg) *engine {
+	l, _ := r.Acquire("m") //urllangid:ignore pinpair pinned for process lifetime by design, the test corpus documents the shape
+	return l.Engine()
+}

@@ -256,6 +256,8 @@ func (s *Snapshot) CacheKey(rawURL string) string {
 // primitive backing the serving layers' allocation contract: the linear,
 // custom, dtree and TLD paths are allocation-free — normalization and
 // extraction stream through pooled scratch.
+//
+//urllangid:hotpath
 func (s *Snapshot) ScoresInto(out *[langid.NumLanguages]float64, rawURL string) {
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
@@ -268,6 +270,8 @@ func (s *Snapshot) ScoresInto(out *[langid.NumLanguages]float64, rawURL string) 
 
 // Scores returns the five per-language decision scores for rawURL; see
 // ScoresInto. Returning the array by value stays allocation-free.
+//
+//urllangid:hotpath
 func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
 	var out [langid.NumLanguages]float64
 	s.ScoresInto(&out, rawURL)
@@ -277,6 +281,8 @@ func (s *Snapshot) Scores(rawURL string) [langid.NumLanguages]float64 {
 // ClassifyInto fills *r with rawURL's classification — scores plus the
 // packed decision bits — with the same allocation behaviour as
 // ScoresInto.
+//
+//urllangid:hotpath
 func (s *Snapshot) ClassifyInto(r *langid.Result, rawURL string) {
 	var scores [langid.NumLanguages]float64
 	s.ScoresInto(&scores, rawURL)
@@ -285,6 +291,8 @@ func (s *Snapshot) ClassifyInto(r *langid.Result, rawURL string) {
 
 // Classify returns rawURL's classification as a langid.Result value,
 // bit-identical to the source classifier's scores.
+//
+//urllangid:hotpath
 func (s *Snapshot) Classify(rawURL string) langid.Result {
 	var r langid.Result
 	s.ClassifyInto(&r, rawURL)
@@ -296,6 +304,8 @@ func (s *Snapshot) Classify(rawURL string) langid.Result {
 // otherwise pay. The key contract matches CacheKey exactly: normal form
 // for the normal-form-keyed modes, raw URL for the custom and
 // raw-trigram modes.
+//
+//urllangid:hotpath
 func (s *Snapshot) ScoresForKey(key string) [langid.NumLanguages]float64 {
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)

@@ -107,7 +107,7 @@ func (r *packedRefs) score(qIdx []uint32, qVal []float32, sc *scratch) float64 {
 	// sort.Slice, same comparator, same input order as the source model:
 	// the (unstable) permutation — and with it any tie-breaking at the
 	// k-th boundary — comes out identical.
-	sort.Slice(hits, func(a, b int) bool { return hits[a].sim > hits[b].sim })
+	sort.Slice(hits, func(a, b int) bool { return hits[a].sim > hits[b].sim }) //urllangid:ignore hotpathalloc same comparator as the source model keeps tie-breaking bit-identical, kNN is documented off the 0-alloc contract
 	k := int(r.k)
 	if k > len(hits) {
 		k = len(hits)

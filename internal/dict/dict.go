@@ -157,6 +157,8 @@ func CcTLDs(l langid.Language) []string { return ccTLDs[l] }
 
 // LanguageOfTLD maps a top-level domain to the language the ccTLD baseline
 // assigns it, if any.
+//
+//urllangid:hotpath
 func LanguageOfTLD(tld string) (langid.Language, bool) {
 	l, ok := tldToLang[tld]
 	return l, ok

@@ -122,9 +122,11 @@ func RestoreCustom(selected bool, trained *textstat.TrainedDict) *CustomExtracto
 // the same counters accumulate over the same token stream, only without
 // the Parts decomposition and builder map. The steady state allocates
 // nothing.
+//
+//urllangid:hotpath
 func (e *CustomExtractor) ExtractDense(sc *Scratch, rawURL string) []float32 {
 	if cap(sc.dense) < e.dim {
-		sc.dense = make([]float32, e.dim)
+		sc.dense = make([]float32, e.dim) //urllangid:ignore hotpathalloc one-time scratch growth, amortised to zero across reuse
 	}
 	dst := sc.dense[:e.dim]
 	for i := range dst {
@@ -248,6 +250,8 @@ func (e *CustomExtractor) ExtractDense(sc *Scratch, rawURL string) []float32 {
 // dense vector fills scratch, then compresses to the sparse form the
 // models score (zeros dropped, indices ascending — exactly what the
 // builder would freeze). The result aliases sc.
+//
+//urllangid:hotpath
 func (e *CustomExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse {
 	dense := e.ExtractDense(sc, rawURL)
 	sc.idx, sc.val = sc.idx[:0], sc.val[:0]

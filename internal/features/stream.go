@@ -48,6 +48,8 @@ func (sc *Scratch) runs() vecspace.Sparse {
 // pipeline collects IDs through its own string table but must encode
 // them with this identical invariant (ascending unique indices,
 // float32 counts) to stay bit-identical with the model path.
+//
+//urllangid:hotpath
 func (sc *Scratch) Runs(ids []uint32) vecspace.Sparse {
 	slices.Sort(ids)
 	sc.idx, sc.val = sc.idx[:0], sc.val[:0]
@@ -66,6 +68,8 @@ func (sc *Scratch) Runs(ids []uint32) vecspace.Sparse {
 // ExtractInto implements the streaming path for word features: tokens
 // stream out of the normal form and resolve through the vocabulary with
 // no intermediate slices. The result aliases sc.
+//
+//urllangid:hotpath
 func (e *WordExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse {
 	norm := urlx.NormalizeInto(&sc.norm, rawURL)
 	host, path := urlx.SplitNormalized(norm)
@@ -83,6 +87,8 @@ func (e *WordExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse 
 // ExtractInto implements the streaming path for trigram features:
 // tokens stream out of the normal form, expand to padded trigrams in
 // scratch, and resolve through the vocabulary. The result aliases sc.
+//
+//urllangid:hotpath
 func (e *TrigramExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse {
 	norm := urlx.NormalizeInto(&sc.norm, rawURL)
 	host, path := urlx.SplitNormalized(norm)
@@ -101,6 +107,8 @@ func (e *TrigramExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Spar
 
 // ExtractInto implements the streaming path for raw-URL trigrams. The
 // result aliases sc.
+//
+//urllangid:hotpath
 func (e *RawTrigramExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.Sparse {
 	sc.ids = sc.ids[:0]
 	VisitRawTrigrams(rawURL, func(g string) {
@@ -118,10 +126,12 @@ func (e *RawTrigramExtractor) ExtractInto(sc *Scratch, rawURL string) vecspace.S
 // the first "://". Inputs already lower-case ASCII walk with zero
 // allocations; others pay one lowered-copy allocation, matching the
 // training-time path.
+//
+//urllangid:hotpath
 func VisitRawTrigrams(rawURL string, fn func(gram string)) {
 	s := strings.TrimSpace(rawURL)
 	if needsLowering(s) {
-		s = strings.ToLower(s)
+		s = strings.ToLower(s) //urllangid:ignore hotpathalloc guarded cold branch, lower-case ASCII input walks allocation-free
 	}
 	if i := strings.Index(s, "://"); i >= 0 {
 		s = s[i+3:]

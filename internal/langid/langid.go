@@ -106,6 +106,8 @@ type Prediction struct {
 // ScoresFromPredictions is the inverse of PredictionsFromScores: it
 // collapses a canonical-order prediction slice back into the score
 // array, tolerating short slices (missing entries keep a zero score).
+//
+//urllangid:hotpath
 func ScoresFromPredictions(preds []Prediction) [NumLanguages]float64 {
 	var out [NumLanguages]float64
 	for i, p := range preds {

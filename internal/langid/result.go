@@ -17,6 +17,8 @@ type Result struct {
 
 // NewResult builds a Result from a score vector in canonical language
 // order, deriving the decision bits from the score signs.
+//
+//urllangid:hotpath
 func NewResult(scores [NumLanguages]float64) Result {
 	var claims LabelSet
 	for li, s := range scores {

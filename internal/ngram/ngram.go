@@ -64,6 +64,8 @@ func AppendTrigrams(dst []string, tokens []string) []string {
 // needed, contents overwritten) so the walk allocates nothing in the
 // steady state. The emitted grams alias *pad and are only valid inside
 // fn — callers that need to keep one must copy it.
+//
+//urllangid:hotpath
 func VisitTrigrams(pad *[]byte, token string, fn func(gram string)) {
 	if len(token) < 2 {
 		return

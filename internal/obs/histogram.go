@@ -103,6 +103,8 @@ func (h *Histogram) scale() float64 {
 
 // Observe records one sample in raw units. Negative values clamp to 0.
 // Nil-safe, so callers with optional stats need no branch.
+//
+//urllangid:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -41,6 +41,8 @@ type Counter struct {
 }
 
 // Inc adds one. Nil-safe so disabled stats paths need no branching.
+//
+//urllangid:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -49,6 +51,8 @@ func (c *Counter) Inc() {
 
 // Add adds n, which must be non-negative for the value to remain a
 // counter in the Prometheus sense.
+//
+//urllangid:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -70,6 +74,8 @@ type Gauge struct {
 }
 
 // Add moves the gauge by n (negative to decrement). Nil-safe.
+//
+//urllangid:hotpath
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -77,6 +83,8 @@ func (g *Gauge) Add(n int64) {
 }
 
 // Set replaces the gauge value.
+//
+//urllangid:hotpath
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)

@@ -44,6 +44,8 @@ type Trace struct {
 }
 
 // Add accumulates d into stage s. Nil-safe.
+//
+//urllangid:hotpath
 func (t *Trace) Add(s Stage, d time.Duration) {
 	if t != nil {
 		t.ns[s].Add(int64(d))

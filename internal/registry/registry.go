@@ -87,6 +87,9 @@ type version struct {
 	engine *serve.Engine
 	info   serve.ModelInfo
 	refs   atomic.Int64
+	// releaseFn is release pre-bound at install time, so Resolve hands
+	// it out per request without allocating a fresh method value.
+	releaseFn func()
 }
 
 // release drops one reference; the last one out closes the engine.
@@ -95,7 +98,7 @@ type version struct {
 // change, releases, and retries — it never uses the closed engine.
 func (v *version) release() {
 	if v.refs.Add(-1) == 0 {
-		v.engine.Close()
+		v.engine.Close() //urllangid:ignore hotpathalloc last-reference teardown runs once per retired version at swap time, never on the per-request path
 	}
 }
 
@@ -119,19 +122,27 @@ type Lease struct {
 }
 
 // Engine returns the pinned version's serving engine.
+//
+//urllangid:hotpath
 func (l Lease) Engine() *serve.Engine { return l.v.engine }
 
 // Info returns the pinned version's identity.
+//
+//urllangid:hotpath
 func (l Lease) Info() serve.ModelInfo { return l.v.info }
 
 // Release lets go of the version. The last holder of a swapped-out
 // version closes its engine. Release must be called exactly once.
+//
+//urllangid:hotpath
 func (l Lease) Release() { l.v.release() }
 
 // Acquire pins the current version of the named slot ("" selects the
 // default). The returned lease keeps the version's engine open until
 // Release, even if the slot is swapped or the registry closed in
 // between.
+//
+//urllangid:hotpath
 func (r *Registry) Acquire(name string) (Lease, error) {
 	r.mu.RLock()
 	if name == "" && len(r.names) > 0 {
@@ -143,12 +154,12 @@ func (r *Registry) Acquire(name string) (Lease, error) {
 		if name == "" {
 			return Lease{}, serve.ErrNoModels
 		}
-		return Lease{}, fmt.Errorf("%w: %q", serve.ErrUnknownModel, name)
+		return Lease{}, fmt.Errorf("%w: %q", serve.ErrUnknownModel, name) //urllangid:ignore hotpathalloc cold error path, unknown model name is a caller bug
 	}
 	for {
 		v := s.cur.Load()
 		if v == nil {
-			return Lease{}, fmt.Errorf("model %q: %w", name, serve.ErrNoModels)
+			return Lease{}, fmt.Errorf("model %q: %w", name, serve.ErrNoModels) //urllangid:ignore hotpathalloc cold error path, a closed or empty slot ends the request anyway
 		}
 		v.refs.Add(1)
 		if s.cur.Load() == v {
@@ -161,12 +172,14 @@ func (r *Registry) Acquire(name string) (Lease, error) {
 }
 
 // Resolve implements serve.Resolver over Acquire.
+//
+//urllangid:hotpath
 func (r *Registry) Resolve(name string) (*serve.Engine, serve.ModelInfo, func(), error) {
-	l, err := r.Acquire(name)
+	l, err := r.Acquire(name) //urllangid:ignore pinpair the returned releaseFn is the lease's pre-bound Release, handed to the HTTP caller to invoke exactly once
 	if err != nil {
 		return nil, serve.ModelInfo{}, nil, err
 	}
-	return l.v.engine, l.v.info, l.Release, nil
+	return l.v.engine, l.v.info, l.v.releaseFn, nil
 }
 
 // Models lists the current version of every slot, default first, then
@@ -294,6 +307,7 @@ func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo)
 	info.Version = s.ver.Add(1)
 	info.LoadedAt = time.Now()
 	v := &version{engine: serve.New(p, r.opts.Engine), info: info}
+	v.releaseFn = v.release
 	v.refs.Store(1)
 	if old := s.cur.Swap(v); old != nil {
 		old.release()
@@ -343,6 +357,7 @@ func (r *Registry) Reload(name string) (serve.ModelInfo, bool, error) {
 		LoadedAt: time.Now(),
 	}
 	v := &version{engine: serve.New(snap, r.opts.Engine), info: info}
+	v.releaseFn = v.release
 	v.refs.Store(1)
 	if old := s.cur.Swap(v); old != nil {
 		old.release()

@@ -97,7 +97,7 @@ func (c *lruCache) put(key string, scores [langid.NumLanguages]float64) {
 		return
 	}
 	if len(s.ring) < s.cap {
-		s.m[key] = len(s.ring)
+		s.m[key] = len(s.ring) //urllangid:ignore hotpathalloc fill-phase insert, map stops growing once the shard reaches capacity
 		s.ring = append(s.ring, cacheEntry{})
 		e := &s.ring[len(s.ring)-1]
 		e.key, e.scores = key, scores
@@ -114,7 +114,7 @@ func (c *lruCache) put(key string, scores [langid.NumLanguages]float64) {
 		delete(s.m, e.key)
 		e.key, e.scores = key, scores
 		e.ref.Store(false)
-		s.m[key] = s.hand
+		s.m[key] = s.hand //urllangid:ignore hotpathalloc steady-state insert after delete keeps the map at capacity, bucket growth amortises to zero
 		s.hand = (s.hand + 1) % len(s.ring)
 		return
 	}

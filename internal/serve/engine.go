@@ -220,6 +220,8 @@ func (e *Engine) QueueDepth() int {
 // Classify classifies one URL, consulting and populating the cache.
 // It never fails: malformed URLs tokenize to nothing and score like any
 // other token-free input.
+//
+//urllangid:hotpath
 func (e *Engine) Classify(rawURL string) Result {
 	return e.classify(rawURL, nil)
 }
@@ -228,6 +230,8 @@ func (e *Engine) Classify(rawURL string) Result {
 // cache-lookup and score wall time accumulate into tr. A nil tr
 // disables collection and skips every extra clock read, so the untraced
 // hot path is unchanged.
+//
+//urllangid:hotpath
 func (e *Engine) ClassifyTrace(rawURL string, tr *obs.Trace) Result {
 	return e.classify(rawURL, tr)
 }

@@ -113,6 +113,8 @@ func (t *Table) Blob() []byte { return t.blob }
 func (t *Table) Offsets() []uint32 { return t.offs }
 
 // Lookup resolves s to its ID without allocating.
+//
+//urllangid:hotpath
 func (t *Table) Lookup(s string) (uint32, bool) {
 	if len(t.slots) == 0 {
 		return 0, false

@@ -50,6 +50,8 @@ func (c Classifier) Classify(p urlx.Parts) (langid.Language, bool) {
 // streaming-path form of Classify: serving layers that already hold the
 // normal form derive the TLD positionally (urlx.LastLabel) and skip the
 // full Parts decomposition.
+//
+//urllangid:hotpath
 func (c Classifier) ClassifyTLD(tld string) (langid.Language, bool) {
 	if l, ok := dict.LanguageOfTLD(tld); ok {
 		return l, true

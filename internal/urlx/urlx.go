@@ -156,6 +156,8 @@ func Normalize(rawURL string) string {
 //
 // The caller must treat the returned string, and anything aliasing it
 // (such as AppendTokens output), as invalid once *buf is mutated again.
+//
+//urllangid:hotpath
 func NormalizeInto(buf *[]byte, rawURL string) string {
 	s := strings.TrimSpace(rawURL)
 	k := rewriteIndex(s)
@@ -264,6 +266,8 @@ func SplitHostPath(rawURL string) (host, path string) {
 // ':port' after ']' is dropped; an unterminated literal, or non-port
 // bytes after ']', keep the whole span as an opaque host rather than
 // discarding data); otherwise the host ends at the first ':'.
+//
+//urllangid:hotpath
 func SplitNormalized(s string) (host, path string) {
 	auth := s
 	if i := strings.IndexAny(s, "/?#"); i >= 0 {
@@ -297,6 +301,8 @@ func Tokenize(s string) []string {
 // Normalize and SplitHostPath are — the appended tokens alias s and the
 // only allocation is the occasional growth of dst, which is what the
 // compiled serving path relies on for its zero-garbage hot loop.
+//
+//urllangid:hotpath
 func AppendTokens(dst []string, s string) []string {
 	VisitTokens(s, func(tok string) {
 		dst = append(dst, tok)
@@ -310,6 +316,8 @@ func AppendTokens(dst []string, s string) []string {
 // allocations — this is the token-emission primitive the streaming
 // feature extractors and the compiled snapshots are built on. fn must
 // not retain the token past the call if s's backing memory is reused.
+//
+//urllangid:hotpath
 func VisitTokens(s string, fn func(tok string)) {
 	start := -1
 	flush := func(end int) {
@@ -317,7 +325,12 @@ func VisitTokens(s string, fn func(tok string)) {
 			return
 		}
 		if end-start >= 2 {
-			tok := strings.ToLower(s[start:end])
+			tok := s[start:end]
+			if hasUpperASCII(tok) {
+				// Only mixed-case input pays this copy; the normal forms
+				// the serving path tokenises are already lower-case.
+				tok = strings.ToLower(tok) //urllangid:ignore hotpathalloc guarded cold branch, normalized serving input is never upper-case
+			}
 			if _, special := specialTokens[tok]; !special {
 				fn(tok)
 			}
@@ -341,6 +354,8 @@ func VisitTokens(s string, fn func(tok string)) {
 // included — without allocating. Bracketed IP-literal hosts and the
 // empty host have no labels and yield no calls, mirroring the
 // Parts.HostLabels contract.
+//
+//urllangid:hotpath
 func VisitHostLabels(host string, fn func(label string)) {
 	if host == "" || host[0] == '[' {
 		return
@@ -358,6 +373,8 @@ func VisitHostLabels(host string, fn func(label string)) {
 // LastLabel returns the final dot-separated label of host — the TLD in
 // Parts terms. Bracketed IP-literal hosts and the empty host have no
 // TLD and return "".
+//
+//urllangid:hotpath
 func LastLabel(host string) string {
 	if host == "" || host[0] == '[' {
 		return ""
@@ -370,6 +387,17 @@ func LastLabel(host string) string {
 
 func isLetter(c byte) bool {
 	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// hasUpperASCII reports whether s contains an upper-case ASCII letter —
+// the only case where tokenisation must pay for a lowered copy.
+func hasUpperASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			return true
+		}
+	}
+	return false
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
@@ -388,6 +416,8 @@ func unhex(c byte) (byte, bool) {
 
 // DigitRuns returns the number of maximal digit runs in s (the
 // DigitRunCount custom feature, exposed for the streaming extractors).
+//
+//urllangid:hotpath
 func DigitRuns(s string) int {
 	runs := 0
 	in := false

@@ -214,6 +214,8 @@ func (v *Vocab) Intern(name string) (uint32, bool) {
 }
 
 // Lookup returns the index for name without ever allocating.
+//
+//urllangid:hotpath
 func (v *Vocab) Lookup(name string) (uint32, bool) {
 	i, ok := v.byName[name]
 	return i, ok

@@ -128,6 +128,8 @@ func (r *Registry) Models() []ModelInfo { return r.reg.Models() }
 // default). On a compiled model the call performs no heap allocations,
 // registry lookup included. It fails only when the name is unknown or
 // the registry is empty or closed.
+//
+//urllangid:hotpath
 func (r *Registry) Classify(name, rawURL string) (Result, error) {
 	l, err := r.reg.Acquire(name)
 	if err != nil {

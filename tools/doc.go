@@ -1,0 +1,12 @@
+// Package tools pins the external analysis tools the verification gate
+// uses. It builds no code: tools.go (behind the "tools" build tag)
+// imports each tool's main package so module tooling treats them as
+// tracked dependencies, and the Makefile's STATICCHECK_VERSION /
+// GOVULNCHECK_VERSION variables carry the exact versions `make tools`
+// and CI install. @latest is deliberately not used anywhere: a tool
+// release changing its checks must arrive as a reviewed version bump,
+// not as silent drift in what the gate enforces.
+//
+// The project's own analyzer suite (cmd/urllangid-lint) is not listed
+// here — it builds from this repository and needs no installation.
+package tools

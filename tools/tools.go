@@ -1,0 +1,13 @@
+//go:build tools
+
+package tools
+
+// Tracked tool dependencies, never compiled into the module: the tag
+// keeps these imports out of every ordinary build while `go mod tidy
+// -tags tools` (run where the module cache can reach them) records the
+// tools as dependencies. The versions actually installed are pinned in
+// the Makefile.
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)

@@ -412,6 +412,8 @@ func Open(r io.Reader) (Model, error) {
 // Classify returns the URL's five-language classification, bit-identical
 // to the source classifier's. On the compiled path the call performs no
 // heap allocations.
+//
+//urllangid:hotpath
 func (s *Snapshot) Classify(rawURL string) Result {
 	return s.snap.Classify(rawURL)
 }
