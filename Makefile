@@ -15,6 +15,13 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
+# The compiler release the escape gate's golden (api/escape.txt) was
+# generated with. -gcflags=-m diagnostics are version-sensitive, so
+# `make escape` only enforces the diff when the running toolchain's
+# minor version matches; other versions skip with a notice (CI runs a
+# dedicated job on the pinned version).
+ESCAPE_GO_VERSION ?= go1.24
+
 # Fuzz targets guarding the urlx normalization contract; go test only
 # accepts one -fuzz pattern per invocation, so the smoke loops. The root
 # package adds the snapshot-equivalence differential (classifier vs
@@ -28,9 +35,9 @@ URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 API_SURFACE := api/urllangid.txt
 API_DISTILL := $(GO) doc -all . | awk '/^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$$/{on=1} on && NF && substr($$0,1,4) != "    "'
 
-.PHONY: verify build fmt vet staticcheck lint vuln tools test race fuzz-smoke bench bench-json fuzz api api-check
+.PHONY: verify build fmt vet staticcheck lint vuln tools test race fuzz-smoke bench bench-json fuzz api api-check escape escape-accept
 
-verify: fmt vet staticcheck lint build api-check test race fuzz-smoke vuln
+verify: fmt vet staticcheck lint escape build api-check test race fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -56,12 +63,30 @@ staticcheck:
 	fi
 
 # The project-invariant analyzer suite (hotpathalloc, atomicfield,
-# pinpair, metriclabel, modelfileio) built from this repo — no tool
-# fetch, no network: `go run` compiles cmd/urllangid-lint from the
-# checkout and checks every package. See DESIGN.md "Enforced
-# invariants" for what each analyzer guarantees.
+# pinpair, metriclabel, modelfileio, lockorder, goroutineleak) built
+# from this repo — no tool fetch, no network: `go run` compiles
+# cmd/urllangid-lint from the checkout and checks every package. See
+# DESIGN.md "Enforced invariants" for what each analyzer guarantees.
 lint:
 	$(GO) run ./cmd/urllangid-lint ./...
+
+# The compiler-truth escape gate: build the hot packages with
+# -gcflags=-m and diff the normalized hot-path escape/inline facts
+# against api/escape.txt. Only enforced on the pinned compiler minor
+# (diagnostics drift across releases); elsewhere it skips with a
+# notice, mirroring the staticcheck/govulncheck pattern.
+escape:
+	@ver=$$($(GO) env GOVERSION | cut -d. -f1-2); \
+	if [ "$$ver" != "$(ESCAPE_GO_VERSION)" ]; then \
+		echo "escape: skipping (running $$($(GO) env GOVERSION); golden pinned to $(ESCAPE_GO_VERSION).x)"; \
+	else \
+		$(GO) run ./cmd/urllangid-escape; \
+	fi
+
+# Accept an intentional hot-path escape/inline change: regenerate the
+# golden manifest and commit it.
+escape-accept:
+	$(GO) run ./cmd/urllangid-escape -w
 
 # govulncheck needs network access for the vulnerability database, so
 # like staticcheck it is a should-have: absent binary skips with a
@@ -117,11 +142,12 @@ bench:
 	$(GO) test -run NONE -bench 'Predict|Classify|Batcher|Extract|ParseURL|Normalize' -benchmem .
 
 # The committed serving-trajectory benchmark: a self-hosted loadgen run
-# writing BENCH_1.json at the repo root (throughput, request latency
-# percentiles, cache hit ratio, allocs/URL). Re-run and commit after
-# serving-path changes to extend the trajectory.
+# writing BENCH_<n>.json at the repo root (throughput, request latency
+# percentiles, cache hit ratio, allocs/URL). Each PR that touches the
+# serving path bumps <n> and commits a fresh point, so the files form a
+# trajectory rather than overwriting history.
 bench-json:
-	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_1.json
+	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_2.json
 
 fuzz:
 	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

@@ -9,15 +9,27 @@
 // pattern `go list` understands works, including explicit testdata
 // directories that wildcards skip.
 //
-// The exit status is 0 when the tree is clean, 1 when any diagnostic
-// is reported, and 2 on a loading or internal error — the same
-// convention as go vet, so `make lint` and CI can distinguish "found a
-// violation" from "could not analyze".
+// -json switches the report to NDJSON: one object per diagnostic with
+// analyzer, position, message and suppressed fields. Suppressed
+// findings (waived by //urllangid:ignore) are included in the JSON
+// stream — machine consumers get to audit what the directives hide —
+// but never in the human output, and never in the exit status.
+//
+// -tests extends the analyzed file set with each package's in-package
+// _test.go files (off by default: test files assert the contracts, the
+// production files carry them).
+//
+// The exit status is 0 when the tree is clean, 1 when any unsuppressed
+// diagnostic is reported, and 2 on a loading or internal error — the
+// same convention as go vet, so `make lint` and CI can distinguish
+// "found a violation" from "could not analyze".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,14 +37,27 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Stdout, os.Args[1:]))
 }
 
-func run(args []string) int {
+// jsonDiag is the NDJSON shape of one diagnostic. The position is
+// pre-split so consumers never parse the human file:line:col form.
+type jsonDiag struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(out io.Writer, args []string) int {
 	fs := flag.NewFlagSet("urllangid-lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := fs.String("C", "", "change to this directory before resolving packages")
+	asJSON := fs.Bool("json", false, "emit NDJSON diagnostics (including suppressed ones) instead of the human report")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,7 +65,7 @@ func run(args []string) int {
 	all := analysis.All()
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -68,7 +93,7 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	mod, pkgs, err := analysis.Load(*dir, patterns...)
+	mod, pkgs, err := analysis.Load(analysis.Config{Dir: *dir, Tests: *tests}, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "urllangid-lint: %v\n", err)
 		return 2
@@ -78,10 +103,29 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "urllangid-lint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		for _, d := range diags {
+			jd := jsonDiag{
+				Analyzer:   d.Analyzer,
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			}
+			if err := enc.Encode(jd); err != nil {
+				fmt.Fprintf(os.Stderr, "urllangid-lint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range analysis.Unsuppressed(diags) {
+			fmt.Fprintln(out, d.String())
+		}
 	}
-	if len(diags) > 0 {
+	if len(analysis.Unsuppressed(diags)) > 0 {
 		return 1
 	}
 	return 0

@@ -1,26 +1,38 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 // TestRunList pins the CLI contract the Makefile and CI lean on:
 // -list names every registered analyzer and exits 0.
 func TestRunList(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	var out bytes.Buffer
+	if code := run(&out, []string{"-list"}); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+	for _, name := range []string{"pinpair", "lockorder", "goroutineleak", "hotpathalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
 	}
 }
 
 // TestRunUnknownAnalyzer pins the exit-status convention: a selection
 // error is a usage error (2), not a clean run or a violation.
 func TestRunUnknownAnalyzer(t *testing.T) {
-	if code := run([]string{"-only", "nosuchanalyzer"}); code != 2 {
+	if code := run(io.Discard, []string{"-only", "nosuchanalyzer"}); code != 2 {
 		t.Fatalf("run(-only nosuchanalyzer) = %d, want 2", code)
 	}
 }
 
 // TestRunBadFlag pins flag-parse failures to exit status 2.
 func TestRunBadFlag(t *testing.T) {
-	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+	if code := run(io.Discard, []string{"-definitely-not-a-flag"}); code != 2 {
 		t.Fatalf("run(bad flag) = %d, want 2", code)
 	}
 }
@@ -32,12 +44,81 @@ func TestRunSelection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks a testdata package")
 	}
-	code := run([]string{
+	code := run(io.Discard, []string{
 		"-C", "../..",
 		"-only", " pinpair ",
 		"./internal/analysis/testdata/src/pinpair",
 	})
 	if code != 1 {
 		t.Fatalf("run(pinpair corpus) = %d, want 1 (corpus contains deliberate violations)", code)
+	}
+}
+
+// TestRunJSON pins the NDJSON contract: every line is a standalone
+// JSON object with the analyzer/file/line/message/suppressed fields,
+// suppressed findings are present in the stream (the corpus's pinned
+// case carries an ignore directive), and suppressed-only lines do not
+// affect the exit status.
+func TestRunJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a testdata package")
+	}
+	var out bytes.Buffer
+	code := run(&out, []string{
+		"-C", "../..",
+		"-json",
+		"-only", "pinpair",
+		"./internal/analysis/testdata/src/pinpair",
+	})
+	if code != 1 {
+		t.Fatalf("run(-json pinpair corpus) = %d, want 1", code)
+	}
+	var sawSuppressed, sawActive bool
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var d struct {
+			Analyzer   string `json:"analyzer"`
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		}
+		if err := dec.Decode(&d); err != nil {
+			t.Fatalf("decoding NDJSON line: %v", err)
+		}
+		if d.Analyzer != "pinpair" {
+			t.Errorf("unexpected analyzer %q in -only pinpair run", d.Analyzer)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			sawSuppressed = true
+		} else {
+			sawActive = true
+		}
+	}
+	if !sawActive {
+		t.Error("JSON stream contains no active diagnostics; corpus has deliberate violations")
+	}
+	if !sawSuppressed {
+		t.Error("JSON stream contains no suppressed diagnostics; the corpus's ignore-directive case must appear with suppressed=true")
+	}
+}
+
+// TestRunHumanOmitsSuppressed pins the asymmetry between the two
+// output modes: the human report never shows waived findings.
+func TestRunHumanOmitsSuppressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a testdata package")
+	}
+	var out bytes.Buffer
+	run(&out, []string{
+		"-C", "../..",
+		"-only", "pinpair",
+		"./internal/analysis/testdata/src/pinpair",
+	})
+	if strings.Contains(out.String(), "in pinned") {
+		t.Errorf("human output shows the suppressed 'pinned' finding:\n%s", out.String())
 	}
 }

@@ -1,9 +1,17 @@
 // Package analysis is the project-invariant analyzer suite behind
-// cmd/urllangid-lint: five custom static analyzers that machine-check
+// cmd/urllangid-lint: seven custom static analyzers that machine-check
 // contracts the test suite only pins at single points — the zero-
 // allocation classify hot path, the atomic-field discipline in the
-// stats and registry layers, the Acquire/Release lease pairing, the
-// metric label-cardinality rules, and the modelfile truncation guards.
+// stats and registry layers, the path-sensitive Acquire/Release lease
+// pairing, the metric label-cardinality rules, the modelfile
+// truncation guards, the module-wide mutex acquisition order (and the
+// no-blocking-under-lock rule), and goroutine joinability for
+// Close/Stop-owning types.
+//
+// Since PR 8 the suite is dataflow-aware: internal/analysis/cfg lowers
+// function bodies to basic-block control-flow graphs with a
+// forward/backward fixpoint framework, and the path-sensitive checkers
+// (pinpair, lockorder) reason per execution path instead of per scope.
 //
 // The suite is deliberately self-contained: analyzers are written
 // against a small mirror of the golang.org/x/tools/go/analysis shape
@@ -28,13 +36,14 @@
 // features, strtab, ngram, obs and the registry without whole-program
 // analysis.
 //
-//	//urllangid:ignore <analyzer> <reason>
+//	//urllangid:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // trailing the offending line (or alone on the line above it)
-// suppresses that analyzer's diagnostics for the line. The reason is
-// mandatory prose: every suppression in the tree documents why the
-// flagged construct is deliberate (a cold error path, a documented
-// non-0-alloc mode) rather than silently waived.
+// suppresses the named analyzers' diagnostics for the line — a line
+// flagged by two analyzers lists both, comma-separated, under one
+// directive. The reason is mandatory prose: every suppression in the
+// tree documents why the flagged construct is deliberate (a cold error
+// path, a documented non-0-alloc mode) rather than silently waived.
 package analysis
 
 import (
@@ -57,6 +66,12 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// Done, when non-nil, runs once after every package has been
+	// analyzed. It is the module-wide finalization hook: analyzers that
+	// accumulate cross-package facts during Run (lockorder's
+	// acquisition-order graph) report the global findings here. report
+	// positions resolve through the module FileSet.
+	Done func(mod *Module, report func(pos token.Pos, format string, args ...any))
 }
 
 // A Pass presents one type-checked package to an analyzer.
@@ -83,10 +98,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // A Diagnostic is one finding, positioned for file:line:col printing.
+// Suppressed findings — those waived by a //urllangid:ignore directive
+// — are kept (flagged, not dropped) so machine consumers can audit
+// what the directives are hiding; the human output and the exit code
+// ignore them.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -101,12 +121,18 @@ func All() []*Analyzer {
 		PinPair,
 		MetricLabel,
 		ModelFileIO,
+		LockOrder,
+		GoroutineLeak,
 	}
 }
 
 // Run executes the analyzers over the loaded packages and returns the
-// surviving diagnostics sorted by position, with //urllangid:ignore
-// suppressions already applied.
+// diagnostics sorted by position. //urllangid:ignore suppressions are
+// applied by marking (not dropping) the matched findings, so callers
+// can expose them for auditing; Unsuppressed filters them out for the
+// human path. Analyzers with a Done hook get it after the last
+// package, which is where module-wide findings (lockorder cycles)
+// materialise.
 func Run(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -125,6 +151,19 @@ func Run(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, err
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Done == nil {
+			continue
+		}
+		name := a.Name
+		a.Done(mod, func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				Pos:      mod.Fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
 	diags = suppress(mod.Fset, pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -142,28 +181,42 @@ func Run(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, err
 	return diags, nil
 }
 
-// ignoreDirective parses "//urllangid:ignore <analyzer> <reason>",
-// returning the analyzer name ("" when c is not an ignore directive or
-// names no analyzer). A directive without a reason is returned with
-// ok=false so the driver can reject undocumented suppressions.
-func ignoreDirective(text string) (analyzer string, ok bool) {
+// ignoreDirective parses
+// "//urllangid:ignore <analyzer>[,<analyzer>...] <reason>", returning
+// the analyzer names (nil when c is not an ignore directive or names
+// no analyzer). One directive may waive several analyzers for the same
+// line — comma-separated, no spaces around the commas — so a line
+// flagged twice does not need two stacked directives. A directive
+// without a reason is returned with ok=false so the driver can reject
+// undocumented suppressions.
+func ignoreDirective(text string) (analyzers []string, ok bool) {
 	const prefix = "//urllangid:ignore"
 	if !strings.HasPrefix(text, prefix) {
-		return "", false
+		return nil, false
 	}
 	fields := strings.Fields(text[len(prefix):])
-	if len(fields) < 2 {
-		// Analyzer name but no reason (or nothing at all): not a valid
-		// suppression. The caller reports it.
-		if len(fields) == 1 {
-			return fields[0], false
-		}
-		return "", false
+	if len(fields) == 0 {
+		return nil, false
 	}
-	return fields[0], true
+	names := strings.Split(fields[0], ",")
+	out := names[:0]
+	for _, n := range names {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	if len(fields) < 2 {
+		// Analyzer names but no reason: not a valid suppression. The
+		// caller reports it.
+		return out, false
+	}
+	return out, true
 }
 
-// suppress drops diagnostics whose line carries (or whose previous
+// suppress marks diagnostics whose line carries (or whose previous
 // line is exactly) a matching ignore directive, and synthesises
 // diagnostics for malformed directives so a reason can never be
 // omitted silently.
@@ -179,8 +232,8 @@ func suppress(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagno
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					name, ok := ignoreDirective(c.Text)
-					if name == "" && !ok {
+					names, ok := ignoreDirective(c.Text)
+					if len(names) == 0 && !ok {
 						continue
 					}
 					pos := fset.Position(c.Pos())
@@ -188,26 +241,38 @@ func suppress(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagno
 						malformed = append(malformed, Diagnostic{
 							Analyzer: "directive",
 							Pos:      pos,
-							Message:  "//urllangid:ignore needs an analyzer name and a reason: //urllangid:ignore <analyzer> <why>",
+							Message:  "//urllangid:ignore needs analyzer name(s) and a reason: //urllangid:ignore <analyzer>[,<analyzer>...] <why>",
 						})
 						continue
 					}
 					// The directive covers its own line (trailing form)
 					// and the next line (standalone form above the code).
-					ignored[key{pos.Filename, pos.Line, name}] = true
-					ignored[key{pos.Filename, pos.Line + 1, name}] = true
+					for _, name := range names {
+						ignored[key{pos.Filename, pos.Line, name}] = true
+						ignored[key{pos.Filename, pos.Line + 1, name}] = true
+					}
 				}
 			}
 		}
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if ignored[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			continue
+	for i := range diags {
+		if ignored[key{diags[i].Pos.Filename, diags[i].Pos.Line, diags[i].Analyzer}] {
+			diags[i].Suppressed = true
 		}
-		kept = append(kept, d)
 	}
-	return append(kept, malformed...)
+	return append(diags, malformed...)
+}
+
+// Unsuppressed filters diags down to the findings not waived by an
+// ignore directive — the set that fails the build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // funcKey builds the module-wide identity of a function or method:

@@ -1,0 +1,423 @@
+// Package cfg lowers Go function bodies to basic-block control-flow
+// graphs and runs forward/backward dataflow analyses over them. It is
+// the substrate under the path-sensitive analyzers in
+// internal/analysis (pinpair's per-path lease pairing, lockorder's
+// held-set propagation): the AST-only suite from PR 7 sees syntactic
+// scopes, this package sees execution paths.
+//
+// The graph is statement-granular: each Block holds the statements
+// (and branch conditions) that execute together, in order, and edges
+// follow Go's control constructs — if/else, for/range (with break and
+// continue, labeled or not), switch/type-switch (with fallthrough),
+// select, goto, and early returns. Two properties analyzers lean on:
+//
+//   - A block ending in a branch condition orders its successors
+//     deterministically: Succs[0] is the true edge, Succs[1] the false
+//     edge. Path-sensitive checks (pinpair's err-guard handling) key
+//     off that ordering.
+//   - Terminating statements are honest: return edges flow to the
+//     synthetic Exit block; a call to panic ends its path without
+//     reaching Exit, so "on all paths to return" analyses do not
+//     demand cleanup on panic paths.
+//
+// Function literals are deliberately NOT inlined into the enclosing
+// graph — a closure body runs when called, not where written — so
+// analyzers build a separate graph per FuncLit body.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body. Blocks[0] is
+// the entry block; Exit is a synthetic empty block every return (and
+// the fall-off-the-end path) flows to.
+type Graph struct {
+	Blocks []*Block
+	Exit   *Block
+
+	// CommSelect maps each communication statement appearing as a
+	// select case (the `ch <- v` / `v := <-ch` in a CommClause) to its
+	// SelectStmt, so analyzers can tell a guarded send/receive (one arm
+	// of a select) from a bare blocking one.
+	CommSelect map[ast.Stmt]*ast.SelectStmt
+}
+
+// A Block is a maximal straight-line run of statements. Nodes holds
+// ast.Stmt and, for branch heads, the condition ast.Expr, in execution
+// order. CondBranch reports whether the block ends in a two-way branch
+// whose successors are ordered (true, false).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Cond is the branch condition this block ends with, when the block
+	// ends in an if/for test; Succs[0] is then the true edge and
+	// Succs[1] the false edge.
+	Cond ast.Expr
+}
+
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "b%d ->", b.Index)
+	for _, s := range b.Succs {
+		fmt.Fprintf(&sb, " b%d", s.Index)
+	}
+	return sb.String()
+}
+
+// New builds the graph of body. A nil body yields a graph with only an
+// entry wired straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{CommSelect: make(map[ast.Stmt]*ast.SelectStmt)}
+	b := &builder{g: g, labels: make(map[string]*labelInfo)}
+	entry := b.newBlock()
+	g.Exit = &Block{Index: -1}
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edgeTo(g.Exit) // fall off the end: implicit return
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+// loopFrame tracks the jump targets one enclosing breakable/continuable
+// construct establishes.
+type loopFrame struct {
+	label      string
+	isLoop     bool // continue legal (for/range); switch/select only break
+	breakTo    *Block
+	continueTo *Block
+}
+
+type labelInfo struct {
+	block *Block // target block for goto (created on demand)
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil while the current point is unreachable
+	frames []loopFrame
+	labels map[string]*labelInfo
+	// pendingLabel is set between seeing `L:` and building its
+	// statement, so the statement's loop frame carries the label.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock switches emission to a fresh block and returns it.
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	b.cur = blk
+	return blk
+}
+
+// edgeTo wires cur -> to, if cur is reachable.
+func (b *builder) edgeTo(to *Block) {
+	if b.cur == nil {
+		return
+	}
+	link(b.cur, to)
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelBlock returns (creating on demand) the block a goto/label L
+// refers to, so forward gotos resolve.
+func (b *builder) labelBlock(name string) *Block {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li.block
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+
+	case *ast.LabeledStmt:
+		// The label's block is a join point: control can arrive by
+		// fallthrough or by goto.
+		lb := b.labelBlock(x.Label.Name)
+		b.edgeTo(lb)
+		b.cur = lb
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edgeTo(b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(x)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		b.add(x.Cond)
+		condBlk := b.cur
+		if condBlk != nil {
+			condBlk.Cond = x.Cond
+		}
+		after := b.newBlock()
+		thenBlk := b.startBlock()
+		if condBlk != nil {
+			link(condBlk, thenBlk) // Succs[0]: true edge
+		}
+		b.stmt(x.Body)
+		b.edgeTo(after)
+		if x.Else != nil {
+			elseBlk := b.startBlock()
+			if condBlk != nil {
+				link(condBlk, elseBlk) // Succs[1]: false edge
+			}
+			b.stmt(x.Else)
+			b.edgeTo(after)
+		} else if condBlk != nil {
+			link(condBlk, after) // false edge skips the body
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		head := b.newBlock()
+		b.edgeTo(head)
+		after := b.newBlock()
+		post := head
+		if x.Post != nil {
+			post = b.newBlock()
+		}
+		b.cur = head
+		var bodyEntryFrom *Block
+		if x.Cond != nil {
+			b.add(x.Cond)
+			head.Cond = x.Cond
+			bodyEntryFrom = b.cur
+		} else {
+			bodyEntryFrom = b.cur
+		}
+		body := b.startBlock()
+		link(bodyEntryFrom, body) // Succs[0]: true/loop edge
+		if x.Cond != nil {
+			link(head, after) // Succs[1]: false edge
+		}
+		b.frames = append(b.frames, loopFrame{label: label, isLoop: true, breakTo: after, continueTo: post})
+		b.stmt(x.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edgeTo(post)
+		if x.Post != nil {
+			b.cur = post
+			b.stmt(x.Post)
+			b.edgeTo(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edgeTo(head)
+		b.cur = head
+		b.add(x) // the range head itself (receives for chan ranges)
+		after := b.newBlock()
+		body := b.startBlock()
+		link(head, body)  // Succs[0]: another iteration
+		link(head, after) // Succs[1]: exhausted
+		b.frames = append(b.frames, loopFrame{label: label, isLoop: true, breakTo: after, continueTo: head})
+		b.stmt(x.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edgeTo(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		if x.Tag != nil {
+			b.add(x.Tag)
+		}
+		b.caseClauses(x.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init)
+		}
+		b.add(x.Assign)
+		b.caseClauses(x.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		// The select statement node sits in the deciding block: that is
+		// the (potentially blocking) wait point. Each comm clause gets
+		// its own block starting with its communication statement.
+		b.add(x)
+		decide := b.cur
+		after := b.newBlock()
+		hasDefault := false
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+		for _, cc := range x.Body.List {
+			c := cc.(*ast.CommClause)
+			blk := b.startBlock()
+			if decide != nil {
+				link(decide, blk)
+			}
+			if c.Comm != nil {
+				b.g.CommSelect[c.Comm] = x
+				b.add(c.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(c.Body)
+			b.edgeTo(after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		_ = hasDefault
+		if len(x.Body.List) == 0 && decide != nil {
+			// select{} blocks forever: no successor.
+		}
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.add(x)
+		if isPanic(x.X) {
+			// A panicking path never reaches the function's returns;
+			// analyses that demand cleanup "on all paths to Exit"
+			// should not see this path at all.
+			b.cur = nil
+		}
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses lowers switch/type-switch bodies: every case block hangs
+// off the deciding block, fallthrough chains to the next case body, a
+// missing default adds a straight-through edge.
+func (b *builder) caseClauses(clauses []ast.Stmt, label string, _ *Block) {
+	decide := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	for i, cs := range clauses {
+		c := cs.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		if decide != nil {
+			link(decide, bodies[i])
+		}
+		b.cur = bodies[i]
+		for _, e := range c.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		for _, s := range c.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(s)
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.edgeTo(bodies[i+1])
+			b.cur = nil
+		} else {
+			b.edgeTo(after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault && decide != nil {
+		link(decide, after)
+	}
+	b.cur = after
+}
+
+// branch lowers break/continue/goto/fallthrough. Fallthrough outside a
+// case body (invalid Go) is ignored.
+func (b *builder) branch(x *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	b.add(x)
+	switch x.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if x.Label == nil || f.label == x.Label.Name {
+				b.edgeTo(f.breakTo)
+				b.cur = nil
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.isLoop && (x.Label == nil || f.label == x.Label.Name) {
+				b.edgeTo(f.continueTo)
+				b.cur = nil
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if x.Label != nil {
+			b.edgeTo(b.labelBlock(x.Label.Name))
+		}
+		b.cur = nil
+	}
+}
+
+// isPanic reports whether e is a call to the predeclared panic. Purely
+// syntactic: a local function named panic shadows it so rarely that
+// the graph accepts the imprecision.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

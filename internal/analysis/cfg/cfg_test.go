@@ -1,0 +1,483 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its graph.
+// src is the body only, without braces.
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// blockCalling returns the block whose nodes contain a call to name.
+func blockCalling(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	g := build(t, `
+		a()
+		if cond() {
+			b()
+		} else {
+			c()
+		}
+		d()
+	`)
+	condBlk := blockCalling(t, g, "cond")
+	if condBlk.Cond == nil {
+		t.Fatalf("cond block has no Cond")
+	}
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("cond block has %d succs, want 2", len(condBlk.Succs))
+	}
+	thenBlk, elseBlk := blockCalling(t, g, "b"), blockCalling(t, g, "c")
+	if condBlk.Succs[0] != thenBlk {
+		t.Errorf("Succs[0] is not the true edge")
+	}
+	if condBlk.Succs[1] != elseBlk {
+		t.Errorf("Succs[1] is not the false edge")
+	}
+	join := blockCalling(t, g, "d")
+	if !reaches(thenBlk, join) || !reaches(elseBlk, join) {
+		t.Errorf("branches do not rejoin at d()")
+	}
+}
+
+func TestIfWithoutElseFalseEdge(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			b()
+		}
+		d()
+	`)
+	condBlk := blockCalling(t, g, "cond")
+	after := blockCalling(t, g, "d")
+	if len(condBlk.Succs) != 2 || condBlk.Succs[1] != after {
+		t.Fatalf("false edge of else-less if must go straight to the join")
+	}
+}
+
+func TestReturnTerminatesPath(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			return
+		}
+		d()
+	`)
+	condBlk := blockCalling(t, g, "cond")
+	thenBlk := condBlk.Succs[0]
+	if len(thenBlk.Succs) != 1 || thenBlk.Succs[0] != g.Exit {
+		t.Fatalf("return block must flow to Exit only, got %v", thenBlk)
+	}
+}
+
+func TestPanicEndsPathWithoutExit(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			b()
+			panic("boom")
+		}
+		d()
+	`)
+	condBlk := blockCalling(t, g, "cond")
+	panicBlk := condBlk.Succs[0]
+	if len(panicBlk.Succs) != 0 {
+		t.Fatalf("panic block has successors %v; a panicking path must not reach Exit", panicBlk)
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g := build(t, `
+		for i := 0; i < n; i++ {
+			body()
+			if stop() {
+				break
+			}
+		}
+		after()
+	`)
+	bodyBlk := blockCalling(t, g, "body")
+	afterBlk := blockCalling(t, g, "after")
+	if !reaches(bodyBlk, afterBlk) {
+		t.Errorf("break does not reach the after block")
+	}
+	// The loop head must branch both into the body and out to after.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil && reaches(b, bodyBlk) && b != bodyBlk {
+			if len(b.Succs) == 2 && reaches(b.Succs[1], afterBlk) {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("no two-way loop head found")
+	}
+	// Back edge: body (via post) flows back to the head.
+	if !reaches(bodyBlk, head) {
+		t.Errorf("loop body does not flow back to the head")
+	}
+}
+
+func TestInfiniteForHasNoExitEdge(t *testing.T) {
+	g := build(t, `
+		for {
+			body()
+		}
+	`)
+	bodyBlk := blockCalling(t, g, "body")
+	if reaches(bodyBlk, g.Exit) {
+		t.Fatalf("for{} without break must not reach Exit")
+	}
+	if !reaches(bodyBlk, bodyBlk) {
+		t.Fatalf("loop body must have a back edge to itself")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, `
+		for _, v := range xs {
+			body(v)
+			if skip(v) {
+				continue
+			}
+			use(v)
+		}
+		after()
+	`)
+	bodyBlk := blockCalling(t, g, "body")
+	useBlk := blockCalling(t, g, "use")
+	afterBlk := blockCalling(t, g, "after")
+	if !reaches(bodyBlk, useBlk) || !reaches(useBlk, bodyBlk) {
+		t.Errorf("range body does not loop")
+	}
+	if !reaches(bodyBlk, afterBlk) {
+		t.Errorf("range loop does not exit to after")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `
+	outer:
+		for {
+			for {
+				if done() {
+					break outer
+				}
+				inner()
+			}
+		}
+		after()
+	`)
+	doneBlk := blockCalling(t, g, "done")
+	afterBlk := blockCalling(t, g, "after")
+	if !reaches(doneBlk, afterBlk) {
+		t.Errorf("labeled break does not reach code after the outer loop")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+		switch tag() {
+		case 1:
+			one()
+			fallthrough
+		case 2:
+			two()
+		default:
+			dflt()
+		}
+		after()
+	`)
+	oneBlk := blockCalling(t, g, "one")
+	twoBlk := blockCalling(t, g, "two")
+	if !reaches(oneBlk, twoBlk) {
+		t.Errorf("fallthrough does not chain case bodies")
+	}
+	afterBlk := blockCalling(t, g, "after")
+	for _, b := range []*Block{oneBlk, twoBlk, blockCalling(t, g, "dflt")} {
+		if !reaches(b, afterBlk) {
+			t.Errorf("case block %v does not reach the join", b)
+		}
+	}
+}
+
+func TestSelectCommMapAndShape(t *testing.T) {
+	g := build(t, `
+		select {
+		case v := <-in:
+			use(v)
+		case out <- x:
+			sent()
+		}
+		after()
+	`)
+	if len(g.CommSelect) != 2 {
+		t.Fatalf("CommSelect has %d entries, want 2", len(g.CommSelect))
+	}
+	useBlk := blockCalling(t, g, "use")
+	sentBlk := blockCalling(t, g, "sent")
+	afterBlk := blockCalling(t, g, "after")
+	if !reaches(useBlk, afterBlk) || !reaches(sentBlk, afterBlk) {
+		t.Errorf("select arms do not rejoin")
+	}
+	// The comm statements head their clause blocks.
+	foundSend := false
+	for n := range g.CommSelect {
+		if _, ok := n.(*ast.SendStmt); ok {
+			foundSend = true
+		}
+	}
+	if !foundSend {
+		t.Errorf("send comm clause not recorded in CommSelect")
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			goto done
+		}
+		work()
+	done:
+		after()
+	`)
+	condBlk := blockCalling(t, g, "cond")
+	afterBlk := blockCalling(t, g, "after")
+	if !reaches(condBlk.Succs[0], afterBlk) {
+		t.Errorf("goto does not reach its label")
+	}
+	if !reaches(blockCalling(t, g, "work"), afterBlk) {
+		t.Errorf("fallthrough into label lost")
+	}
+}
+
+// TestGenKillMust pins the must-join: a fact genned on only one branch
+// of an if/else does not survive the merge, one genned on both does.
+func TestGenKillMust(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			gen()
+		} else {
+			other()
+		}
+		after()
+	`)
+	genBlk := blockCalling(t, g, "gen")
+	afterBlk := blockCalling(t, g, "after")
+	states := RunGenKill(g, Forward, Must, 1, func(b *Block) GenKill {
+		gk := GenKill{}
+		if b == genBlk {
+			gk.Gen = NewBitSet(1)
+			gk.Gen.Set(0)
+		}
+		return gk
+	})
+	if states[afterBlk].In.Has(0) {
+		t.Errorf("must-analysis kept a fact genned on only one branch")
+	}
+
+	g2 := build(t, `
+		if cond() {
+			gen()
+		} else {
+			gen()
+		}
+		after()
+	`)
+	after2 := blockCalling(t, g2, "after")
+	states2 := RunGenKill(g2, Forward, Must, 1, func(b *Block) GenKill {
+		gk := GenKill{}
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "gen" {
+						gk.Gen = NewBitSet(1)
+						gk.Gen.Set(0)
+					}
+				}
+				return true
+			})
+		}
+		return gk
+	})
+	if !states2[after2].In.Has(0) {
+		t.Errorf("must-analysis dropped a fact genned on both branches")
+	}
+}
+
+// TestGenKillMay pins the may-join and kill: a fact genned before a
+// loop reaches the loop body on some path; killing it inside the loop
+// removes it downstream only on the killing path.
+func TestGenKillMay(t *testing.T) {
+	g := build(t, `
+		gen()
+		if cond() {
+			kill()
+		}
+		after()
+	`)
+	genBlk := blockCalling(t, g, "gen")
+	killBlk := blockCalling(t, g, "kill")
+	afterBlk := blockCalling(t, g, "after")
+	states := RunGenKill(g, Forward, May, 1, func(b *Block) GenKill {
+		gk := GenKill{}
+		if b == genBlk {
+			gk.Gen = NewBitSet(1)
+			gk.Gen.Set(0)
+		}
+		if b == killBlk {
+			gk.Kill = NewBitSet(1)
+			gk.Kill.Set(0)
+		}
+		return gk
+	})
+	if !states[afterBlk].In.Has(0) {
+		t.Errorf("may-analysis lost a fact that survives on the not-killed path")
+	}
+	if states[killBlk].Out.Has(0) {
+		t.Errorf("kill did not remove the fact on the killing path")
+	}
+
+	// Must mode over the same graph: the fact no longer holds at the
+	// merge, since one path killed it.
+	must := RunGenKill(g, Forward, Must, 1, func(b *Block) GenKill {
+		gk := GenKill{}
+		if b == genBlk {
+			gk.Gen = NewBitSet(1)
+			gk.Gen.Set(0)
+		}
+		if b == killBlk {
+			gk.Kill = NewBitSet(1)
+			gk.Kill.Set(0)
+		}
+		return gk
+	})
+	if must[afterBlk].In.Has(0) {
+		t.Errorf("must-analysis kept a fact killed on one path")
+	}
+}
+
+// TestBackward pins backward propagation: a fact genned at the exit
+// side flows upward to the entry.
+func TestBackward(t *testing.T) {
+	g := build(t, `
+		a()
+		b()
+		last()
+	`)
+	lastBlk := blockCalling(t, g, "last")
+	entry := g.Blocks[0]
+	states := RunGenKill(g, Backward, May, 1, func(b *Block) GenKill {
+		gk := GenKill{}
+		if b == lastBlk {
+			gk.Gen = NewBitSet(1)
+			gk.Gen.Set(0)
+		}
+		return gk
+	})
+	if !states[entry].Out.Has(0) {
+		t.Errorf("backward analysis did not propagate the fact to the entry")
+	}
+}
+
+// TestEveryReturnReachesExit pins the Exit invariant across mixed
+// control flow.
+func TestEveryReturnReachesExit(t *testing.T) {
+	g := build(t, `
+		switch tag() {
+		case 1:
+			return
+		case 2:
+			if cond() {
+				return
+			}
+		}
+		for it() {
+			if done() {
+				return
+			}
+		}
+	`)
+	count := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				count++
+				ok := false
+				for _, s := range b.Succs {
+					if s == g.Exit {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("return in %v does not edge to Exit", b)
+				}
+			}
+		}
+	}
+	if count != 3 {
+		t.Fatalf("found %d returns, want 3", count)
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	g := build(t, `a()`)
+	if s := g.Blocks[0].String(); !strings.HasPrefix(s, "b0 ->") {
+		t.Errorf("Block.String() = %q", s)
+	}
+}

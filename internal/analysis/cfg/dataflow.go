@@ -1,0 +1,259 @@
+package cfg
+
+// The dataflow half of the package: a worklist fixpoint over a Graph,
+// parameterised by direction, transfer and join, plus the classic
+// gen/kill bit-vector convenience layered on top. States are abstract
+// (any comparable summary the analyzer picks); the framework only
+// needs to join them at merge points and re-run transfer until the
+// per-block in/out pairs stop changing.
+
+// Direction selects forward (entry→exit, in = join of pred outs) or
+// backward (exit→entry, in = join of succ ins) propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// InOut is one block's fixpoint state pair.
+type InOut[S any] struct {
+	In, Out S
+}
+
+// Analysis describes one dataflow problem over states of type S.
+type Analysis[S any] struct {
+	Dir Direction
+	// Boundary is the initial state at the entry (forward) or exit
+	// (backward) block.
+	Boundary S
+	// Init is the optimistic initial state given to every other block
+	// before iteration (the lattice bottom for may-analyses, top for
+	// must-analyses).
+	Init S
+	// Transfer computes the block's output state from its input.
+	// It must be pure: the fixpoint re-runs it until convergence.
+	Transfer func(b *Block, in S) S
+	// Join merges two states at control-flow merge points.
+	Join func(a, b S) S
+	// Equal reports state equality, ending iteration.
+	Equal func(a, b S) bool
+}
+
+// Run iterates a to fixpoint over g and returns each block's final
+// in/out states. Blocks unreachable in the chosen direction keep their
+// Init state.
+func Run[S any](g *Graph, a Analysis[S]) map[*Block]InOut[S] {
+	states := make(map[*Block]InOut[S], len(g.Blocks))
+	for _, b := range g.Blocks {
+		states[b] = InOut[S]{In: a.Init, Out: a.Init}
+	}
+
+	var boundary *Block
+	if a.Dir == Forward {
+		if len(g.Blocks) > 0 {
+			boundary = g.Blocks[0]
+		}
+	} else {
+		boundary = g.Exit
+	}
+
+	// Worklist seeded with every block (deterministic order); blocks
+	// re-enter when an input changes.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range work {
+		inWork[b] = true
+	}
+	pop := func() *Block {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		return b
+	}
+	push := func(b *Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+
+	for len(work) > 0 {
+		b := pop()
+		st := states[b]
+
+		// Join incoming states.
+		var in S
+		first := true
+		feeders := b.Preds
+		if a.Dir == Backward {
+			feeders = b.Succs
+		}
+		if b == boundary {
+			in = a.Boundary
+			first = false
+		}
+		for _, f := range feeders {
+			fs := states[f]
+			var contrib S
+			if a.Dir == Forward {
+				contrib = fs.Out
+			} else {
+				contrib = fs.In
+			}
+			if first {
+				in, first = contrib, false
+			} else {
+				in = a.Join(in, contrib)
+			}
+		}
+		if first {
+			in = a.Init // no feeders and not the boundary: unreachable
+		}
+
+		out := a.Transfer(b, in)
+		if a.Equal(st.In, in) && a.Equal(st.Out, out) {
+			continue
+		}
+		if a.Dir == Forward {
+			states[b] = InOut[S]{In: in, Out: out}
+			for _, s := range b.Succs {
+				push(s)
+			}
+		} else {
+			// Backward: "In" still names the state entering the transfer
+			// (at block exit) and "Out" the result (at block entry), so
+			// callers read a uniform orientation.
+			states[b] = InOut[S]{In: in, Out: out}
+			for _, p := range b.Preds {
+				push(p)
+			}
+		}
+	}
+	return states
+}
+
+// BitSet is a small dense bit vector for gen/kill problems where facts
+// are numbered 0..n-1.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n facts.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s BitSet) Set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s BitSet) Clear(i int)    { s[i/64] &^= 1 << (i % 64) }
+
+// Clone returns an independent copy.
+func (s BitSet) Clone() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Union sets s |= t and reports whether s changed.
+func (s BitSet) Union(t BitSet) bool {
+	changed := false
+	for i := range t {
+		if n := s[i] | t[i]; n != s[i] {
+			s[i], changed = n, true
+		}
+	}
+	return changed
+}
+
+// Intersect sets s &= t.
+func (s BitSet) Intersect(t BitSet) {
+	for i := range s {
+		if i < len(t) {
+			s[i] &= t[i]
+		} else {
+			s[i] = 0
+		}
+	}
+}
+
+// Diff sets s &^= t.
+func (s BitSet) Diff(t BitSet) {
+	for i := range s {
+		if i < len(t) {
+			s[i] &^= t[i]
+		}
+	}
+}
+
+// Equal reports exact equality.
+func (s BitSet) Equal(t BitSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GenKill is one block's constant gen/kill summary.
+type GenKill struct {
+	Gen, Kill BitSet
+}
+
+// GenKillMode picks the join for a gen/kill run.
+type GenKillMode int
+
+const (
+	// May joins with union (reaching-definitions style: a fact holds if
+	// it holds on any incoming path).
+	May GenKillMode = iota
+	// Must joins with intersection (available-expressions style: a fact
+	// holds only if it holds on every incoming path).
+	Must
+)
+
+// RunGenKill solves the standard iterative gen/kill problem: per-block
+// summaries are computed once by summarize, then propagated to
+// fixpoint. n is the fact-universe size.
+func RunGenKill(g *Graph, dir Direction, mode GenKillMode, n int, summarize func(b *Block) GenKill) map[*Block]InOut[BitSet] {
+	sums := make(map[*Block]GenKill, len(g.Blocks))
+	for _, b := range g.Blocks {
+		sums[b] = summarize(b)
+	}
+	full := NewBitSet(n)
+	for i := 0; i < n; i++ {
+		full.Set(i)
+	}
+	init := NewBitSet(n)
+	if mode == Must {
+		init = full
+	}
+	join := func(a, b BitSet) BitSet {
+		out := a.Clone()
+		if mode == May {
+			out.Union(b)
+		} else {
+			out.Intersect(b)
+		}
+		return out
+	}
+	return Run(g, Analysis[BitSet]{
+		Dir:      dir,
+		Boundary: NewBitSet(n),
+		Init:     init,
+		Transfer: func(b *Block, in BitSet) BitSet {
+			out := in.Clone()
+			gk := sums[b]
+			if gk.Kill != nil {
+				out.Diff(gk.Kill)
+			}
+			if gk.Gen != nil {
+				out.Union(gk.Gen)
+			}
+			return out
+		},
+		Join:  join,
+		Equal: BitSet.Equal,
+	})
+}

@@ -1,24 +1,40 @@
 package analysis
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestIgnoreDirective(t *testing.T) {
 	cases := []struct {
-		text string
-		name string
-		ok   bool
+		text  string
+		names []string
+		ok    bool
 	}{
-		{"//urllangid:ignore hotpathalloc cold error path", "hotpathalloc", true},
-		{"//urllangid:ignore pinpair pinned for process lifetime", "pinpair", true},
-		{"//urllangid:ignore hotpathalloc", "hotpathalloc", false}, // reason missing
-		{"//urllangid:ignore", "", false},
-		{"// plain comment", "", false},
-		{"//urllangid:hotpath", "", false},
+		{"//urllangid:ignore hotpathalloc cold error path", []string{"hotpathalloc"}, true},
+		{"//urllangid:ignore pinpair pinned for process lifetime", []string{"pinpair"}, true},
+		// One directive can waive several analyzers for the same line.
+		{"//urllangid:ignore lockorder,pinpair startup handshake", []string{"lockorder", "pinpair"}, true},
+		{"//urllangid:ignore a,b,c documented tradeoff", []string{"a", "b", "c"}, true},
+		// Stray commas collapse rather than producing empty names.
+		{"//urllangid:ignore lockorder, reason here", []string{"lockorder"}, true},
+		{"//urllangid:ignore ,,lockorder,, trailing commas", []string{"lockorder"}, true},
+		// Names without a reason parse but are rejected (ok=false) so
+		// the driver can report the malformed suppression.
+		{"//urllangid:ignore hotpathalloc", []string{"hotpathalloc"}, false},
+		{"//urllangid:ignore lockorder,pinpair", []string{"lockorder", "pinpair"}, false},
+		{"//urllangid:ignore", nil, false},
+		{"//urllangid:ignore ,,,", nil, false},
+		{"// plain comment", nil, false},
+		{"//urllangid:hotpath", nil, false},
 	}
 	for _, c := range cases {
-		name, ok := ignoreDirective(c.text)
-		if name != c.name || ok != c.ok {
-			t.Errorf("ignoreDirective(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		names, ok := ignoreDirective(c.text)
+		if len(names) == 0 {
+			names = nil
+		}
+		if !reflect.DeepEqual(names, c.names) || ok != c.ok {
+			t.Errorf("ignoreDirective(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
 		}
 	}
 }

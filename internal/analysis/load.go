@@ -38,6 +38,10 @@ type Module struct {
 	// cross-package edge of the hotpathalloc contract: a hot path may
 	// only call module functions present in this set.
 	Hotpath map[string]bool
+	// lockEdges is lockorder's module-wide acquisition-order graph,
+	// accumulated package by package during Run and resolved into cycle
+	// diagnostics by the analyzer's Done hook.
+	lockEdges map[lockEdge]token.Pos
 }
 
 // InModule reports whether an import path belongs to the module.
@@ -46,13 +50,16 @@ func (m *Module) InModule(pkgPath string) bool {
 }
 
 // listPackage is the subset of `go list -json` output the loader
-// consumes.
+// consumes. IgnoredGoFiles (build-tag-excluded sources) are listed so
+// the loader's contract is testable: they never reach the analyzers.
 type listPackage struct {
-	Dir        string
-	ImportPath string
-	Standard   bool
-	GoFiles    []string
-	Module     *struct{ Path string }
+	Dir            string
+	ImportPath     string
+	Standard       bool
+	GoFiles        []string
+	TestGoFiles    []string
+	IgnoredGoFiles []string
+	Module         *struct{ Path string }
 }
 
 // goList runs `go list -json` with the given arguments in dir and
@@ -83,14 +90,33 @@ func goList(dir string, args ...string) ([]listPackage, error) {
 	return pkgs, nil
 }
 
+// Config adjusts what Load feeds the analyzers.
+type Config struct {
+	// Dir is the directory patterns resolve relative to; "" means the
+	// current directory.
+	Dir string
+	// Tests includes each target package's in-package _test.go files
+	// (go list's TestGoFiles) in the analyzed file set. Default off:
+	// test files assert contracts rather than carry them, and corpora
+	// or future test-only allocation scaffolding must not trip
+	// hot-path rules. External test packages (package foo_test) stay
+	// out either way — they are a different package, not extra files
+	// of the target. The hotpath fact scan always reads only GoFiles:
+	// a test file cannot widen the serving contract.
+	Tests bool
+}
+
 // Load resolves patterns (as `go list` understands them, relative to
-// dir; dir "" means the current directory), type-checks each matched
-// package from source, and pre-scans every in-module dependency for
-// //urllangid:hotpath annotations. Explicit testdata directories are
-// loadable — wildcard patterns skip them, which is how the analyzers'
-// golden packages stay out of the ordinary build while remaining
-// reachable by the analysistest harness.
-func Load(dir string, patterns ...string) (*Module, []*Package, error) {
+// cfg.Dir), type-checks each matched package from source, and
+// pre-scans every in-module dependency for //urllangid:hotpath
+// annotations. Build-tag-excluded sources (go list's IgnoredGoFiles)
+// never reach the analyzers, and _test.go files only when cfg.Tests is
+// set. Explicit testdata directories are loadable — wildcard patterns
+// skip them, which is how the analyzers' golden packages stay out of
+// the ordinary build while remaining reachable by the analysistest
+// harness.
+func Load(cfg Config, patterns ...string) (*Module, []*Package, error) {
+	dir := cfg.Dir
 	targets, err := goList(dir, append([]string{"--"}, patterns...)...)
 	if err != nil {
 		return nil, nil, err
@@ -152,8 +178,12 @@ func Load(dir string, patterns ...string) (*Module, []*Package, error) {
 	imp := importer.ForCompiler(mod.Fset, "source", nil)
 	var out []*Package
 	for _, p := range targets {
-		files := make([]*ast.File, 0, len(p.GoFiles))
-		for _, name := range p.GoFiles {
+		names := p.GoFiles
+		if cfg.Tests {
+			names = append(append([]string{}, p.GoFiles...), p.TestGoFiles...)
+		}
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
 			f, err := parser.ParseFile(mod.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
 				return nil, nil, fmt.Errorf("parsing %s: %w", filepath.Join(p.Dir, name), err)

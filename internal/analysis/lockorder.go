@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"urllangid/internal/analysis/cfg"
+)
+
+// LockOrder checks the module's mutex discipline two ways.
+//
+// First, it accumulates a module-wide acquisition-order graph: every
+// time a function acquires lock B while (on all paths) holding lock A,
+// the edge A→B is recorded. Locks are identified by class —
+// "pkgpath.Type.field" for the usual `s.mu sync.Mutex` shape — so the
+// order is a property of the types, not of individual values. After
+// the last package, the Done hook reports every cycle in the graph:
+// two call paths that take the same pair of lock classes in opposite
+// orders are a deadlock waiting for the right interleaving
+// (registry.mu vs slot.mu vs obs family locks is exactly the kind of
+// cross-package inversion no single-package check can see). Acquiring
+// a lock class while already holding it is reported immediately — the
+// module's mutexes are not reentrant.
+//
+// Second, it flags blocking operations executed while a lock is held:
+// bare channel sends and receives, select statements with no default
+// arm, ranging over a channel, WaitGroup/Cond Wait, time.Sleep, and
+// calls into net or net/http. A worker that blocks on a channel while
+// holding the engine mutex stalls every classify request behind it;
+// the serve layer's non-blocking recruitment (select with a default
+// arm under RLock) is the allowed shape and passes.
+//
+// Held-ness is a forward must-analysis over the CFG: a lock counts as
+// held at a point only when every path to that point holds it, so
+// conditional-locking shapes do not produce false positives. A
+// deferred Unlock does NOT release for the analysis — the lock really
+// is held until the function returns, and blocking below a
+// `defer mu.Unlock()` is still blocking under the lock.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "module-wide mutex acquisition order must be acyclic, and no goroutine may block while holding a lock",
+	Run:  runLockOrder,
+	Done: doneLockOrder,
+}
+
+// lockEdge is one module-wide acquisition-order fact: `to` was
+// acquired while `from` was held.
+type lockEdge struct {
+	from, to string
+}
+
+func runLockOrder(pass *Pass) error {
+	if pass.Module.lockEdges == nil {
+		pass.Module.lockEdges = make(map[lockEdge]token.Pos)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLocks(pass, fd.Name.Name, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLocks(pass, fd.Name.Name+" (func literal)", fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockKind distinguishes the sync.Mutex/RWMutex entry points.
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// checkLocks analyzes one function body: held-set fixpoint, then a
+// reporting walk from the converged block in-states.
+func checkLocks(pass *Pass, funcName string, body *ast.BlockStmt) {
+	// Intern this function's lock classes first; a function that never
+	// locks cannot hold anything, so the graph is not even built.
+	var classes []string
+	classIdx := make(map[string]int)
+	intern := func(c string) int {
+		i, ok := classIdx[c]
+		if !ok {
+			i = len(classes)
+			classIdx[c] = i
+			classes = append(classes, c)
+		}
+		return i
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate graph
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			if class, _, kind := lockEvent(pass, funcName, s); kind == lockAcquire || kind == lockRelease {
+				intern(class)
+			}
+		}
+		return true
+	})
+	if len(classes) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	n := len(classes)
+	states := cfg.RunGenKill(g, cfg.Forward, cfg.Must, n, func(b *cfg.Block) cfg.GenKill {
+		gk := cfg.GenKill{Gen: cfg.NewBitSet(n), Kill: cfg.NewBitSet(n)}
+		for _, node := range b.Nodes {
+			s, ok := node.(ast.Stmt)
+			if !ok {
+				continue
+			}
+			class, _, kind := lockEvent(pass, funcName, s)
+			switch kind {
+			case lockAcquire:
+				i := classIdx[class]
+				gk.Gen.Set(i)
+				gk.Kill.Clear(i)
+			case lockRelease:
+				i := classIdx[class]
+				gk.Kill.Set(i)
+				gk.Gen.Clear(i)
+			}
+		}
+		return gk
+	})
+
+	// Must-mode initialises unreachable blocks to "everything held";
+	// only report from blocks control can actually reach.
+	reachable := make(map[*cfg.Block]bool)
+	var mark func(b *cfg.Block)
+	mark = func(b *cfg.Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			mark(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		mark(g.Blocks[0])
+	}
+
+	heldNames := func(held cfg.BitSet) string {
+		var names []string
+		for i := 0; i < n; i++ {
+			if held.Has(i) {
+				names = append(names, classes[i])
+			}
+		}
+		sort.Strings(names)
+		out := ""
+		for i, s := range names {
+			if i > 0 {
+				out += ", "
+			}
+			out += s
+		}
+		return out
+	}
+
+	for _, b := range g.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		held := states[b].In.Clone()
+		for _, node := range b.Nodes {
+			if s, ok := node.(ast.Stmt); ok {
+				class, pos, kind := lockEvent(pass, funcName, s)
+				switch kind {
+				case lockAcquire:
+					i := classIdx[class]
+					if held.Has(i) {
+						pass.Reportf(pos, "acquiring %s while already holding it: the module's mutexes are not reentrant", class)
+					}
+					for j := 0; j < n; j++ {
+						if j != i && held.Has(j) {
+							e := lockEdge{from: classes[j], to: class}
+							if _, seen := pass.Module.lockEdges[e]; !seen {
+								pass.Module.lockEdges[e] = pos
+							}
+						}
+					}
+					held.Set(i)
+					continue
+				case lockRelease:
+					held.Clear(classIdx[class])
+					continue
+				}
+			}
+			if empty(held) {
+				continue
+			}
+			if desc, pos, blocking := blockingOp(pass, g, node); blocking {
+				pass.Reportf(pos, "%s while holding %s", desc, heldNames(held))
+			}
+		}
+	}
+}
+
+func empty(s cfg.BitSet) bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// lockEvent classifies a statement as a lock acquisition or release on
+// a resolvable lock class. Deferred unlocks are deliberately not
+// events: the lock stays held until the function returns.
+func lockEvent(pass *Pass, funcName string, s ast.Stmt) (class string, pos token.Pos, kind lockKind) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", token.NoPos, lockNone
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return "", token.NoPos, lockNone
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", token.NoPos, lockNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", token.NoPos, lockNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", token.NoPos, lockNone
+	}
+	class, ok = lockClass(pass, funcName, sel.X)
+	if !ok {
+		return "", token.NoPos, lockNone
+	}
+	return class, call.Pos(), kind
+}
+
+// lockClass names the lock a receiver expression denotes, at class
+// granularity: "pkgpath.Type.field" for a mutex field, "pkgpath.Type"
+// for an embedded mutex reached through the promoted method,
+// "pkgpath.var" for a package-level mutex, and
+// "pkgpath.func.var" for a function-local one (meaningful within the
+// function's own edges, never shared across functions).
+func lockClass(pass *Pass, funcName string, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		t := pass.Info.Types[x.X].Type
+		if t == nil {
+			return "", false
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name, true
+		}
+		return "", false
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil || obj.Pkg() == nil {
+			return "", false
+		}
+		t := obj.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			// Promoted method through an embedded mutex: the class is
+			// the embedding type.
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name(), true
+		}
+		if obj.Parent() == pass.Pkg.Scope() {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		return fmt.Sprintf("%s.%s.%s", obj.Pkg().Path(), funcName, obj.Name()), true
+	}
+	return "", false
+}
+
+// blockingOp reports whether executing node can block the goroutine:
+// bare channel operations, default-less selects, channel ranges, Wait,
+// Sleep, and network calls. Select-guarded communications (a comm
+// clause of some select) are judged at their SelectStmt, not here.
+func blockingOp(pass *Pass, g *cfg.Graph, node ast.Node) (string, token.Pos, bool) {
+	if s, ok := node.(ast.Stmt); ok {
+		if g.CommSelect[s] != nil {
+			return "", token.NoPos, false
+		}
+	}
+	switch x := node.(type) {
+	case *ast.SelectStmt:
+		for _, cc := range x.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				return "", token.NoPos, false // default arm: never blocks
+			}
+		}
+		return "select with no default arm", x.Pos(), true
+	case *ast.SendStmt:
+		return "channel send", x.Pos(), true
+	case *ast.RangeStmt:
+		if t := pass.Info.Types[x.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel", x.Pos(), true
+			}
+		}
+		return "", token.NoPos, false
+	}
+	var desc string
+	var pos token.Pos
+	ast.Inspect(node, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // runs when called, not here
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				desc, pos = "channel receive", x.Pos()
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, x)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch path := fn.Pkg().Path(); {
+			case path == "net" || path == "net/http":
+				desc, pos = "call into "+path, x.Pos()
+			case path == "sync" && fn.Name() == "Wait":
+				desc, pos = "sync Wait", x.Pos()
+			case path == "time" && fn.Name() == "Sleep":
+				desc, pos = "time.Sleep", x.Pos()
+			}
+		}
+		return desc == ""
+	})
+	return desc, pos, desc != ""
+}
+
+// doneLockOrder resolves the accumulated acquisition graph: any pair
+// of classes reachable from each other in both directions is a
+// potential deadlock. Each conflicting pair reports once, at the
+// witness position of its lexicographically smaller edge.
+func doneLockOrder(mod *Module, report func(pos token.Pos, format string, args ...any)) {
+	if len(mod.lockEdges) == 0 {
+		return
+	}
+	succs := make(map[string][]string)
+	for e := range mod.lockEdges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	for from := range succs {
+		sort.Strings(succs[from])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range succs[c] {
+				if s == to {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return false
+	}
+	edges := make([]lockEdge, 0, len(mod.lockEdges))
+	for e := range mod.lockEdges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if e.from < e.to && reaches(e.to, e.from) {
+			report(mod.lockEdges[e], "lock-order cycle: this path acquires %s before %s, but another path in the module acquires them in the reverse (possibly transitive) order", e.from, e.to)
+		}
+	}
+}

@@ -30,3 +30,11 @@ func TestMetricLabel(t *testing.T) {
 func TestModelFileIO(t *testing.T) {
 	analysistest.Run(t, analysis.ModelFileIO, "./testdata/src/modelfileio")
 }
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "./testdata/src/lockorder")
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysis.GoroutineLeak, "./testdata/src/goroutineleak")
+}

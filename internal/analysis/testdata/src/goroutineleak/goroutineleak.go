@@ -1,0 +1,192 @@
+// Package goroutineleak is the golden corpus for the goroutineleak
+// analyzer: joinable and unjoinable goroutine shapes launched by
+// Close/Stop-owning types, and the out-of-scope launches that must
+// never be flagged.
+package goroutineleak
+
+type Pool struct {
+	quit chan struct{}
+	jobs chan int
+}
+
+func (p *Pool) Close() { close(p.quit) }
+
+// worker is the serve engine's shape: the infinite loop selects on the
+// quit channel and returns. Joinable.
+func (p *Pool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.jobs:
+			_ = j
+		}
+	}
+}
+
+func (p *Pool) spawnGood() {
+	go p.worker()
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// spawnBad loops forever on a bare receive: Close closes quit, nobody
+// notices, the goroutine outlives the owner.
+func (p *Pool) spawnBad() {
+	go func() { // want "loops forever with no cancellation arm"
+		for {
+			j := <-p.jobs
+			_ = j
+		}
+	}()
+}
+
+// badWorker is the same leak launched through a named method; the
+// diagnostic lands on the launch site.
+func (p *Pool) badWorker() {
+	for {
+		j := <-p.jobs
+		_ = j
+	}
+}
+
+func (p *Pool) spawnBadMethod() {
+	go p.badWorker() // want "loops forever with no cancellation arm"
+}
+
+// spawnRange ranges over the jobs channel: closing jobs ends the loop,
+// so the goroutine is joinable by close.
+func (p *Pool) spawnRange() {
+	go func() {
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+// spawnBreaks exits when the channel is closed; a break is a
+// cancellation arm.
+func (p *Pool) spawnBreaks() {
+	go func() {
+		for {
+			_, ok := <-p.jobs
+			if !ok {
+				break
+			}
+		}
+	}()
+}
+
+// spawnFinite: a conditioned loop counts as terminating.
+func (p *Pool) spawnFinite() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// NewPool launches an owned method from a constructor: the launch is
+// still governed by the owner's Close.
+func NewPool() *Pool {
+	p := &Pool{quit: make(chan struct{}), jobs: make(chan int, 8)}
+	go p.worker()
+	return p
+}
+
+// sendBare: an unbuffered send in an owned goroutine with no select —
+// once the receiver is gone the goroutine blocks forever.
+func (p *Pool) sendBare() chan int {
+	results := make(chan int)
+	go func() {
+		results <- 1 // want "unbuffered channel send"
+	}()
+	return results
+}
+
+// sendGuarded: the stream-reader shape — the send races teardown in a
+// select, so Close always wins eventually.
+func (p *Pool) sendGuarded() chan int {
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- 1:
+		case <-p.quit:
+		}
+	}()
+	return results
+}
+
+// sendSingleArmSelect: a select with only the send arm still blocks
+// forever; the select must actually carry a cancellation arm.
+func (p *Pool) sendSingleArmSelect() chan int {
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- 1: // want "the select needs a cancellation arm"
+		}
+	}()
+	return results
+}
+
+// sendBuffered: a buffered send completes without a receiver; not
+// provably unbuffered, not flagged.
+func (p *Pool) sendBuffered() chan int {
+	results := make(chan int, 1)
+	go func() {
+		results <- 1
+	}()
+	return results
+}
+
+// free has no Close/Stop: its goroutines have no lifecycle contract to
+// violate and stay out of scope.
+type free struct{ jobs chan int }
+
+func (f *free) spin() {
+	go func() {
+		for {
+			j := <-f.jobs
+			_ = j
+		}
+	}()
+}
+
+// plain functions (no owner anywhere in sight) are out of scope too:
+// package main's signal pumps die with the process.
+func plainPump(ch chan int) {
+	go func() {
+		for {
+			j := <-ch
+			_ = j
+		}
+	}()
+}
+
+// Stopper proves Stop counts as a lifecycle method like Close.
+type Stopper struct{ done chan struct{} }
+
+func (s *Stopper) Stop() { close(s.done) }
+
+func (s *Stopper) spawn() {
+	go func() { // want "loops forever with no cancellation arm"
+		for {
+		}
+	}()
+}
+
+// suppressed documents a deliberately detached goroutine.
+func (s *Stopper) detached() {
+	go func() { //urllangid:ignore goroutineleak process-lifetime janitor, documented in DESIGN.md
+		for {
+		}
+	}()
+}

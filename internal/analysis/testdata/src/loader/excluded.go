@@ -1,0 +1,8 @@
+//go:build loader_corpus_excluded
+
+// Build-tag-excluded source: go list reports it under IgnoredGoFiles
+// and the loader must never parse or type-check it — the Marker
+// redeclaration is the tripwire.
+package loader
+
+func Marker() int { return 2 }

@@ -1,0 +1,6 @@
+package loader
+
+// An in-package test file (go list TestGoFiles): part of the analyzed
+// set only under Config{Tests: true}. Deliberately free of imports so
+// including it costs the type-checker nothing extra.
+func inPackageTestHelper() int { return Marker() }

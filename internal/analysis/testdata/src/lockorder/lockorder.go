@@ -1,0 +1,164 @@
+// Package lockorder is the golden corpus for the lockorder analyzer:
+// acquisition-order cycles across functions, self-deadlocks, and the
+// blocking-under-lock shapes, plus the non-blocking idioms that must
+// stay clean.
+package lockorder
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// abOrder and baOrder together form a module-wide order cycle; the
+// diagnostic lands on the lexicographically smaller edge's witness —
+// the acquisition of B.mu while A.mu is held.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// double takes the same class twice: an immediate self-deadlock, the
+// mutexes are not reentrant.
+func double(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "already holding"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// nested order on distinct classes with no reverse path anywhere is
+// fine: C.mu before D.mu only.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func cdOrder(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func sendUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- 1 // want "channel send while holding"
+	a.mu.Unlock()
+}
+
+// deferredStillHeld: a deferred unlock keeps the lock held — the
+// receive below it really does block under the lock.
+func deferredStillHeld(a *A, ch chan int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return <-ch // want "channel receive while holding"
+}
+
+func httpUnderLock(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _ = http.Get("http://localhost/x") // want "call into net/http"
+}
+
+func sleepUnderLock(a *A) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	a.mu.Unlock()
+}
+
+func waitUnderLock(a *A, wg *sync.WaitGroup) {
+	a.mu.Lock()
+	wg.Wait() // want "sync Wait while holding"
+	a.mu.Unlock()
+}
+
+// nonBlockingOffer is the serve engine's recruitment shape: a select
+// with a default arm can never block, even under the lock.
+func nonBlockingOffer(a *A, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// blockingSelect has no default arm: the wait point blocks with the
+// lock held.
+func blockingSelect(a *A, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select { // want "select with no default arm while holding"
+	case ch <- 1:
+	}
+}
+
+// released: blocking after the unlock is ordinary synchronization.
+func released(a *A, ch chan int) int {
+	a.mu.Lock()
+	a.mu.Unlock()
+	return <-ch
+}
+
+// branchRelease: the receive is reached both with the lock held (the
+// skip branch) and released; the must-join only flags operations that
+// hold the lock on every path, so this conservative shape stays clean.
+func branchRelease(a *A, ch chan int, early bool) int {
+	a.mu.Lock()
+	if early {
+		a.mu.Unlock()
+	}
+	v := <-ch
+	if !early {
+		a.mu.Unlock()
+	}
+	return v
+}
+
+// rangeChanUnderLock drains a channel while holding the lock: each
+// iteration is a blocking receive.
+func rangeChanUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for range ch { // want "range over channel while holding"
+	}
+}
+
+// suppressed documents a deliberate wait under the lock.
+func suppressed(a *A, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	<-ch //urllangid:ignore lockorder startup-only handshake, runs before any other goroutine can contend
+}
+
+var pkgMu sync.Mutex
+
+// pkgLevel: package-level mutexes resolve to a class too.
+func pkgLevel(ch chan int) {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	<-ch // want "channel receive while holding"
+}
+
+type embedded struct{ sync.Mutex }
+
+// promoted: an embedded mutex reached through the promoted method
+// still gets a class (the embedding type).
+func promoted(e *embedded, ch chan int) {
+	e.Lock()
+	defer e.Unlock()
+	<-ch // want "channel receive while holding"
+}

@@ -80,3 +80,88 @@ func pinned(r *Reg) *engine {
 	l, _ := r.Acquire("m") //urllangid:ignore pinpair pinned for process lifetime by design, the test corpus documents the shape
 	return l.Engine()
 }
+
+// branchLeak is the shape the path-sensitive rewrite exists for: the
+// happy path releases, but the flaky early return leaks. The v1
+// analyzer ("mentions Release somewhere") accepted this.
+func branchLeak(r *Reg, flaky bool) int {
+	l, err := r.Acquire("m")
+	if err != nil {
+		return 0
+	}
+	if flaky {
+		return 0 // want "may not be released on this return path"
+	}
+	l.Release()
+	return 1
+}
+
+// bothBranches releases on every path; no single post-dominating
+// release exists, and that is fine.
+func bothBranches(r *Reg, fast bool) int {
+	l, _ := r.Acquire("m")
+	if fast {
+		l.Release()
+		return 1
+	}
+	l.Release()
+	return 0
+}
+
+// loopReturn leaks through the early return inside the loop while the
+// fall-through path releases.
+func loopReturn(r *Reg, xs []int) int {
+	l, _ := r.Acquire("m")
+	for _, x := range xs {
+		if x < 0 {
+			return x // want "may not be released on this return path"
+		}
+	}
+	l.Release()
+	return 0
+}
+
+// guardInverse: the err == nil guard exempts the error path the same
+// way the usual err != nil early return does.
+func guardInverse(r *Reg) int {
+	l, err := r.Acquire("m")
+	if err == nil {
+		defer l.Release()
+		return l.Engine().n
+	}
+	return 0
+}
+
+// panicPath: a panicking path never reaches a return, so it carries no
+// release obligation.
+func panicPath(r *Reg, ok bool) int {
+	l, _ := r.Acquire("m")
+	if !ok {
+		panic("bad model")
+	}
+	defer l.Release()
+	return l.Engine().n
+}
+
+// closureLeak: leases acquired inside closures are checked against the
+// closure's own graph, not the enclosing function's.
+func closureLeak(r *Reg) func() int {
+	return func() int {
+		l, err := r.Acquire("m") // want "never released"
+		if err != nil {
+			return 0
+		}
+		return l.Engine().n
+	}
+}
+
+// deferredClosure releases through a deferred func literal; the defer
+// statement discharges the path it executes on.
+func deferredClosure(r *Reg) int {
+	l, err := r.Acquire("m")
+	if err != nil {
+		return 0
+	}
+	defer func() { l.Release() }()
+	return l.Engine().n
+}
