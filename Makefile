@@ -25,7 +25,9 @@ ESCAPE_GO_VERSION ?= go1.24
 # Fuzz targets guarding the urlx normalization contract; go test only
 # accepts one -fuzz pattern per invocation, so the smoke loops. The root
 # package adds the snapshot-equivalence differential (classifier vs
-# compiled snapshot, every compiled family, bit-identical).
+# compiled snapshot, every compiled family, bit-identical), and the flat
+# package fuzzes the v3 container parser (bad offsets, overlapping
+# sections, oversize lengths must reject cleanly, never read OOB).
 URLX_FUZZ := FuzzParseConsistency FuzzNormalizeInto FuzzHostAgainstNetURL
 
 # The committed public API surface: declaration lines distilled from
@@ -120,6 +122,7 @@ fuzz-smoke:
 		$(GO) test ./internal/urlx/ -run NONE -fuzz $$target -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test . -run NONE -fuzz FuzzSnapshotEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/modelfile/flat/ -run NONE -fuzz FuzzFlatSections -fuzztime $(FUZZTIME)
 
 api:
 	@mkdir -p api
@@ -147,7 +150,7 @@ bench:
 # serving path bumps <n> and commits a fresh point, so the files form a
 # trajectory rather than overwriting history.
 bench-json:
-	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_2.json
+	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_3.json
 
 fuzz:
 	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

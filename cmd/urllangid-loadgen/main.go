@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -52,6 +53,7 @@ import (
 	"urllangid/internal/core"
 	"urllangid/internal/datagen"
 	"urllangid/internal/features"
+	"urllangid/internal/modelfile"
 	"urllangid/internal/obs"
 	"urllangid/internal/registry"
 	"urllangid/internal/serve"
@@ -156,6 +158,11 @@ type report struct {
 	} `json:"request_latency_ms"`
 	Server       serverView `json:"server"`
 	AllocsPerURL float64    `json:"allocs_per_url,omitempty"`
+	// ModelLoadUs is the self-hosted model's open-to-ready time in
+	// microseconds: saving the compiled snapshot as a flat v3 file and
+	// timing registry.LoadFile — mmap, directory validation, engine
+	// construction — until the slot serves. Absent in -target mode.
+	ModelLoadUs float64 `json:"model_load_us,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -167,13 +174,14 @@ func run(args []string, out io.Writer) error {
 	target := cfg.Config.Target
 	var cleanup func()
 	if inProcess {
-		srv, stop, err := startInProcess(cfg.Config.Seed)
+		srv, loadUs, stop, err := startInProcess(cfg.Config.Seed)
 		if err != nil {
 			return err
 		}
 		cleanup = stop
 		target = srv.URL
-		fmt.Fprintf(out, "self-hosting NB/word on %s\n", target)
+		cfg.ModelLoadUs = loadUs
+		fmt.Fprintf(out, "self-hosting NB/word on %s (model load %.1fµs)\n", target, loadUs)
 	}
 	if cleanup != nil {
 		defer cleanup()
@@ -307,25 +315,54 @@ func parseFlags(args []string) (report, string, bool, error) {
 	return rep, *outPath, *target == "", nil
 }
 
-// startInProcess trains the headline NB/word model and stands up the
-// registry + handler stack urllangid-serve runs, on a loopback
-// listener.
-func startInProcess(seed int64) (*httptest.Server, func(), error) {
+// startInProcess trains the headline NB/word model, saves it as a flat
+// v3 snapshot file, and stands up the registry + handler stack
+// urllangid-serve runs, on a loopback listener. Loading the file into
+// the registry is timed — open-to-ready, reported in microseconds — so
+// every benchmark artifact carries the deployment cold-start cost next
+// to the steady-state throughput numbers.
+func startInProcess(seed int64) (srv *httptest.Server, loadUs float64, cleanup func(), err error) {
 	ds := datagen.Generate(datagen.Config{
 		Kind: datagen.ODP, Seed: uint64(seed), TrainPerLang: 800, TestPerLang: 1,
 	})
 	sys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: uint64(seed)}, ds.Train)
 	if err != nil {
-		return nil, nil, fmt.Errorf("training in-process model: %w", err)
+		return nil, 0, nil, fmt.Errorf("training in-process model: %w", err)
 	}
 	snap := compiled.FromSystem(sys)
-	reg := registry.New(registry.Options{Engine: serve.Options{CacheCapacity: 1 << 20}})
-	if _, err := reg.Install("default", snap, snap.Describe(), snap.Mode()); err != nil {
-		reg.Close()
-		return nil, nil, err
+
+	dir, err := os.MkdirTemp("", "urllangid-loadgen-")
+	if err != nil {
+		return nil, 0, nil, err
 	}
-	srv := httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
-	return srv, func() { srv.Close(); reg.Close() }, nil
+	rmDir := func() { os.RemoveAll(dir) }
+	path := filepath.Join(dir, "model.snapshot")
+	f, err := os.Create(path)
+	if err != nil {
+		rmDir()
+		return nil, 0, nil, err
+	}
+	if err := modelfile.WriteSnapshot(f, snap); err != nil {
+		f.Close()
+		rmDir()
+		return nil, 0, nil, fmt.Errorf("writing snapshot file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		rmDir()
+		return nil, 0, nil, err
+	}
+
+	reg := registry.New(registry.Options{Engine: serve.Options{CacheCapacity: 1 << 20}})
+	t0 := time.Now()
+	if _, err := reg.LoadFile("default", path); err != nil {
+		reg.Close()
+		rmDir()
+		return nil, 0, nil, fmt.Errorf("loading snapshot file: %w", err)
+	}
+	loadUs = float64(time.Since(t0)) / float64(time.Microsecond)
+
+	srv = httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
+	return srv, loadUs, func() { srv.Close(); reg.Close(); rmDir() }, nil
 }
 
 // scrape reads the server's per-model counters from /metrics (proving

@@ -9,6 +9,9 @@
 //	classify  classify URLs from arguments or stdin
 //	eval      evaluate a saved model on a labeled TSV corpus
 //	serve     HTTP classification service (GET /classify?url=...)
+//	inspect   print a model file's container version, metadata and
+//	          (for flat v3 files) its section directory, without
+//	          decoding any model payload
 //
 // Model files are self-describing: classify, eval and serve open either
 // a trained model or a compiled snapshot (urllangid.Open picks the kind
@@ -41,6 +44,7 @@ import (
 	"urllangid/internal/datagen"
 	"urllangid/internal/evalx"
 	"urllangid/internal/langid"
+	"urllangid/internal/modelfile"
 )
 
 func main() {
@@ -62,6 +66,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -76,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: urllangid <generate|train|compile|classify|eval|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: urllangid <generate|train|compile|classify|eval|serve|inspect> [flags]")
 }
 
 func cmdGenerate(args []string) error {
@@ -424,4 +430,79 @@ func cmdServe(args []string) error {
 	fmt.Printf("serving %s on %s\n", clf.Describe(), *addr)
 	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return server.ListenAndServe()
+}
+
+// inspectOut is the -json shape of cmdInspect: the modelfile report
+// plus the path it describes.
+type inspectOut struct {
+	Path string `json:"path"`
+	Kind string `json:"kind"`
+	*modelfile.Info
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	verify := fs.Bool("verify", false, "additionally open the model and verify every payload digest and structural invariant")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect: want exactly one model file argument")
+	}
+	path := fs.Arg(0)
+
+	info, err := modelfile.InspectFile(path)
+	if err != nil {
+		return fmt.Errorf("inspect %s: %w", path, err)
+	}
+	if *asJSON {
+		out := inspectOut{Path: path, Kind: modelfile.KindName(info.Kind), Info: info}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("file:     %s\n", path)
+		fmt.Printf("version:  %d\n", info.Version)
+		fmt.Printf("kind:     %s\n", modelfile.KindName(info.Kind))
+		if m := info.Meta; m != nil {
+			if m.Label != "" {
+				fmt.Printf("model:    %s\n", m.Label)
+			}
+			if m.Mode != "" {
+				fmt.Printf("mode:     %s\n", m.Mode)
+			}
+			fmt.Printf("digest:   %s\n", m.Digest)
+			fmt.Printf("payload:  %d bytes\n", m.PayloadBytes)
+		}
+		if len(info.Sections) > 0 {
+			fmt.Printf("sections: %d\n", len(info.Sections))
+			for _, s := range info.Sections {
+				lang := "-"
+				if s.Lang >= 0 && int(s.Lang) < langid.NumLanguages {
+					lang = langid.Language(s.Lang).Code()
+				}
+				fmt.Printf("  %-12s %-4s off=%-8d len=%-8d sha256=%s\n",
+					s.Name, lang, s.Off, s.Len, s.Digest)
+			}
+		}
+	}
+
+	if *verify {
+		om, err := modelfile.OpenPath(path)
+		if err != nil {
+			return fmt.Errorf("inspect %s: %w", path, err)
+		}
+		if om.Snap != nil {
+			err = om.Snap.Verify()
+			om.Snap.Close()
+			if err != nil {
+				return fmt.Errorf("inspect %s: %w", path, err)
+			}
+		}
+		fmt.Println("verify:   ok")
+	}
+	return nil
 }

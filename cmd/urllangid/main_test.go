@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"urllangid"
@@ -168,5 +171,148 @@ func TestParseOptions(t *testing.T) {
 		if _, err := parseOptions("custom", algo, 0); err != nil {
 			t.Errorf("algo %q rejected: %v", algo, err)
 		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// inspectSnapshotFile trains a tiny model and saves its compiled
+// snapshot (the flat v3 container) to a file.
+func inspectSnapshotFile(t *testing.T, dir string) string {
+	t.Helper()
+	samples := []langid.Sample{
+		{URL: "http://www.wetter-bericht.de/heute", Lang: langid.German},
+		{URL: "http://www.weather-report.com/today", Lang: langid.English},
+		{URL: "http://www.meteo-bulletin.fr/jour", Lang: langid.French},
+		{URL: "http://www.tiempo-parte.es/hoy", Lang: langid.Spanish},
+		{URL: "http://www.meteo-notizie.it/oggi", Lang: langid.Italian},
+	}
+	clf, err := urllangid.Train(urllangid.Options{}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "m.snapshot")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Compile().Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCmdInspect pins the inspect subcommand on a healthy flat
+// snapshot: container version, metadata, the section directory, the
+// -verify pass and the -json form.
+func TestCmdInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := inspectSnapshotFile(t, dir)
+
+	out, err := captureStdout(t, func() error { return cmdInspect([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"version:  3", "kind:     compiled snapshot", "mode:     linear", "sections:", "weights", "strtab-blob"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = captureStdout(t, func() error { return cmdInspect([]string{"-verify", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verify:   ok") {
+		t.Errorf("inspect -verify did not report ok:\n%s", out)
+	}
+
+	out, err = captureStdout(t, func() error { return cmdInspect([]string{"-json", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Version  byte `json:"version"`
+		Sections []struct {
+			Name string `json:"name"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("inspect -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if report.Version != 3 || len(report.Sections) == 0 {
+		t.Errorf("inspect -json report = %+v", report)
+	}
+
+	if err := cmdInspect([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Error("inspect accepted a missing file")
+	}
+	if err := cmdInspect([]string{}); err == nil {
+		t.Error("inspect accepted zero arguments")
+	}
+}
+
+// TestCmdInspectCorrupt pins inspect's failure modes: truncation and
+// header/directory corruption fail immediately, while payload
+// corruption beyond the metadata — invisible to the lazy open — is
+// caught by -verify.
+func TestCmdInspectCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := inspectSnapshotFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trunc := filepath.Join(dir, "trunc.snapshot")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error { return cmdInspect([]string{trunc}) }); err == nil {
+		t.Error("inspect accepted a truncated file")
+	}
+
+	badDir := filepath.Join(dir, "baddir.snapshot")
+	mut := append([]byte(nil), data...)
+	mut[70] ^= 0xff // inside the section directory
+	if err := os.WriteFile(badDir, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error { return cmdInspect([]string{badDir}) }); err == nil {
+		t.Error("inspect accepted a corrupt section directory")
+	}
+
+	badPay := filepath.Join(dir, "badpay.snapshot")
+	mut = append([]byte(nil), data...)
+	mut[len(mut)-1] ^= 0xff // inside the last payload, far from the metadata
+	if err := os.WriteFile(badPay, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error { return cmdInspect([]string{badPay}) }); err != nil {
+		t.Errorf("plain inspect rejected payload corruption it should not read: %v", err)
+	}
+	if _, err := captureStdout(t, func() error { return cmdInspect([]string{"-verify", badPay}) }); err == nil {
+		t.Error("inspect -verify accepted a corrupt payload")
 	}
 }

@@ -28,9 +28,20 @@ import (
 // Using a result means mentioning it anywhere after the call; the
 // analyzer does not trace path-sensitivity — `_ = err` defeats it, and
 // is as greppable as the directive escape.
+//
+// A fourth check guards the v3 flat container boundary: outside
+// internal/modelfile (and its subpackages), raw section bytes obtained
+// from the flat payload accessors (File.Payload / File.PayloadOf) must
+// not be indexed or re-sliced directly — hand-rolled offsets into an
+// attacker-controllable byte region are exactly how out-of-bounds reads
+// happen. Consumers go through the flat typed views (flat.Float64s,
+// flat.Uint32s, flat.Strings, ...), which validate shape and bounds
+// before exposing anything. The taint is function-local: an indexed
+// variable is flagged when the same function assigned it from a payload
+// accessor.
 var ModelFileIO = &Analyzer{
 	Name: "modelfileio",
-	Doc:  "modelfile section reads must check returned errors, and raw Reads must also check the returned length",
+	Doc:  "modelfile section reads must check returned errors, raw Reads must also check the returned length, and flat section bytes must not be sliced outside internal/modelfile",
 	Run:  runModelFileIO,
 }
 
@@ -45,6 +56,7 @@ var ioErrFuncs = map[string]bool{
 }
 
 func runModelFileIO(pass *Pass) error {
+	insideModelfile := isModelfilePath(pass.Pkg.Path())
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -52,9 +64,88 @@ func runModelFileIO(pass *Pass) error {
 				continue
 			}
 			checkReads(pass, fd)
+			if !insideModelfile {
+				checkRawSectionSlicing(pass, fd)
+			}
 		}
 	}
 	return nil
+}
+
+// isModelfilePath reports whether pkgPath is internal/modelfile or one
+// of its subpackages — the only code allowed to address raw v3 section
+// bytes by hand.
+func isModelfilePath(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "modelfile" {
+			return true
+		}
+	}
+	return false
+}
+
+// isFlatPayloadCall reports whether call is File.Payload or
+// File.PayloadOf from the flat container package — the accessors that
+// hand out raw, unvalidated section bytes.
+func isFlatPayloadCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if !pass.Module.InModule(fn.Pkg().Path()) || !strings.HasSuffix(fn.Pkg().Path(), "modelfile/flat") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Name() == "Payload" || fn.Name() == "PayloadOf"
+}
+
+// checkRawSectionSlicing flags index and slice expressions over
+// variables the function bound from a flat payload accessor. The
+// typed views in the flat package are the sanctioned decoders; any
+// direct offset arithmetic outside internal/modelfile re-opens the
+// out-of-bounds class the views exist to close.
+func checkRawSectionSlicing(pass *Pass, fd *ast.FuncDecl) {
+	tainted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isFlatPayloadCall(pass, call) {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+	report := func(x ast.Expr, pos ast.Node) {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok || !tainted[pass.Info.Uses[id]] {
+			return
+		}
+		pass.Reportf(pos.Pos(), "raw flat section bytes %s are sliced outside internal/modelfile; decode through the flat typed views so offsets stay bounds-checked", id.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			report(x.X, x)
+		case *ast.SliceExpr:
+			report(x.X, x)
+		}
+		return true
+	})
 }
 
 // readKind classifies a call: which results are mandatory.

@@ -1,0 +1,46 @@
+// Package flat mirrors the real flat container accessors for the
+// modelfileio golden corpus: the import path suffix modelfile/flat is
+// what marks Payload/PayloadOf results as raw section bytes that must
+// not be sliced outside internal/modelfile.
+package flat
+
+import "encoding/binary"
+
+type Section struct {
+	Type uint32
+	Lang int32
+	Off  uint64
+	Len  uint64
+}
+
+type File struct {
+	data []byte
+	secs []Section
+}
+
+func (f *File) Sections() []Section { return f.secs }
+
+func (f *File) Payload(typ uint32, lang int32) ([]byte, bool) {
+	for _, s := range f.secs {
+		if s.Type == typ && s.Lang == lang {
+			return f.data[s.Off : s.Off+s.Len], true
+		}
+	}
+	return nil, false
+}
+
+func (f *File) PayloadOf(s Section) []byte {
+	return f.data[s.Off : s.Off+s.Len]
+}
+
+// Uint32s is the sanctioned decoder: shape-checked before any access.
+func Uint32s(b []byte) ([]uint32, bool) {
+	if len(b)%4 != 0 {
+		return nil, false
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out, true
+}

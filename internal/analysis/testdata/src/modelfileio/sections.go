@@ -1,0 +1,53 @@
+package modelfileio
+
+// The raw-section-slicing half of the corpus: this package is NOT under
+// a modelfile path segment (modelfileio does not count), so flat
+// payload bytes may only flow into the typed views, never into direct
+// index or slice expressions.
+
+import (
+	"urllangid/internal/analysis/testdata/src/modelfileio/modelfile/flat"
+)
+
+// decodeThroughViews is the sanctioned shape: payload bytes go to a
+// flat decoder untouched.
+func decodeThroughViews(f *flat.File) ([]uint32, bool) {
+	b, ok := f.Payload(2, -1)
+	if !ok {
+		return nil, false
+	}
+	return flat.Uint32s(b)
+}
+
+func indexPayload(f *flat.File) byte {
+	b, ok := f.Payload(2, -1)
+	if !ok {
+		return 0
+	}
+	return b[8] // want "raw flat section bytes b are sliced outside internal/modelfile"
+}
+
+func slicePayload(f *flat.File, s flat.Section) []byte {
+	p := f.PayloadOf(s)
+	return p[16:32] // want "raw flat section bytes p are sliced outside internal/modelfile"
+}
+
+// lenOnly takes the payload's length without addressing its contents —
+// allowed, len cannot read out of bounds.
+func lenOnly(f *flat.File) int {
+	b, _ := f.Payload(4, 0)
+	return len(b)
+}
+
+// otherSlice proves the taint is precise: slicing a []byte that did not
+// come from a payload accessor is fine.
+func otherSlice(buf []byte) []byte {
+	return buf[1:2]
+}
+
+// waived shows the directive escape for the one legitimate case —
+// splitting a payload before handing both halves to typed views.
+func waived(f *flat.File, s flat.Section) []byte {
+	p := f.PayloadOf(s)
+	return p[:s.Len/2] //urllangid:ignore modelfileio header half is re-verified by the typed view it feeds
+}

@@ -101,6 +101,12 @@ type Snapshot struct {
 	// baseline backs modeTLD.
 	baseline tldbase.Classifier
 	pool     sync.Pool
+	// flat is non-nil for snapshots loaded from a v3 flat container,
+	// whose bulk arrays are views over the (possibly mapped) file bytes.
+	// It carries the backing mapping's lifetime and the once-guarded
+	// deferred verification state; see flat.go. Heap-backed snapshots
+	// leave it nil and skip the verification gate entirely.
+	flat *flatSource
 }
 
 // scratch holds the per-call buffers of the scoring hot path. All
@@ -259,6 +265,7 @@ func (s *Snapshot) CacheKey(rawURL string) string {
 //
 //urllangid:hotpath
 func (s *Snapshot) ScoresInto(out *[langid.NumLanguages]float64, rawURL string) {
+	s.ensureVerified()
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	if s.keyedByRaw() {
@@ -307,6 +314,7 @@ func (s *Snapshot) Classify(rawURL string) langid.Result {
 //
 //urllangid:hotpath
 func (s *Snapshot) ScoresForKey(key string) [langid.NumLanguages]float64 {
+	s.ensureVerified()
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	return s.scoreInput(key, sc)

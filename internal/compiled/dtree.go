@@ -117,33 +117,43 @@ func (s *Snapshot) dtreeScores(dense []float32, idx []uint32, val []float32) [la
 	return out
 }
 
-// treeFromWire validates a deserialised tree: structural lengths,
-// feature bounds, finite thresholds, and the preorder child invariant
-// (children strictly follow their parent), which guarantees every walk
-// terminates.
+// treeFromWire validates a deserialised tree before accepting it.
 func treeFromWire(w wireTree, dim int) (flatTree, error) {
-	n := len(w.Feat)
-	if n == 0 {
-		return flatTree{}, fmt.Errorf("compiled: empty decision tree")
+	t := flatTree{feat: w.Feat, thr: w.Thr, kids: w.Kids}
+	if err := t.validate(dim); err != nil {
+		return flatTree{}, err
 	}
-	if len(w.Thr) != n || len(w.Kids) != 2*n {
-		return flatTree{}, fmt.Errorf("compiled: decision tree arrays disagree: %d features, %d thresholds, %d children",
-			n, len(w.Thr), len(w.Kids))
+	return t, nil
+}
+
+// validate checks a deserialised tree's structural invariants: array
+// lengths, feature bounds, finite thresholds, and the preorder child
+// invariant (children strictly follow their parent), which guarantees
+// every walk terminates. Both deserialisation paths run it — the gob
+// path eagerly, the flat path on first scoring touch.
+func (t *flatTree) validate(dim int) error {
+	n := len(t.feat)
+	if n == 0 {
+		return fmt.Errorf("compiled: empty decision tree")
+	}
+	if len(t.thr) != n || len(t.kids) != 2*n {
+		return fmt.Errorf("compiled: decision tree arrays disagree: %d features, %d thresholds, %d children",
+			n, len(t.thr), len(t.kids))
 	}
 	for i := 0; i < n; i++ {
-		if math.IsNaN(w.Thr[i]) {
-			return flatTree{}, fmt.Errorf("compiled: decision tree node %d has a NaN threshold", i)
+		if math.IsNaN(t.thr[i]) {
+			return fmt.Errorf("compiled: decision tree node %d has a NaN threshold", i)
 		}
-		if w.Feat[i] < 0 {
+		if t.feat[i] < 0 {
 			continue
 		}
-		if int(w.Feat[i]) >= dim {
-			return flatTree{}, fmt.Errorf("compiled: decision tree node %d splits on feature %d of %d", i, w.Feat[i], dim)
+		if int(t.feat[i]) >= dim {
+			return fmt.Errorf("compiled: decision tree node %d splits on feature %d of %d", i, t.feat[i], dim)
 		}
-		l, r := w.Kids[2*i], w.Kids[2*i+1]
+		l, r := t.kids[2*i], t.kids[2*i+1]
 		if l <= int32(i) || r <= int32(i) || int(l) >= n || int(r) >= n {
-			return flatTree{}, fmt.Errorf("compiled: decision tree node %d has out-of-order children %d/%d", i, l, r)
+			return fmt.Errorf("compiled: decision tree node %d has out-of-order children %d/%d", i, l, r)
 		}
 	}
-	return flatTree{feat: w.Feat, thr: w.Thr, kids: w.Kids}, nil
+	return nil
 }

@@ -1,0 +1,114 @@
+package compiled
+
+import (
+	"bytes"
+	"testing"
+
+	"urllangid/internal/modelfile/flat"
+)
+
+// TestFlatRoundTripBitIdentical is the v3 counterpart of the gob
+// round-trip proof: every compilable Algorithm×FeatureSet survives
+// WriteFlat → Parse → LoadFlat with bit-identical predictions against
+// both the source system and a gob (v2) round trip of the same
+// snapshot, so the two wire formats are interchangeable.
+func TestFlatRoundTripBitIdentical(t *testing.T) {
+	train, probes := corpusEnv(t)
+	for _, tc := range systemConfigs {
+		t.Run(tc.cfg.Describe()+"/"+tc.mode, func(t *testing.T) {
+			t.Parallel()
+			sys := trainSystem(t, tc.cfg, train)
+			snap := FromSystem(sys)
+
+			var fb bytes.Buffer
+			if err := snap.WriteFlat(&fb); err != nil {
+				t.Fatal(err)
+			}
+			ff, err := flat.Parse(fb.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromFlat, err := LoadFlat(ff, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fromFlat.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if fromFlat.Mode() != snap.Mode() || fromFlat.Describe() != snap.Describe() {
+				t.Fatalf("metadata drift: mode %q/%q describe %q/%q",
+					snap.Mode(), fromFlat.Mode(), snap.Describe(), fromFlat.Describe())
+			}
+			assertIdentical(t, sys, fromFlat, probes)
+
+			var gb bytes.Buffer
+			if err := snap.Save(&gb); err != nil {
+				t.Fatal(err)
+			}
+			fromGob, err := Load(&gb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range probes {
+				a, b := fromGob.Predictions(u), fromFlat.Predictions(u)
+				for li := range a {
+					if a[li] != b[li] {
+						t.Fatalf("%q lang %s: gob %+v, flat %+v", u, a[li].Lang, a[li], b[li])
+					}
+				}
+			}
+
+			// Close without a mapping is a safe no-op, twice.
+			if err := fromFlat.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fromFlat.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFlatWriteDeterministic pins that WriteFlat is byte-stable: the
+// registry's digest-skip Reload probe and the committed-model workflow
+// both depend on identical snapshots producing identical containers.
+func TestFlatWriteDeterministic(t *testing.T) {
+	train, _ := corpusEnv(t)
+	snap := FromSystem(trainSystem(t, systemConfigs[0].cfg, train))
+	var a, b bytes.Buffer
+	if err := snap.WriteFlat(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteFlat(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteFlat output differs across identical writes")
+	}
+}
+
+// TestFlatCorruptPayloadCaughtByVerify pins the lazy-verification
+// contract at the snapshot layer: a flipped payload byte loads fine
+// (structure is intact) but Verify reports it before any scoring.
+func TestFlatCorruptPayloadCaughtByVerify(t *testing.T) {
+	train, _ := corpusEnv(t)
+	snap := FromSystem(trainSystem(t, systemConfigs[0].cfg, train))
+	var buf bytes.Buffer
+	if err := snap.WriteFlat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xff
+	ff, err := flat.Parse(data)
+	if err != nil {
+		t.Fatalf("Parse rejected payload-only corruption: %v", err)
+	}
+	loaded, err := LoadFlat(ff, nil)
+	if err != nil {
+		// Eagerly-materialised sections may legitimately catch it at load.
+		return
+	}
+	if err := loaded.Verify(); err == nil {
+		t.Fatal("Verify passed on a corrupt payload")
+	}
+}

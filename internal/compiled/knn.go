@@ -25,7 +25,9 @@ type packedRefs struct {
 	rows []uint32
 	idx  []uint32
 	val  []float32
-	pos  []bool
+	// pos holds the binary labels as 0/1 bytes (not []bool) so a flat
+	// container can persist and view the slice as a raw byte section.
+	pos []uint8
 	// norm[r] is reference r's squared L2 norm, accumulated over its
 	// values in storage order — the identical float64 sum
 	// vecspace.Cosine computes per call.
@@ -46,7 +48,7 @@ func (s *Snapshot) compileRefs(sys *core.System) error {
 			r.val = append(r.val, x.Val...)
 			r.rows = append(r.rows, uint32(len(r.idx)))
 		}
-		r.pos = append([]bool(nil), m.Y...)
+		r.pos = packLabels(m.Y)
 		r.computeNorms()
 		s.refs[li] = r
 	}
@@ -97,7 +99,7 @@ func (r *packedRefs) score(qIdx []uint32, qVal []float32, sc *scratch) float64 {
 			sim = dot / math.Sqrt(na*nb)
 		}
 		if sim > 0 {
-			hits = append(hits, knnHit{sim: sim, pos: r.pos[ref]})
+			hits = append(hits, knnHit{sim: sim, pos: r.pos[ref] != 0})
 		}
 	}
 	sc.hits = hits
@@ -144,36 +146,74 @@ func (s *Snapshot) knnScores(qIdx []uint32, qVal []float32, sc *scratch) [langid
 // refsFromWire validates a deserialised reference set and rebuilds the
 // derived norms.
 func refsFromWire(w wireRefs) (packedRefs, error) {
-	n := len(w.Rows) - 1
-	if n < 1 || w.Rows[0] != 0 {
-		return packedRefs{}, fmt.Errorf("compiled: kNN reference set has no rows")
+	refs := packedRefs{rows: w.Rows, idx: w.Idx, val: w.Val, pos: packLabels(w.Pos), k: w.K}
+	if err := refs.validate(); err != nil {
+		return packedRefs{}, err
 	}
-	if len(w.Pos) != n {
-		return packedRefs{}, fmt.Errorf("compiled: kNN labels cover %d of %d references", len(w.Pos), n)
+	refs.computeNorms()
+	return refs, nil
+}
+
+// validate checks the CSR invariants scoring relies on: a well-formed
+// monotonic row array covering the index/value pair, per-row strictly
+// increasing indices (the cosine merge's precondition), one label per
+// reference, and a positive k. Both deserialisation paths run it — the
+// gob path eagerly, the flat path on first scoring touch.
+func (r *packedRefs) validate() error {
+	n := len(r.rows) - 1
+	if n < 1 || r.rows[0] != 0 {
+		return fmt.Errorf("compiled: kNN reference set has no rows")
 	}
-	if len(w.Idx) != len(w.Val) {
-		return packedRefs{}, fmt.Errorf("compiled: kNN index/value length mismatch %d != %d", len(w.Idx), len(w.Val))
+	if len(r.pos) != n {
+		return fmt.Errorf("compiled: kNN labels cover %d of %d references", len(r.pos), n)
 	}
-	if w.K < 1 {
-		return packedRefs{}, fmt.Errorf("compiled: kNN k = %d", w.K)
+	if len(r.idx) != len(r.val) {
+		return fmt.Errorf("compiled: kNN index/value length mismatch %d != %d", len(r.idx), len(r.val))
 	}
-	for i := 1; i < len(w.Rows); i++ {
-		if w.Rows[i] < w.Rows[i-1] {
-			return packedRefs{}, fmt.Errorf("compiled: kNN row offsets not monotonic at %d", i)
+	if r.k < 1 {
+		return fmt.Errorf("compiled: kNN k = %d", r.k)
+	}
+	for i := 1; i < len(r.rows); i++ {
+		if r.rows[i] < r.rows[i-1] {
+			return fmt.Errorf("compiled: kNN row offsets not monotonic at %d", i)
 		}
 	}
-	if int(w.Rows[n]) != len(w.Idx) {
-		return packedRefs{}, fmt.Errorf("compiled: kNN rows claim %d entries, have %d", w.Rows[n], len(w.Idx))
+	if int(r.rows[n]) != len(r.idx) {
+		return fmt.Errorf("compiled: kNN rows claim %d entries, have %d", r.rows[n], len(r.idx))
 	}
 	// Per-row strictly increasing indices: the cosine merge relies on it.
-	for r := 0; r < n; r++ {
-		for j := int(w.Rows[r]) + 1; j < int(w.Rows[r+1]); j++ {
-			if w.Idx[j] <= w.Idx[j-1] {
-				return packedRefs{}, fmt.Errorf("compiled: kNN reference %d indices not increasing", r)
+	for ref := 0; ref < n; ref++ {
+		for j := int(r.rows[ref]) + 1; j < int(r.rows[ref+1]); j++ {
+			if r.idx[j] <= r.idx[j-1] {
+				return fmt.Errorf("compiled: kNN reference %d indices not increasing", ref)
 			}
 		}
 	}
-	refs := packedRefs{rows: w.Rows, idx: w.Idx, val: w.Val, pos: w.Pos, k: w.K}
-	refs.computeNorms()
-	return refs, nil
+	for i, p := range r.pos {
+		if p > 1 {
+			return fmt.Errorf("compiled: kNN label %d is %d, want 0 or 1", i, p)
+		}
+	}
+	return nil
+}
+
+// packLabels converts bool labels to their packed 0/1 byte form.
+func packLabels(y []bool) []uint8 {
+	out := make([]uint8, len(y))
+	for i, p := range y {
+		if p {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// unpackLabels converts packed 0/1 bytes back to the bool form the gob
+// wire format keeps for compatibility.
+func unpackLabels(p []uint8) []bool {
+	out := make([]bool, len(p))
+	for i, b := range p {
+		out[i] = b != 0
+	}
+	return out
 }

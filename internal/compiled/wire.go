@@ -68,8 +68,13 @@ const (
 	wireVersion       = 2
 )
 
-// Save serialises the snapshot with encoding/gob.
+// Save serialises the snapshot with encoding/gob. A flat-backed
+// snapshot is fully verified first, so a corrupt mapped file cannot be
+// re-serialised into a gob file that would then decode cleanly.
 func (s *Snapshot) Save(w io.Writer) error {
+	if err := s.Verify(); err != nil {
+		return err
+	}
 	wire := wireSnapshot{
 		Version: wireVersion,
 		Mode:    uint8(s.mode),
@@ -99,7 +104,7 @@ func (s *Snapshot) Save(w io.Writer) error {
 	case modeKNN:
 		for li := range s.refs {
 			r := &s.refs[li]
-			wire.Refs[li] = wireRefs{Rows: r.rows, Idx: r.idx, Val: r.val, Pos: r.pos, K: r.k}
+			wire.Refs[li] = wireRefs{Rows: r.rows, Idx: r.idx, Val: r.val, Pos: unpackLabels(r.pos), K: r.k}
 		}
 	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {

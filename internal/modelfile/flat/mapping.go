@@ -1,0 +1,80 @@
+package flat
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// Mapping is the refcounted backing store of an opened v3 file: a
+// memory mapping on platforms that support one, a plain heap buffer
+// otherwise (and for callers that only hold an io.Reader). The snapshot
+// built over a mapping holds one reference; anything else that pins the
+// bytes (a registry version mid-drain, an inspector) retains its own.
+// The last Release unmaps — which is the "munmap only after the last
+// refcounted holder releases" half of the v3 lifecycle: views into a
+// released mapping are dangling, so release strictly after last use.
+type Mapping struct {
+	data   []byte
+	mapped bool
+	refs   atomic.Int64
+}
+
+// MapPath opens the file at path and maps it read-only, falling back to
+// reading it into memory when the platform (or the file system) cannot
+// map it. The returned mapping holds one reference; the caller owns it
+// and must Release it exactly once.
+func MapPath(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{}
+	m.refs.Store(1)
+	if data, ok := mapFile(f, st.Size()); ok {
+		m.data, m.mapped = data, true
+		return m, nil
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	m.data = data
+	return m, nil
+}
+
+// Bytes returns the backing bytes. They are read-only and valid only
+// until the last Release.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the bytes are a live memory mapping (false:
+// the read fallback, whose bytes the garbage collector owns).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Retain adds a reference, pinning the bytes past the owner's Release.
+func (m *Mapping) Retain() { m.refs.Add(1) }
+
+// Release drops one reference; the last one unmaps the file. Calling
+// Release more times than Retain+1 is a bug and panics rather than
+// double-unmapping.
+func (m *Mapping) Release() error {
+	n := m.refs.Add(-1)
+	if n > 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("flat: Mapping released more times than retained")
+	}
+	data := m.data
+	m.data = nil
+	if !m.mapped || data == nil {
+		return nil
+	}
+	return unmapBytes(data)
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package flat
+
+import "os"
+
+// mapFile reports no mapping support; MapPath falls back to reading the
+// file into memory, so v3 files load everywhere — only the zero-copy
+// page-cache sharing is unix-specific.
+func mapFile(_ *os.File, _ int64) (data []byte, ok bool) {
+	return nil, false
+}
+
+// unmapBytes is never reached when mapFile always declines.
+func unmapBytes(_ []byte) error { return nil }

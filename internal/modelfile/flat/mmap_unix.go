@@ -1,0 +1,28 @@
+//go:build unix
+
+package flat
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. ok is false when the file cannot be mapped
+// (zero length — mmap rejects empty mappings — an oversized file on a
+// 32-bit platform, or a file system without mmap support), in which
+// case the caller falls back to reading the file into memory.
+func mapFile(f *os.File, size int64) (data []byte, ok bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// unmapBytes releases a mapping created by mapFile.
+func unmapBytes(data []byte) error {
+	return syscall.Munmap(data)
+}

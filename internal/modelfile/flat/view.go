@@ -1,0 +1,243 @@
+package flat
+
+// Typed views over section payloads. On little-endian hosts — every
+// platform this project serves on — a view is a reinterpretation of the
+// mapped bytes: zero copies, zero allocations, the page cache is the
+// model store. The helpers still check length and alignment so a
+// malformed file fails with an error instead of a misaligned load, and
+// on big-endian hosts they transparently decode into fresh slices, so
+// the format stays portable without penalising the common case.
+//
+// These helpers are the only sanctioned way to consume section bytes
+// outside internal/modelfile: the modelfileio analyzer flags raw
+// Payload slicing elsewhere, because hand-rolled offset arithmetic over
+// untrusted bytes is exactly the out-of-bounds bug class the directory
+// validation exists to prevent.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// hostLittle reports the running machine's byte order; decided once at
+// startup.
+var hostLittle = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// view reinterprets b as a []T without copying. b must be elem-aligned
+// and a multiple of size bytes; callers check both.
+func view[T any](b []byte, size int) []T {
+	return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/size)
+}
+
+// checkShape validates a payload's length and alignment for an
+// element size.
+func checkShape(b []byte, size int, what string) error {
+	if len(b)%size != 0 {
+		return fmt.Errorf("flat: %s payload is %d bytes, not a multiple of %d", what, len(b), size)
+	}
+	if len(b) > 0 && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%uintptr(size) != 0 {
+		return fmt.Errorf("flat: %s payload is not %d-byte aligned", what, size)
+	}
+	return nil
+}
+
+// Float64s views b as a little-endian []float64.
+func Float64s(b []byte) ([]float64, error) {
+	if err := checkShape(b, 8, "float64"); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittle {
+		return view[float64](b, 8), nil
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// Float32s views b as a little-endian []float32.
+func Float32s(b []byte) ([]float32, error) {
+	if err := checkShape(b, 4, "float32"); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittle {
+		return view[float32](b, 4), nil
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// Uint32s views b as a little-endian []uint32.
+func Uint32s(b []byte) ([]uint32, error) {
+	if err := checkShape(b, 4, "uint32"); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittle {
+		return view[uint32](b, 4), nil
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out, nil
+}
+
+// Int32s views b as a little-endian []int32.
+func Int32s(b []byte) ([]int32, error) {
+	if err := checkShape(b, 4, "int32"); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittle {
+		return view[int32](b, 4), nil
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// Uint8s views b as a []uint8. It exists so byte-element sections (kNN
+// labels) are consumed through a typed view like every other section
+// rather than by slicing raw payload bytes.
+func Uint8s(b []byte) []uint8 { return b }
+
+// Float64Bytes encodes v as little-endian payload bytes. On
+// little-endian hosts the returned slice aliases v's storage (no copy);
+// v must stay unchanged until the payload is written.
+func Float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*8)
+	}
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+// Float32Bytes encodes v as little-endian payload bytes; see
+// Float64Bytes for the aliasing contract.
+func Float32Bytes(v []float32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*4)
+	}
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(x))
+	}
+	return out
+}
+
+// Uint32Bytes encodes v as little-endian payload bytes; see
+// Float64Bytes for the aliasing contract.
+func Uint32Bytes(v []uint32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*4)
+	}
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], x)
+	}
+	return out
+}
+
+// Int32Bytes encodes v as little-endian payload bytes; see Float64Bytes
+// for the aliasing contract.
+func Int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*4)
+	}
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(x))
+	}
+	return out
+}
+
+// StringsBytes encodes a string list payload: a uint32 count followed
+// by (uint32 length, bytes) per string, all little-endian. Used by the
+// dictionary and TLD sections, whose strings must be materialised on
+// load anyway.
+func StringsBytes(ss []string) []byte {
+	n := 4
+	for _, s := range ss {
+		n += 4 + len(s)
+	}
+	out := make([]byte, 4, n)
+	binary.LittleEndian.PutUint32(out, uint32(len(ss)))
+	var l [4]byte
+	for _, s := range ss {
+		binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+		out = append(out, l[:]...)
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Strings decodes a string list payload written by StringsBytes. The
+// returned strings are copies — this is the one deliberately
+// non-zero-copy decode path, reserved for small sections (trained
+// dictionaries, TLD lists) that must become Go strings regardless.
+func Strings(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("flat: string list payload is %d bytes, shorter than its count", len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	rest := b[4:]
+	// Each entry costs at least its 4-byte length prefix, which bounds
+	// count before any allocation sized by it.
+	if uint64(count)*4 > uint64(len(rest)) {
+		return nil, fmt.Errorf("flat: string list claims %d entries in %d bytes", count, len(rest))
+	}
+	out := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("flat: string list truncated at entry %d", i)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("flat: string list entry %d claims %d of %d remaining bytes", i, n, len(rest))
+		}
+		out = append(out, string(rest[:n]))
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("flat: string list carries %d bytes beyond its %d entries", len(rest), count)
+	}
+	return out, nil
+}

@@ -15,10 +15,20 @@
 // a message naming the damage instead of a gob decode error deep in the
 // payload.
 //
+// Container version 3 abandons the opaque gob payload for the flat,
+// mmap-able section layout implemented in the nested flat package: a
+// validated section directory with per-section SHA-256 digests over
+// typed little-endian payloads that serving consumes as views in
+// place. Snapshots are written as v3 (WriteSnapshot); OpenPath maps a
+// v3 file instead of reading it, which makes model open time
+// independent of model size and lets the page cache share one copy of
+// the weights across processes.
+//
 // Files written before the header existed (plain core.System or
 // compiled.Snapshot gobs) still load, as do version-1 files without the
-// metadata block: Read falls back to sniffing the gob payload when the
-// magic is absent.
+// metadata block and version-2 gob containers: Read dispatches on the
+// header and falls back to sniffing the gob payload when the magic is
+// absent.
 package modelfile
 
 import (
@@ -31,9 +41,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"urllangid/internal/compiled"
 	"urllangid/internal/core"
+	"urllangid/internal/modelfile/flat"
 )
 
 // magic opens every headered model file. Modeled on the PNG signature:
@@ -44,13 +56,17 @@ import (
 var magic = [8]byte{0x89, 'U', 'R', 'L', 'I', 'D', '\r', '\n'}
 
 // Container format versions. Version 1 is header + payload; version 2
-// inserts the metadata block between them. Write always emits the
-// current version; Read accepts both. The payloads carry their own
-// compatibility story (gob field matching for classifiers, an explicit
-// version field for snapshots).
+// inserts the metadata block between them; version 3 is the flat
+// section layout (snapshots only — classifiers stay gob, their
+// training-time structures gain nothing from mapping). Writers emit
+// version 2 for classifiers and version 3 for snapshots; Read accepts
+// all three. The gob payloads carry their own compatibility story
+// (gob field matching for classifiers, an explicit version field for
+// snapshots).
 const (
-	versionMeta    byte = 2 // current: header + meta block + payload
-	versionPlain   byte = 1 // legacy: header + payload, no metadata
+	versionFlat    byte = flat.Version // current for snapshots: flat section layout
+	versionMeta    byte = 2            // current for classifiers: header + meta block + gob payload
+	versionPlain   byte = 1            // legacy: header + payload, no metadata
 	writtenVersion      = versionMeta
 )
 
@@ -157,9 +173,18 @@ func WriteClassifier(w io.Writer, sys *core.System) error {
 	return writeModel(w, KindClassifier, sys.Config.Describe(), "", payload.Bytes())
 }
 
-// WriteSnapshot serialises a compiled snapshot with the snapshot header
-// and metadata block.
+// WriteSnapshot serialises a compiled snapshot in the current (flat,
+// version-3) container: typed sections that later Opens map and consume
+// in place.
 func WriteSnapshot(w io.Writer, snap *compiled.Snapshot) error {
+	return snap.WriteFlat(w)
+}
+
+// WriteSnapshotV2 serialises a compiled snapshot in the version-2 gob
+// container. Kept for compatibility coverage (the cross-format
+// equivalence tests prove v2 and v3 files of one model classify
+// bit-identically) and for producing files older builds can read.
+func WriteSnapshotV2(w io.Writer, snap *compiled.Snapshot) error {
 	var payload bytes.Buffer
 	if err := snap.Save(&payload); err != nil {
 		return err
@@ -195,13 +220,17 @@ func readMeta(br *bufio.Reader) (*Meta, error) {
 
 // checkVerKind validates the header's version and kind bytes.
 func checkVerKind(ver, kind byte) error {
-	if ver != versionPlain && ver != versionMeta {
-		return fmt.Errorf("model file has container version %d; this build reads versions %d and %d (rebuild or re-save the model)",
-			ver, versionPlain, versionMeta)
+	if ver != versionPlain && ver != versionMeta && ver != versionFlat {
+		return fmt.Errorf("model file has container version %d; this build reads versions %d through %d (rebuild or re-save the model)",
+			ver, versionPlain, versionFlat)
 	}
 	if kind != KindClassifier && kind != KindSnapshot {
 		return fmt.Errorf("model file declares %s; this build knows classifiers (%q) and snapshots (%q)",
 			KindName(kind), KindClassifier, KindSnapshot)
+	}
+	if ver == versionFlat && kind != KindSnapshot {
+		return fmt.Errorf("model file declares a version-%d flat container holding a %s; only snapshots use the flat layout",
+			ver, KindName(kind))
 	}
 	return nil
 }
@@ -223,13 +252,21 @@ func readHeader(br *bufio.Reader) (ver, kind byte, ok bool, err error) {
 	return ver, kind, true, nil
 }
 
-// Inspect reads a model file's header and metadata block without
-// decoding the payload — the cheap path for asking "what is this file,
-// and has its content changed?". meta is nil for version-1 files, which
-// carry none. Headerless input returns ErrNoHeader; callers that need a
+// Inspect reads a model file's header and metadata without decoding
+// the payload — the cheap path for asking "what is this file, and has
+// its content changed?". For version-2 files that is the metadata
+// block; for version-3 flat files it is the header and section
+// directory (whose digest is the model's content identity) plus the
+// small metadata section. meta is nil for version-1 files, which carry
+// none. Headerless input returns ErrNoHeader; callers that need a
 // content identity for such files hash them with DigestBytes.
 func Inspect(r io.Reader) (kind byte, meta *Meta, err error) {
 	br := bufio.NewReader(r)
+	if head, err := br.Peek(headerLen); err == nil &&
+		bytes.Equal(head[:len(magic)], magic[:]) && head[len(magic)] == versionFlat {
+		kind, meta, _, err := inspectFlatReader(br)
+		return kind, meta, err
+	}
 	ver, kind, ok, err := readHeader(br)
 	if err != nil {
 		return 0, nil, err
@@ -245,6 +282,158 @@ func Inspect(r io.Reader) (kind byte, meta *Meta, err error) {
 		return 0, nil, err
 	}
 	return kind, meta, nil
+}
+
+// inspectFlatReader reads a v3 file's directory and metadata section
+// from a sequential reader: the directory gives the model digest and
+// payload total, and the metadata section — verified against its
+// directory digest before use — gives label and mode. Payload sections
+// after the metadata are never read.
+func inspectFlatReader(br *bufio.Reader) (kind byte, meta *Meta, secs []flat.Section, err error) {
+	kind, digest, secs, err := ReadIndexFlat(br)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var total int64
+	var msec *flat.Section
+	for i := range secs {
+		total += int64(secs[i].Len)
+		if secs[i].Type == flat.SecMeta && secs[i].Lang == -1 {
+			msec = &secs[i]
+		}
+	}
+	meta = &Meta{Digest: digest, PayloadBytes: total}
+	if msec == nil {
+		return kind, meta, secs, nil
+	}
+	if msec.Len > maxMetaBytes {
+		return 0, nil, nil, fmt.Errorf("model metadata section claims %d bytes (limit %d): corrupt file", msec.Len, maxMetaBytes)
+	}
+	consumed := uint64(flat.HeaderSize) + uint64(len(secs))*flat.EntrySize
+	if msec.Off < consumed {
+		return 0, nil, nil, fmt.Errorf("model metadata section at offset %d overlaps the directory", msec.Off)
+	}
+	if _, err := br.Discard(int(msec.Off - consumed)); err != nil {
+		return 0, nil, nil, fmt.Errorf("model file truncated before its metadata section: %w", err)
+	}
+	mb := make([]byte, msec.Len)
+	if _, err := io.ReadFull(br, mb); err != nil {
+		return 0, nil, nil, fmt.Errorf("model file truncated in metadata section: %w", err)
+	}
+	if got := sha256.Sum256(mb); got != msec.Digest {
+		return 0, nil, nil, fmt.Errorf("model metadata section corrupted: SHA-256 digest mismatch")
+	}
+	var fm struct {
+		Label string `json:"label"`
+		Mode  string `json:"mode"`
+	}
+	if err := json.Unmarshal(mb, &fm); err != nil {
+		return 0, nil, nil, fmt.Errorf("decoding model metadata: %w", err)
+	}
+	meta.Label, meta.Mode = fm.Label, fm.Mode
+	return kind, meta, secs, nil
+}
+
+// ReadIndexFlat reads a v3 file's header and section directory from a
+// sequential reader, filling the Meta digest from the header. It wraps
+// flat.ReadIndex so callers outside this package see one inspection
+// vocabulary.
+func ReadIndexFlat(r io.Reader) (kind byte, digest string, secs []flat.Section, err error) {
+	kind, d, secs, err := flat.ReadIndex(r)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return kind, hex.EncodeToString(d[:]), secs, nil
+}
+
+// SectionInfo describes one v3 section for inspection output.
+type SectionInfo struct {
+	// Name is the section type name (e.g. "weights", "strtab-blob").
+	Name string `json:"name"`
+	// Lang is the language index for per-language sections, -1
+	// otherwise.
+	Lang int32 `json:"lang"`
+	// Off and Len locate the payload in the file.
+	Off uint64 `json:"off"`
+	Len uint64 `json:"len"`
+	// Digest is the payload's lowercase hex SHA-256.
+	Digest string `json:"digest"`
+}
+
+// Info is a model file's full inspection report: what InspectFile
+// learns without decoding any model payload.
+type Info struct {
+	// Version is the container version (1, 2 or 3); 0 for legacy
+	// headerless files.
+	Version byte `json:"version"`
+	// Kind is the kind byte (KindClassifier or KindSnapshot); 0 when
+	// unknown (legacy files).
+	Kind byte `json:"-"`
+	// Meta is the metadata block (nil for version-1 and legacy files).
+	// For version-3 files the digest is the model digest from the
+	// header.
+	Meta *Meta `json:"meta,omitempty"`
+	// Sections is the v3 section directory, in file order; nil for
+	// earlier versions.
+	Sections []SectionInfo `json:"sections,omitempty"`
+}
+
+// InspectFile reports what the file at path holds — container version,
+// kind, metadata, and (for v3) the full section directory — without
+// decoding any model payload. Legacy headerless files return
+// ErrNoHeader, as Inspect does.
+func InspectFile(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(headerLen)
+	if err != nil || !bytes.Equal(head[:len(magic)], magic[:]) {
+		return nil, ErrNoHeader
+	}
+	ver := head[len(magic)]
+	if err := checkVerKind(ver, head[len(magic)+1]); err != nil {
+		return nil, err
+	}
+	if ver == versionFlat {
+		kind, meta, secs, err := inspectFlatReader(br)
+		if err != nil {
+			return nil, err
+		}
+		// The directory is internally consistent (its digest matched), but
+		// a truncated copy can still carry a directory whose sections
+		// point past the end of the file. The file size is known here, so
+		// reject that without reading any payload.
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		size := uint64(st.Size())
+		for _, s := range secs {
+			if s.Off > size || s.Len > size-s.Off {
+				return nil, fmt.Errorf("%s section [%d,+%d) extends past the %d-byte file: truncated copy",
+					flat.SectionName(s.Type), s.Off, s.Len, size)
+			}
+		}
+		info := &Info{Version: ver, Kind: kind, Meta: meta, Sections: make([]SectionInfo, len(secs))}
+		for i, s := range secs {
+			info.Sections[i] = SectionInfo{
+				Name:   flat.SectionName(s.Type),
+				Lang:   s.Lang,
+				Off:    s.Off,
+				Len:    s.Len,
+				Digest: hex.EncodeToString(s.Digest[:]),
+			}
+		}
+		return info, nil
+	}
+	kind, meta, err := Inspect(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Info{Version: ver, Kind: kind, Meta: meta}, nil
 }
 
 // Read loads a model of either kind from r, returning exactly one of
@@ -280,6 +469,10 @@ func ReadBytes(data []byte) (sys *core.System, snap *compiled.Snapshot, meta *Me
 		ver, kind := data[len(magic)], data[len(magic)+1]
 		if err := checkVerKind(ver, kind); err != nil {
 			return nil, nil, nil, err
+		}
+		if ver == versionFlat {
+			snap, meta, err := readFlatBytes(data, nil)
+			return nil, snap, meta, err
 		}
 		payload := data[headerLen:]
 		if ver == versionMeta {
@@ -342,6 +535,96 @@ func ReadBytes(data []byte) (sys *core.System, snap *compiled.Snapshot, meta *Me
 		}
 	}
 	return nil, nil, nil, fmt.Errorf("unrecognized model data: no urllangid header and the payload is neither a saved classifier nor a compiled snapshot (%v)", sysErr)
+}
+
+// readFlatBytes loads a v3 flat container over data, handing the
+// snapshot views directly into data (which may be a live mapping owned
+// by mapping, or heap bytes with mapping nil). The synthesised Meta
+// carries the model digest from the header — the directory hash, which
+// via the per-section digests identifies the full content without
+// hashing the payloads.
+func readFlatBytes(data []byte, mapping *flat.Mapping) (*compiled.Snapshot, *Meta, error) {
+	f, err := flat.Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := compiled.LoadFlat(f, mapping)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading %s payload: %w", KindName(KindSnapshot), err)
+	}
+	meta := &Meta{
+		Digest:       f.ModelDigest(),
+		PayloadBytes: f.PayloadBytes(),
+		Label:        snap.Describe(),
+		Mode:         snap.Mode(),
+	}
+	return snap, meta, nil
+}
+
+// OpenedModel is OpenPath's result: exactly one of Sys and Snap is
+// non-nil, plus the file's metadata and content identity.
+type OpenedModel struct {
+	// Sys is the trained system for classifier files.
+	Sys *core.System
+	// Snap is the compiled snapshot for snapshot files. For v3 files it
+	// is backed by a memory mapping and must be Closed after last use.
+	Snap *compiled.Snapshot
+	// Meta is the file's metadata (nil for version-1 and legacy files).
+	Meta *Meta
+	// Digest is the content identity under which reloads compare: the
+	// metadata digest when the file carries one, a whole-file hash
+	// otherwise. For v3 files it comes from the header alone — the
+	// directory hash — so computing it never touches the payloads.
+	Digest string
+}
+
+// OpenPath opens the model file at path through the cheapest route its
+// container version allows: v3 flat files are memory-mapped (read
+// fallback where mmap is unavailable) and their snapshot views the
+// mapping in place — open cost independent of model size — while v1/v2
+// and legacy files are read and decoded as before. The caller owns the
+// returned snapshot's backing mapping via Snapshot.Close.
+func OpenPath(path string) (*OpenedModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// A file shorter than the sniff window can still be a (broken)
+	// legacy container, so short reads fall through to the full-read
+	// path below; real I/O errors fail here.
+	var head [headerLen]byte
+	n, err := io.ReadFull(f, head[:])
+	f.Close()
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if flat.IsFlat(head[:n]) {
+		m, err := flat.MapPath(path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		snap, meta, err := readFlatBytes(m.Bytes(), m)
+		if err != nil {
+			m.Release()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &OpenedModel{Snap: snap, Meta: meta, Digest: meta.Digest}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, snap, meta, err := ReadBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	digest := ""
+	if meta != nil {
+		digest = meta.Digest
+	} else {
+		digest = DigestBytes(data)
+	}
+	return &OpenedModel{Sys: sys, Snap: snap, Meta: meta, Digest: digest}, nil
 }
 
 // completeSystem guards the legacy sniff path: gob happily decodes

@@ -90,7 +90,7 @@ func TestHeaderedSnapshotRoundTrip(t *testing.T) {
 func TestInspect(t *testing.T) {
 	snap := compiled.FromSystem(system(t))
 	var buf bytes.Buffer
-	if err := WriteSnapshot(&buf, snap); err != nil {
+	if err := WriteSnapshotV2(&buf, snap); err != nil {
 		t.Fatal(err)
 	}
 	kind, meta, err := Inspect(bytes.NewReader(buf.Bytes()))
@@ -104,6 +104,28 @@ func TestInspect(t *testing.T) {
 	payload := buf.Bytes()[len(buf.Bytes())-int(meta.PayloadBytes):]
 	if DigestBytes(payload) != meta.Digest {
 		t.Error("stored digest does not cover the payload bytes")
+	}
+
+	// The v3 flat container inspects too: same kind and metadata, and
+	// the digest it reports is the one Read verifies (the directory
+	// hash, recoverable from the header alone).
+	var v3 bytes.Buffer
+	if err := WriteSnapshot(&v3, snap); err != nil {
+		t.Fatal(err)
+	}
+	kind3, meta3, err := Inspect(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind3 != KindSnapshot || meta3 == nil || meta3.Mode != "linear" {
+		t.Errorf("Inspect(v3) = kind %q meta %+v", kind3, meta3)
+	}
+	_, dirDigest, _, err := ReadIndexFlat(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta3.Digest != dirDigest {
+		t.Errorf("Inspect(v3) digest %s != directory digest %s", meta3.Digest, dirDigest)
 	}
 
 	var legacy bytes.Buffer

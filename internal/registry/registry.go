@@ -37,7 +37,6 @@ package registry
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,15 +89,24 @@ type version struct {
 	// releaseFn is release pre-bound at install time, so Resolve hands
 	// it out per request without allocating a fresh method value.
 	releaseFn func()
+	// close releases the model's backing storage — the memory mapping
+	// under a flat-loaded snapshot — after the engine has drained. Nil
+	// for programmatic installs and heap-backed files.
+	close func() error
 }
 
-// release drops one reference; the last one out closes the engine.
+// release drops one reference; the last one out closes the engine, then
+// the model's backing storage — the mapping under a flat snapshot is
+// unmapped only after no worker can touch it again.
 // Engine.Close is idempotent, which makes the acquire/swap race benign:
 // an acquirer that bumped a just-retired version detects the pointer
 // change, releases, and retries — it never uses the closed engine.
 func (v *version) release() {
 	if v.refs.Add(-1) == 0 {
 		v.engine.Close() //urllangid:ignore hotpathalloc last-reference teardown runs once per retired version at swap time, never on the per-request path
+		if v.close != nil {
+			v.close() //urllangid:ignore hotpathalloc unmaps a retired version's file backing exactly once, after the drain
+		}
 	}
 }
 
@@ -256,13 +264,17 @@ func (r *Registry) LoadFile(name, path string) (serve.ModelInfo, error) {
 	if err != nil {
 		return serve.ModelInfo{}, err
 	}
-	return r.install(name, snap, serve.ModelInfo{
+	info, err := r.install(name, snap, serve.ModelInfo{
 		Name:   name,
 		Model:  snap.Describe(),
 		Mode:   snap.Mode(),
 		Digest: digest,
 		Path:   path,
-	})
+	}, snap.Close)
+	if err != nil {
+		snap.Close()
+	}
+	return info, err
 }
 
 // Install installs a predictor programmatically (no backing file, so
@@ -274,13 +286,14 @@ func (r *Registry) Install(name string, p serve.Predictor, label, mode string) (
 		Name:  name,
 		Model: label,
 		Mode:  mode,
-	})
+	}, nil)
 }
 
 // install builds an engine for p and swaps it in as the slot's next
 // version. The old version starts draining: in-flight leases keep its
-// engine open, and the last Release closes it.
-func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo) (serve.ModelInfo, error) {
+// engine open, and the last Release closes it, then runs closer (when
+// non-nil) to free the model's backing storage.
+func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo, closer func() error) (serve.ModelInfo, error) {
 	if name == "" {
 		return serve.ModelInfo{}, fmt.Errorf("registry: empty model name")
 	}
@@ -306,7 +319,7 @@ func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo)
 	}
 	info.Version = s.ver.Add(1)
 	info.LoadedAt = time.Now()
-	v := &version{engine: serve.New(p, r.opts.Engine), info: info}
+	v := &version{engine: serve.New(p, r.opts.Engine), info: info, close: closer}
 	v.releaseFn = v.release
 	v.refs.Store(1)
 	if old := s.cur.Swap(v); old != nil {
@@ -340,11 +353,22 @@ func (r *Registry) Reload(name string) (serve.ModelInfo, bool, error) {
 	if cur.info.Path == "" {
 		return cur.info, false, fmt.Errorf("%q: %w", name, serve.ErrNotReloadable)
 	}
+	// Cheap probe first: for headered files the content digest is
+	// recoverable from the header/metadata alone — for a v3 flat file
+	// that is one small read of the section directory, no mapping and no
+	// payload traffic — so the no-change case costs microseconds
+	// regardless of model size. Any probe failure falls through to the
+	// full open, which reports the real error.
+	if fi, err := modelfile.InspectFile(cur.info.Path); err == nil &&
+		fi.Meta != nil && fi.Meta.Digest == cur.info.Digest {
+		return cur.info, false, nil
+	}
 	snap, digest, err := readModelFile(cur.info.Path)
 	if err != nil {
 		return cur.info, false, fmt.Errorf("reloading %q: %w", name, err)
 	}
 	if digest == cur.info.Digest {
+		snap.Close()
 		return cur.info, false, nil
 	}
 	info := serve.ModelInfo{
@@ -356,7 +380,7 @@ func (r *Registry) Reload(name string) (serve.ModelInfo, bool, error) {
 		Version:  s.ver.Add(1),
 		LoadedAt: time.Now(),
 	}
-	v := &version{engine: serve.New(snap, r.opts.Engine), info: info}
+	v := &version{engine: serve.New(snap, r.opts.Engine), info: info, close: snap.Close}
 	v.releaseFn = v.release
 	v.refs.Store(1)
 	if old := s.cur.Swap(v); old != nil {
@@ -392,24 +416,17 @@ func (r *Registry) Close() error {
 // readModelFile loads a model file of either kind as a compiled
 // snapshot plus its content digest: the metadata digest for current
 // files, a whole-file hash for headerless/v1 files (equivalent for
-// change detection — same bytes, same digest).
+// change detection — same bytes, same digest). Flat v3 files come back
+// memory-mapped; the returned snapshot's Close releases the mapping
+// (and is a no-op for every other kind).
 func readModelFile(path string) (*compiled.Snapshot, string, error) {
-	data, err := os.ReadFile(path)
+	om, err := modelfile.OpenPath(path)
 	if err != nil {
 		return nil, "", err
 	}
-	sys, snap, meta, err := modelfile.ReadBytes(data)
-	if err != nil {
-		return nil, "", fmt.Errorf("%s: %w", path, err)
-	}
+	snap := om.Snap
 	if snap == nil {
-		snap = compiled.FromSystem(sys)
+		snap = compiled.FromSystem(om.Sys)
 	}
-	digest := ""
-	if meta != nil {
-		digest = meta.Digest
-	} else {
-		digest = modelfile.DigestBytes(data)
-	}
-	return snap, digest, nil
+	return snap, om.Digest, nil
 }

@@ -319,21 +319,35 @@ func (h *handler) classify(w http.ResponseWriter, r *http.Request) {
 			"batch of %d exceeds limit %d; use /v1/stream for bulk frontiers", len(urls), h.maxBatch)
 		return
 	}
-	resp := classifyResponse{
-		Model:   info.Model,
-		Name:    info.Name,
-		Version: info.Version,
-		Results: make([]resultJSON, 0, len(urls)),
-	}
 	results := engine.ClassifyBatchTrace(urls, tr)
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
 	}
-	for _, res := range results {
-		resp.Results = append(resp.Results, toJSON(res))
+	// The response is encoded by hand into a pooled buffer —
+	// byte-identical to writeJSON of a classifyResponse, without the
+	// per-result map and slice allocations encoding/json would need.
+	eb := getEncBuf()
+	b := eb.b[:0]
+	b = append(b, `{"model":`...)
+	b = appendJSONString(b, info.Model)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, info.Name)
+	b = append(b, `,"version":`...)
+	b = strconv.AppendInt(b, info.Version, 10)
+	b = append(b, `,"results":[`...)
+	for i, res := range results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendResult(b, res)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	b = append(b, "]}\n"...)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	eb.b = b
+	putEncBuf(eb)
 	if tr != nil {
 		tr.Add(obs.StageRespond, time.Since(t0))
 	}
@@ -377,10 +391,20 @@ func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
 		if tr != nil {
 			t0 = time.Now()
 		}
+		// One pooled buffer per chunk, one Write per chunk: the NDJSON
+		// lines are encoded by hand (byte-identical to enc.Encode of
+		// each toJSON form) and flushed together.
+		eb := getEncBuf()
+		b := eb.b[:0]
 		for _, res := range results {
-			if err := enc.Encode(toJSON(res)); err != nil {
-				return false // client went away
-			}
+			b = appendResult(b, res)
+			b = append(b, '\n')
+		}
+		_, werr := w.Write(b)
+		eb.b = b
+		putEncBuf(eb)
+		if werr != nil {
+			return false // client went away
 		}
 		rc.Flush()
 		if tr != nil {

@@ -112,6 +112,86 @@ func (t *Table) Blob() []byte { return t.blob }
 // must not be modified.
 func (t *Table) Offsets() []uint32 { return t.offs }
 
+// Slots exposes the probe slot array for persistence. Unlike Blob and
+// Offsets it is derived state — rebuild regenerates it from them — but
+// persisting it lets a flat container restore the table without the
+// O(n) rebuild: the stored buckets are probed in place (FromFlat). The
+// returned slice must not be modified.
+func (t *Table) Slots() []uint32 { return t.slots }
+
+// FromFlat restores a table over persisted blob/offset/slot storage —
+// typically views into a mapped model file — without copying or
+// rebuilding anything. Only O(1) shape checks run here, keeping model
+// open time independent of vocabulary size; the O(n) structural checks
+// live in Validate, which flat loaders run on first scoring touch
+// alongside payload digest verification. Until Validate has passed,
+// Lookup on the table is unsafe.
+func FromFlat(blob []byte, offs, slots []uint32) (Table, error) {
+	n := len(offs) - 1
+	if len(offs) == 0 {
+		if len(blob) != 0 || len(slots) != 0 {
+			return Table{}, fmt.Errorf("strtab: empty offsets with %d blob bytes and %d slots", len(blob), len(slots))
+		}
+		return Table{}, nil
+	}
+	if n == 0 {
+		if len(slots) != 0 {
+			return Table{}, fmt.Errorf("strtab: empty table carries %d slots", len(slots))
+		}
+		return Table{blob: blob, offs: offs}, nil
+	}
+	if len(slots) == 0 || len(slots)&(len(slots)-1) != 0 {
+		return Table{}, fmt.Errorf("strtab: slot count %d is not a power of two", len(slots))
+	}
+	if len(slots) < 2*n {
+		return Table{}, fmt.Errorf("strtab: %d slots for %d entries exceeds the 50%% load bound", len(slots), n)
+	}
+	return Table{mask: uint32(len(slots) - 1), blob: blob, offs: offs, slots: slots}, nil
+}
+
+// Validate runs the O(n) structural checks FromFlat deferred: monotonic
+// offsets ending at the blob length, every slot either empty or naming
+// a real entry, and every entry reachable from its own slot — after
+// which Lookup can probe the persisted buckets safely and with exactly
+// the answers a rebuilt table would give.
+func (t *Table) Validate() error {
+	n := t.Len()
+	for i := 1; i < len(t.offs); i++ {
+		if t.offs[i] < t.offs[i-1] {
+			return fmt.Errorf("strtab: table offsets not monotonic at %d", i)
+		}
+	}
+	if n > 0 && int(t.offs[n]) != len(t.blob) {
+		return fmt.Errorf("strtab: table blob has %d bytes, offsets claim %d", len(t.blob), t.offs[n])
+	}
+	if n == 0 {
+		return nil
+	}
+	filled := 0
+	for i, sl := range t.slots {
+		if sl == 0 {
+			continue
+		}
+		if sl > uint32(n) {
+			return fmt.Errorf("strtab: slot %d names entry %d of %d", i, sl-1, n)
+		}
+		filled++
+	}
+	if filled != n {
+		return fmt.Errorf("strtab: %d filled slots for %d entries", filled, n)
+	}
+	// Every entry must be reachable by its own probe sequence, exactly
+	// as Lookup walks it; a permuted or misplaced slot array would
+	// otherwise make valid keys silently miss.
+	for id := 0; id < n; id++ {
+		name := t.Name(uint32(id))
+		if got, ok := t.Lookup(name); !ok || got != uint32(id) {
+			return fmt.Errorf("strtab: entry %d is not reachable from its probe sequence", id)
+		}
+	}
+	return nil
+}
+
 // Lookup resolves s to its ID without allocating.
 //
 //urllangid:hotpath

@@ -409,6 +409,29 @@ func Open(r io.Reader) (Model, error) {
 	return &Classifier{sys: sys}, nil
 }
 
+// OpenFile opens the model file at path through the cheapest route its
+// container allows. Flat (version-3) snapshot files are memory-mapped
+// and served zero-copy: open cost is independent of model size
+// (microseconds, not proportional to megabytes), payload integrity is
+// digest-verified lazily on the first classification, and the snapshot
+// views the mapping in place until Close. Every other container —
+// version 1/2 and headerless legacy gobs — loads exactly as Open does.
+//
+// A Snapshot returned by OpenFile must be Closed after last use to
+// release its mapping; Close on a non-mapped model is a free no-op.
+// Callers that must not risk a corruption panic on the serving path can
+// probe Verify once after opening.
+func OpenFile(path string) (Model, error) {
+	om, err := modelfile.OpenPath(path)
+	if err != nil {
+		return nil, fmt.Errorf("urllangid: %w", err)
+	}
+	if om.Snap != nil {
+		return &Snapshot{snap: om.Snap}, nil
+	}
+	return &Classifier{sys: om.Sys}, nil
+}
+
 // Classify returns the URL's five-language classification, bit-identical
 // to the source classifier's. On the compiled path the call performs no
 // heap allocations.
@@ -430,12 +453,34 @@ func (s *Snapshot) ClassifyBatch(urls []string) []Result {
 func (s *Snapshot) Describe() string { return s.snap.Describe() }
 
 // Save serialises the snapshot in the self-describing model file
-// format; Open and LoadSnapshot read it back.
+// format — the flat version-3 container, which OpenFile can later
+// memory-map for a microsecond cold start; Open and LoadSnapshot read
+// it back too.
 func (s *Snapshot) Save(w io.Writer) error {
 	if err := modelfile.WriteSnapshot(w, s.snap); err != nil {
 		return fmt.Errorf("urllangid: %w", err)
 	}
 	return nil
+}
+
+// Verify checks the integrity of a memory-mapped snapshot — payload
+// digests and structural invariants — returning the error a corrupt
+// file would otherwise surface as a panic on the first classification.
+// It runs the check once; later calls return the cached result. For
+// snapshots that are not file-mapped it is a free no-op.
+func (s *Snapshot) Verify() error {
+	if err := s.snap.Verify(); err != nil {
+		return fmt.Errorf("urllangid: %w", err)
+	}
+	return nil
+}
+
+// Close releases the memory mapping backing a snapshot returned by
+// OpenFile. The snapshot must not be used afterwards. Close is
+// idempotent, and a no-op for snapshots with no mapping (those from
+// Open, Compile or LoadSnapshot).
+func (s *Snapshot) Close() error {
+	return s.snap.Close()
 }
 
 // Compiled reports whether the snapshot runs a packed native path. It
