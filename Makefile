@@ -150,7 +150,7 @@ bench:
 # serving path bumps <n> and commits a fresh point, so the files form a
 # trajectory rather than overwriting history.
 bench-json:
-	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_3.json
+	$(GO) run ./cmd/urllangid-loadgen -duration 10s -out BENCH_4.json
 
 fuzz:
 	$(GO) test ./internal/urlx/ -run NONE -fuzz FuzzParseConsistency -fuzztime 30s

@@ -12,16 +12,20 @@
 // distribution over -hosts domains, and each URL is, with probability
 // -dup, an exact repeat of a recently generated one.
 //
-// With no -target, the tool self-hosts: it trains a small NB/word model
-// (seeded, deterministic), stands up the same registry + handler stack
-// urllangid-serve runs, and drives it over loopback HTTP — one command,
-// no fixtures, suitable for CI. Point -target at a running server to
-// bench a real deployment instead.
+// With no -target, the tool self-hosts: it trains a calibrated NB/word
+// fast tier and an NB/trigram slow tier (seeded, deterministic), composes
+// them into a confidence cascade, stands up the same registry + handler
+// stack urllangid-serve runs, and drives the cascade slot over loopback
+// HTTP — one command, no fixtures, suitable for CI. Point -target at a
+// running server to bench a real deployment instead (-model routes off
+// its default slot).
 //
 // The report records client-side request latency percentiles (measured
 // by the same log-linear histogram the server uses), overall URL
 // throughput, the server's cache hit ratio and scoring latency over the
-// run (scraped from /metrics and /stats before and after), and — when
+// run (scraped from /metrics and the model's stats endpoint before and
+// after), the cascade's escalation rate and per-tier latency
+// percentiles when the benched slot is a cascade, and — when
 // self-hosting — heap allocations per URL across client and server.
 //
 // Example:
@@ -49,6 +53,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"urllangid/internal/calib"
+	"urllangid/internal/cascade"
 	"urllangid/internal/compiled"
 	"urllangid/internal/core"
 	"urllangid/internal/datagen"
@@ -123,14 +129,23 @@ func (g *urlGen) batch(n int) []string {
 }
 
 // serverView is the slice of /stats and /metrics the report keeps.
+// The cascade fields are zero when the benched model is not a cascade
+// slot; against a cascade they come from its /stats cascade block, so
+// every BENCH_*.json from PR 10 on carries the escalation rate and
+// per-tier latency next to the request-level percentiles.
 type serverView struct {
-	URLs          int64   `json:"urls"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	Deduped       int64   `json:"deduped"`
-	CacheHitRatio float64 `json:"cache_hit_ratio"`
-	LatencyP50Us  float64 `json:"latency_p50_us"`
-	LatencyP99Us  float64 `json:"latency_p99_us"`
+	URLs           int64   `json:"urls"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	Deduped        int64   `json:"deduped"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	LatencyP50Us   float64 `json:"latency_p50_us"`
+	LatencyP99Us   float64 `json:"latency_p99_us"`
+	EscalationRate float64 `json:"escalation_rate"`
+	FastP50Us      float64 `json:"fast_p50_us"`
+	FastP99Us      float64 `json:"fast_p99_us"`
+	SlowP50Us      float64 `json:"slow_p50_us"`
+	SlowP99Us      float64 `json:"slow_p99_us"`
 }
 
 type report struct {
@@ -138,6 +153,7 @@ type report struct {
 	GeneratedAt string `json:"generated_at"`
 	Config      struct {
 		Target      string  `json:"target"`
+		Model       string  `json:"model,omitempty"`
 		DurationSec float64 `json:"duration_seconds"`
 		Concurrency int     `json:"concurrency"`
 		Batch       int     `json:"batch"`
@@ -181,7 +197,11 @@ func run(args []string, out io.Writer) error {
 		cleanup = stop
 		target = srv.URL
 		cfg.ModelLoadUs = loadUs
-		fmt.Fprintf(out, "self-hosting NB/word on %s (model load %.1fµs)\n", target, loadUs)
+		// The self-hosted bench drives the cascade slot: the interesting
+		// serving shape from PR 10 on is calibrated-fast-tier p50 with
+		// slow-tier escalations, not a single model.
+		cfg.Config.Model = "cascade"
+		fmt.Fprintf(out, "self-hosting calibrated NB/word → NB/trigram cascade on %s (fast tier load %.1fµs)\n", target, loadUs)
 	}
 	if cleanup != nil {
 		defer cleanup()
@@ -192,9 +212,13 @@ func run(args []string, out io.Writer) error {
 		MaxIdleConnsPerHost: cfg.Config.Concurrency * 2,
 	}}
 
-	before, err := scrape(client, target)
+	before, err := scrape(client, target, cfg.Config.Model)
 	if err != nil {
 		return fmt.Errorf("pre-run scrape of %s: %w", target, err)
+	}
+	classifyURL := target + "/v1/classify"
+	if cfg.Config.Model != "" {
+		classifyURL += "?model=" + cfg.Config.Model
 	}
 
 	// Client-side latency goes through the same histogram type the
@@ -216,7 +240,7 @@ func run(args []string, out io.Writer) error {
 				batch := gen.batch(cfg.Config.Batch)
 				body, _ := json.Marshal(map[string][]string{"urls": batch})
 				t0 := time.Now()
-				resp, err := client.Post(target+"/v1/classify", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(classifyURL, "application/json", bytes.NewReader(body))
 				lat.Observe(int64(time.Since(t0)))
 				requests.Add(1)
 				if err != nil {
@@ -238,7 +262,7 @@ func run(args []string, out io.Writer) error {
 
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
-	after, err := scrape(client, target)
+	after, err := scrape(client, target, cfg.Config.Model)
 	if err != nil {
 		return fmt.Errorf("post-run scrape of %s: %w", target, err)
 	}
@@ -283,6 +307,7 @@ func parseFlags(args []string) (report, string, bool, error) {
 	var rep report
 	fs := flag.NewFlagSet("urllangid-loadgen", flag.ContinueOnError)
 	target := fs.String("target", "", "base URL of a running urllangid-serve (empty: self-host an in-process server)")
+	model := fs.String("model", "", "model name to route requests at (-target mode; empty uses the server default)")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
 	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
 	batch := fs.Int("batch", 64, "URLs per /v1/classify request")
@@ -305,6 +330,7 @@ func parseFlags(args []string) (report, string, bool, error) {
 	}
 	rep.Bench = "urllangid-loadgen"
 	rep.Config.Target = strings.TrimSuffix(*target, "/")
+	rep.Config.Model = *model
 	rep.Config.DurationSec = duration.Seconds()
 	rep.Config.Concurrency = *concurrency
 	rep.Config.Batch = *batch
@@ -315,51 +341,82 @@ func parseFlags(args []string) (report, string, bool, error) {
 	return rep, *outPath, *target == "", nil
 }
 
-// startInProcess trains the headline NB/word model, saves it as a flat
-// v3 snapshot file, and stands up the registry + handler stack
-// urllangid-serve runs, on a loopback listener. Loading the file into
-// the registry is timed — open-to-ready, reported in microseconds — so
-// every benchmark artifact carries the deployment cold-start cost next
-// to the steady-state throughput numbers.
+// startInProcess trains the two-tier serving stack the report benches
+// from PR 10 on: a fast NB/word model calibrated on a held-out split
+// and a slow NB/trigram model (the most accurate single configuration
+// on this corpus), each saved as a flat v3 snapshot file and
+// loaded into the registry + handler stack urllangid-serve runs, with
+// a "cascade" slot composed over them at the default threshold.
+// Loading the fast tier's file is timed — open-to-ready, reported in
+// microseconds — so every benchmark artifact carries the deployment
+// cold-start cost next to the steady-state throughput numbers.
 func startInProcess(seed int64) (srv *httptest.Server, loadUs float64, cleanup func(), err error) {
 	ds := datagen.Generate(datagen.Config{
-		Kind: datagen.ODP, Seed: uint64(seed), TrainPerLang: 800, TestPerLang: 1,
+		Kind: datagen.ODP, Seed: uint64(seed), TrainPerLang: 800, TestPerLang: 200,
 	})
-	sys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: uint64(seed)}, ds.Train)
+	fastSys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Words, Seed: uint64(seed)}, ds.Train)
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("training in-process model: %w", err)
+		return nil, 0, nil, fmt.Errorf("training fast tier: %w", err)
 	}
-	snap := compiled.FromSystem(sys)
+	fastSnap := compiled.FromSystem(fastSys)
+	// ds.Test never fed training, so it is the held-out split the
+	// calibration contract wants (see Snapshot.Calibrate).
+	cal, _, err := calib.FitEval(fastSnap.Scores, ds.Test, 0)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("calibrating fast tier: %w", err)
+	}
+	fastSnap.SetCalibration(cal)
+	slowSys, err := core.Train(core.Config{Algo: core.NaiveBayes, Features: features.Trigrams, Seed: uint64(seed)}, ds.Train)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("training slow tier: %w", err)
+	}
+	slowSnap := compiled.FromSystem(slowSys)
 
 	dir, err := os.MkdirTemp("", "urllangid-loadgen-")
 	if err != nil {
 		return nil, 0, nil, err
 	}
 	rmDir := func() { os.RemoveAll(dir) }
-	path := filepath.Join(dir, "model.snapshot")
-	f, err := os.Create(path)
+	writeSnap := func(name string, snap *compiled.Snapshot) (string, error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		if err := modelfile.WriteSnapshot(f, snap); err != nil {
+			f.Close()
+			return "", fmt.Errorf("writing %s: %w", name, err)
+		}
+		return path, f.Close()
+	}
+	fastPath, err := writeSnap("fast.snapshot", fastSnap)
 	if err != nil {
 		rmDir()
 		return nil, 0, nil, err
 	}
-	if err := modelfile.WriteSnapshot(f, snap); err != nil {
-		f.Close()
-		rmDir()
-		return nil, 0, nil, fmt.Errorf("writing snapshot file: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	slowPath, err := writeSnap("slow.snapshot", slowSnap)
+	if err != nil {
 		rmDir()
 		return nil, 0, nil, err
 	}
 
 	reg := registry.New(registry.Options{Engine: serve.Options{CacheCapacity: 1 << 20}})
-	t0 := time.Now()
-	if _, err := reg.LoadFile("default", path); err != nil {
+	fail := func(err error) (*httptest.Server, float64, func(), error) {
 		reg.Close()
 		rmDir()
-		return nil, 0, nil, fmt.Errorf("loading snapshot file: %w", err)
+		return nil, 0, nil, err
+	}
+	t0 := time.Now()
+	if _, err := reg.LoadFile("fast", fastPath); err != nil {
+		return fail(fmt.Errorf("loading fast snapshot: %w", err))
 	}
 	loadUs = float64(time.Since(t0)) / float64(time.Microsecond)
+	if _, err := reg.LoadFile("slow", slowPath); err != nil {
+		return fail(fmt.Errorf("loading slow snapshot: %w", err))
+	}
+	if _, err := reg.InstallCascade("cascade", "fast", "slow", cascade.Config{}); err != nil {
+		return fail(fmt.Errorf("installing cascade: %w", err))
+	}
 
 	srv = httptest.NewServer(serve.NewHandler(reg, serve.HandlerOptions{}))
 	return srv, loadUs, func() { srv.Close(); reg.Close(); rmDir() }, nil
@@ -367,8 +424,10 @@ func startInProcess(seed int64) (srv *httptest.Server, loadUs float64, cleanup f
 
 // scrape reads the server's per-model counters from /metrics (proving
 // the exposition is machine-consumable end to end) and the latency
-// percentiles from /stats.
-func scrape(client *http.Client, base string) (serverView, error) {
+// percentiles from the benched model's stats endpoint. When the model
+// is a cascade slot its stats carry a cascade block, and the per-tier
+// view lands in the report alongside the request-level percentiles.
+func scrape(client *http.Client, base, model string) (serverView, error) {
 	var v serverView
 	families, err := fetchMetrics(client, base+"/metrics")
 	if err != nil {
@@ -379,7 +438,11 @@ func scrape(client *http.Client, base string) (serverView, error) {
 	v.CacheMisses = int64(sumFamily(families, "urllangid_model_cache_misses_total"))
 	v.Deduped = int64(sumFamily(families, "urllangid_model_deduped_total"))
 
-	resp, err := client.Get(base + "/stats")
+	statsURL := base + "/stats"
+	if model != "" {
+		statsURL = base + "/v1/models/" + model + "/stats"
+	}
+	resp, err := client.Get(statsURL)
 	if err != nil {
 		return v, err
 	}
@@ -387,12 +450,26 @@ func scrape(client *http.Client, base string) (serverView, error) {
 	var stats struct {
 		LatencyP50Us float64 `json:"latency_p50_us"`
 		LatencyP99Us float64 `json:"latency_p99_us"`
+		Cascade      *struct {
+			EscalationRate float64 `json:"escalation_rate"`
+			FastP50Us      float64 `json:"fast_p50_us"`
+			FastP99Us      float64 `json:"fast_p99_us"`
+			SlowP50Us      float64 `json:"slow_p50_us"`
+			SlowP99Us      float64 `json:"slow_p99_us"`
+		} `json:"cascade"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return v, fmt.Errorf("decoding /stats: %w", err)
+		return v, fmt.Errorf("decoding %s: %w", statsURL, err)
 	}
 	v.LatencyP50Us = stats.LatencyP50Us
 	v.LatencyP99Us = stats.LatencyP99Us
+	if c := stats.Cascade; c != nil {
+		v.EscalationRate = c.EscalationRate
+		v.FastP50Us = c.FastP50Us
+		v.FastP99Us = c.FastP99Us
+		v.SlowP50Us = c.SlowP50Us
+		v.SlowP99Us = c.SlowP99Us
+	}
 	return v, nil
 }
 
@@ -452,12 +529,17 @@ func sumFamily(samples map[string]float64, name string) float64 {
 // against a fresh or dedicated server is the run itself).
 func delta(before, after serverView) serverView {
 	d := serverView{
-		URLs:         after.URLs - before.URLs,
-		CacheHits:    after.CacheHits - before.CacheHits,
-		CacheMisses:  after.CacheMisses - before.CacheMisses,
-		Deduped:      after.Deduped - before.Deduped,
-		LatencyP50Us: after.LatencyP50Us,
-		LatencyP99Us: after.LatencyP99Us,
+		URLs:           after.URLs - before.URLs,
+		CacheHits:      after.CacheHits - before.CacheHits,
+		CacheMisses:    after.CacheMisses - before.CacheMisses,
+		Deduped:        after.Deduped - before.Deduped,
+		LatencyP50Us:   after.LatencyP50Us,
+		LatencyP99Us:   after.LatencyP99Us,
+		EscalationRate: after.EscalationRate,
+		FastP50Us:      after.FastP50Us,
+		FastP99Us:      after.FastP99Us,
+		SlowP50Us:      after.SlowP50Us,
+		SlowP99Us:      after.SlowP99Us,
 	}
 	if d.URLs > 0 {
 		d.CacheHitRatio = float64(d.CacheHits) / float64(d.URLs)

@@ -36,7 +36,13 @@
 //
 // -model is repeatable and takes name=path (a bare path uses the file's
 // base name, so "-model nb.snapshot" serves as "nb"); the first -model
-// is the default route. Redeploying a model is atomic and drops no
+// is the default route. -cascade name=fast,slow[,threshold] serves a
+// two-tier confidence cascade over two -model slots: the fast tier
+// answers every URL and low-confidence or confusable answers are
+// re-scored by the slow tier (see the urllangid.Registry.InstallCascade
+// docs). Cascade tiers resolve by name per request, so reloading a tier
+// file retargets its cascades immediately, and /v1/models/{name}/stats
+// on a cascade reports escalation rate and per-tier latency. Redeploying a model is atomic and drops no
 // traffic: overwrite its file, then either POST its reload endpoint or
 // send the process SIGHUP to reload every model whose file changed —
 // in-flight requests finish on the old model while new ones route to
@@ -71,10 +77,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"urllangid/internal/calib"
+	"urllangid/internal/cascade"
 	"urllangid/internal/registry"
 	"urllangid/internal/serve"
 )
@@ -89,6 +98,52 @@ func main() {
 // modelArg is one parsed -model flag.
 type modelArg struct {
 	name, path string
+}
+
+// cascadeArg is one parsed -cascade flag.
+type cascadeArg struct {
+	name, fast, slow string
+	threshold        float64
+}
+
+// parseCascadeArg splits a -cascade value: "name=fast,slow" or
+// "name=fast,slow,threshold". The tier names must match -model slots;
+// the threshold is the escalation cut (0 or omitted selects the
+// default, 0.9).
+func parseCascadeArg(v string) (cascadeArg, error) {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return cascadeArg{}, fmt.Errorf("-cascade %q: want name=fast,slow[,threshold]", v)
+	}
+	name = strings.TrimSpace(name)
+	parts := strings.Split(spec, ",")
+	if name == "" || len(parts) < 2 || len(parts) > 3 {
+		return cascadeArg{}, fmt.Errorf("-cascade %q: want name=fast,slow[,threshold]", v)
+	}
+	c := cascadeArg{name: name, fast: strings.TrimSpace(parts[0]), slow: strings.TrimSpace(parts[1])}
+	if c.fast == "" || c.slow == "" {
+		return cascadeArg{}, fmt.Errorf("-cascade %q: want name=fast,slow[,threshold]", v)
+	}
+	if len(parts) == 3 {
+		th, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || th < 0 || th > 1 {
+			return cascadeArg{}, fmt.Errorf("-cascade %q: threshold must be a number in [0, 1]", v)
+		}
+		c.threshold = th
+	}
+	if strings.ContainsAny(c.name, "/?#%") {
+		return cascadeArg{}, fmt.Errorf("-cascade name %q: names route in URLs and cannot contain '/', '?', '#' or '%%'", c.name)
+	}
+	return c, nil
+}
+
+// thresholdOrDefault reports the effective escalation cut for logging:
+// 0 means the flag omitted it and the cascade default applies.
+func (c cascadeArg) thresholdOrDefault() float64 {
+	if c.threshold <= 0 {
+		return calib.DefaultThreshold
+	}
+	return c.threshold
 }
 
 // parseModelArg splits a -model value: "name=path", or a bare path
@@ -133,6 +188,15 @@ func run(args []string, out io.Writer) error {
 		models = append(models, m)
 		return nil
 	})
+	var cascades []cascadeArg
+	fs.Func("cascade", "two-tier cascade to serve, as name=fast,slow[,threshold] over -model slot names (repeatable)", func(v string) error {
+		c, err := parseCascadeArg(v)
+		if err != nil {
+			return err
+		}
+		cascades = append(cascades, c)
+		return nil
+	})
 	snapPath := fs.String("snapshot", "", "single model file to serve as \"default\" (kept for pre-registry scripts; prefer -model)")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "batch worker count per model (0 = GOMAXPROCS)")
@@ -160,6 +224,12 @@ func run(args []string, out io.Writer) error {
 		}
 		seen[m.name] = m.path
 	}
+	for _, c := range cascades {
+		if prev, dup := seen[c.name]; dup {
+			return fmt.Errorf("cascade name %q collides with model %s", c.name, prev)
+		}
+		seen[c.name] = "(cascade)"
+	}
 
 	reg := registry.New(registry.Options{Engine: serve.Options{
 		Workers:       *workers,
@@ -174,6 +244,13 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "loaded %s: %s (%s snapshot, version %d, digest %.12s) from %s\n",
 			info.Name, info.Model, info.Mode, info.Version, info.Digest, info.Path)
+	}
+	for _, c := range cascades {
+		info, err := reg.InstallCascade(c.name, c.fast, c.slow, cascade.Config{Threshold: c.threshold})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "installed %s: %s (threshold %.2f)\n", info.Name, info.Model, c.thresholdOrDefault())
 	}
 	handler := serve.NewHandler(reg, serve.HandlerOptions{
 		MaxBatch: *maxBatch,

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"urllangid"
+	"urllangid/internal/cascade"
 	"urllangid/internal/datagen"
 	"urllangid/internal/registry"
 	"urllangid/internal/serve"
@@ -481,5 +482,139 @@ func TestDebugHandler(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
 		}
+	}
+}
+
+func TestParseCascadeArg(t *testing.T) {
+	good := []struct {
+		in   string
+		want cascadeArg
+	}{
+		{"casc=fast,slow", cascadeArg{name: "casc", fast: "fast", slow: "slow"}},
+		{"casc=fast, slow, 0.8", cascadeArg{name: "casc", fast: "fast", slow: "slow", threshold: 0.8}},
+	}
+	for _, tc := range good {
+		got, err := parseCascadeArg(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseCascadeArg(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"", "casc", "casc=fast", "casc=fast,slow,oops", "casc=fast,slow,1.5",
+		"casc=,slow", "casc=fast,", "=fast,slow", "a/b=fast,slow", "casc=fast,slow,0.5,extra",
+	} {
+		if _, err := parseCascadeArg(bad); err == nil {
+			t.Errorf("parseCascadeArg(%q) accepted", bad)
+		}
+	}
+	if got := (cascadeArg{}).thresholdOrDefault(); got != 0.9 {
+		t.Errorf("default threshold = %v, want 0.9", got)
+	}
+	if got := (cascadeArg{threshold: 0.5}).thresholdOrDefault(); got != 0.5 {
+		t.Errorf("explicit threshold = %v, want 0.5", got)
+	}
+}
+
+// TestCascadeOverHTTP serves a cascade slot next to its tiers and pins
+// the serving surface: classification routes through it, its stats
+// carry the per-tier block, and /metrics exposes the tier families.
+func TestCascadeOverHTTP(t *testing.T) {
+	snapA, _ := writeModelFiles(t, 17)
+	snapB, _ := writeModelFiles(t, 23)
+	srv, reg := newRegistryServer(t,
+		modelArg{name: "fast", path: snapA},
+		modelArg{name: "slow", path: snapB},
+	)
+	if _, err := reg.InstallCascade("casc", "fast", "slow", cascade.Config{Threshold: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/classify?model=casc", "application/json",
+		strings.NewReader(`{"urls": ["http://www.wetter-bericht.de/heute", "http://www.example.com/x"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Model   string `json:"model"`
+		Results []struct {
+			Languages []string `json:"languages"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Model != "cascade(fast→slow)" || len(body.Results) != 2 {
+		t.Fatalf("cascade classify response: %+v", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/models/casc/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cascade *struct {
+			FastServed     int64   `json:"fast_served"`
+			Escalations    int64   `json:"escalations"`
+			EscalationRate float64 `json:"escalation_rate"`
+		} `json:"cascade"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cascade == nil {
+		t.Fatal("cascade stats block missing")
+	}
+	if got := stats.Cascade.FastServed + stats.Cascade.Escalations; got != 2 {
+		t.Errorf("cascade tier decisions = %d, want 2", got)
+	}
+
+	// Tier stats stay absent from a plain model's response.
+	resp, err = http.Get(srv.URL + "/v1/models/fast/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := plain["cascade"]; ok {
+		t.Error("plain model stats grew a cascade block")
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`urllangid_model_fast_served_total{model="casc"}`,
+		`urllangid_model_escalations_total{model="casc"}`,
+		`urllangid_model_tier_latency_seconds_count{model="casc",tier="fast"}`,
+		`urllangid_model_tier_latency_seconds_count{model="casc",tier="slow"}`,
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunRejectsBadCascades pins the -cascade startup failures: they
+// surface before the listener binds, so a typo cannot boot a server
+// with a dead slot.
+func TestRunRejectsBadCascades(t *testing.T) {
+	snapPath, _ := writeModelFiles(t, 17)
+	var out bytes.Buffer
+	if err := run([]string{"-model", "nb=" + snapPath, "-cascade", "casc=nb,missing"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "casc") {
+		t.Errorf("run accepted a cascade over an unknown tier: %v", err)
+	}
+	if err := run([]string{"-model", "nb=" + snapPath, "-cascade", "nb=nb,nb"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "collides") {
+		t.Errorf("run accepted a cascade colliding with a model name: %v", err)
 	}
 }

@@ -249,6 +249,8 @@ func cmdCompile(args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
 	modelPath := fs.String("model", "urllangid.model", "input model file (from train)")
 	out := fs.String("out", "urllangid.snapshot", "output snapshot file")
+	calibrate := fs.String("calibrate", "", "held-out labeled TSV; fit a margin→probability calibration into the snapshot for cascade serving")
+	threshold := fs.Float64("threshold", 0, "escalation threshold recorded with the calibration (0 selects the default, 0.9)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -257,6 +259,20 @@ func cmdCompile(args []string) error {
 		return err
 	}
 	snap := clf.Compile()
+	if *calibrate != "" {
+		heldOut, err := readTSV(*calibrate)
+		if err != nil {
+			return err
+		}
+		ci, err := snap.Calibrate(heldOut, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated on %d held-out samples: top-1 accuracy %.3f, %d blocks over margins [%.3f, %.3f], threshold %.2f\n",
+			ci.Samples, ci.Accuracy, ci.Points, ci.MinMargin, ci.MaxMargin, ci.Threshold)
+	} else if *threshold != 0 {
+		return fmt.Errorf("compile: -threshold needs -calibrate")
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -438,6 +454,53 @@ type inspectOut struct {
 	Path string `json:"path"`
 	Kind string `json:"kind"`
 	*modelfile.Info
+	Cascade *cascadeInfo `json:"cascade,omitempty"`
+}
+
+// cascadeInfo describes the snapshot's calibration section — the
+// cascade-serving confidence layer. Present only for v3 files compiled
+// with -calibrate; older files simply lack the section and serve
+// uncalibrated.
+type cascadeInfo struct {
+	Points    int     `json:"points"`
+	Threshold float64 `json:"threshold"`
+	MinMargin float64 `json:"min_margin"`
+	MaxMargin float64 `json:"max_margin"`
+}
+
+// readCascadeInfo decodes the calibration section when the directory
+// lists one. It opens the model payload, which InspectFile alone
+// deliberately avoids — callers gate it on the section's presence.
+func readCascadeInfo(path string, info *modelfile.Info) (*cascadeInfo, error) {
+	present := false
+	for _, s := range info.Sections {
+		if s.Name == "calib" {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return nil, nil
+	}
+	om, err := modelfile.OpenPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if om.Snap == nil {
+		return nil, nil
+	}
+	defer om.Snap.Close()
+	c := om.Snap.Calibration()
+	if c == nil {
+		return nil, nil
+	}
+	lo, hi := c.Range()
+	return &cascadeInfo{
+		Points:    c.Len(),
+		Threshold: c.Threshold(),
+		MinMargin: lo,
+		MaxMargin: hi,
+	}, nil
 }
 
 func cmdInspect(args []string) error {
@@ -456,8 +519,12 @@ func cmdInspect(args []string) error {
 	if err != nil {
 		return fmt.Errorf("inspect %s: %w", path, err)
 	}
+	casc, err := readCascadeInfo(path, info)
+	if err != nil {
+		return fmt.Errorf("inspect %s: %w", path, err)
+	}
 	if *asJSON {
-		out := inspectOut{Path: path, Kind: modelfile.KindName(info.Kind), Info: info}
+		out := inspectOut{Path: path, Kind: modelfile.KindName(info.Kind), Info: info, Cascade: casc}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -487,6 +554,12 @@ func cmdInspect(args []string) error {
 				fmt.Printf("  %-12s %-4s off=%-8d len=%-8d sha256=%s\n",
 					s.Name, lang, s.Off, s.Len, s.Digest)
 			}
+		}
+		if casc != nil {
+			fmt.Printf("cascade:\n")
+			fmt.Printf("  calibration: %d blocks over margins [%.3f, %.3f]\n",
+				casc.Points, casc.MinMargin, casc.MaxMargin)
+			fmt.Printf("  threshold:   %.2f\n", casc.Threshold)
 		}
 	}
 

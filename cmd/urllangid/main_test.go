@@ -316,3 +316,151 @@ func TestCmdInspectCorrupt(t *testing.T) {
 		t.Error("inspect -verify accepted a corrupt payload")
 	}
 }
+
+// calibCorpus writes a train and a held-out TSV into dir and returns
+// their paths. The split keeps the calibration fit on data the model
+// never saw, as the compile -calibrate contract requires.
+func calibCorpus(t *testing.T, dir string) (train, heldOut string) {
+	t.Helper()
+	mk := func(name string, lo, hi int) string {
+		samples := make([]langid.Sample, 0, (hi-lo)*5)
+		for i := lo; i < hi; i++ {
+			samples = append(samples,
+				langid.Sample{URL: fmt.Sprintf("http://www.wetter-seite%d.de/bericht%d", i, i), Lang: langid.German},
+				langid.Sample{URL: fmt.Sprintf("http://www.recherche%d.fr/produit%d", i, i), Lang: langid.French},
+				langid.Sample{URL: fmt.Sprintf("http://www.weather%d.com/report%d", i, i), Lang: langid.English},
+				langid.Sample{URL: fmt.Sprintf("http://www.tienda%d.es/oferta%d", i, i), Lang: langid.Spanish},
+				langid.Sample{URL: fmt.Sprintf("http://www.notizie%d.it/calcio%d", i, i), Lang: langid.Italian},
+			)
+		}
+		path := filepath.Join(dir, name)
+		if err := writeTSV(path, samples); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return mk("train.tsv", 0, 80), mk("heldout.tsv", 80, 120)
+}
+
+// TestCmdCompileCalibrate pins the -calibrate path end to end: the
+// held-out TSV fits a calibration into the snapshot, the report line
+// summarises the fit, and inspect grows a cascade stanza in both text
+// and JSON form.
+func TestCmdCompileCalibrate(t *testing.T) {
+	dir := t.TempDir()
+	trainTSV, heldOut := calibCorpus(t, dir)
+	model := filepath.Join(dir, "m.model")
+	if err := cmdTrain([]string{"-in", trainTSV, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+
+	snapPath := filepath.Join(dir, "cal.snapshot")
+	if err := cmdCompile([]string{"-model", model, "-out", snapPath, "-threshold", "0.85"}); err == nil {
+		t.Error("compile accepted -threshold without -calibrate")
+	}
+	out, err := captureStdout(t, func() error {
+		return cmdCompile([]string{"-model", model, "-out", snapPath, "-calibrate", heldOut, "-threshold", "0.85"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "calibrated on 200 held-out samples") {
+		t.Errorf("compile -calibrate report missing fit summary:\n%s", out)
+	}
+	if err := cmdCompile([]string{"-model", model, "-out", snapPath, "-calibrate", filepath.Join(dir, "missing.tsv")}); err == nil {
+		t.Error("compile accepted a missing calibration TSV")
+	}
+
+	out, err = captureStdout(t, func() error { return cmdInspect([]string{snapPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"calib", "cascade:", "calibration:", "threshold:   0.85"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = captureStdout(t, func() error { return cmdInspect([]string{"-json", snapPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Cascade *struct {
+			Points    int     `json:"points"`
+			Threshold float64 `json:"threshold"`
+			MinMargin float64 `json:"min_margin"`
+			MaxMargin float64 `json:"max_margin"`
+		} `json:"cascade"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("inspect -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if report.Cascade == nil {
+		t.Fatalf("inspect -json has no cascade stanza:\n%s", out)
+	}
+	if report.Cascade.Points < 1 || report.Cascade.Threshold != 0.85 || report.Cascade.MinMargin > report.Cascade.MaxMargin {
+		t.Errorf("inspect -json cascade = %+v", *report.Cascade)
+	}
+
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := urllangid.LoadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := snap.Calibration()
+	if !ok || ci.Threshold != 0.85 {
+		t.Errorf("loaded snapshot calibration = %+v, %v", ci, ok)
+	}
+}
+
+// TestCmdInspectUncalibrated pins backward compatibility: a v3 file
+// compiled without -calibrate simply lacks the calib section — it keeps
+// loading and classifying, and inspect shows no cascade stanza.
+func TestCmdInspectUncalibrated(t *testing.T) {
+	dir := t.TempDir()
+	trainTSV, _ := calibCorpus(t, dir)
+	model := filepath.Join(dir, "m.model")
+	if err := cmdTrain([]string{"-in", trainTSV, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "plain.snapshot")
+	if err := cmdCompile([]string{"-model", model, "-out", snapPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error { return cmdInspect([]string{snapPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "cascade:") {
+		t.Errorf("uncalibrated snapshot grew a cascade stanza:\n%s", out)
+	}
+	out, err = captureStdout(t, func() error { return cmdInspect([]string{"-json", snapPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `"cascade"`) {
+		t.Errorf("uncalibrated -json report has a cascade key:\n%s", out)
+	}
+
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := urllangid.LoadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Calibration(); ok {
+		t.Error("uncalibrated snapshot reports a calibration")
+	}
+	if got, _, ok := snap.Classify("http://www.wetter-bericht.de/heute").Best(); !ok || got != urllangid.German {
+		t.Errorf("uncalibrated snapshot Classify = %v, %v", got, ok)
+	}
+}

@@ -165,3 +165,76 @@ func deferredClosure(r *Reg) int {
 	defer func() { l.Release() }()
 	return l.Engine().n
 }
+
+// twoTier is the cascade serving shape: the fast tier's pin is held
+// across the slow tier's acquire, and both are released on every path —
+// including the escalation-error path, where the fast answer stands.
+func twoTier(r *Reg, escalate bool) int {
+	fast, err := r.Acquire("fast")
+	if err != nil {
+		return 0
+	}
+	if !escalate {
+		n := fast.Engine().n
+		fast.Release()
+		return n
+	}
+	slow, err := r.Acquire("slow")
+	if err != nil {
+		n := fast.Engine().n
+		fast.Release()
+		return n
+	}
+	n := slow.Engine().n
+	slow.Release()
+	fast.Release()
+	return n
+}
+
+// twoTierLeak leaks the fast pin on the escalation path: the slow
+// answer returns while the fast tier is still pinned.
+func twoTierLeak(r *Reg, escalate bool) int {
+	fast, err := r.Acquire("fast")
+	if err != nil {
+		return 0
+	}
+	if !escalate {
+		n := fast.Engine().n
+		fast.Release()
+		return n
+	}
+	slow, err := r.Acquire("slow")
+	if err != nil {
+		return 0 // the fast pin leaks here too; the analyzer reports once per lease
+	}
+	defer slow.Release()
+	return slow.Engine().n // want "may not be released on this return path"
+}
+
+// twoTierErrLeak releases the fast pin on both answer paths but drops
+// the slow pin when the escalated classification itself fails.
+func twoTierErrLeak(r *Reg, escalate, bad bool) (int, error) {
+	fast, err := r.Acquire("fast")
+	if err != nil {
+		return 0, err
+	}
+	if !escalate {
+		n := fast.Engine().n
+		fast.Release()
+		return n, nil
+	}
+	slow, err := r.Acquire("slow")
+	if err != nil {
+		n := fast.Engine().n
+		fast.Release()
+		return n, nil
+	}
+	if bad {
+		fast.Release()
+		return 0, errors.New("escalation failed") // want "may not be released on this return path"
+	}
+	n := slow.Engine().n
+	slow.Release()
+	fast.Release()
+	return n, nil
+}

@@ -1,0 +1,289 @@
+// Package calib fits and applies monotone score-margin → probability
+// calibrations: the confidence layer behind cascade escalation.
+//
+// A classifier's raw decision scores order hypotheses but say nothing
+// absolute — a margin of 3.0 between the top two languages means very
+// different things for Naive Bayes log-odds and a decision tree's leaf
+// scores (langid.Prediction documents that scores are not comparable
+// across algorithms). The cascade needs one comparable question
+// answered: "with this margin, how often is the top-1 answer right?".
+// That mapping is estimated on held-out data by isotonic regression
+// (pool-adjacent-violators): sort the (margin, top-1 correct) pairs by
+// margin, then merge adjacent blocks until the block means are
+// non-decreasing. The result is the least-squares monotone fit — higher
+// margin never maps to lower probability, by construction — and it is
+// piecewise linear between block centers, so Prob is one binary search
+// plus an interpolation: allocation-free and branch-cheap enough for
+// the serving hot path.
+//
+// A calibration serialises into a v3 flat container section
+// (flat.SecCalib); the encoding is versioned little-endian plain
+// arrays, so zero-copy open holds and files written before calibration
+// existed simply lack the section and load uncalibrated.
+package calib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"urllangid/internal/evalx"
+	"urllangid/internal/langid"
+)
+
+// DefaultThreshold is the escalation threshold recorded when a fit is
+// not given an explicit one: escalate unless the fast tier is at least
+// 90% likely to be right.
+const DefaultThreshold = 0.9
+
+// Point is one held-out observation: the score margin the classifier
+// reported and whether its top-1 answer was correct.
+type Point struct {
+	Margin  float64
+	Correct bool
+}
+
+// Calibration is a fitted monotone margin → probability mapping.
+// Immutable after Fit/Decode and safe for concurrent use.
+type Calibration struct {
+	// margins are the strictly ascending block centers; probs the
+	// matching non-decreasing correctness rates. Queries interpolate
+	// linearly between neighbours and clamp at the ends.
+	margins []float64
+	probs   []float64
+	// threshold is the suggested escalation cut recorded at fit time,
+	// carried with the calibration so a serving flag can omit it.
+	threshold float64
+}
+
+// Fit runs pool-adjacent-violators over the observations and returns
+// the monotone calibration. threshold <= 0 records DefaultThreshold.
+// At least one point is required.
+func Fit(points []Point, threshold float64) (*Calibration, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("calib: no calibration points")
+	}
+	for _, p := range points {
+		if math.IsNaN(p.Margin) || math.IsInf(p.Margin, 0) {
+			return nil, fmt.Errorf("calib: non-finite margin %v", p.Margin)
+		}
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold > 1 {
+		threshold = 1
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Margin < sorted[j].Margin })
+
+	// PAV: blocks carry (sum of correctness, weight, sum of margins);
+	// merging keeps the running means non-decreasing.
+	type block struct {
+		val    float64 // Σ correct
+		weight float64 // point count
+		margin float64 // Σ margin
+	}
+	blocks := make([]block, 0, len(sorted))
+	for _, p := range sorted {
+		b := block{weight: 1, margin: p.Margin}
+		if p.Correct {
+			b.val = 1
+		}
+		blocks = append(blocks, b)
+		for len(blocks) > 1 {
+			last, prev := blocks[len(blocks)-1], blocks[len(blocks)-2]
+			if prev.val*last.weight <= last.val*prev.weight { // prev mean <= last mean
+				break
+			}
+			blocks = blocks[:len(blocks)-1]
+			blocks[len(blocks)-1] = block{
+				val:    prev.val + last.val,
+				weight: prev.weight + last.weight,
+				margin: prev.margin + last.margin,
+			}
+		}
+	}
+
+	c := &Calibration{threshold: threshold}
+	for _, b := range blocks {
+		m, p := b.margin/b.weight, b.val/b.weight
+		// Duplicate margins can leave adjacent blocks with one center;
+		// keep the later (higher-probability) one so margins stay
+		// strictly ascending for interpolation.
+		if n := len(c.margins); n > 0 && c.margins[n-1] >= m {
+			c.probs[n-1] = p
+			continue
+		}
+		c.margins = append(c.margins, m)
+		c.probs = append(c.probs, p)
+	}
+	return c, nil
+}
+
+// Prob maps a score margin to the estimated probability that the
+// calibrated classifier's top-1 answer is correct. It is monotone
+// non-decreasing in margin: below the first block it clamps to the
+// first probability, above the last block to the last, and between
+// blocks it interpolates linearly.
+//
+//urllangid:hotpath
+func (c *Calibration) Prob(margin float64) float64 {
+	if margin <= c.margins[0] {
+		return c.probs[0]
+	}
+	last := len(c.margins) - 1
+	if margin >= c.margins[last] {
+		return c.probs[last]
+	}
+	// Binary search for the first block center > margin.
+	lo, hi := 0, last
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if c.margins[mid] <= margin {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (margin - c.margins[lo]) / (c.margins[hi] - c.margins[lo])
+	return c.probs[lo] + t*(c.probs[hi]-c.probs[lo])
+}
+
+// Threshold returns the suggested escalation threshold recorded at fit
+// time.
+func (c *Calibration) Threshold() float64 { return c.threshold }
+
+// Len returns the number of isotonic blocks in the fit.
+func (c *Calibration) Len() int { return len(c.margins) }
+
+// Range returns the margin span the fit observed (the first and last
+// block centers); queries outside it clamp.
+func (c *Calibration) Range() (lo, hi float64) {
+	return c.margins[0], c.margins[len(c.margins)-1]
+}
+
+// Report summarises the held-out split a calibration was fitted on, in
+// the evalx vocabulary: per-language binary decision counts plus the
+// top-1 tally the calibration itself is built from.
+type Report struct {
+	// PerLang holds each binary classifier's counts on the split.
+	PerLang [langid.NumLanguages]evalx.Counts
+	// Samples and Correct tally the top-1 decision the margin ranks.
+	Samples int
+	Correct int
+}
+
+// Accuracy returns the top-1 accuracy on the held-out split.
+func (r Report) Accuracy() float64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Samples)
+}
+
+// FitEval scores every held-out sample, tallies decision quality
+// through evalx, and fits the calibration on the (margin, top-1
+// correct) points. This is the one fitting entry point the compile
+// pipeline and tests share.
+func FitEval(score func(url string) [langid.NumLanguages]float64, samples []langid.Sample, threshold float64) (*Calibration, Report, error) {
+	var rep Report
+	if len(samples) == 0 {
+		return nil, rep, fmt.Errorf("calib: no held-out samples")
+	}
+	points := make([]Point, 0, len(samples))
+	for _, s := range samples {
+		scores := score(s.URL)
+		best, _, _ := langid.BestFromScores(scores)
+		correct := best == s.Lang
+		points = append(points, Point{Margin: langid.MarginFromScores(scores), Correct: correct})
+		rep.Samples++
+		if correct {
+			rep.Correct++
+		}
+		for li := 0; li < langid.NumLanguages; li++ {
+			rep.PerLang[li].Observe(s.Lang == langid.Language(li), scores[li] >= 0)
+		}
+	}
+	c, err := Fit(points, threshold)
+	if err != nil {
+		return nil, rep, err
+	}
+	return c, rep, nil
+}
+
+// Wire encoding: version marker, block count, threshold, then the
+// margin and probability arrays — all little-endian, fixed layout, so
+// the section can be validated with shape checks alone.
+const (
+	encVersion    = 1
+	encHeaderSize = 4 + 4 + 8 // version u32, count u32, threshold f64
+)
+
+// Encode serialises the calibration for the flat container's
+// calibration section.
+func (c *Calibration) Encode() []byte {
+	n := len(c.margins)
+	out := make([]byte, encHeaderSize+16*n)
+	binary.LittleEndian.PutUint32(out[0:4], encVersion)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(n))
+	binary.LittleEndian.PutUint64(out[8:16], math.Float64bits(c.threshold))
+	for i, m := range c.margins {
+		binary.LittleEndian.PutUint64(out[encHeaderSize+8*i:], math.Float64bits(m))
+	}
+	off := encHeaderSize + 8*n
+	for i, p := range c.probs {
+		binary.LittleEndian.PutUint64(out[off+8*i:], math.Float64bits(p))
+	}
+	return out
+}
+
+// Decode parses an encoded calibration, re-validating every invariant
+// Prob relies on — ascending margins, probabilities in [0,1] and
+// non-decreasing — so a tampered section cannot smuggle in a
+// non-monotone mapping.
+func Decode(b []byte) (*Calibration, error) {
+	if len(b) < encHeaderSize {
+		return nil, fmt.Errorf("calib: encoded calibration is %d bytes, shorter than the %d-byte header", len(b), encHeaderSize)
+	}
+	if v := binary.LittleEndian.Uint32(b[0:4]); v != encVersion {
+		return nil, fmt.Errorf("calib: encoding version %d, want %d", v, encVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:8]))
+	if n == 0 {
+		return nil, fmt.Errorf("calib: encoded calibration has no blocks")
+	}
+	if want := encHeaderSize + 16*n; len(b) != want {
+		return nil, fmt.Errorf("calib: encoded calibration is %d bytes, %d blocks need %d", len(b), n, want)
+	}
+	c := &Calibration{
+		margins:   make([]float64, n),
+		probs:     make([]float64, n),
+		threshold: math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	if math.IsNaN(c.threshold) || c.threshold < 0 || c.threshold > 1 {
+		return nil, fmt.Errorf("calib: threshold %v outside [0, 1]", c.threshold)
+	}
+	for i := range c.margins {
+		c.margins[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[encHeaderSize+8*i:]))
+		if math.IsNaN(c.margins[i]) || math.IsInf(c.margins[i], 0) {
+			return nil, fmt.Errorf("calib: block %d margin is not finite", i)
+		}
+		if i > 0 && c.margins[i] <= c.margins[i-1] {
+			return nil, fmt.Errorf("calib: block margins not ascending at %d", i)
+		}
+	}
+	off := encHeaderSize + 8*n
+	for i := range c.probs {
+		c.probs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off+8*i:]))
+		if math.IsNaN(c.probs[i]) || c.probs[i] < 0 || c.probs[i] > 1 {
+			return nil, fmt.Errorf("calib: block %d probability %v outside [0, 1]", i, c.probs[i])
+		}
+		if i > 0 && c.probs[i] < c.probs[i-1] {
+			return nil, fmt.Errorf("calib: block probabilities decrease at %d", i)
+		}
+	}
+	return c, nil
+}

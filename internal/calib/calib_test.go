@@ -1,0 +1,261 @@
+package calib
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"urllangid/internal/langid"
+)
+
+// TestProbMonotoneProperty is the property test behind the cascade's
+// core promise: whatever data the calibration was fitted on, a higher
+// margin never maps to a lower probability.
+func TestProbMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		points := make([]Point, n)
+		for i := range points {
+			m := rng.NormFloat64() * 5
+			if rng.Intn(4) == 0 {
+				// Inject duplicates so equal-margin pooling is exercised.
+				m = float64(rng.Intn(3))
+			}
+			// Correctness correlates loosely with margin, with noise, so
+			// PAV has real violators to pool.
+			points[i] = Point{Margin: m, Correct: rng.NormFloat64()+m > 0}
+		}
+		c, err := Fit(points, 0)
+		if err != nil {
+			t.Fatalf("trial %d: Fit: %v", trial, err)
+		}
+		lo, hi := c.Range()
+		prev := math.Inf(-1)
+		for step := 0; step <= 500; step++ {
+			m := (lo - 1) + (hi-lo+2)*float64(step)/500
+			p := c.Prob(m)
+			if p < 0 || p > 1 {
+				t.Fatalf("trial %d: Prob(%v) = %v outside [0,1]", trial, m, p)
+			}
+			if p < prev {
+				t.Fatalf("trial %d: Prob decreases: Prob(%v) = %v < %v", trial, m, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+// TestFitPoolsViolators pins the PAV mechanics on a hand-checkable
+// case: a correct low-margin point followed by an incorrect
+// higher-margin point must pool into one block at the mean.
+func TestFitPoolsViolators(t *testing.T) {
+	c, err := Fit([]Point{
+		{Margin: 1, Correct: true},
+		{Margin: 2, Correct: false},
+		{Margin: 3, Correct: true},
+		{Margin: 4, Correct: true},
+	}, 0.8)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 blocks (1,2 pooled; 3 and 4 unpooled)", c.Len())
+	}
+	if got := c.Prob(1.5); got != 0.5 {
+		t.Fatalf("Prob(1.5) = %v, want 0.5 (pooled block)", got)
+	}
+	if got := c.Prob(10); got != 1 {
+		t.Fatalf("Prob(10) = %v, want clamp to 1", got)
+	}
+	if got := c.Prob(-10); got != 0.5 {
+		t.Fatalf("Prob(-10) = %v, want clamp to first block 0.5", got)
+	}
+	if got := c.Threshold(); got != 0.8 {
+		t.Fatalf("Threshold = %v, want 0.8", got)
+	}
+}
+
+func TestFitDefaultsThreshold(t *testing.T) {
+	c, err := Fit([]Point{{Margin: 1, Correct: true}}, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if c.Threshold() != DefaultThreshold {
+		t.Fatalf("Threshold = %v, want DefaultThreshold", c.Threshold())
+	}
+}
+
+func TestFitRejects(t *testing.T) {
+	if _, err := Fit(nil, 0); err == nil {
+		t.Fatal("Fit(nil) should fail")
+	}
+	if _, err := Fit([]Point{{Margin: math.NaN()}}, 0); err == nil {
+		t.Fatal("Fit with NaN margin should fail")
+	}
+	if _, err := Fit([]Point{{Margin: math.Inf(1)}}, 0); err == nil {
+		t.Fatal("Fit with infinite margin should fail")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	points := make([]Point, 300)
+	for i := range points {
+		m := rng.NormFloat64() * 3
+		points[i] = Point{Margin: m, Correct: rng.NormFloat64()+m > 0}
+	}
+	c, err := Fit(points, 0.75)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Threshold() != c.Threshold() || got.Len() != c.Len() {
+		t.Fatalf("roundtrip changed shape: %v/%d vs %v/%d",
+			got.Threshold(), got.Len(), c.Threshold(), c.Len())
+	}
+	lo, hi := c.Range()
+	for step := 0; step <= 200; step++ {
+		m := (lo - 1) + (hi-lo+2)*float64(step)/200
+		if a, b := c.Prob(m), got.Prob(m); a != b {
+			t.Fatalf("roundtrip changed Prob(%v): %v vs %v", m, a, b)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	c, err := Fit([]Point{
+		{Margin: 0, Correct: false},
+		{Margin: 1, Correct: true},
+		{Margin: 2, Correct: true},
+	}, 0.9)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	good := c.Encode()
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"truncated header": good[:8],
+		"truncated body":   good[:len(good)-1],
+		"bad version":      mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[0:4], 9) }),
+		"zero blocks":      mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 0) }),
+		"count overclaims": mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 100) }),
+		"NaN threshold": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(math.NaN()))
+		}),
+		"threshold above one": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(1.5))
+		}),
+		"margins not ascending": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[encHeaderSize:], math.Float64bits(99))
+		}),
+		"probability above one": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[len(b)-8:], math.Float64bits(2))
+		}),
+		"probabilities decrease": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[len(b)-8:], math.Float64bits(0))
+		}),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("Decode rejected its own encoding: %v", err)
+	}
+}
+
+// TestFitEval runs the shared fitting entry point over a synthetic
+// scorer whose margin genuinely predicts correctness, and checks both
+// the calibration and the evalx report it returns.
+func TestFitEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples []langid.Sample
+	truth := map[string]langid.Language{}
+	scores := map[string][langid.NumLanguages]float64{}
+	for i := 0; i < 500; i++ {
+		url := "http://example.com/" + string(rune('a'+i%26)) + "/" + string(rune('0'+i%10)) + "/" + string(rune('a'+(i/26)%26))
+		lang := langid.Language(rng.Intn(langid.NumLanguages))
+		var sc [langid.NumLanguages]float64
+		for li := range sc {
+			sc[li] = rng.NormFloat64() - 2
+		}
+		sc[lang] += 3 + rng.NormFloat64()
+		samples = append(samples, langid.Sample{URL: url, Lang: lang})
+		truth[url] = lang
+		scores[url] = sc
+	}
+	c, rep, err := FitEval(func(url string) [langid.NumLanguages]float64 {
+		return scores[url]
+	}, samples, 0)
+	if err != nil {
+		t.Fatalf("FitEval: %v", err)
+	}
+	if rep.Samples != len(samples) {
+		t.Fatalf("report samples = %d, want %d", rep.Samples, len(samples))
+	}
+	if acc := rep.Accuracy(); acc < 0.6 || acc > 1 {
+		t.Fatalf("implausible top-1 accuracy %v for margin-driven scorer", acc)
+	}
+	var perLang int
+	for li := range rep.PerLang {
+		perLang += rep.PerLang[li].Total()
+	}
+	if perLang != len(samples)*langid.NumLanguages {
+		t.Fatalf("per-language observations = %d, want %d", perLang, len(samples)*langid.NumLanguages)
+	}
+	lo, hi := c.Range()
+	if c.Prob(hi) < c.Prob(lo) {
+		t.Fatal("fitted calibration lost monotonicity")
+	}
+
+	if _, _, err := FitEval(nil, nil, 0); err == nil {
+		t.Fatal("FitEval with no samples should fail")
+	}
+}
+
+// TestProbMatchesLinearScan cross-checks the hot-path binary search
+// against a naive reference interpolation.
+func TestProbMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	points := make([]Point, 1000)
+	for i := range points {
+		m := rng.NormFloat64() * 4
+		points[i] = Point{Margin: m, Correct: rng.NormFloat64()+m > 0}
+	}
+	c, err := Fit(points, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	ref := func(margin float64) float64 {
+		i := sort.SearchFloat64s(c.margins, margin)
+		if i < len(c.margins) && c.margins[i] == margin {
+			return c.probs[i]
+		}
+		if i == 0 {
+			return c.probs[0]
+		}
+		if i == len(c.margins) {
+			return c.probs[len(c.probs)-1]
+		}
+		t2 := (margin - c.margins[i-1]) / (c.margins[i] - c.margins[i-1])
+		return c.probs[i-1] + t2*(c.probs[i]-c.probs[i-1])
+	}
+	for step := 0; step < 2000; step++ {
+		m := rng.NormFloat64() * 6
+		if got, want := c.Prob(m), ref(m); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Prob(%v) = %v, reference %v", m, got, want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 
+	"urllangid/internal/calib"
 	"urllangid/internal/core"
 	"urllangid/internal/dtree"
 	"urllangid/internal/features"
@@ -107,6 +108,10 @@ type Snapshot struct {
 	// deferred verification state; see flat.go. Heap-backed snapshots
 	// leave it nil and skip the verification gate entirely.
 	flat *flatSource
+	// calib is the optional fitted margin → probability calibration
+	// (persisted as flat.SecCalib). Nil for uncalibrated models; the
+	// cascade then falls back to raw-margin thresholds.
+	calib *calib.Calibration
 }
 
 // scratch holds the per-call buffers of the scoring hot path. All
@@ -232,6 +237,28 @@ func (s *Snapshot) Mode() string {
 // Dim returns the feature-space dimensionality of the compiled path
 // (0 for the TLD baselines, which have no feature space).
 func (s *Snapshot) Dim() int { return int(s.dim) }
+
+// SetCalibration attaches a fitted margin → probability calibration to
+// the snapshot. WriteFlat persists it as the container's calibration
+// section. Not safe to call concurrently with scoring; calibrate at
+// compile time, before the snapshot starts serving.
+func (s *Snapshot) SetCalibration(c *calib.Calibration) { s.calib = c }
+
+// Calibration returns the attached calibration, or nil when the model
+// is uncalibrated.
+func (s *Snapshot) Calibration() *calib.Calibration { return s.calib }
+
+// Confidence maps a score margin to the calibrated probability that
+// the snapshot's top-1 answer is correct. ok is false when the model
+// carries no calibration. This is the cascade.Confidencer contract.
+//
+//urllangid:hotpath
+func (s *Snapshot) Confidence(margin float64) (float64, bool) {
+	if s.calib == nil {
+		return 0, false
+	}
+	return s.calib.Prob(margin), true
+}
 
 // isCustom reports whether features come from the dense custom
 // extractor.

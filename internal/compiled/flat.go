@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"urllangid/internal/calib"
 	"urllangid/internal/core"
 	"urllangid/internal/dict"
 	"urllangid/internal/features"
@@ -111,6 +112,9 @@ func (s *Snapshot) WriteFlat(w io.Writer) error {
 
 	fw := flat.NewWriter('S')
 	fw.Add(flat.SecMeta, -1, mb)
+	if s.calib != nil {
+		fw.Add(flat.SecCalib, -1, s.calib.Encode())
+	}
 	if s.mode != modeTLD && !s.isCustom() {
 		fw.Add(flat.SecStrBlob, -1, s.table.Blob())
 		fw.Add(flat.SecStrOffs, -1, flat.Uint32Bytes(s.table.Offsets()))
@@ -188,6 +192,20 @@ func LoadFlat(f *flat.File, mapping *flat.Mapping) (*Snapshot, error) {
 	s.pool.New = func() any { return new(scratch) }
 	if s.mode == modeLegacy || s.mode > modeTLD {
 		return nil, fmt.Errorf("compiled: unknown flat snapshot mode %d", meta.ModeID)
+	}
+
+	// The calibration section is optional — files written before it
+	// existed load uncalibrated. Like the metadata it is small and must
+	// be materialised (decoded) to be useful, so it is verified eagerly.
+	if cb, ok := f.Payload(flat.SecCalib, -1); ok {
+		if err := f.VerifyPayload(flat.SecCalib, -1); err != nil {
+			return nil, err
+		}
+		c, err := calib.Decode(cb)
+		if err != nil {
+			return nil, fmt.Errorf("compiled: decoding calibration section: %w", err)
+		}
+		s.calib = c
 	}
 
 	if s.mode == modeTLD {

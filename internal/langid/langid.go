@@ -157,6 +157,42 @@ func BestFromScores(scores [NumLanguages]float64) (Language, float64, bool) {
 	return Language(bestI), scores[bestI], any
 }
 
+// TopTwoFromScores returns the highest- and second-highest-scoring
+// languages. Ties resolve first-wins in canonical order, matching
+// BestFromScores, so the pair is deterministic for equal scores.
+//
+//urllangid:hotpath
+func TopTwoFromScores(scores [NumLanguages]float64) (best, second Language) {
+	b, s := 0, 1
+	if scores[s] > scores[b] {
+		b, s = s, b
+	}
+	for li := 2; li < NumLanguages; li++ {
+		switch {
+		case scores[li] > scores[b]:
+			b, s = li, b
+		case scores[li] > scores[s]:
+			s = li
+		}
+	}
+	return Language(b), Language(s)
+}
+
+// MarginFromScores returns the score margin of a decision vector: the
+// top score minus the runner-up score (top1−top2), always >= 0. This is
+// the single "how confident is the winner" measure the serving stack
+// shares — cascade escalation and calibration both key on it — and it
+// is deliberately distinct from the *decision-threshold* margins inside
+// the classifiers (relent.Trainer.Margin, core.Config.REMargin), which
+// shift one binary classifier's yes/no cut rather than comparing
+// languages against each other.
+//
+//urllangid:hotpath
+func MarginFromScores(scores [NumLanguages]float64) float64 {
+	best, second := TopTwoFromScores(scores)
+	return scores[best] - scores[second]
+}
+
 // LabelSet is a compact set of languages, used where a URL is assigned
 // multiple languages simultaneously.
 type LabelSet uint8
@@ -165,6 +201,8 @@ type LabelSet uint8
 func (s LabelSet) Add(l Language) LabelSet { return s | 1<<l }
 
 // Has reports whether l is in the set.
+//
+//urllangid:hotpath
 func (s LabelSet) Has(l Language) bool { return s&(1<<l) != 0 }
 
 // Len returns the number of languages in the set.

@@ -63,6 +63,20 @@ func (r Result) Best() (Language, float64, bool) {
 	return BestFromScores(r.scores)
 }
 
+// Margin returns the result's score margin: the top score minus the
+// runner-up score (top1−top2), always >= 0. A large margin means the
+// winning language is well separated from every alternative; a margin
+// near zero means the top two languages are nearly tied and the binary
+// decisions say little about which one is right. This is the confidence
+// signal the cascade's calibration maps to a probability. It is not the
+// relative-entropy trainer's decision margin (relent.Trainer.Margin /
+// core.Config.REMargin), which thresholds one classifier's own score.
+//
+//urllangid:hotpath
+func (r Result) Margin() float64 {
+	return MarginFromScores(r.scores)
+}
+
 // Predictions expands the result into one scored Prediction per
 // language in canonical order.
 func (r Result) Predictions() []Prediction {

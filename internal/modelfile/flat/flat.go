@@ -120,6 +120,12 @@ const (
 	// encoding), persisted so TLD baseline files are self-describing and
 	// validated against the built-in tables on load.
 	SecTLD uint32 = 16
+	// SecCalib is the model's fitted margin → probability calibration
+	// (calib package encoding), consulted by cascade serving. Optional:
+	// files written before calibration existed simply lack it and load
+	// uncalibrated, and readers that predate it skip it as an unknown
+	// section type.
+	SecCalib uint32 = 17
 )
 
 // SectionName names a section type for inspection output.
@@ -157,6 +163,8 @@ func SectionName(typ uint32) string {
 		return "dict"
 	case SecTLD:
 		return "tld"
+	case SecCalib:
+		return "calib"
 	default:
 		return fmt.Sprintf("unknown(%d)", typ)
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package registry
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose instrumentation introduces spurious allocations.
+const raceEnabled = true

@@ -84,8 +84,12 @@ type slot struct {
 // still holds it. refs starts at 1 for the registry's own reference.
 type version struct {
 	engine *serve.Engine
-	info   serve.ModelInfo
-	refs   atomic.Int64
+	// pred is the raw predictor the engine wraps. Cascade tiers resolve
+	// through it so tier scoring bypasses the tier's own engine (no
+	// double caching, no double stats) while still pinning the version.
+	pred serve.Predictor
+	info serve.ModelInfo
+	refs atomic.Int64
 	// releaseFn is release pre-bound at install time, so Resolve hands
 	// it out per request without allocating a fresh method value.
 	releaseFn func()
@@ -294,6 +298,13 @@ func (r *Registry) Install(name string, p serve.Predictor, label, mode string) (
 // engine open, and the last Release closes it, then runs closer (when
 // non-nil) to free the model's backing storage.
 func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo, closer func() error) (serve.ModelInfo, error) {
+	return r.installWith(name, p, info, closer, r.opts.Engine)
+}
+
+// installWith is install with an explicit engine template, for the few
+// installs whose engine must diverge from the registry default (a
+// cascade disables the result cache).
+func (r *Registry) installWith(name string, p serve.Predictor, info serve.ModelInfo, closer func() error, engOpts serve.Options) (serve.ModelInfo, error) {
 	if name == "" {
 		return serve.ModelInfo{}, fmt.Errorf("registry: empty model name")
 	}
@@ -319,7 +330,7 @@ func (r *Registry) install(name string, p serve.Predictor, info serve.ModelInfo,
 	}
 	info.Version = s.ver.Add(1)
 	info.LoadedAt = time.Now()
-	v := &version{engine: serve.New(p, r.opts.Engine), info: info, close: closer}
+	v := &version{engine: serve.New(p, engOpts), pred: p, info: info, close: closer}
 	v.releaseFn = v.release
 	v.refs.Store(1)
 	if old := s.cur.Swap(v); old != nil {
@@ -380,7 +391,7 @@ func (r *Registry) Reload(name string) (serve.ModelInfo, bool, error) {
 		Version:  s.ver.Add(1),
 		LoadedAt: time.Now(),
 	}
-	v := &version{engine: serve.New(snap, r.opts.Engine), info: info, close: snap.Close}
+	v := &version{engine: serve.New(snap, r.opts.Engine), pred: snap, info: info, close: snap.Close}
 	v.releaseFn = v.release
 	v.refs.Store(1)
 	if old := s.cur.Swap(v); old != nil {

@@ -188,6 +188,11 @@ func (e *Engine) Close() error {
 // set; the recording methods tolerate a nil receiver.
 func (e *Engine) Stats() *Stats { return e.stats }
 
+// Predictor returns the raw predictor the engine wraps. The serving
+// layers type-assert it for optional contracts the engine itself does
+// not surface — a cascade's tier stats, for instance.
+func (e *Engine) Predictor() Predictor { return e.pred }
+
 // StatsSnapshot returns current metrics, including cache occupancy.
 func (e *Engine) StatsSnapshot() Snapshot {
 	if e.stats == nil {

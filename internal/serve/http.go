@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"urllangid/internal/cascade"
 	"urllangid/internal/langid"
 	"urllangid/internal/obs"
 )
@@ -590,10 +591,19 @@ type statsResponse struct {
 	// UptimeSeconds is time since the handler started serving.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Snapshot
+	// Cascade carries tier routing stats when the model is a cascade.
+	Cascade *cascade.TierSnapshot `json:"cascade,omitempty"`
+}
+
+// tierStatser is the optional contract a cascade predictor meets; the
+// stats and metrics surfaces type-assert for it rather than importing
+// registry wiring.
+type tierStatser interface {
+	TierStats() *cascade.Stats
 }
 
 func (h *handler) statsFor(e *Engine, info ModelInfo) statsResponse {
-	return statsResponse{
+	resp := statsResponse{
 		Name:          info.Name,
 		Model:         info.Model,
 		Mode:          info.Mode,
@@ -602,6 +612,11 @@ func (h *handler) statsFor(e *Engine, info ModelInfo) statsResponse {
 		UptimeSeconds: time.Since(h.start).Seconds(),
 		Snapshot:      e.StatsSnapshot(),
 	}
+	if ts, ok := e.Predictor().(tierStatser); ok {
+		snap := ts.TierStats().Snapshot()
+		resp.Cascade = &snap
+	}
+	return resp
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -744,6 +759,37 @@ func (h *handler) exposeModels(x *obs.ExpoWriter) {
 		if hist := m.stats.Latency(); hist != nil {
 			x.HistogramSample("urllangid_model_latency_seconds", m.labels, hist)
 		}
+	}
+
+	// Cascade tier families: emitted only for models whose predictor
+	// carries tier stats. Empty families are valid exposition, so a
+	// registry without cascades just scrapes three headers.
+	x.Family("urllangid_model_fast_served_total",
+		"Cascade classifications answered by the fast tier alone.", obs.KindCounter)
+	for _, m := range scr {
+		if ts, ok := m.engine.Predictor().(tierStatser); ok {
+			x.IntSample("urllangid_model_fast_served_total", m.labels, ts.TierStats().FastServed())
+		}
+	}
+	x.Family("urllangid_model_escalations_total",
+		"Cascade classifications escalated to the slow tier.", obs.KindCounter)
+	for _, m := range scr {
+		if ts, ok := m.engine.Predictor().(tierStatser); ok {
+			x.IntSample("urllangid_model_escalations_total", m.labels, ts.TierStats().Escalations())
+		}
+	}
+	x.Family("urllangid_model_tier_latency_seconds",
+		"Per-tier scoring latency of cascade classifications.", obs.KindHistogram)
+	for _, m := range scr {
+		ts, ok := m.engine.Predictor().(tierStatser)
+		if !ok {
+			continue
+		}
+		st := ts.TierStats()
+		x.HistogramSample("urllangid_model_tier_latency_seconds",
+			append(m.labels, obs.Label{Key: "tier", Value: "fast"}), st.FastLatency())
+		x.HistogramSample("urllangid_model_tier_latency_seconds",
+			append(m.labels, obs.Label{Key: "tier", Value: "slow"}), st.SlowLatency())
 	}
 
 	sr, ok := h.models.(StateReporter)

@@ -3,6 +3,7 @@ package urllangid
 import (
 	"fmt"
 
+	"urllangid/internal/cascade"
 	"urllangid/internal/compiled"
 	"urllangid/internal/registry"
 	"urllangid/internal/serve"
@@ -101,6 +102,40 @@ func (r *Registry) Install(name string, m Model) (ModelInfo, error) {
 	default:
 		info, err = r.reg.Install(name, modelPredictor{m}, m.Describe(), "")
 	}
+	if err != nil {
+		return info, fmt.Errorf("urllangid: %w", err)
+	}
+	return info, nil
+}
+
+// CascadeConfig parameterises an InstallCascade slot.
+type CascadeConfig struct {
+	// Threshold is the escalation cut. When the fast tier carries a
+	// fitted calibration (compile -calibrate) it is the minimum
+	// calibrated probability the fast answer must reach to stand; for
+	// an uncalibrated fast tier it is compared against the raw score
+	// margin instead. <= 0 selects the default (0.9).
+	Threshold float64
+	// Confusable lists unordered language pairs that escalate to the
+	// slow tier unconditionally whenever they are the fast tier's top
+	// two. Nil selects the built-in Romance pairs (fr/it, fr/es,
+	// es/it); an explicit empty slice disables confusable routing.
+	Confusable [][2]Language
+}
+
+// InstallCascade installs a two-tier cascade under name: the fast slot
+// answers every URL, and low-confidence or confusable answers are
+// re-scored by the slow slot. Both tiers must already be installed and
+// are resolved by name per classification, so reloading a tier
+// retargets the cascade immediately. The cascade serves like any model
+// — Classify by name, swap tiers underneath it, observe per-tier stats
+// over HTTP — and its non-escalating path stays allocation-free.
+// Cascades cannot be tiers of other cascades.
+func (r *Registry) InstallCascade(name, fast, slow string, cfg CascadeConfig) (ModelInfo, error) {
+	info, err := r.reg.InstallCascade(name, fast, slow, cascade.Config{
+		Threshold:  cfg.Threshold,
+		Confusable: cfg.Confusable,
+	})
 	if err != nil {
 		return info, fmt.Errorf("urllangid: %w", err)
 	}

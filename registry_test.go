@@ -219,3 +219,49 @@ func TestRegistryClassifyZeroAlloc(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestRegistryInstallCascade drives the public cascade surface: two
+// installed tiers, a cascade routing between them by name, and answers
+// always bit-identical to one of the two tiers.
+func TestRegistryInstallCascade(t *testing.T) {
+	fast, err := urllangid.Train(urllangid.Options{Seed: 61}, trainSamples(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := urllangid.Train(urllangid.Options{Algorithm: urllangid.KNN, Seed: 61}, trainSamples(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := urllangid.NewRegistry(urllangid.RegistryOptions{})
+	defer reg.Close()
+	if _, err := reg.Install("fast", fast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install("slow", slow); err != nil {
+		t.Fatal(err)
+	}
+	info, err := reg.InstallCascade("casc", "fast", "slow", urllangid.CascadeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "cascade" || !strings.Contains(info.Model, "fast") {
+		t.Errorf("cascade info = %+v", info)
+	}
+	for _, u := range []string{
+		"http://www.nachrichten-wetter.de/zeitung",
+		"http://www.produits-recherche.fr/annonces",
+		"http://example.org/a",
+	} {
+		got, err := reg.Classify("casc", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, ss := fast.Classify(u).Scores(), slow.Classify(u).Scores()
+		if got.Scores() != fs && got.Scores() != ss {
+			t.Errorf("%q: cascade answer %v matches neither tier (fast %v, slow %v)", u, got.Scores(), fs, ss)
+		}
+	}
+	if _, err := reg.InstallCascade("bad", "casc", "slow", urllangid.CascadeConfig{}); err == nil {
+		t.Error("nested cascade accepted")
+	}
+}

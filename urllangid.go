@@ -58,6 +58,7 @@ import (
 	"io"
 	"runtime"
 
+	"urllangid/internal/calib"
 	"urllangid/internal/compiled"
 	"urllangid/internal/core"
 	"urllangid/internal/features"
@@ -481,6 +482,68 @@ func (s *Snapshot) Verify() error {
 // Open, Compile or LoadSnapshot).
 func (s *Snapshot) Close() error {
 	return s.snap.Close()
+}
+
+// CalibrationInfo summarises a snapshot's fitted margin → probability
+// calibration: the fit itself (isotonic block count and the margin
+// span it observed) plus the held-out evaluation it was built from.
+type CalibrationInfo struct {
+	// Points is the number of isotonic blocks in the monotone fit.
+	Points int `json:"points"`
+	// Threshold is the escalation threshold recorded with the
+	// calibration; cascade serving uses it when no explicit threshold
+	// is configured.
+	Threshold float64 `json:"threshold"`
+	// MinMargin and MaxMargin bound the margins observed at fit time;
+	// queries outside clamp to the boundary probabilities.
+	MinMargin float64 `json:"min_margin"`
+	MaxMargin float64 `json:"max_margin"`
+	// Samples and Accuracy report the held-out split the calibration
+	// was fitted on and the snapshot's top-1 accuracy over it.
+	Samples  int     `json:"samples,omitempty"`
+	Accuracy float64 `json:"accuracy,omitempty"`
+}
+
+// Calibrate fits a monotone score-margin → probability calibration on
+// held-out labeled samples and attaches it to the snapshot, so Save
+// persists it and cascade serving can escalate on calibrated
+// confidence instead of raw margins. threshold (<= 0 selects the
+// default, 0.9) is recorded as the suggested escalation cut. The
+// samples must be held out from training — calibrating on training
+// data overstates confidence exactly where the cascade needs honesty.
+// Not safe to call concurrently with classification.
+func (s *Snapshot) Calibrate(samples []Sample, threshold float64) (CalibrationInfo, error) {
+	c, rep, err := calib.FitEval(s.snap.Scores, samples, threshold)
+	if err != nil {
+		return CalibrationInfo{}, fmt.Errorf("urllangid: %w", err)
+	}
+	s.snap.SetCalibration(c)
+	lo, hi := c.Range()
+	return CalibrationInfo{
+		Points:    c.Len(),
+		Threshold: c.Threshold(),
+		MinMargin: lo,
+		MaxMargin: hi,
+		Samples:   rep.Samples,
+		Accuracy:  rep.Accuracy(),
+	}, nil
+}
+
+// Calibration reports the snapshot's attached calibration, if any.
+// Snapshots loaded from files written before calibration existed (or
+// compiled without -calibrate) have none.
+func (s *Snapshot) Calibration() (CalibrationInfo, bool) {
+	c := s.snap.Calibration()
+	if c == nil {
+		return CalibrationInfo{}, false
+	}
+	lo, hi := c.Range()
+	return CalibrationInfo{
+		Points:    c.Len(),
+		Threshold: c.Threshold(),
+		MinMargin: lo,
+		MaxMargin: hi,
+	}, true
 }
 
 // Compiled reports whether the snapshot runs a packed native path. It
